@@ -1,0 +1,57 @@
+// Command quickcluster summarizes a CSV point database into data bubbles
+// and prints the hierarchical clustering obtained from them: cluster
+// sizes, the F-score against the input's label column, and optionally the
+// reachability plot (text or PNG) and per-point assignments.
+//
+// The input format is the one bubblegen and DB.WriteCSV produce:
+// a header "id,label,x0,x1,..." followed by one row per point.
+//
+// Usage:
+//
+//	bubblegen -kind complex -out db.csv
+//	quickcluster -in db.csv -bubbles 100 -minpts 10 -plot -png reach.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"incbubbles/internal/cli"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "-", "input CSV ('-' for stdin)")
+		bubbles  = flag.Int("bubbles", 100, "number of data bubbles")
+		minPts   = flag.Int("minpts", 10, "OPTICS MinPts")
+		seed     = flag.Int64("seed", 1, "random seed")
+		plotFlag = flag.Bool("plot", false, "print the reachability plot")
+		assign   = flag.Bool("assignments", false, "print id,cluster for every point")
+		pngOut   = flag.String("png", "", "write a reachability-plot PNG to this path")
+	)
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quickcluster:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	opts := cli.QuickclusterOptions{
+		Bubbles:     *bubbles,
+		MinPts:      *minPts,
+		Seed:        *seed,
+		Plot:        *plotFlag,
+		Assignments: *assign,
+		PNGOut:      *pngOut,
+	}
+	if err := cli.RunQuickcluster(r, opts, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "quickcluster:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,33 @@
+// Package incbubbles is a Go implementation of incremental data bubbles —
+// the dynamic data summarization scheme of Nassar, Sander and Cheng,
+// "Incremental and Effective Data Summarization for Dynamic Hierarchical
+// Clustering" (SIGMOD 2004).
+//
+// A large, changing database of d-dimensional points is compressed into a
+// fixed number of data bubbles (sufficient-statistics summaries). As
+// points are inserted and deleted, the bubbles are maintained
+// incrementally: each update adjusts one bubble's statistics, a
+// Chebyshev-bounded quality index β identifies bubbles that no longer
+// compress well, and only those are rebuilt with synchronized merge and
+// split operations. A hierarchical clustering of the whole database — an
+// OPTICS reachability plot with automatic cluster extraction — is then
+// available from the bubbles alone at any time, orders of magnitude
+// cheaper than re-summarizing from scratch.
+//
+// # Quick start
+//
+//	db := incbubbles.NewDB(2)
+//	// ... insert points (incbubbles.Point{x, y}) with ground-truth or
+//	// application labels ...
+//	sum, err := incbubbles.NewSummarizer(db, incbubbles.SummarizerOptions{NumBubbles: 100})
+//	// apply batches of updates:
+//	batch, _ := incbubbles.Batch{ /* inserts and deletes */ }.Apply(db)
+//	sum.ApplyBatch(batch)
+//	// hierarchical clustering from the summaries:
+//	clus, err := incbubbles.ClusterBubbles(sum.Set(), incbubbles.ClusterOptions{MinPts: 10})
+//
+// The subpackages under internal/ hold the building blocks (data bubbles,
+// OPTICS, reachability-plot extraction, BIRCH clustering features, the
+// synthetic dynamic workloads and the experiment harness); this package
+// re-exports everything a downstream user needs.
+package incbubbles

@@ -1,0 +1,99 @@
+// Compactness: a walkthrough of the paper's quality-measure argument
+// (§4.1, Figure 7). The same dynamic database — a cluster disappears while
+// a new one appears in virgin territory — is summarized twice, once
+// classifying bubbles by spatial extent (the BIRCH-style measure) and once
+// by the data summarization index β. The β measure repositions bubbles
+// onto the new cluster; the extent measure leaves it compressed by a
+// single over-filled bubble, and the clustering quality collapses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"incbubbles"
+)
+
+func main() {
+	for _, measure := range []struct {
+		name string
+		m    incbubbles.SummarizerConfig
+	}{
+		{"extent (BIRCH-style)", incbubbles.SummarizerConfig{Measure: incbubbles.MeasureExtent}},
+		{"beta (paper §4.1)", incbubbles.SummarizerConfig{Measure: incbubbles.MeasureBeta}},
+	} {
+		run(measure.name, measure.m)
+	}
+}
+
+// run plays the extreme-appear workload under the given quality measure,
+// averaged over a few seeds (a single run is noisy either way).
+func run(name string, cfg incbubbles.SummarizerConfig) {
+	const seeds = 3
+	var fSum, coverSum float64
+	rebuiltSum := 0
+	for seed := int64(1); seed <= seeds; seed++ {
+		sc, err := incbubbles.NewScenario(incbubbles.ScenarioConfig{
+			Kind:          incbubbles.ScenarioExtremeAppear,
+			InitialPoints: 10000,
+			Batches:       10,
+			Seed:          seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum, err := incbubbles.NewSummarizer(sc.DB(), incbubbles.SummarizerOptions{
+			NumBubbles: 80,
+			Seed:       seed + 100,
+			Config:     cfg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for b := 0; b < 10; b++ {
+			batch, err := sc.NextBatch()
+			if err != nil {
+				log.Fatal(err)
+			}
+			stats, err := sum.ApplyBatch(batch)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rebuiltSum += stats.Rebuilt
+		}
+		clus, err := incbubbles.ClusterBubbles(sum.Set(), incbubbles.ClusterOptions{MinPts: 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := incbubbles.FScore(sc.DB(), clus.PointLabels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fSum += f
+		coverSum += float64(bubblesOnNewCluster(sc, sum))
+	}
+	fmt.Printf("%-22s avg rebuilt/run=%3d  bubbles-on-new-cluster=%4.1f  F=%.4f\n",
+		name, rebuiltSum/seeds, coverSum/seeds, fSum/seeds)
+}
+
+// bubblesOnNewCluster counts bubbles whose membership is majority points
+// of the appeared cluster.
+func bubblesOnNewCluster(sc *incbubbles.Scenario, sum *incbubbles.Summarizer) int {
+	label, _ := sc.AppearLabel()
+	onNew := 0
+	for _, b := range sum.Set().Bubbles() {
+		if b.N() == 0 {
+			continue
+		}
+		match := 0
+		for _, id := range b.MemberIDs() {
+			if rec, err := sc.DB().Get(id); err == nil && rec.Label == label {
+				match++
+			}
+		}
+		if match*2 > b.N() {
+			onNew++
+		}
+	}
+	return onNew
+}

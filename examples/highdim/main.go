@@ -1,0 +1,70 @@
+// Highdim: incremental summarization of 10-d and 20-d dynamic databases —
+// the dimensionalities of the paper's Complex10d/Complex20d experiments.
+// High-dimensional distance computations are expensive, which is exactly
+// where triangle-inequality pruning and incremental maintenance pay off
+// most; this example reports the pruning rate and quality per dimension.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"incbubbles"
+)
+
+func main() {
+	for _, dim := range []int{10, 20} {
+		run(dim)
+	}
+}
+
+func run(dim int) {
+	sc, err := incbubbles.NewScenario(incbubbles.ScenarioConfig{
+		Kind:          incbubbles.ScenarioComplex,
+		Dim:           dim,
+		InitialPoints: 20000,
+		Batches:       8,
+		Seed:          11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var counter incbubbles.DistanceCounter
+	start := time.Now()
+	sum, err := incbubbles.NewSummarizer(sc.DB(), incbubbles.SummarizerOptions{
+		NumBubbles: 100,
+		Counter:    &counter,
+		Seed:       12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildTime := time.Since(start)
+	counter.Reset()
+
+	start = time.Now()
+	for b := 0; b < 8; b++ {
+		batch, err := sc.NextBatch()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sum.ApplyBatch(batch); err != nil {
+			log.Fatal(err)
+		}
+	}
+	maintainTime := time.Since(start)
+
+	clus, err := incbubbles.ClusterBubbles(sum.Set(), incbubbles.ClusterOptions{MinPts: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := incbubbles.FScore(sc.DB(), clus.PointLabels)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("dim=%2d: build %v, 8 batches maintained in %v\n", dim, buildTime.Round(time.Millisecond), maintainTime.Round(time.Millisecond))
+	fmt.Printf("        pruning avoided %.0f%% of maintenance distance calcs\n", 100*counter.PruneFraction())
+	fmt.Printf("        clusters=%d  F-score=%.4f\n", clus.NumClusters(), f)
+}

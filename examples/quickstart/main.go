@@ -1,0 +1,82 @@
+// Quickstart: summarize a database into data bubbles, keep the summary
+// current through a batch of updates, and read off the hierarchical
+// clustering — the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"incbubbles"
+)
+
+func main() {
+	// A small 2-d database: two Gaussian clusters plus background noise.
+	db := incbubbles.NewDB(2)
+	rng := incbubbles.NewRNG(42)
+	for i := 0; i < 2000; i++ {
+		if _, err := db.Insert(rng.GaussianPoint(incbubbles.Point{20, 20}, 3), 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := db.Insert(rng.GaussianPoint(incbubbles.Point{80, 80}, 3), 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := db.Insert(rng.UniformPoint(2, 0, 100), incbubbles.Noise); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Compress 4200 points into 60 data bubbles.
+	sum, err := incbubbles.NewSummarizer(db, incbubbles.SummarizerOptions{
+		NumBubbles: 60,
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("summarized %d points into %d bubbles\n", db.Len(), sum.Set().Len())
+
+	// The database changes: delete 200 random points, insert 200 new ones.
+	var batch incbubbles.Batch
+	victims, err := db.RandomIDs(rng, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range victims {
+		batch = append(batch, incbubbles.Update{Op: incbubbles.OpDelete, ID: id})
+	}
+	for i := 0; i < 200; i++ {
+		batch = append(batch, incbubbles.Update{
+			Op:    incbubbles.OpInsert,
+			P:     rng.GaussianPoint(incbubbles.Point{20, 20}, 3),
+			Label: 0,
+		})
+	}
+	applied, err := batch.Apply(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := sum.ApplyBatch(applied)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("applied batch: %d deletes, %d inserts, %d bubbles rebuilt\n",
+		stats.Deleted, stats.Inserted, stats.Rebuilt)
+
+	// Hierarchical clustering from the summaries alone.
+	clus, err := incbubbles.ClusterBubbles(sum.Set(), incbubbles.ClusterOptions{MinPts: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("extracted %d clusters from the reachability plot\n", clus.NumClusters())
+
+	f, err := incbubbles.FScore(db, clus.PointLabels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("F-score against ground truth: %.4f\n", f)
+}

@@ -1,0 +1,64 @@
+// Streammonitor: incremental data bubbles over a point stream — the
+// paper's §6 future-work direction, built on the sliding-window adapter.
+// A sensor-like stream drifts through three regimes; the window summary
+// follows it, and the monitor prints the clustering of the *current*
+// window after every chunk, detecting both the appearance of the new
+// regime and the disappearance of the old one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"incbubbles"
+)
+
+func main() {
+	w, err := incbubbles.NewStreamWindow(incbubbles.StreamConfig{
+		Dim:        2,
+		Capacity:   8000,
+		Bubbles:    80,
+		FlushEvery: 400,
+		Seed:       9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := incbubbles.NewRNG(10)
+
+	regimes := []struct {
+		name    string
+		centers []incbubbles.Point
+		chunk   int
+	}{
+		{"A+B", []incbubbles.Point{{10, 10}, {60, 60}}, 8000},
+		{"A+B+C (C emerging)", []incbubbles.Point{{10, 10}, {60, 60}, {110, 10}}, 8000},
+		{"B+C (A gone)", []incbubbles.Point{{60, 60}, {110, 10}}, 12000},
+	}
+
+	for _, regime := range regimes {
+		for i := 0; i < regime.chunk; i++ {
+			c := regime.centers[i%len(regime.centers)]
+			if err := w.Push(rng.GaussianPoint(c, 2.5), i%len(regime.centers)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if _, err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		report(w, regime.name)
+	}
+}
+
+func report(w *incbubbles.StreamWindow, regime string) {
+	if !w.Ready() {
+		fmt.Printf("%-20s warming up (%d points)\n", regime, w.Len())
+		return
+	}
+	clus, err := incbubbles.ClusterBubbles(w.Summarizer().Set(), incbubbles.ClusterOptions{MinPts: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after regime %-20s window=%5d points  arrived=%6d  clusters=%d\n",
+		regime, w.Len(), w.Arrived(), clus.NumClusters())
+}

@@ -1,0 +1,95 @@
+// Warehouse: the "other data mining tasks" of the paper's introduction —
+// a maintained summary is persisted across process restarts and answers
+// approximate analytical queries (range counts, moments) and partitioning
+// requests without touching the raw data.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"incbubbles"
+)
+
+func main() {
+	// Day 1: summarize the current warehouse contents.
+	db := incbubbles.NewDB(2)
+	rng := incbubbles.NewRNG(31)
+	for i := 0; i < 6000; i++ {
+		db.Insert(rng.GaussianPoint(incbubbles.Point{25, 70}, 4), 0) // segment A
+	}
+	for i := 0; i < 3000; i++ {
+		db.Insert(rng.GaussianPoint(incbubbles.Point{75, 30}, 6), 1) // segment B
+	}
+	sum, err := incbubbles.NewSummarizer(db, incbubbles.SummarizerOptions{NumBubbles: 90, Seed: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Persist the summary — a few KB instead of the full database.
+	var snapshot bytes.Buffer
+	if err := incbubbles.SaveBubbles(sum.Set(), &snapshot); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("summary of %d points persisted in %d bytes\n", db.Len(), snapshot.Len())
+
+	// Day 2, new process: restore and answer queries from the summary.
+	set, err := incbubbles.LoadBubbles(&snapshot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mean, err := incbubbles.EstimateMean(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	variance, err := incbubbles.EstimateTotalVariance(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("global mean %v, total variance %.1f (exact from sufficient statistics)\n", mean, variance)
+
+	// "How many customers in the north-west quadrant?"
+	nw := incbubbles.QueryBox{Lo: incbubbles.Point{0, 50}, Hi: incbubbles.Point{50, 100}}
+	est, err := incbubbles.EstimateRangeCount(set, nw, 33)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := 0
+	db.ForEach(func(r incbubbles.Record) {
+		if nw.Contains(r.P) {
+			truth++
+		}
+	})
+	fmt.Printf("north-west range count: estimated %.0f, true %d (%.1f%% error)\n",
+		est, truth, 100*abs(est-float64(truth))/float64(truth))
+
+	// Marketing asks for a 2-segment partition: weighted k-means over the
+	// summaries, fanned out to every customer.
+	segments, err := incbubbles.MacroCluster(set, 2, 34)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizes := map[int]int{}
+	for _, s := range segments {
+		sizes[s]++
+	}
+	fmt.Printf("macro segmentation sizes: %v\n", sizes)
+	if f, err := incbubbles.FScore(db, segments); err == nil {
+		fmt.Printf("segmentation F-score vs ground truth: %.4f\n", f)
+	}
+
+	// And the full hierarchical view is still one call away.
+	clus, err := incbubbles.ClusterBubbles(set, incbubbles.ClusterOptions{MinPts: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hierarchical view: %d clusters\n", clus.NumClusters())
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

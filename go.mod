@@ -1,0 +1,3 @@
+module incbubbles
+
+go 1.22

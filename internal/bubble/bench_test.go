@@ -1,0 +1,78 @@
+package bubble
+
+import (
+	"testing"
+
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+func benchDB(b *testing.B, n, d int) *dataset.DB {
+	b.Helper()
+	rng := stats.NewRNG(1)
+	db := dataset.MustNew(d)
+	for i := 0; i < n; i++ {
+		c := make(vecmath.Point, d)
+		if i%2 == 1 {
+			for j := range c {
+				c[j] = 60
+			}
+		}
+		db.Insert(rng.GaussianPoint(c, 3), i%2)
+	}
+	return db
+}
+
+// BenchmarkBuildTriangle measures §3 construction with pruning.
+func BenchmarkBuildTriangle(b *testing.B) {
+	db := benchDB(b, 10000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(db, 100, Options{UseTriangleInequality: true, RNG: stats.NewRNG(int64(i))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssignPoint measures one closest-seed assignment against 100
+// seeds with pruning.
+func BenchmarkAssignPoint(b *testing.B) {
+	db := benchDB(b, 10000, 2)
+	set, err := Build(db, 100, Options{UseTriangleInequality: true, RNG: stats.NewRNG(2)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := rng.GaussianPoint(vecmath.Point{0, 0}, 20)
+		if _, _, err := set.ClosestSeed(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSaveLoad measures summary persistence round trips.
+func BenchmarkSaveLoad(b *testing.B) {
+	db := benchDB(b, 10000, 2)
+	set, err := Build(db, 100, Options{UseTriangleInequality: true, TrackMembers: true, RNG: stats.NewRNG(4)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf writerCounter
+		if err := set.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.n))
+	}
+}
+
+type writerCounter struct{ n int }
+
+func (w *writerCounter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}

@@ -1,0 +1,54 @@
+package bubble
+
+import (
+	"errors"
+	"fmt"
+
+	"incbubbles/internal/dataset"
+)
+
+// Build constructs a set of data bubbles over db from scratch using the
+// paper's two-step procedure (§3): retrieve numSeeds random points as
+// seeds, then scan the database assigning every point to its closest seed.
+// This is both the initial construction for the incremental scheme and the
+// "complete rebuild" baseline of the evaluation.
+func Build(db *dataset.DB, numSeeds int, opts Options) (*Set, error) {
+	if numSeeds <= 0 {
+		return nil, errors.New("bubble: need at least one seed")
+	}
+	if db.Len() < numSeeds {
+		return nil, fmt.Errorf("bubble: %d seeds requested from %d points", numSeeds, db.Len())
+	}
+	s, err := NewSet(db.Dim(), opts)
+	if err != nil {
+		return nil, err
+	}
+	// Step 1: random seeds.
+	seedIDs, err := db.RandomIDs(s.rng, numSeeds)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range seedIDs {
+		rec, err := db.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.AddBubble(rec.P); err != nil {
+			return nil, err
+		}
+	}
+	// Step 2: scan and assign every point to its closest seed.
+	var assignErr error
+	db.ForEach(func(r dataset.Record) {
+		if assignErr != nil {
+			return
+		}
+		if _, err := s.AssignClosest(r.ID, r.P); err != nil {
+			assignErr = err
+		}
+	})
+	if assignErr != nil {
+		return nil, assignErr
+	}
+	return s, nil
+}

@@ -1,0 +1,216 @@
+package bubble
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+func buildSampleSet(t *testing.T, track bool) (*Set, *dataset.DB) {
+	t.Helper()
+	rng := stats.NewRNG(31)
+	db := dataset.MustNew(3)
+	for i := 0; i < 300; i++ {
+		db.Insert(rng.GaussianPoint(vecmath.Point{0, 0, 0}, 4), 0)
+	}
+	for i := 0; i < 300; i++ {
+		db.Insert(rng.GaussianPoint(vecmath.Point{40, 40, 40}, 4), 1)
+	}
+	set, err := Build(db, 15, Options{
+		UseTriangleInequality: true,
+		TrackMembers:          track,
+		RNG:                   stats.NewRNG(32),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set, db
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	set, _ := buildSampleSet(t, true)
+	var buf bytes.Buffer
+	if err := set.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()), Options{RNG: stats.NewRNG(33)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != set.Len() || back.Dim() != set.Dim() {
+		t.Fatalf("shape: len=%d dim=%d", back.Len(), back.Dim())
+	}
+	if back.OwnedPoints() != set.OwnedPoints() {
+		t.Fatalf("owned=%d want %d", back.OwnedPoints(), set.OwnedPoints())
+	}
+	for i := 0; i < set.Len(); i++ {
+		a, b := set.Bubble(i), back.Bubble(i)
+		if a.N() != b.N() || a.SS() != b.SS() {
+			t.Fatalf("bubble %d stats differ", i)
+		}
+		if !a.Seed().Equal(b.Seed()) || !a.LS().Equal(b.LS()) {
+			t.Fatalf("bubble %d vectors differ", i)
+		}
+		if math.Abs(a.Extent()-b.Extent()) > 1e-12 {
+			t.Fatalf("bubble %d extent differs", i)
+		}
+	}
+	// Ownership reconstructed and matrix recomputed.
+	if err := back.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if d1, d2 := set.SeedDistance(0, 1), back.SeedDistance(0, 1); math.Abs(d1-d2) > 1e-12 {
+		t.Fatalf("matrix not recomputed: %v vs %v", d1, d2)
+	}
+	// The restored set keeps working: release + assign.
+	id := set.Bubble(0).MemberIDs()[0]
+	// find coordinates via the original db is unnecessary: use seed point.
+	if _, err := back.Release(id, back.Bubble(0).Seed()); err == nil {
+		// Release with wrong coordinates is allowed numerically; just
+		// verify the ownership flow works.
+		_ = err
+	}
+}
+
+func TestSaveLoadWithoutMembers(t *testing.T) {
+	set, _ := buildSampleSet(t, false)
+	var buf bytes.Buffer
+	if err := set.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.OwnedPoints() != 0 {
+		t.Fatalf("no-members snapshot restored ownership: %d", back.OwnedPoints())
+	}
+	if back.Bubble(0).TracksMembers() {
+		t.Fatal("tracking enabled on restore")
+	}
+	total := 0
+	for _, b := range back.Bubbles() {
+		total += b.N()
+	}
+	if total != 600 {
+		t.Fatalf("restored population=%d", total)
+	}
+}
+
+func TestLoadRejectsCorruptSnapshots(t *testing.T) {
+	cases := []string{
+		``,
+		`{`,
+		`{"version":99,"dim":2}`,
+		`{"version":1,"dim":0}`,
+		`{"version":1,"dim":2,"bubbles":[{"seed":[1],"ls":[0,0],"n":0}]}`,
+		`{"version":1,"dim":2,"bubbles":[{"seed":[1,2],"ls":[0],"n":0}]}`,
+		`{"version":1,"dim":2,"bubbles":[{"seed":[1,2],"ls":[0,0],"n":-1}]}`,
+		`{"version":1,"dim":2,"members":true,"bubbles":[{"seed":[1,2],"ls":[0,0],"n":2,"members":[5]}]}`,
+		`{"version":1,"dim":2,"members":true,"bubbles":[{"seed":[1,2],"ls":[1,1],"n":1,"members":[5]},{"seed":[3,4],"ls":[1,1],"n":1,"members":[5]}]}`,
+	}
+	for i, s := range cases {
+		if _, err := Load(strings.NewReader(s), Options{}); err == nil {
+			t.Errorf("corrupt snapshot %d accepted", i)
+		}
+	}
+}
+
+func TestRemoveBubble(t *testing.T) {
+	set, db := buildSampleSet(t, true)
+	n := set.Len()
+	// Populated bubble refuses removal.
+	populated := -1
+	for i, b := range set.Bubbles() {
+		if b.N() > 0 {
+			populated = i
+			break
+		}
+	}
+	if err := set.RemoveBubble(populated); err == nil {
+		t.Fatal("removed populated bubble")
+	}
+	if err := set.RemoveBubble(-1); err == nil {
+		t.Fatal("removed index -1")
+	}
+	// Drain one bubble and remove it.
+	ids, err := set.TakeMembers(populated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		rec, err := db.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tgt, _, err := set.ClosestSeedExcluding(rec.P, populated)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := set.AssignTo(tgt, id, rec.P); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := set.RemoveBubble(populated); err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != n-1 {
+		t.Fatalf("Len=%d want %d", set.Len(), n-1)
+	}
+	if set.OwnedPoints() != db.Len() {
+		t.Fatalf("owned=%d want %d", set.OwnedPoints(), db.Len())
+	}
+	if err := set.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Matrix stayed consistent: spot-check against direct distances.
+	for i := 0; i < set.Len(); i++ {
+		for j := 0; j < set.Len(); j++ {
+			want := vecmath.Distance(set.Bubble(i).Seed(), set.Bubble(j).Seed())
+			if math.Abs(set.SeedDistance(i, j)-want) > 1e-9 {
+				t.Fatalf("matrix stale at (%d,%d): %v want %v", i, j, set.SeedDistance(i, j), want)
+			}
+		}
+	}
+	// Assignment still functions after removal.
+	if _, _, err := set.ClosestSeed(vecmath.Point{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveLastBubble(t *testing.T) {
+	set, _ := buildSampleSet(t, true)
+	last := set.Len() - 1
+	ids, err := set.TakeMembers(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ids // intentionally dropped: removing the trailing slot needs no swap
+	if err := set.RemoveBubble(last); err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != last {
+		t.Fatalf("Len=%d", set.Len())
+	}
+}
+
+func TestRemoveBubbleWithoutMemberTracking(t *testing.T) {
+	set, _ := buildSampleSet(t, false)
+	// Find an empty bubble or drain is impossible without members; build a
+	// set with one extra empty bubble instead.
+	idx, err := set.AddBubble(vecmath.Point{999, 999, 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.RemoveBubble(idx); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,426 @@
+package bubble
+
+import (
+	"errors"
+	"fmt"
+
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+// Options configures a Set.
+type Options struct {
+	// UseTriangleInequality enables the §3 pruning of distance
+	// calculations during assignment (Lemma 1 / Figure 2). When false,
+	// every assignment computes the distance to every seed — the baseline
+	// the paper measures speedups against.
+	UseTriangleInequality bool
+	// TrackMembers records which point IDs each bubble compresses. The
+	// incremental scheme requires it (splits select new seeds from a
+	// bubble's current points); the complete-rebuild baseline does not.
+	TrackMembers bool
+	// Counter receives all distance computations and prunes. Optional; a
+	// private counter is used when nil.
+	Counter *vecmath.Counter
+	// RNG drives the randomized probe order of the Figure 2 assignment
+	// loop and seed selection. Optional; a fixed-seed RNG is used when nil.
+	RNG *stats.RNG
+}
+
+// Set is a collection of data bubbles over one database: the bubbles, the
+// point→bubble ownership map, and the precomputed seed–seed distance
+// matrix that powers triangle-inequality pruning.
+type Set struct {
+	dim      int
+	opts     Options
+	bubbles  []*Bubble
+	owner    map[dataset.PointID]int
+	seedDist [][]float64
+	counter  *vecmath.Counter
+	rng      *stats.RNG
+	scratch  []int // reusable candidate buffer for closestSeed
+}
+
+// Common errors.
+var (
+	ErrNoBubbles    = errors.New("bubble: set has no bubbles")
+	ErrUnknownPoint = errors.New("bubble: point has no owning bubble")
+	ErrBadIndex     = errors.New("bubble: bubble index out of range")
+)
+
+// NewSet creates an empty set for d-dimensional data. Seeds are added with
+// AddBubble (or by Build).
+func NewSet(dim int, opts Options) (*Set, error) {
+	if dim <= 0 {
+		return nil, errors.New("bubble: dimension must be positive")
+	}
+	s := &Set{
+		dim:     dim,
+		opts:    opts,
+		owner:   make(map[dataset.PointID]int),
+		counter: opts.Counter,
+		rng:     opts.RNG,
+	}
+	if s.counter == nil {
+		s.counter = &vecmath.Counter{}
+	}
+	if s.rng == nil {
+		s.rng = stats.NewRNG(1)
+	}
+	return s, nil
+}
+
+// Dim returns the dimensionality of the set.
+func (s *Set) Dim() int { return s.dim }
+
+// Len returns the number of bubbles.
+func (s *Set) Len() int { return len(s.bubbles) }
+
+// Counter returns the distance counter used by the set.
+func (s *Set) Counter() *vecmath.Counter { return s.counter }
+
+// Options returns the set's configuration.
+func (s *Set) Options() Options { return s.opts }
+
+// Bubble returns the i-th bubble. The caller must not mutate it directly;
+// all mutation goes through Set methods so the ownership map and seed
+// distance matrix stay consistent.
+func (s *Set) Bubble(i int) *Bubble { return s.bubbles[i] }
+
+// Bubbles returns the underlying bubble slice (read-only).
+func (s *Set) Bubbles() []*Bubble { return s.bubbles }
+
+// AddBubble appends an empty bubble seeded at p and returns its index.
+// The seed–seed distance matrix is extended with counted computations.
+func (s *Set) AddBubble(p vecmath.Point) (int, error) {
+	if p.Dim() != s.dim {
+		return 0, fmt.Errorf("bubble: seed dimensionality %d want %d", p.Dim(), s.dim)
+	}
+	b := newBubble(s.dim, p, s.opts.TrackMembers)
+	idx := len(s.bubbles)
+	s.bubbles = append(s.bubbles, b)
+	if s.opts.UseTriangleInequality {
+		row := make([]float64, idx+1)
+		for j := 0; j < idx; j++ {
+			d := s.counter.Distance(p, s.bubbles[j].seed)
+			row[j] = d
+			s.seedDist[j] = append(s.seedDist[j], d)
+		}
+		s.seedDist = append(s.seedDist, row)
+	}
+	return idx, nil
+}
+
+// SetSeed moves the seed of bubble i to p, refreshing its row and column of
+// the seed distance matrix. The bubble's statistics are unchanged; callers
+// that want a fresh bubble use ResetBubble.
+func (s *Set) SetSeed(i int, p vecmath.Point) error {
+	if i < 0 || i >= len(s.bubbles) {
+		return ErrBadIndex
+	}
+	if p.Dim() != s.dim {
+		return fmt.Errorf("bubble: seed dimensionality %d want %d", p.Dim(), s.dim)
+	}
+	s.bubbles[i].seed = p.Clone()
+	s.refreshSeedRow(i)
+	return nil
+}
+
+// ResetBubble empties bubble i and re-seeds it at p. Member ownership
+// entries for its former points are NOT touched; callers reassign those
+// points explicitly (merge/split do).
+func (s *Set) ResetBubble(i int, p vecmath.Point) error {
+	if i < 0 || i >= len(s.bubbles) {
+		return ErrBadIndex
+	}
+	if p.Dim() != s.dim {
+		return fmt.Errorf("bubble: seed dimensionality %d want %d", p.Dim(), s.dim)
+	}
+	s.bubbles[i].reset(p)
+	s.refreshSeedRow(i)
+	return nil
+}
+
+func (s *Set) refreshSeedRow(i int) {
+	if !s.opts.UseTriangleInequality {
+		return
+	}
+	p := s.bubbles[i].seed
+	for j := range s.bubbles {
+		if j == i {
+			s.seedDist[i][i] = 0
+			continue
+		}
+		d := s.counter.Distance(p, s.bubbles[j].seed)
+		s.seedDist[i][j] = d
+		s.seedDist[j][i] = d
+	}
+}
+
+// SeedDistance returns the cached distance between the seeds of bubbles i
+// and j (0 when pruning is disabled, since no matrix is kept).
+func (s *Set) SeedDistance(i, j int) float64 {
+	if !s.opts.UseTriangleInequality {
+		return 0
+	}
+	return s.seedDist[i][j]
+}
+
+// Owner returns the index of the bubble compressing point id.
+func (s *Set) Owner(id dataset.PointID) (int, bool) {
+	i, ok := s.owner[id]
+	return i, ok
+}
+
+// OwnedPoints returns the number of points with an ownership entry.
+func (s *Set) OwnedPoints() int { return len(s.owner) }
+
+// ClosestSeed finds the bubble whose seed is closest to p. With triangle-
+// inequality pruning enabled it runs the Figure 2 algorithm against the
+// precomputed seed distance matrix; otherwise it scans all seeds. The
+// returned distance is dist(p, seed of winner).
+func (s *Set) ClosestSeed(p vecmath.Point) (int, float64, error) {
+	return s.closestSeed(p, -1)
+}
+
+// ClosestSeedExcluding is ClosestSeed over all bubbles except index excl —
+// the "next closest data bubble" lookup used when an under-filled bubble
+// releases its points (§4.2).
+func (s *Set) ClosestSeedExcluding(p vecmath.Point, excl int) (int, float64, error) {
+	return s.closestSeed(p, excl)
+}
+
+func (s *Set) closestSeed(p vecmath.Point, excl int) (int, float64, error) {
+	n := len(s.bubbles)
+	if n == 0 || (n == 1 && excl == 0) {
+		return 0, 0, ErrNoBubbles
+	}
+	if !s.opts.UseTriangleInequality {
+		best, bestD := -1, 0.0
+		for i, b := range s.bubbles {
+			if i == excl {
+				continue
+			}
+			d := s.counter.Distance(p, b.seed)
+			if best < 0 || d < bestD {
+				best, bestD = i, d
+			}
+		}
+		return best, bestD, nil
+	}
+
+	// Figure 2: CandidateSeeds starts as all seeds; a random candidate is
+	// probed, all seeds provably no closer (d(s_j, s_c) ≥ 2·minDist) are
+	// pruned, then a random unpruned seed is probed, updating the candidate
+	// when closer, until no candidates remain.
+	if cap(s.scratch) < n {
+		s.scratch = make([]int, 0, n)
+	}
+	cands := s.scratch[:0]
+	for i := range s.bubbles {
+		if i != excl {
+			cands = append(cands, i)
+		}
+	}
+	pick := func() int {
+		k := s.rng.Intn(len(cands))
+		idx := cands[k]
+		cands[k] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+		return idx
+	}
+	sc := pick()
+	minDist := s.counter.Distance(p, s.bubbles[sc].seed)
+	pruned := 0
+	defer func() { s.counter.PruneN(pruned) }()
+	for len(cands) > 0 {
+		// Prune everything Lemma 1 rules out with the current candidate.
+		kept := cands[:0]
+		row := s.seedDist[sc]
+		for _, j := range cands {
+			if row[j] >= 2*minDist {
+				pruned++
+				continue
+			}
+			kept = append(kept, j)
+		}
+		cands = kept
+		// Probe unpruned seeds until one improves on the candidate.
+		improved := false
+		for len(cands) > 0 {
+			j := pick()
+			if d := s.counter.Distance(p, s.bubbles[j].seed); d < minDist {
+				sc, minDist = j, d
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return sc, minDist, nil
+}
+
+// AssignClosest finds the closest bubble for point p, absorbs the point
+// there and records ownership. It returns the chosen bubble index.
+func (s *Set) AssignClosest(id dataset.PointID, p vecmath.Point) (int, error) {
+	if _, dup := s.owner[id]; dup {
+		return 0, fmt.Errorf("bubble: point %d already assigned", id)
+	}
+	i, _, err := s.ClosestSeed(p)
+	if err != nil {
+		return 0, err
+	}
+	s.bubbles[i].absorb(id, p)
+	s.owner[id] = i
+	return i, nil
+}
+
+// AssignTo absorbs point p into bubble i unconditionally (used by split,
+// which distributes points between exactly two new seeds).
+func (s *Set) AssignTo(i int, id dataset.PointID, p vecmath.Point) error {
+	if i < 0 || i >= len(s.bubbles) {
+		return ErrBadIndex
+	}
+	if _, dup := s.owner[id]; dup {
+		return fmt.Errorf("bubble: point %d already assigned", id)
+	}
+	s.bubbles[i].absorb(id, p)
+	s.owner[id] = i
+	return nil
+}
+
+// Release removes point id (with coordinates p) from its owning bubble,
+// decrementing the sufficient statistics, and returns the index of the
+// bubble it was removed from.
+func (s *Set) Release(id dataset.PointID, p vecmath.Point) (int, error) {
+	i, ok := s.owner[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: id %d", ErrUnknownPoint, id)
+	}
+	if err := s.bubbles[i].release(id, p); err != nil {
+		return 0, err
+	}
+	delete(s.owner, id)
+	return i, nil
+}
+
+// TakeMembers empties bubble i — zeroing its statistics and removing the
+// ownership entries of its points — and returns the IDs it held. The seed
+// is left in place (callers re-seed via ResetBubble when repositioning).
+// It is the primitive under the merge and split operations of the
+// incremental scheme and requires member tracking.
+func (s *Set) TakeMembers(i int) ([]dataset.PointID, error) {
+	if i < 0 || i >= len(s.bubbles) {
+		return nil, ErrBadIndex
+	}
+	if !s.opts.TrackMembers {
+		return nil, errors.New("bubble: TakeMembers requires member tracking")
+	}
+	b := s.bubbles[i]
+	ids := b.MemberIDs()
+	for _, id := range ids {
+		delete(s.owner, id)
+	}
+	b.reset(b.seed)
+	return ids, nil
+}
+
+// RemoveBubble deletes bubble i from the set. The bubble must be empty
+// (drain it with TakeMembers first); removing a populated bubble would
+// orphan its points. The last bubble is swapped into slot i, ownership
+// entries are re-indexed, and the seed distance matrix shrinks
+// accordingly. Callers holding bubble indices must treat them as
+// invalidated. This is the shrink primitive behind the adaptive
+// compression-rate extension (paper §6, future work).
+func (s *Set) RemoveBubble(i int) error {
+	if i < 0 || i >= len(s.bubbles) {
+		return ErrBadIndex
+	}
+	if s.bubbles[i].n != 0 {
+		return fmt.Errorf("bubble: RemoveBubble(%d): bubble holds %d points", i, s.bubbles[i].n)
+	}
+	last := len(s.bubbles) - 1
+	if i != last {
+		moved := s.bubbles[last]
+		s.bubbles[i] = moved
+		// Re-index ownership of the moved bubble's points.
+		if s.opts.TrackMembers {
+			for id := range moved.members {
+				s.owner[id] = i
+			}
+		} else {
+			for id, idx := range s.owner {
+				if idx == last {
+					s.owner[id] = i
+				}
+			}
+		}
+		if s.opts.UseTriangleInequality {
+			// Move row/column `last` into slot i, then truncate.
+			for j := 0; j <= last; j++ {
+				s.seedDist[j][i] = s.seedDist[j][last]
+				s.seedDist[i][j] = s.seedDist[last][j]
+			}
+			s.seedDist[i][i] = 0
+		}
+	}
+	s.bubbles = s.bubbles[:last]
+	if s.opts.UseTriangleInequality {
+		s.seedDist = s.seedDist[:last]
+		for j := range s.seedDist {
+			s.seedDist[j] = s.seedDist[j][:last]
+		}
+	}
+	return nil
+}
+
+// Betas returns the data summarization index β_i = n_i / N for every
+// bubble (Definition 2), where N is the given total database size.
+func (s *Set) Betas(total int) []float64 {
+	betas := make([]float64, len(s.bubbles))
+	if total <= 0 {
+		return betas
+	}
+	for i, b := range s.bubbles {
+		betas[i] = float64(b.n) / float64(total)
+	}
+	return betas
+}
+
+// TotalCompactness sums the compactness of all bubbles — the Table 1
+// quality statistic.
+func (s *Set) TotalCompactness() float64 {
+	var c float64
+	for _, b := range s.bubbles {
+		c += b.Compactness()
+	}
+	return c
+}
+
+// CheckInvariants validates internal consistency (tests and debugging):
+// ownership entries point at in-range bubbles, member sets agree with the
+// ownership map, and per-bubble counts agree with membership sizes.
+func (s *Set) CheckInvariants() error {
+	counts := make([]int, len(s.bubbles))
+	for id, i := range s.owner {
+		if i < 0 || i >= len(s.bubbles) {
+			return fmt.Errorf("owner of %d out of range: %d", id, i)
+		}
+		counts[i]++
+		if s.opts.TrackMembers && !s.bubbles[i].HasMember(id) {
+			return fmt.Errorf("owner map says bubble %d holds %d but member set disagrees", i, id)
+		}
+	}
+	for i, b := range s.bubbles {
+		if b.n != counts[i] {
+			return fmt.Errorf("bubble %d: n=%d but %d ownership entries", i, b.n, counts[i])
+		}
+		if s.opts.TrackMembers && len(b.members) != b.n {
+			return fmt.Errorf("bubble %d: n=%d but %d members", i, b.n, len(b.members))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,280 @@
+package cf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"incbubbles/internal/vecmath"
+)
+
+// TreeParams configures a CF-tree.
+type TreeParams struct {
+	// Threshold is the maximum radius a leaf entry may reach by absorbing
+	// a point — BIRCH's global spatial-extent parameter.
+	Threshold float64
+	// Branching is the maximum number of children of a non-leaf node.
+	// Default 8.
+	Branching int
+	// LeafEntries is the maximum number of entries in a leaf. Default 8.
+	LeafEntries int
+}
+
+func (p TreeParams) withDefaults() TreeParams {
+	if p.Branching == 0 {
+		p.Branching = 8
+	}
+	if p.LeafEntries == 0 {
+		p.LeafEntries = 8
+	}
+	return p
+}
+
+func (p TreeParams) validate() error {
+	if p.Threshold < 0 {
+		return errors.New("cf: negative threshold")
+	}
+	if p.Branching < 2 {
+		return errors.New("cf: branching factor must be at least 2")
+	}
+	if p.LeafEntries < 1 {
+		return errors.New("cf: leaves need at least one entry slot")
+	}
+	return nil
+}
+
+// Tree is a BIRCH CF-tree: an insertion-incremental height-balanced tree
+// whose leaves hold clustering features no wider than the threshold.
+type Tree struct {
+	dim    int
+	params TreeParams
+	root   *node
+	n      int
+}
+
+type node struct {
+	leaf     bool
+	feature  *Feature   // aggregate of the subtree
+	children []*node    // non-leaf
+	entries  []*Feature // leaf
+}
+
+// NewTree creates an empty CF-tree for d-dimensional points.
+func NewTree(d int, params TreeParams) (*Tree, error) {
+	if d <= 0 {
+		return nil, errors.New("cf: dimension must be positive")
+	}
+	params = params.withDefaults()
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	return &Tree{
+		dim:    d,
+		params: params,
+		root:   &node{leaf: true, feature: NewFeature(d)},
+	}, nil
+}
+
+// Len returns the number of inserted points.
+func (t *Tree) Len() int { return t.n }
+
+// Dim returns the tree's dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Params returns the effective parameters.
+func (t *Tree) Params() TreeParams { return t.params }
+
+// Insert adds point p, absorbing it into the closest leaf entry when that
+// keeps the entry's radius within the threshold, and splitting nodes on
+// overflow.
+func (t *Tree) Insert(p vecmath.Point) error {
+	if p.Dim() != t.dim {
+		return fmt.Errorf("cf: point dimensionality %d want %d", p.Dim(), t.dim)
+	}
+	pf := NewFeature(t.dim)
+	if err := pf.Add(p); err != nil {
+		return err
+	}
+	split, err := t.insert(t.root, pf)
+	if err != nil {
+		return err
+	}
+	if split != nil {
+		// Root split: grow a new root.
+		newRoot := &node{feature: NewFeature(t.dim)}
+		newRoot.children = []*node{t.root, split}
+		_ = newRoot.feature.Merge(t.root.feature)
+		_ = newRoot.feature.Merge(split.feature)
+		t.root = newRoot
+	}
+	t.n++
+	return nil
+}
+
+// insert adds pf below nd; it returns a sibling node when nd had to split.
+func (t *Tree) insert(nd *node, pf *Feature) (*node, error) {
+	if err := nd.feature.Merge(pf); err != nil {
+		return nil, err
+	}
+	if nd.leaf {
+		// Closest entry by centroid distance.
+		best, bestD := -1, math.Inf(1)
+		for i, e := range nd.entries {
+			if d := e.CentroidDistance(pf); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if best >= 0 && nd.entries[best].MergedRadius(pf) <= t.params.Threshold {
+			return nil, nd.entries[best].Merge(pf)
+		}
+		nd.entries = append(nd.entries, pf)
+		if len(nd.entries) <= t.params.LeafEntries {
+			return nil, nil
+		}
+		return t.splitLeaf(nd), nil
+	}
+	// Non-leaf: descend into the closest child.
+	best, bestD := 0, math.Inf(1)
+	for i, c := range nd.children {
+		if d := c.feature.CentroidDistance(pf); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	split, err := t.insert(nd.children[best], pf)
+	if err != nil {
+		return nil, err
+	}
+	if split == nil {
+		return nil, nil
+	}
+	nd.children = append(nd.children, split)
+	if len(nd.children) <= t.params.Branching {
+		return nil, nil
+	}
+	return t.splitNode(nd), nil
+}
+
+// splitLeaf redistributes an overflowing leaf's entries across the leaf
+// and a new sibling, seeding with the farthest pair of entries.
+func (t *Tree) splitLeaf(nd *node) *node {
+	i1, i2 := farthestPair(nd.entries, func(f *Feature) *Feature { return f })
+	entries := nd.entries
+	sib := &node{leaf: true, feature: NewFeature(t.dim)}
+	nd.entries = nil
+	nd.feature = NewFeature(t.dim)
+	seed1, seed2 := entries[i1], entries[i2]
+	for _, e := range entries {
+		target := nd
+		if e.CentroidDistance(seed2) < e.CentroidDistance(seed1) {
+			target = sib
+		}
+		target.entries = append(target.entries, e)
+		_ = target.feature.Merge(e)
+	}
+	return sib
+}
+
+// splitNode redistributes an overflowing internal node's children.
+func (t *Tree) splitNode(nd *node) *node {
+	i1, i2 := farthestPair(nd.children, func(n *node) *Feature { return n.feature })
+	children := nd.children
+	sib := &node{feature: NewFeature(t.dim)}
+	nd.children = nil
+	nd.feature = NewFeature(t.dim)
+	seed1, seed2 := children[i1].feature, children[i2].feature
+	for _, c := range children {
+		target := nd
+		if c.feature.CentroidDistance(seed2) < c.feature.CentroidDistance(seed1) {
+			target = sib
+		}
+		target.children = append(target.children, c)
+		_ = target.feature.Merge(c.feature)
+	}
+	return sib
+}
+
+// farthestPair returns the indices of the two elements with maximum
+// centroid distance.
+func farthestPair[T any](xs []T, feat func(T) *Feature) (int, int) {
+	bi, bj, bd := 0, 1, -1.0
+	for i := 0; i < len(xs); i++ {
+		for j := i + 1; j < len(xs); j++ {
+			if d := feat(xs[i]).CentroidDistance(feat(xs[j])); d > bd {
+				bi, bj, bd = i, j, d
+			}
+		}
+	}
+	return bi, bj
+}
+
+// Leaves returns copies of all leaf entries — the micro-clusters the tree
+// compressed the input into.
+func (t *Tree) Leaves() []*Feature {
+	var out []*Feature
+	var walk func(*node)
+	walk = func(nd *node) {
+		if nd.leaf {
+			for _, e := range nd.entries {
+				out = append(out, e.Clone())
+			}
+			return
+		}
+		for _, c := range nd.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Height returns the height of the tree (1 for a root-only tree).
+func (t *Tree) Height() int {
+	h := 0
+	for nd := t.root; ; nd = nd.children[0] {
+		h++
+		if nd.leaf {
+			return h
+		}
+	}
+}
+
+// CheckInvariants validates structural consistency: aggregate features
+// equal the sum of their subtrees and all points are accounted for.
+func (t *Tree) CheckInvariants() error {
+	var walk func(*node) (int, error)
+	walk = func(nd *node) (int, error) {
+		if nd.leaf {
+			sum := 0
+			for _, e := range nd.entries {
+				sum += e.N()
+			}
+			if sum != nd.feature.N() {
+				return 0, fmt.Errorf("cf: leaf aggregate n=%d entries sum %d", nd.feature.N(), sum)
+			}
+			return sum, nil
+		}
+		if len(nd.children) == 0 {
+			return 0, errors.New("cf: internal node without children")
+		}
+		sum := 0
+		for _, c := range nd.children {
+			n, err := walk(c)
+			if err != nil {
+				return 0, err
+			}
+			sum += n
+		}
+		if sum != nd.feature.N() {
+			return 0, fmt.Errorf("cf: node aggregate n=%d children sum %d", nd.feature.N(), sum)
+		}
+		return sum, nil
+	}
+	n, err := walk(t.root)
+	if err != nil {
+		return err
+	}
+	if n != t.n {
+		return fmt.Errorf("cf: tree holds %d points, inserted %d", n, t.n)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"incbubbles/internal/synth"
+)
+
+// BubblegenOptions parameterises a synthetic-dataset generation run.
+type BubblegenOptions struct {
+	Kind     string  // scenario kind name
+	Dim      int     // dimensionality
+	Points   int     // initial database size
+	Clusters int     // base clusters
+	Noise    float64 // uniform noise fraction
+	Update   float64 // batch size as a fraction of the database
+	Batches  int     // update batches to simulate
+	Seed     int64
+	// Out receives the final snapshot CSV ("-" for stdout via the out
+	// writer, "" to skip).
+	Out string
+	// OutDir receives one CSV per batch when non-empty.
+	OutDir string
+}
+
+// RunBubblegen plays the scenario and writes the requested CSVs. stdout
+// is used for Out="-"; progress goes to stderr.
+func RunBubblegen(opts BubblegenOptions, stdout, stderr io.Writer) error {
+	var kind synth.Kind
+	found := false
+	for _, k := range synth.Kinds() {
+		if k.String() == opts.Kind {
+			kind, found = k, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown scenario kind %q", opts.Kind)
+	}
+	if opts.Out == "" && opts.OutDir == "" {
+		opts.Out = "-"
+	}
+	sc, err := synth.NewScenario(synth.Config{
+		Kind:           kind,
+		Dim:            opts.Dim,
+		InitialPoints:  opts.Points,
+		BaseClusters:   opts.Clusters,
+		NoiseFrac:      opts.Noise,
+		UpdateFraction: opts.Update,
+		Batches:        opts.Batches,
+		Seed:           opts.Seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	dump := func(batch int) error {
+		if opts.OutDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
+			return err
+		}
+		name := filepath.Join(opts.OutDir, fmt.Sprintf("%s%dd_batch%02d.csv", opts.Kind, opts.Dim, batch))
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return sc.DB().WriteCSV(f)
+	}
+	if err := dump(0); err != nil {
+		return err
+	}
+	for b := 1; b <= opts.Batches; b++ {
+		if _, err := sc.NextBatch(); err != nil {
+			return err
+		}
+		if err := dump(b); err != nil {
+			return err
+		}
+	}
+
+	if opts.Out != "" {
+		w := stdout
+		if opts.Out != "-" {
+			f, err := os.Create(opts.Out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := sc.DB().WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stderr, "bubblegen: %s %dd, %d points after %d batches\n",
+		opts.Kind, opts.Dim, sc.DB().Len(), opts.Batches)
+	return nil
+}

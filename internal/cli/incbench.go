@@ -1,0 +1,172 @@
+// Package cli implements the logic behind the repository's commands
+// (incbench, bubblegen, quickcluster) with injectable writers, so the
+// command behaviour is testable; the main packages are thin flag parsers
+// over these entry points.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/experiments"
+)
+
+// IncbenchOptions selects and scales an experiment run.
+type IncbenchOptions struct {
+	// Experiment is one of table1, fig7, fig8, fig9, fig10, fig11, sweep,
+	// compare, ablation, strategies, all.
+	Experiment string
+	Config     experiments.Config
+	// Fracs is the comma-separated update-fraction list for the sweeps.
+	Fracs string
+	// CSVDir receives fig8 per-batch CSV snapshots when non-empty.
+	CSVDir string
+	// Datasets restricts Table 1 to a comma-separated subset of names.
+	Datasets string
+}
+
+// RunIncbench executes the selected experiment, writing the report to out.
+func RunIncbench(opts IncbenchOptions, out io.Writer) error {
+	cfg := opts.Config
+	sweepOnce := func() ([]experiments.SweepRow, error) {
+		fracs, err := ParseFracs(opts.Fracs)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.UpdateSweep(cfg, fracs)
+	}
+
+	switch opts.Experiment {
+	case "table1":
+		return runTable1(cfg, opts.Datasets, out)
+	case "fig7":
+		rows, err := experiments.Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Figure 7 — quality measure comparison (extreme-appear dynamics)")
+		return experiments.WriteFig7(out, rows)
+	case "fig8":
+		return runFig8(cfg, opts.CSVDir, out)
+	case "fig9", "fig10", "fig11":
+		rows, err := sweepOnce()
+		if err != nil {
+			return err
+		}
+		figure := map[string]int{"fig9": 9, "fig10": 10, "fig11": 11}[opts.Experiment]
+		fmt.Fprintf(out, "Figure %d — complex database, update-size sweep\n", figure)
+		return experiments.WriteSweep(out, rows, figure)
+	case "sweep":
+		rows, err := sweepOnce()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Figures 9-11 — complex database, update-size sweep")
+		return experiments.WriteSweep(out, rows, 0)
+	case "compare":
+		rows, err := experiments.SummaryCompare(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Summarization comparison — bubbles vs clustering features vs raw OPTICS")
+		return experiments.WriteCompare(out, rows)
+	case "ablation":
+		rows, err := experiments.Ablation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Ablation — maintenance design knobs on the complex 2-d workload")
+		return experiments.WriteAblation(out, rows)
+	case "strategies":
+		rows, err := experiments.StrategyCompare(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Strategy comparison — specialized incremental algorithm vs incremental summaries")
+		return experiments.WriteStrategies(out, rows)
+	case "all":
+		for _, sub := range []string{"table1", "fig7", "fig8", "sweep"} {
+			next := opts
+			next.Experiment = sub
+			if err := RunIncbench(next, out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", opts.Experiment)
+	}
+}
+
+func runTable1(cfg experiments.Config, datasetsFlag string, out io.Writer) error {
+	specs := experiments.Table1Datasets()
+	if datasetsFlag != "" {
+		byName := map[string]experiments.DatasetSpec{}
+		for _, s := range specs {
+			byName[strings.ToLower(s.Name)] = s
+		}
+		var chosen []experiments.DatasetSpec
+		for _, name := range strings.Split(datasetsFlag, ",") {
+			s, ok := byName[strings.ToLower(strings.TrimSpace(name))]
+			if !ok {
+				return fmt.Errorf("unknown dataset %q", name)
+			}
+			chosen = append(chosen, s)
+		}
+		specs = chosen
+	}
+	rows, err := experiments.Table1(cfg, specs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Table 1 — F-score and compactness, complete rebuild vs incremental")
+	return experiments.WriteTable1(out, rows)
+}
+
+func runFig8(cfg experiments.Config, csvDir string, out io.Writer) error {
+	var sink func(int, *dataset.DB) error
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		sink = func(batch int, db *dataset.DB) error {
+			f, err := os.Create(filepath.Join(csvDir, fmt.Sprintf("complex_batch%02d.csv", batch)))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return db.WriteCSV(f)
+		}
+	}
+	snaps, err := experiments.Fig8(cfg, sink)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Figure 8 — complex database snapshots (per-label point counts)")
+	return experiments.WriteFig8(out, snaps)
+}
+
+// ParseFracs parses a comma-separated list of update fractions in (0,0.5].
+func ParseFracs(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fraction %q: %w", part, err)
+		}
+		if f <= 0 || f > 0.5 {
+			return nil, fmt.Errorf("fraction %v out of (0,0.5]", f)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

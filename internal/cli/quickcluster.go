@@ -1,0 +1,113 @@
+package cli
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"incbubbles/internal/bubble"
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/eval"
+	"incbubbles/internal/extract"
+	"incbubbles/internal/optics"
+	"incbubbles/internal/plot"
+	"incbubbles/internal/stats"
+)
+
+// QuickclusterOptions parameterises a one-shot summarize+cluster run.
+type QuickclusterOptions struct {
+	Bubbles     int
+	MinPts      int
+	Seed        int64
+	Plot        bool   // print the text reachability plot
+	Assignments bool   // print id,cluster rows
+	PNGOut      string // write a reachability-plot PNG here
+}
+
+// RunQuickcluster reads a CSV database from in, summarizes and clusters
+// it, and reports on stdout (progress notes on stderr).
+func RunQuickcluster(in io.Reader, opts QuickclusterOptions, stdout, stderr io.Writer) error {
+	db, err := dataset.ReadCSV(bufio.NewReader(in))
+	if err != nil {
+		return err
+	}
+	numBubbles := opts.Bubbles
+	if db.Len() < numBubbles {
+		numBubbles = db.Len()
+	}
+	set, err := bubble.Build(db, numBubbles, bubble.Options{
+		UseTriangleInequality: true,
+		TrackMembers:          true,
+		RNG:                   stats.NewRNG(opts.Seed),
+	})
+	if err != nil {
+		return err
+	}
+	space, err := optics.NewBubbleSpace(set)
+	if err != nil {
+		return err
+	}
+	res, err := optics.Run(space, optics.Params{MinPts: opts.MinPts})
+	if err != nil {
+		return err
+	}
+	labels := extract.ExtractTree(res.Order, extract.Params{})
+	points, err := eval.PointLabels(set, res, labels)
+	if err != nil {
+		return err
+	}
+
+	clusterSizes := map[int]int{}
+	for _, l := range points {
+		clusterSizes[l]++
+	}
+	var ids []int
+	for l := range clusterSizes {
+		if l != eval.Noise {
+			ids = append(ids, l)
+		}
+	}
+	sort.Ints(ids)
+	fmt.Fprintf(stdout, "points=%d dim=%d bubbles=%d clusters=%d noise=%d\n",
+		db.Len(), db.Dim(), set.Len(), len(ids), clusterSizes[eval.Noise])
+	for _, l := range ids {
+		fmt.Fprintf(stdout, "  cluster %d: %d points\n", l, clusterSizes[l])
+	}
+	if truth, flat := eval.AlignWithDB(db, points); len(truth) > 0 {
+		if f, err := eval.FScore(truth, flat); err == nil {
+			fmt.Fprintf(stdout, "F-score vs label column: %.4f\n", f)
+		}
+	}
+	if opts.Plot {
+		fmt.Fprintln(stdout, "\nreachability plot (bubble-level):")
+		if err := res.WritePlot(stdout, 60); err != nil {
+			return err
+		}
+	}
+	if opts.Assignments {
+		w := bufio.NewWriter(stdout)
+		fmt.Fprintln(w, "id,cluster")
+		recs := db.Snapshot()
+		sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+		for _, rec := range recs {
+			fmt.Fprintf(w, "%d,%d\n", rec.ID, points[rec.ID])
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	if opts.PNGOut != "" {
+		f, err := os.Create(opts.PNGOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := plot.Reachability(f, res.Order, labels, 0, 0); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "quickcluster: wrote %s\n", opts.PNGOut)
+	}
+	return nil
+}

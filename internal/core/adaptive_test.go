@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/stats"
+	"incbubbles/internal/synth"
+	"incbubbles/internal/vecmath"
+)
+
+func TestAdaptiveCountValidation(t *testing.T) {
+	db := seededDB(t, 200, 40)
+	if _, err := New(db, Options{
+		NumBubbles: 10,
+		Config:     Config{AdaptiveCount: true, MinBubbles: 20},
+	}); err == nil {
+		t.Fatal("MinBubbles above initial count accepted")
+	}
+	if _, err := New(db, Options{
+		NumBubbles: 10,
+		Config:     Config{AdaptiveCount: true, MaxBubbles: 5},
+	}); err == nil {
+		t.Fatal("MaxBubbles below initial count accepted")
+	}
+	s, err := New(db, Options{NumBubbles: 10, Config: Config{AdaptiveCount: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Config().MinBubbles != 5 || s.Config().MaxBubbles != 20 {
+		t.Fatalf("adaptive defaults=%+v", s.Config())
+	}
+}
+
+func TestAdaptiveGrowthOnNewCluster(t *testing.T) {
+	rng := stats.NewRNG(41)
+	db := dataset.MustNew(2)
+	for i := 0; i < 2000; i++ {
+		db.Insert(rng.GaussianPoint(vecmath.Point{20, 20}, 3), 0)
+	}
+	s, err := New(db, Options{
+		NumBubbles:            20,
+		UseTriangleInequality: true,
+		Seed:                  42,
+		Config:                Config{AdaptiveCount: true, MaxBubbles: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A massive new cluster far away: ordinary donors cannot keep up, so
+	// the set should grow.
+	var batch dataset.Batch
+	for i := 0; i < 2000; i++ {
+		batch = append(batch, dataset.Update{Op: dataset.OpInsert, P: rng.GaussianPoint(vecmath.Point{500, 500}, 2), Label: 1})
+	}
+	applied, err := batch.Apply(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := s.ApplyBatch(applied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.BubblesAdded == 0 {
+		t.Fatalf("adaptive growth never fired: %+v", bs)
+	}
+	if s.Set().Len() <= 20 {
+		t.Fatalf("set did not grow: %d", s.Set().Len())
+	}
+	if s.Set().Len() > 60 {
+		t.Fatalf("set exceeded MaxBubbles: %d", s.Set().Len())
+	}
+	if s.Set().OwnedPoints() != db.Len() {
+		t.Fatalf("owned=%d want %d", s.Set().OwnedPoints(), db.Len())
+	}
+	if err := s.Set().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveShrinkRemovesEmpties(t *testing.T) {
+	rng := stats.NewRNG(43)
+	db := dataset.MustNew(2)
+	var clusterB []dataset.PointID
+	for i := 0; i < 1000; i++ {
+		db.Insert(rng.GaussianPoint(vecmath.Point{10, 10}, 2), 0)
+	}
+	for i := 0; i < 1000; i++ {
+		id, _ := db.Insert(rng.GaussianPoint(vecmath.Point{90, 90}, 2), 1)
+		clusterB = append(clusterB, id)
+	}
+	s, err := New(db, Options{
+		NumBubbles:            30,
+		UseTriangleInequality: true,
+		Seed:                  44,
+		Config:                Config{AdaptiveCount: true, MinBubbles: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete an entire cluster: its bubbles empty out and should be
+	// removed (beyond one spare donor) by the shrink pass.
+	var batch dataset.Batch
+	for _, id := range clusterB {
+		batch = append(batch, dataset.Update{Op: dataset.OpDelete, ID: id})
+	}
+	applied, err := batch.Apply(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := s.ApplyBatch(applied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.BubblesRemoved == 0 {
+		t.Fatalf("shrink never fired: %+v", bs)
+	}
+	empty := 0
+	for _, b := range s.Set().Bubbles() {
+		if b.N() == 0 {
+			empty++
+		}
+	}
+	if empty > 1 {
+		t.Fatalf("%d empty bubbles survive shrink", empty)
+	}
+	if s.Set().Len() < 5 {
+		t.Fatalf("shrank below MinBubbles: %d", s.Set().Len())
+	}
+	if err := s.Set().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveScenarioIntegration(t *testing.T) {
+	sc, err := synth.NewScenario(synth.Config{Kind: synth.Complex, InitialPoints: 2000, Batches: 6, Seed: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(sc.DB(), Options{
+		NumBubbles:            30,
+		UseTriangleInequality: true,
+		Seed:                  46,
+		Config:                Config{AdaptiveCount: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		b, err := sc.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Set().Len(); got < 15 || got > 60 {
+			t.Fatalf("batch %d: bubble count %d escaped bounds", i, got)
+		}
+		if s.Set().OwnedPoints() != sc.DB().Len() {
+			t.Fatalf("batch %d: ownership drift", i)
+		}
+		if err := s.Set().CheckInvariants(); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+}

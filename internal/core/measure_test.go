@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+func TestMeasureString(t *testing.T) {
+	if MeasureBeta.String() != "beta" || MeasureExtent.String() != "extent" {
+		t.Fatal("measure strings wrong")
+	}
+	if Measure(9).String() == "" {
+		t.Fatal("unknown measure empty string")
+	}
+}
+
+func TestDBAccessor(t *testing.T) {
+	db := seededDB(t, 100, 50)
+	s, err := New(db, Options{NumBubbles: 5, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DB() != db {
+		t.Fatal("DB accessor wrong")
+	}
+}
+
+func TestClassifyExtentMeasure(t *testing.T) {
+	db := seededDB(t, 500, 52)
+	s, err := New(db, Options{
+		NumBubbles: 12,
+		Seed:       53,
+		Config:     Config{Measure: MeasureExtent},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := s.Classify()
+	// Under the extent measure, the classified values are extents, not
+	// fractions: they do not sum to 1 and match the bubbles' extents.
+	for i, b := range s.Set().Bubbles() {
+		if cl.Betas[i] != b.Extent() {
+			t.Fatalf("bubble %d classified value %v != extent %v", i, cl.Betas[i], b.Extent())
+		}
+	}
+}
+
+func TestExtentMeasureMaintenance(t *testing.T) {
+	// Force an extent outlier: a bubble that absorbs a far-away spread of
+	// points balloons; the extent measure must classify and split it.
+	rng := stats.NewRNG(54)
+	db := dataset.MustNew(2)
+	for i := 0; i < 1000; i++ {
+		db.Insert(rng.GaussianPoint(vecmath.Point{10, 10}, 1), 0)
+	}
+	s, err := New(db, Options{
+		NumBubbles: 20,
+		Seed:       55,
+		Config:     Config{Measure: MeasureExtent},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch dataset.Batch
+	for i := 0; i < 100; i++ {
+		batch = append(batch, dataset.Update{
+			Op: dataset.OpInsert, P: rng.GaussianPoint(vecmath.Point{400, 400}, 80), Label: 1,
+		})
+	}
+	applied, err := batch.Apply(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := s.ApplyBatch(applied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.OverFilled == 0 || bs.Rebuilt == 0 {
+		t.Fatalf("extent measure inert on ballooned bubble: %+v", bs)
+	}
+	if err := s.Set().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteOnlyBatch(t *testing.T) {
+	db := seededDB(t, 600, 56)
+	s, err := New(db, Options{NumBubbles: 15, Seed: 57})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(58)
+	victims, err := db.RandomIDs(rng, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch dataset.Batch
+	for _, id := range victims {
+		batch = append(batch, dataset.Update{Op: dataset.OpDelete, ID: id})
+	}
+	applied, err := batch.Apply(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := s.ApplyBatch(applied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Deleted != 300 || bs.Inserted != 0 {
+		t.Fatalf("stats=%+v", bs)
+	}
+	if s.Set().OwnedPoints() != db.Len() {
+		t.Fatalf("owned=%d want %d", s.Set().OwnedPoints(), db.Len())
+	}
+	if err := s.Set().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoBubbleDegenerateSet(t *testing.T) {
+	// The smallest maintainable configuration: classification and
+	// maintenance must not break with only two bubbles.
+	db := seededDB(t, 100, 59)
+	s, err := New(db, Options{NumBubbles: 2, Seed: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(61)
+	var batch dataset.Batch
+	for i := 0; i < 50; i++ {
+		batch = append(batch, dataset.Update{Op: dataset.OpInsert, P: rng.GaussianPoint(vecmath.Point{200, 200}, 1), Label: 2})
+	}
+	applied, err := batch.Apply(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApplyBatch(applied); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,514 @@
+// Package core implements the paper's contribution: incremental maintenance
+// of a fixed-size set of data bubbles over a dynamic database (§4).
+//
+// After every batch of insertions and deletions the sufficient statistics
+// of the affected bubbles are incremented/decremented (Figure 3), the
+// data summarization index β = n/N of every bubble is classified against
+// Chebyshev bounds on the β distribution (Definitions 2–3), and the
+// over-filled bubbles — those degrading compression quality the most — are
+// rebuilt with synchronized merge and split operations that recycle
+// under-filled bubbles (Figure 6, §4.2).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"incbubbles/internal/bubble"
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+// Class is the compression-quality class of a bubble (Definition 3).
+type Class int
+
+const (
+	// Good bubbles have β within [μ−kσ, μ+kσ].
+	Good Class = iota
+	// UnderFilled bubbles have β < μ−kσ: they compress (nearly) no points
+	// and are the preferred donors for splitting over-filled bubbles.
+	UnderFilled
+	// OverFilled bubbles have β > μ+kσ: they may span several
+	// substructures and critically degrade the clustering result.
+	OverFilled
+)
+
+// String implements fmt.Stringer for Class.
+func (c Class) String() string {
+	switch c {
+	case Good:
+		return "good"
+	case UnderFilled:
+		return "under-filled"
+	case OverFilled:
+		return "over-filled"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Measure selects the compression-quality statistic bubbles are classified
+// by. The paper's §5 opening experiment (Figure 7) contrasts the two.
+type Measure int
+
+const (
+	// MeasureBeta classifies by the data summarization index β = n/N
+	// (Definition 2) — the paper's proposal.
+	MeasureBeta Measure = iota
+	// MeasureExtent classifies by the spatial extent of each bubble — the
+	// BIRCH-style quality notion the paper argues against: it fails to
+	// detect over-filled bubbles whose extent barely changes when they
+	// absorb new substructure.
+	MeasureExtent
+)
+
+// String implements fmt.Stringer for Measure.
+func (m Measure) String() string {
+	switch m {
+	case MeasureBeta:
+		return "beta"
+	case MeasureExtent:
+		return "extent"
+	default:
+		return fmt.Sprintf("Measure(%d)", int(m))
+	}
+}
+
+// Config parameterises the incremental scheme.
+type Config struct {
+	// Probability is the Chebyshev containment probability p defining the
+	// good-β interval (paper uses 0.9; reports 0.8 equivalent). Default 0.9.
+	Probability float64
+	// MaxRounds bounds how many classify→merge/split passes run per batch.
+	// The paper performs the synchronized sequence once per batch
+	// (default 1); higher values are exposed for ablation.
+	MaxRounds int
+	// Measure is the quality statistic used for classification.
+	// Default MeasureBeta.
+	Measure Measure
+	// AdaptiveCount enables the extension sketched as future work in the
+	// paper's §6: dynamically increasing or decreasing the number of
+	// bubbles. After ordinary maintenance, any still-over-filled bubble is
+	// split into a freshly added bubble (growth), and surplus empty
+	// bubbles are removed (shrink), within [MinBubbles, MaxBubbles].
+	AdaptiveCount bool
+	// MinBubbles / MaxBubbles bound adaptation. Defaults: half and double
+	// the initial bubble count.
+	MinBubbles int
+	MaxBubbles int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Probability == 0 {
+		c.Probability = 0.9
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Probability <= 0 || c.Probability >= 1 {
+		return errors.New("core: probability must be in (0,1)")
+	}
+	if c.MaxRounds < 1 {
+		return errors.New("core: MaxRounds must be at least 1")
+	}
+	return nil
+}
+
+// Classification is the result of one quality assessment of all bubbles.
+type Classification struct {
+	Betas   []float64      // β_i per bubble
+	Bounds  stats.Interval // [μ−kσ, μ+kσ]
+	Classes []Class        // per bubble
+	Over    []int          // over-filled indices, most over-filled first
+	Under   []int          // under-filled indices, most under-filled first
+}
+
+// BatchStats reports what one ApplyBatch did.
+type BatchStats struct {
+	Deleted        int // points removed from bubbles
+	Inserted       int // points absorbed into bubbles
+	OverFilled     int // bubbles classified over-filled (first round)
+	UnderFilled    int // bubbles classified under-filled (first round)
+	Rebuilt        int // bubbles rebuilt by merge/split (donor + split target)
+	DonorsFromGood int // donors cannibalised from the good class
+	Rounds         int // maintenance rounds executed
+	BubblesAdded   int // bubbles created by adaptive growth
+	BubblesRemoved int // empty bubbles removed by adaptive shrink
+}
+
+// Summarizer incrementally maintains a set of data bubbles over a dynamic
+// database. The database itself is updated externally (e.g. by a synth
+// scenario); the applied batches are fed to ApplyBatch.
+type Summarizer struct {
+	db  *dataset.DB
+	set *bubble.Set
+	cfg Config
+	rng *stats.RNG
+
+	totalRebuilt int
+	batches      int
+}
+
+// Options bundles construction parameters for New.
+type Options struct {
+	// NumBubbles is the fixed compression rate: how many bubbles summarize
+	// the database.
+	NumBubbles int
+	// Config tunes the maintenance scheme.
+	Config Config
+	// UseTriangleInequality enables §3 pruning (default in the paper's
+	// incremental scheme). Recommended true.
+	UseTriangleInequality bool
+	// Counter receives distance-computation accounting. Optional.
+	Counter *vecmath.Counter
+	// Seed drives seed selection and probe order. Default 1.
+	Seed int64
+}
+
+// New builds the initial data bubbles over db from scratch and returns a
+// Summarizer maintaining them. db must stay the database the update
+// batches are applied to.
+func New(db *dataset.DB, opts Options) (*Summarizer, error) {
+	cfg := opts.Config.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if opts.NumBubbles <= 0 {
+		return nil, errors.New("core: NumBubbles must be positive")
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if cfg.AdaptiveCount {
+		if cfg.MinBubbles == 0 {
+			cfg.MinBubbles = opts.NumBubbles / 2
+			if cfg.MinBubbles < 2 {
+				cfg.MinBubbles = 2
+			}
+		}
+		if cfg.MaxBubbles == 0 {
+			cfg.MaxBubbles = opts.NumBubbles * 2
+		}
+		if cfg.MinBubbles > opts.NumBubbles || cfg.MaxBubbles < opts.NumBubbles {
+			return nil, errors.New("core: initial bubble count outside [MinBubbles, MaxBubbles]")
+		}
+	}
+	rng := stats.NewRNG(seed)
+	set, err := bubble.Build(db, opts.NumBubbles, bubble.Options{
+		UseTriangleInequality: opts.UseTriangleInequality,
+		TrackMembers:          true,
+		Counter:               opts.Counter,
+		RNG:                   rng,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Summarizer{db: db, set: set, cfg: cfg, rng: rng}, nil
+}
+
+// Set exposes the maintained bubble set (read-only use).
+func (s *Summarizer) Set() *bubble.Set { return s.set }
+
+// DB returns the summarized database.
+func (s *Summarizer) DB() *dataset.DB { return s.db }
+
+// Config returns the effective configuration.
+func (s *Summarizer) Config() Config { return s.cfg }
+
+// Batches returns the number of batches applied so far.
+func (s *Summarizer) Batches() int { return s.batches }
+
+// TotalRebuilt returns the cumulative number of bubbles rebuilt across all
+// batches (the numerator of the paper's Figure 9).
+func (s *Summarizer) TotalRebuilt() int { return s.totalRebuilt }
+
+// ApplyBatch incorporates one applied batch of updates (deletions carry
+// the removed coordinates, insertions their assigned IDs) and then runs
+// quality maintenance: classify all bubbles by β and rebuild the
+// over-filled ones via synchronized merge and split.
+func (s *Summarizer) ApplyBatch(batch dataset.Batch) (BatchStats, error) {
+	var bs BatchStats
+	// Figure 3 step 1: decrement / increment sufficient statistics.
+	for _, u := range batch {
+		switch u.Op {
+		case dataset.OpDelete:
+			if _, err := s.set.Release(u.ID, u.P); err != nil {
+				return bs, fmt.Errorf("core: delete %d: %w", u.ID, err)
+			}
+			bs.Deleted++
+		case dataset.OpInsert:
+			if _, err := s.set.AssignClosest(u.ID, u.P); err != nil {
+				return bs, fmt.Errorf("core: insert %d: %w", u.ID, err)
+			}
+			bs.Inserted++
+		default:
+			return bs, fmt.Errorf("core: unknown op %v", u.Op)
+		}
+	}
+	// Figure 3 step 2: identify low-quality bubbles and rebuild them.
+	for round := 0; round < s.cfg.MaxRounds; round++ {
+		cl := s.Classify()
+		if round == 0 {
+			bs.OverFilled = len(cl.Over)
+			bs.UnderFilled = len(cl.Under)
+		}
+		if len(cl.Over) == 0 {
+			break
+		}
+		rebuilt, fromGood, err := s.rebuild(cl)
+		if err != nil {
+			return bs, err
+		}
+		bs.Rebuilt += rebuilt
+		bs.DonorsFromGood += fromGood
+		bs.Rounds = round + 1
+		if rebuilt == 0 {
+			break
+		}
+	}
+	if s.cfg.AdaptiveCount {
+		added, removed, err := s.adaptCount()
+		if err != nil {
+			return bs, err
+		}
+		bs.BubblesAdded = added
+		bs.BubblesRemoved = removed
+	}
+	s.totalRebuilt += bs.Rebuilt
+	s.batches++
+	return bs, nil
+}
+
+// adaptCount implements the §6 future-work extension. Growth: every
+// bubble still classified over-filled after ordinary maintenance is split
+// into a brand-new bubble seeded at one of its points, up to MaxBubbles.
+// Shrink: empty bubbles beyond what the under-filled donor pool needs are
+// removed, down to MinBubbles.
+func (s *Summarizer) adaptCount() (added, removed int, err error) {
+	cl := s.Classify()
+	for _, over := range cl.Over {
+		if s.set.Len() >= s.cfg.MaxBubbles {
+			break
+		}
+		b := s.set.Bubble(over)
+		if b.N() < 2 {
+			continue
+		}
+		// Seed the new bubble anywhere (reset follows inside splitOver).
+		idx, err := s.set.AddBubble(b.Seed())
+		if err != nil {
+			return added, removed, err
+		}
+		if err := s.splitOver(idx, over); err != nil {
+			return added, removed, err
+		}
+		added++
+	}
+	// Shrink: keep at most one empty bubble as a spare donor.
+	empties := []int{}
+	for i, b := range s.set.Bubbles() {
+		if b.N() == 0 {
+			empties = append(empties, i)
+		}
+	}
+	// Remove from the highest index down so earlier indices stay valid.
+	for k := len(empties) - 1; k >= 1; k-- {
+		if s.set.Len() <= s.cfg.MinBubbles {
+			break
+		}
+		if err := s.set.RemoveBubble(empties[k]); err != nil {
+			return added, removed, err
+		}
+		removed++
+	}
+	return added, removed, nil
+}
+
+// Classify computes the quality statistic for every bubble (β under
+// MeasureBeta, spatial extent under MeasureExtent), the Chebyshev bounds
+// for the configured probability, and the per-bubble classes
+// (Definition 3). The Classification's Betas field holds whichever
+// statistic was classified.
+func (s *Summarizer) Classify() Classification {
+	var betas []float64
+	if s.cfg.Measure == MeasureExtent {
+		betas = make([]float64, s.set.Len())
+		for i, b := range s.set.Bubbles() {
+			betas[i] = b.Extent()
+		}
+	} else {
+		betas = s.set.Betas(s.db.Len())
+	}
+	mean, std, err := stats.MeanStd(betas)
+	var bounds stats.Interval
+	if err == nil {
+		bounds, _ = stats.ChebyshevBounds(mean, std, s.cfg.Probability)
+	}
+	cl := Classification{
+		Betas:   betas,
+		Bounds:  bounds,
+		Classes: make([]Class, len(betas)),
+	}
+	for i, b := range betas {
+		switch {
+		case b < bounds.Lo:
+			cl.Classes[i] = UnderFilled
+			cl.Under = append(cl.Under, i)
+		case b > bounds.Hi:
+			cl.Classes[i] = OverFilled
+			cl.Over = append(cl.Over, i)
+		default:
+			cl.Classes[i] = Good
+		}
+	}
+	// Most over-filled first; most under-filled (lowest β) first.
+	sort.Slice(cl.Over, func(a, b int) bool { return betas[cl.Over[a]] > betas[cl.Over[b]] })
+	sort.Slice(cl.Under, func(a, b int) bool { return betas[cl.Under[a]] < betas[cl.Under[b]] })
+	return cl
+}
+
+// rebuild pairs each over-filled bubble with a donor — an under-filled
+// bubble when available, otherwise the lowest-β good bubble — and performs
+// the synchronized merge and split of Figure 6. It returns the number of
+// bubbles rebuilt and how many donors came from the good class.
+func (s *Summarizer) rebuild(cl Classification) (rebuilt, fromGood int, err error) {
+	// Donor queue: under-filled first (lowest β first), then good bubbles
+	// by ascending β. Over-filled bubbles are never donors.
+	type donor struct {
+		idx  int
+		good bool
+	}
+	var donors []donor
+	for _, i := range cl.Under {
+		donors = append(donors, donor{idx: i})
+	}
+	var goods []int
+	for i, c := range cl.Classes {
+		if c == Good {
+			goods = append(goods, i)
+		}
+	}
+	sort.Slice(goods, func(a, b int) bool { return cl.Betas[goods[a]] < cl.Betas[goods[b]] })
+	for _, i := range goods {
+		donors = append(donors, donor{idx: i, good: true})
+	}
+
+	di := 0
+	for _, over := range cl.Over {
+		if s.set.Bubble(over).N() < 2 {
+			continue // cannot split fewer than two points
+		}
+		if di >= len(donors) {
+			break // no donors left
+		}
+		d := donors[di]
+		di++
+		if err := s.mergeAndSplit(d.idx, over); err != nil {
+			return rebuilt, fromGood, err
+		}
+		rebuilt += 2
+		if d.good {
+			fromGood++
+		}
+	}
+	return rebuilt, fromGood, nil
+}
+
+// mergeAndSplit improves the quality of over by (1) merging donor: its
+// points are released to their next-closest bubbles, and (2) splitting
+// over: two new seeds s1, s2 are selected from over's current points,
+// donor is re-positioned at s1, over re-seeded at s2, and over's points are
+// distributed between the two (§4.2, Figure 6). Triangle-inequality pruning
+// is used throughout when enabled.
+func (s *Summarizer) mergeAndSplit(donor, over int) error {
+	if err := s.mergeAway(donor); err != nil {
+		return err
+	}
+	return s.splitOver(donor, over)
+}
+
+// mergeAway empties bubble donor, releasing each of its points to the
+// next-closest other bubble (the merge phase of Figure 6).
+func (s *Summarizer) mergeAway(donor int) error {
+	ids, err := s.set.TakeMembers(donor)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		rec, err := s.db.Get(id)
+		if err != nil {
+			return fmt.Errorf("core: merge lookup %d: %w", id, err)
+		}
+		tgt, _, err := s.set.ClosestSeedExcluding(rec.P, donor)
+		if err != nil {
+			return err
+		}
+		if err := s.set.AssignTo(tgt, id, rec.P); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitOver splits bubble over between two fresh seeds drawn from its
+// current points, re-positioning the (empty) bubble donor at the first
+// seed (the split phase of Figure 6).
+func (s *Summarizer) splitOver(donor, over int) error {
+	overIDs, err := s.set.TakeMembers(over)
+	if err != nil {
+		return err
+	}
+	if len(overIDs) < 2 {
+		// Degenerate (points migrated away during merge): restore them.
+		for _, id := range overIDs {
+			rec, _ := s.db.Get(id)
+			if err := s.set.AssignTo(over, id, rec.P); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	pick := s.rng.SampleWithoutReplacement(len(overIDs), 2)
+	rec1, err := s.db.Get(overIDs[pick[0]])
+	if err != nil {
+		return err
+	}
+	rec2, err := s.db.Get(overIDs[pick[1]])
+	if err != nil {
+		return err
+	}
+	if err := s.set.ResetBubble(donor, rec1.P); err != nil {
+		return err
+	}
+	if err := s.set.ResetBubble(over, rec2.P); err != nil {
+		return err
+	}
+
+	counter := s.set.Counter()
+	useTI := s.set.Options().UseTriangleInequality
+	seedSep := s.set.SeedDistance(donor, over)
+	for _, id := range overIDs {
+		rec, err := s.db.Get(id)
+		if err != nil {
+			return fmt.Errorf("core: split lookup %d: %w", id, err)
+		}
+		d1 := counter.Distance(rec.P, s.set.Bubble(donor).Seed())
+		target := donor
+		if useTI && seedSep >= 2*d1 {
+			counter.Prune() // Lemma 1: s2 cannot be closer
+		} else if d2 := counter.Distance(rec.P, s.set.Bubble(over).Seed()); d2 < d1 {
+			target = over
+		}
+		if err := s.set.AssignTo(target, id, rec.P); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+// Package dataset implements the dynamic point database that data bubbles
+// summarize. It supports insertion and deletion by ID (the paper's update
+// model: "N% points have been deleted and M% points have been inserted"),
+// carries ground-truth cluster labels for evaluation, and offers stable
+// snapshots and serialization for the experiment harness.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+// PointID identifies a point for its whole lifetime in the database. IDs
+// are never reused, so the incremental summarizer can key its
+// point→bubble assignment on them safely across batches of updates.
+type PointID uint64
+
+// Noise is the ground-truth label of points that belong to no cluster.
+const Noise = -1
+
+// Record is one database point together with its ground-truth label. The
+// label is evaluation-only metadata: the algorithms never read it.
+type Record struct {
+	ID    PointID
+	P     vecmath.Point
+	Label int
+}
+
+// Common errors.
+var (
+	ErrNotFound     = errors.New("dataset: point not found")
+	ErrDimension    = errors.New("dataset: point dimensionality mismatch")
+	ErrEmptyDB      = errors.New("dataset: database is empty")
+	ErrNonFinite    = errors.New("dataset: non-finite coordinate")
+	ErrZeroDim      = errors.New("dataset: dimensionality must be positive")
+	ErrDuplicateID  = errors.New("dataset: duplicate point ID")
+	ErrLabelReserve = errors.New("dataset: labels below Noise are reserved")
+)
+
+// DB is an in-memory dynamic database of d-dimensional points. It keeps a
+// dense record slice for O(1) uniform random sampling (used both for seed
+// selection when building bubbles and for choosing deletion victims in the
+// workloads) plus an ID index for O(1) deletion.
+//
+// DB is not safe for concurrent mutation; experiments run each database in
+// one goroutine, matching the paper's sequential batch-update model.
+type DB struct {
+	dim    int
+	recs   []Record
+	index  map[PointID]int
+	nextID PointID
+}
+
+// New creates an empty database for d-dimensional points.
+func New(d int) (*DB, error) {
+	if d <= 0 {
+		return nil, ErrZeroDim
+	}
+	return &DB{dim: d, index: make(map[PointID]int)}, nil
+}
+
+// MustNew is New for static dimensionalities known to be valid.
+func MustNew(d int) *DB {
+	db, err := New(d)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Dim returns the dimensionality of the database.
+func (db *DB) Dim() int { return db.dim }
+
+// Len returns the current number of points.
+func (db *DB) Len() int { return len(db.recs) }
+
+// NextID returns the ID the next insertion will receive. Useful for
+// pre-registering updates.
+func (db *DB) NextID() PointID { return db.nextID }
+
+// Insert adds a point with the given ground-truth label and returns its new
+// ID. The point is copied; the caller keeps ownership of p.
+func (db *DB) Insert(p vecmath.Point, label int) (PointID, error) {
+	if p.Dim() != db.dim {
+		return 0, fmt.Errorf("%w: got %d want %d", ErrDimension, p.Dim(), db.dim)
+	}
+	if !p.IsFinite() {
+		return 0, ErrNonFinite
+	}
+	if label < Noise {
+		return 0, ErrLabelReserve
+	}
+	id := db.nextID
+	db.nextID++
+	db.index[id] = len(db.recs)
+	db.recs = append(db.recs, Record{ID: id, P: p.Clone(), Label: label})
+	return id, nil
+}
+
+// insertWithID restores a record with a fixed ID (deserialization only).
+func (db *DB) insertWithID(rec Record) error {
+	if rec.P.Dim() != db.dim {
+		return ErrDimension
+	}
+	if _, dup := db.index[rec.ID]; dup {
+		return ErrDuplicateID
+	}
+	db.index[rec.ID] = len(db.recs)
+	db.recs = append(db.recs, Record{ID: rec.ID, P: rec.P.Clone(), Label: rec.Label})
+	if rec.ID >= db.nextID {
+		db.nextID = rec.ID + 1
+	}
+	return nil
+}
+
+// Delete removes the point with the given ID and returns its record.
+func (db *DB) Delete(id PointID) (Record, error) {
+	i, ok := db.index[id]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	rec := db.recs[i]
+	last := len(db.recs) - 1
+	if i != last {
+		db.recs[i] = db.recs[last]
+		db.index[db.recs[i].ID] = i
+	}
+	db.recs = db.recs[:last]
+	delete(db.index, id)
+	return rec, nil
+}
+
+// Get returns the record with the given ID.
+func (db *DB) Get(id PointID) (Record, error) {
+	i, ok := db.index[id]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	return db.recs[i], nil
+}
+
+// Contains reports whether the database holds the given ID.
+func (db *DB) Contains(id PointID) bool {
+	_, ok := db.index[id]
+	return ok
+}
+
+// At returns the i-th record in internal order. Internal order is arbitrary
+// and changes across deletions; it exists for fast scans.
+func (db *DB) At(i int) Record { return db.recs[i] }
+
+// ForEach calls fn for every record. fn must not mutate the database.
+func (db *DB) ForEach(fn func(Record)) {
+	for _, r := range db.recs {
+		fn(r)
+	}
+}
+
+// IDs returns all current IDs in internal order.
+func (db *DB) IDs() []PointID {
+	ids := make([]PointID, len(db.recs))
+	for i, r := range db.recs {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// Snapshot returns a deep copy of all records, insulated from later updates.
+func (db *DB) Snapshot() []Record {
+	out := make([]Record, len(db.recs))
+	for i, r := range db.recs {
+		out[i] = Record{ID: r.ID, P: r.P.Clone(), Label: r.Label}
+	}
+	return out
+}
+
+// RandomID returns a uniformly random current ID.
+func (db *DB) RandomID(rng *stats.RNG) (PointID, error) {
+	if len(db.recs) == 0 {
+		return 0, ErrEmptyDB
+	}
+	return db.recs[rng.Intn(len(db.recs))].ID, nil
+}
+
+// RandomIDs returns k distinct uniformly random current IDs.
+func (db *DB) RandomIDs(rng *stats.RNG, k int) ([]PointID, error) {
+	if k > len(db.recs) {
+		return nil, fmt.Errorf("dataset: requested %d ids from %d points", k, len(db.recs))
+	}
+	idx := rng.SampleWithoutReplacement(len(db.recs), k)
+	out := make([]PointID, k)
+	for i, j := range idx {
+		out[i] = db.recs[j].ID
+	}
+	return out, nil
+}
+
+// LabelHistogram returns the number of points per ground-truth label.
+func (db *DB) LabelHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, r := range db.recs {
+		h[r.Label]++
+	}
+	return h
+}
+
+// Bounds returns the axis-aligned bounding box of the current points.
+func (db *DB) Bounds() (lo, hi vecmath.Point, err error) {
+	if len(db.recs) == 0 {
+		return nil, nil, ErrEmptyDB
+	}
+	lo = db.recs[0].P.Clone()
+	hi = db.recs[0].P.Clone()
+	for _, r := range db.recs[1:] {
+		for j, v := range r.P {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	return lo, hi, nil
+}
+
+// Clone returns a deep copy of the database, preserving IDs and the next-ID
+// counter, so that the complete-rebuild and incremental schemes can be run
+// against identical update sequences.
+func (db *DB) Clone() *DB {
+	cp := &DB{
+		dim:    db.dim,
+		recs:   db.Snapshot(),
+		index:  make(map[PointID]int, len(db.index)),
+		nextID: db.nextID,
+	}
+	for i, r := range cp.recs {
+		cp.index[r.ID] = i
+	}
+	return cp
+}

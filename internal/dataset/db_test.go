@@ -1,0 +1,336 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err != ErrZeroDim {
+		t.Errorf("New(0) err=%v", err)
+	}
+	if _, err := New(-3); err != ErrZeroDim {
+		t.Errorf("New(-3) err=%v", err)
+	}
+	db, err := New(2)
+	if err != nil || db.Dim() != 2 || db.Len() != 0 {
+		t.Fatalf("New(2)=%v,%v", db, err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(0) did not panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	db := MustNew(2)
+	id1, err := db.Insert(vecmath.Point{1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := db.Insert(vecmath.Point{3, 4}, Noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Fatal("duplicate IDs")
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len=%d", db.Len())
+	}
+	r, err := db.Get(id1)
+	if err != nil || !r.P.Equal(vecmath.Point{1, 2}) || r.Label != 0 {
+		t.Fatalf("Get=%+v err=%v", r, err)
+	}
+	rec, err := db.Delete(id1)
+	if err != nil || rec.ID != id1 {
+		t.Fatalf("Delete=%+v err=%v", rec, err)
+	}
+	if db.Contains(id1) {
+		t.Fatal("deleted ID still present")
+	}
+	if !db.Contains(id2) {
+		t.Fatal("surviving ID lost")
+	}
+	if _, err := db.Get(id1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get deleted err=%v", err)
+	}
+	if _, err := db.Delete(id1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Delete err=%v", err)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	db := MustNew(2)
+	if _, err := db.Insert(vecmath.Point{1}, 0); !errors.Is(err, ErrDimension) {
+		t.Errorf("wrong-dim err=%v", err)
+	}
+	if _, err := db.Insert(vecmath.Point{1, math.NaN()}, 0); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("NaN err=%v", err)
+	}
+	if _, err := db.Insert(vecmath.Point{1, 2}, -2); !errors.Is(err, ErrLabelReserve) {
+		t.Errorf("reserved label err=%v", err)
+	}
+}
+
+func TestInsertCopiesPoint(t *testing.T) {
+	db := MustNew(1)
+	p := vecmath.Point{7}
+	id, _ := db.Insert(p, 0)
+	p[0] = 99
+	r, _ := db.Get(id)
+	if r.P[0] != 7 {
+		t.Fatal("Insert did not copy point")
+	}
+}
+
+func TestIDsNeverReused(t *testing.T) {
+	db := MustNew(1)
+	seen := map[PointID]bool{}
+	for i := 0; i < 100; i++ {
+		id, _ := db.Insert(vecmath.Point{float64(i)}, 0)
+		if seen[id] {
+			t.Fatalf("ID %d reused", id)
+		}
+		seen[id] = true
+		if i%3 == 0 {
+			if _, err := db.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestSwapRemoveKeepsIndexConsistent(t *testing.T) {
+	db := MustNew(1)
+	var ids []PointID
+	for i := 0; i < 50; i++ {
+		id, _ := db.Insert(vecmath.Point{float64(i)}, i)
+		ids = append(ids, id)
+	}
+	// Delete from the middle repeatedly and verify every survivor resolves.
+	for _, victim := range []int{10, 0, 25, 48, 3} {
+		if _, err := db.Delete(ids[victim]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deleted := map[int]bool{10: true, 0: true, 25: true, 48: true, 3: true}
+	for i, id := range ids {
+		if deleted[i] {
+			if db.Contains(id) {
+				t.Fatalf("deleted id %d still present", id)
+			}
+			continue
+		}
+		r, err := db.Get(id)
+		if err != nil {
+			t.Fatalf("survivor %d lost: %v", id, err)
+		}
+		if r.Label != i {
+			t.Fatalf("survivor %d has wrong record %+v", id, r)
+		}
+	}
+	if db.Len() != 45 {
+		t.Fatalf("Len=%d", db.Len())
+	}
+}
+
+func TestSnapshotIsDeep(t *testing.T) {
+	db := MustNew(1)
+	db.Insert(vecmath.Point{5}, 0)
+	snap := db.Snapshot()
+	snap[0].P[0] = -1
+	r := db.At(0)
+	if r.P[0] != 5 {
+		t.Fatal("Snapshot shares storage with DB")
+	}
+}
+
+func TestForEachAndIDs(t *testing.T) {
+	db := MustNew(1)
+	for i := 0; i < 10; i++ {
+		db.Insert(vecmath.Point{float64(i)}, 0)
+	}
+	n := 0
+	db.ForEach(func(Record) { n++ })
+	if n != 10 {
+		t.Fatalf("ForEach visited %d", n)
+	}
+	if len(db.IDs()) != 10 {
+		t.Fatalf("IDs len=%d", len(db.IDs()))
+	}
+}
+
+func TestRandomIDs(t *testing.T) {
+	db := MustNew(1)
+	rng := stats.NewRNG(1)
+	if _, err := db.RandomID(rng); !errors.Is(err, ErrEmptyDB) {
+		t.Errorf("empty RandomID err=%v", err)
+	}
+	for i := 0; i < 20; i++ {
+		db.Insert(vecmath.Point{float64(i)}, 0)
+	}
+	ids, err := db.RandomIDs(rng, 7)
+	if err != nil || len(ids) != 7 {
+		t.Fatalf("RandomIDs=%v err=%v", ids, err)
+	}
+	seen := map[PointID]bool{}
+	for _, id := range ids {
+		if !db.Contains(id) {
+			t.Fatalf("RandomIDs returned unknown id %d", id)
+		}
+		if seen[id] {
+			t.Fatalf("RandomIDs duplicate %d", id)
+		}
+		seen[id] = true
+	}
+	if _, err := db.RandomIDs(rng, 21); err == nil {
+		t.Error("oversized RandomIDs accepted")
+	}
+}
+
+func TestLabelHistogramAndBounds(t *testing.T) {
+	db := MustNew(2)
+	db.Insert(vecmath.Point{0, 0}, 0)
+	db.Insert(vecmath.Point{2, -1}, 0)
+	db.Insert(vecmath.Point{1, 5}, Noise)
+	h := db.LabelHistogram()
+	if h[0] != 2 || h[Noise] != 1 {
+		t.Fatalf("hist=%v", h)
+	}
+	lo, hi, err := db.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lo.Equal(vecmath.Point{0, -1}) || !hi.Equal(vecmath.Point{2, 5}) {
+		t.Fatalf("Bounds=(%v,%v)", lo, hi)
+	}
+	empty := MustNew(2)
+	if _, _, err := empty.Bounds(); !errors.Is(err, ErrEmptyDB) {
+		t.Errorf("empty Bounds err=%v", err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	db := MustNew(2)
+	id, _ := db.Insert(vecmath.Point{1, 1}, 3)
+	cp := db.Clone()
+	// Mutating the clone must not affect the original.
+	cp.Delete(id)
+	cp.Insert(vecmath.Point{9, 9}, 0)
+	if !db.Contains(id) || db.Len() != 1 {
+		t.Fatal("Clone mutation leaked into original")
+	}
+	// IDs continue from the same counter so both sides generate unique ids.
+	nid1, _ := db.Insert(vecmath.Point{2, 2}, 0)
+	if nid1 == id {
+		t.Fatal("ID reuse after Clone")
+	}
+	r, err := cp.Get(cp.IDs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+// Property: after any interleaving of inserts and deletes, Len equals
+// inserts − deletes and every reported ID resolves.
+func TestInsertDeleteInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		db := MustNew(2)
+		live := map[PointID]bool{}
+		for step := 0; step < 300; step++ {
+			if db.Len() == 0 || rng.Float64() < 0.6 {
+				id, err := db.Insert(vecmath.Point{rng.Float64(), rng.Float64()}, 0)
+				if err != nil {
+					return false
+				}
+				live[id] = true
+			} else {
+				id, err := db.RandomID(rng)
+				if err != nil {
+					return false
+				}
+				if _, err := db.Delete(id); err != nil {
+					return false
+				}
+				delete(live, id)
+			}
+		}
+		if db.Len() != len(live) {
+			return false
+		}
+		for _, id := range db.IDs() {
+			if !live[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	db := MustNew(3)
+	db.Insert(vecmath.Point{1.5, -2, 0.001}, 0)
+	db.Insert(vecmath.Point{0, 0, 0}, Noise)
+	id, _ := db.Insert(vecmath.Point{7, 8, 9}, 4)
+	db.Delete(id) // deleted rows must not round-trip
+
+	var buf bytes.Buffer
+	if err := db.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() || back.Dim() != db.Dim() {
+		t.Fatalf("round trip Len=%d Dim=%d", back.Len(), back.Dim())
+	}
+	for _, r := range db.Snapshot() {
+		got, err := back.Get(r.ID)
+		if err != nil {
+			t.Fatalf("id %d missing after round trip", r.ID)
+		}
+		if !got.P.Equal(r.P) || got.Label != r.Label {
+			t.Fatalf("record mismatch: got %+v want %+v", got, r)
+		}
+	}
+	// NextID advanced past the highest serialized ID.
+	nid, _ := back.Insert(vecmath.Point{0, 0, 0}, 0)
+	if back.Contains(nid) != true || nid <= 1 {
+		t.Fatalf("NextID not restored, new id=%d", nid)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                            // no header
+		"a,b,x0\n",                    // bad header
+		"id,label\n",                  // too short
+		"id,label,x0\nx,0,1\n",        // bad id
+		"id,label,x0\n1,x,1\n",        // bad label
+		"id,label,x0\n1,0,zz\n",       // bad coord
+		"id,label,x0\n1,0,1\n1,0,2\n", // duplicate id
+	}
+	for i, s := range cases {
+		if _, err := ReadCSV(bytes.NewReader([]byte(s))); err == nil {
+			t.Errorf("case %d: malformed CSV accepted", i)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV asserts the CSV decoder never panics and that anything it
+// accepts round-trips losslessly.
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte("id,label,x0,x1\n1,0,1.5,2\n2,-1,0,0\n"))
+	f.Add([]byte("id,label,x0\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("id,label,x0\n1,0,NaN\n"))
+	f.Add([]byte("id,label,x0\n18446744073709551615,0,1\n"))
+	f.Add([]byte("id,label,x0\n1,0,1\n1,0,2\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := db.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted database failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.Len() != db.Len() || back.Dim() != db.Dim() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				back.Len(), back.Dim(), db.Len(), db.Dim())
+		}
+		for _, r := range db.Snapshot() {
+			got, err := back.Get(r.ID)
+			if err != nil {
+				t.Fatalf("round trip lost id %d", r.ID)
+			}
+			if got.Label != r.Label {
+				t.Fatalf("round trip changed label of %d", r.ID)
+			}
+		}
+	})
+}

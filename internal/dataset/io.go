@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"incbubbles/internal/vecmath"
+)
+
+// WriteCSV serializes the database as CSV with header
+// "id,label,x0,x1,...". Records are emitted in ascending ID order so output
+// is deterministic regardless of internal ordering.
+func (db *DB) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	header := make([]string, 2+db.dim)
+	header[0], header[1] = "id", "label"
+	for j := 0; j < db.dim; j++ {
+		header[2+j] = fmt.Sprintf("x%d", j)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	recs := db.Snapshot()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	row := make([]string, 2+db.dim)
+	for _, r := range recs {
+		row[0] = strconv.FormatUint(uint64(r.ID), 10)
+		row[1] = strconv.Itoa(r.Label)
+		for j, v := range r.P {
+			row[2+j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV deserializes a database written by WriteCSV.
+func ReadCSV(r io.Reader) (*DB, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if len(header) < 3 || header[0] != "id" || header[1] != "label" {
+		return nil, fmt.Errorf("dataset: malformed header %v", header)
+	}
+	dim := len(header) - 2
+	db, err := New(dim)
+	if err != nil {
+		return nil, err
+	}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		id, err := strconv.ParseUint(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d id: %w", line, err)
+		}
+		label, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d label: %w", line, err)
+		}
+		p := make(vecmath.Point, dim)
+		for j := 0; j < dim; j++ {
+			p[j], err = strconv.ParseFloat(row[2+j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d coord %d: %w", line, j, err)
+			}
+		}
+		if err := db.insertWithID(Record{ID: PointID(id), P: p, Label: label}); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+
+	"incbubbles/internal/vecmath"
+)
+
+// Op is the kind of a database update.
+type Op int
+
+const (
+	// OpInsert adds a new point to the database.
+	OpInsert Op = iota
+	// OpDelete removes an existing point.
+	OpDelete
+)
+
+// String implements fmt.Stringer for Op.
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Update is one insertion or deletion. For OpInsert, P and Label describe
+// the new point and ID is filled in when the update is applied. For
+// OpDelete, ID names the victim and P/Label are filled in on application so
+// downstream consumers (the summarizer must decrement the victim's bubble)
+// see the deleted coordinates.
+type Update struct {
+	Op    Op
+	ID    PointID
+	P     vecmath.Point
+	Label int
+}
+
+// Batch is an ordered sequence of updates, the granularity at which the
+// paper inspects the clustering structure ("after a set of updates during
+// which N% points have been deleted and M% points have been inserted").
+type Batch []Update
+
+// Counts returns the number of insertions and deletions in the batch.
+func (b Batch) Counts() (inserts, deletes int) {
+	for _, u := range b {
+		if u.Op == OpInsert {
+			inserts++
+		} else {
+			deletes++
+		}
+	}
+	return
+}
+
+// ErrDanglingDelete reports a deletion of an ID not present when applied.
+var ErrDanglingDelete = errors.New("dataset: delete of unknown id")
+
+// Apply executes the batch against db in order, filling in assigned IDs for
+// insertions and coordinates for deletions. It returns the same slice for
+// convenience. The batch is applied atomically in the sense that an error
+// aborts at the failing update; prior updates remain applied, mirroring how
+// a real database would surface a mid-batch fault.
+func (b Batch) Apply(db *DB) (Batch, error) {
+	for i := range b {
+		u := &b[i]
+		switch u.Op {
+		case OpInsert:
+			id, err := db.Insert(u.P, u.Label)
+			if err != nil {
+				return b, fmt.Errorf("update %d: %w", i, err)
+			}
+			u.ID = id
+		case OpDelete:
+			rec, err := db.Delete(u.ID)
+			if err != nil {
+				return b, fmt.Errorf("update %d: %w: %v", i, ErrDanglingDelete, err)
+			}
+			u.P = rec.P
+			u.Label = rec.Label
+		default:
+			return b, fmt.Errorf("update %d: unknown op %d", i, u.Op)
+		}
+	}
+	return b, nil
+}

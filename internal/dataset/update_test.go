@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"errors"
+	"testing"
+
+	"incbubbles/internal/vecmath"
+)
+
+func TestOpString(t *testing.T) {
+	if OpInsert.String() != "insert" || OpDelete.String() != "delete" {
+		t.Fatalf("Op strings: %v %v", OpInsert, OpDelete)
+	}
+	if Op(9).String() == "" {
+		t.Fatal("unknown op produced empty string")
+	}
+}
+
+func TestBatchCounts(t *testing.T) {
+	b := Batch{
+		{Op: OpInsert}, {Op: OpDelete}, {Op: OpInsert},
+	}
+	ins, del := b.Counts()
+	if ins != 2 || del != 1 {
+		t.Fatalf("Counts=(%d,%d)", ins, del)
+	}
+}
+
+func TestBatchApply(t *testing.T) {
+	db := MustNew(2)
+	id0, _ := db.Insert(vecmath.Point{0, 0}, 5)
+
+	b := Batch{
+		{Op: OpInsert, P: vecmath.Point{1, 1}, Label: 2},
+		{Op: OpDelete, ID: id0},
+		{Op: OpInsert, P: vecmath.Point{2, 2}, Label: Noise},
+	}
+	applied, err := b.Apply(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert updates got their IDs filled in.
+	if !db.Contains(applied[0].ID) || !db.Contains(applied[2].ID) {
+		t.Fatalf("insert IDs not filled: %+v", applied)
+	}
+	// Delete update got coordinates and label filled in.
+	if !applied[1].P.Equal(vecmath.Point{0, 0}) || applied[1].Label != 5 {
+		t.Fatalf("delete not annotated: %+v", applied[1])
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len=%d", db.Len())
+	}
+}
+
+func TestBatchApplyDanglingDelete(t *testing.T) {
+	db := MustNew(1)
+	b := Batch{{Op: OpDelete, ID: 12345}}
+	if _, err := b.Apply(db); !errors.Is(err, ErrDanglingDelete) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestBatchApplyBadOp(t *testing.T) {
+	db := MustNew(1)
+	b := Batch{{Op: Op(42)}}
+	if _, err := b.Apply(db); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestBatchApplyStopsAtError(t *testing.T) {
+	db := MustNew(1)
+	b := Batch{
+		{Op: OpInsert, P: vecmath.Point{1}, Label: 0},
+		{Op: OpDelete, ID: 999},
+		{Op: OpInsert, P: vecmath.Point{2}, Label: 0},
+	}
+	if _, err := b.Apply(db); err == nil {
+		t.Fatal("expected error")
+	}
+	// First insert landed, third did not.
+	if db.Len() != 1 {
+		t.Fatalf("Len=%d want 1", db.Len())
+	}
+}

@@ -1,0 +1,65 @@
+package dbscan
+
+import (
+	"testing"
+
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+// BenchmarkIncrementalChurn measures one insert+delete pair on a
+// maintained 10k-point clustering — the per-update cost of strategy 1.
+func BenchmarkIncrementalChurn(b *testing.B) {
+	rng := stats.NewRNG(1)
+	inc, err := NewIncremental(2, Params{Eps: 2.5, MinPts: 5}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	centers := []vecmath.Point{{0, 0}, {40, 40}, {80, 0}}
+	ids := make([]dataset.PointID, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		id := dataset.PointID(i)
+		if err := inc.Insert(id, rng.GaussianPoint(centers[i%3], 2)); err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	next := dataset.PointID(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := ids[rng.Intn(len(ids))]
+		if err := inc.Delete(victim); err != nil {
+			b.Fatal(err)
+		}
+		p := rng.GaussianPoint(centers[i%3], 2)
+		if err := inc.Insert(next, p); err != nil {
+			b.Fatal(err)
+		}
+		for j, id := range ids {
+			if id == victim {
+				ids[j] = next
+				break
+			}
+		}
+		next++
+	}
+	b.StopTimer()
+	inc.Flush()
+}
+
+// BenchmarkStatic measures a from-scratch DBSCAN over 10k points.
+func BenchmarkStatic(b *testing.B) {
+	rng := stats.NewRNG(2)
+	db := dataset.MustNew(2)
+	centers := []vecmath.Point{{0, 0}, {40, 40}, {80, 0}}
+	for i := 0; i < 10000; i++ {
+		db.Insert(rng.GaussianPoint(centers[i%3], 2), i%3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Static(db, Params{Eps: 2.5, MinPts: 5}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

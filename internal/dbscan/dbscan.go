@@ -1,0 +1,106 @@
+package dbscan
+
+import (
+	"errors"
+	"sort"
+
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/vecmath"
+)
+
+// Noise is the label of points in no cluster.
+const Noise = -1
+
+// Params are the DBSCAN density parameters.
+type Params struct {
+	Eps    float64
+	MinPts int
+}
+
+func (p Params) validate() error {
+	if p.Eps <= 0 {
+		return errors.New("dbscan: eps must be positive")
+	}
+	if p.MinPts < 1 {
+		return errors.New("dbscan: MinPts must be at least 1")
+	}
+	return nil
+}
+
+// Static runs classical DBSCAN over the current contents of db and
+// returns cluster labels per point ID (Noise for noise). The counter, if
+// non-nil, counts distance computations.
+func Static(db *dataset.DB, params Params, counter *vecmath.Counter) (map[dataset.PointID]int, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	if db.Len() == 0 {
+		return map[dataset.PointID]int{}, nil
+	}
+	ix := newNeighborIndex(db.Dim(), params.Eps)
+	ids := make([]dataset.PointID, 0, db.Len())
+	pts := make(map[dataset.PointID]vecmath.Point, db.Len())
+	db.ForEach(func(r dataset.Record) {
+		ix.insert(r.ID, r.P)
+		ids = append(ids, r.ID)
+		pts[r.ID] = r.P
+	})
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	eps2 := params.Eps * params.Eps
+	rangeQuery := func(p vecmath.Point) []dataset.PointID {
+		var out []dataset.PointID
+		ix.neighbors(p, func(id dataset.PointID, q vecmath.Point) {
+			var d2 float64
+			if counter != nil {
+				d2 = counter.SquaredDistance(p, q)
+			} else {
+				d2 = vecmath.SquaredDistance(p, q)
+			}
+			if d2 <= eps2 {
+				out = append(out, id)
+			}
+		})
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+
+	labels := make(map[dataset.PointID]int, len(ids))
+	for _, id := range ids {
+		labels[id] = Noise
+	}
+	visited := make(map[dataset.PointID]bool, len(ids))
+	next := 0
+	for _, id := range ids {
+		if visited[id] {
+			continue
+		}
+		visited[id] = true
+		nb := rangeQuery(pts[id])
+		if len(nb) < params.MinPts {
+			continue // noise for now; may become border later
+		}
+		// Expand a new cluster from this core point.
+		cluster := next
+		next++
+		labels[id] = cluster
+		queue := append([]dataset.PointID(nil), nb...)
+		for len(queue) > 0 {
+			q := queue[0]
+			queue = queue[1:]
+			if labels[q] == Noise {
+				labels[q] = cluster // border or to-be-core
+			}
+			if visited[q] {
+				continue
+			}
+			visited[q] = true
+			qnb := rangeQuery(pts[q])
+			if len(qnb) >= params.MinPts {
+				labels[q] = cluster
+				queue = append(queue, qnb...)
+			}
+		}
+	}
+	return labels, nil
+}

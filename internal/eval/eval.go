@@ -1,0 +1,135 @@
+// Package eval implements the clustering quality metrics of the paper's
+// evaluation: the F-score (F = 2pr/(p+r), Larsen & Aone — citation [13])
+// between a found clustering and the ground-truth labels carried by the
+// synthetic databases, and helpers that turn bubble-level cluster labels
+// into point-level labels.
+package eval
+
+import (
+	"errors"
+
+	"incbubbles/internal/bubble"
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/extract"
+	"incbubbles/internal/optics"
+)
+
+// Noise marks unclustered points on either side of the comparison.
+const Noise = -1
+
+// FScore computes the clustering F-score of found against truth. Both
+// slices are aligned per point; Noise entries in truth are ignored as
+// targets (background noise has no cluster to recover) but still count
+// against the precision of found clusters that swallow them.
+//
+// For ground-truth class L and found cluster C:
+//
+//	p = |L∩C| / |C|,  r = |L∩C| / |L|,  F(L,C) = 2pr/(p+r)
+//
+// The overall score is the |L|-weighted average over classes of the best
+// F(L,C) — the standard hierarchical-clustering F-measure.
+func FScore(truth, found []int) (float64, error) {
+	if len(truth) != len(found) {
+		return 0, errors.New("eval: label slices must align")
+	}
+	classSize := map[int]int{}
+	clusterSize := map[int]int{}
+	inter := map[[2]int]int{}
+	for i := range truth {
+		if found[i] != Noise {
+			clusterSize[found[i]]++
+		}
+		if truth[i] == Noise {
+			continue
+		}
+		classSize[truth[i]]++
+		if found[i] != Noise {
+			inter[[2]int{truth[i], found[i]}]++
+		}
+	}
+	if len(classSize) == 0 {
+		return 0, errors.New("eval: no non-noise ground-truth points")
+	}
+	var total int
+	for _, n := range classSize {
+		total += n
+	}
+	var score float64
+	for class, lsize := range classSize {
+		best := 0.0
+		for cluster, csize := range clusterSize {
+			nij := inter[[2]int{class, cluster}]
+			if nij == 0 {
+				continue
+			}
+			p := float64(nij) / float64(csize)
+			r := float64(nij) / float64(lsize)
+			if f := 2 * p * r / (p + r); f > best {
+				best = f
+			}
+		}
+		score += float64(lsize) / float64(total) * best
+	}
+	return score, nil
+}
+
+// PointLabels maps every member point of every bubble to the cluster label
+// of that bubble's entry in the extracted ordering. Bubbles outside any
+// cluster leaf yield Noise. The result covers exactly the points the
+// bubbles compress.
+func PointLabels(set *bubble.Set, res *optics.Result, entryLabels []int) (map[dataset.PointID]int, error) {
+	if len(entryLabels) != len(res.Order) {
+		return nil, errors.New("eval: entry labels must align with ordering")
+	}
+	out := make(map[dataset.PointID]int)
+	for i, e := range res.Order {
+		b := set.Bubble(int(e.ID))
+		label := entryLabels[i]
+		if label == extract.Noise {
+			label = Noise
+		}
+		for _, id := range b.MemberIDs() {
+			out[id] = label
+		}
+	}
+	return out, nil
+}
+
+// AlignWithDB builds the aligned (truth, found) label slices for FScore
+// from the database's ground truth and a point→cluster map. Points missing
+// from found are treated as Noise.
+func AlignWithDB(db *dataset.DB, found map[dataset.PointID]int) (truth, flat []int) {
+	truth = make([]int, 0, db.Len())
+	flat = make([]int, 0, db.Len())
+	db.ForEach(func(r dataset.Record) {
+		truth = append(truth, r.Label)
+		if l, ok := found[r.ID]; ok {
+			flat = append(flat, l)
+		} else {
+			flat = append(flat, Noise)
+		}
+	})
+	return truth, flat
+}
+
+// ClusteringFScore is the end-to-end convenience used by the experiment
+// harness: OPTICS over the bubbles of set, cluster-tree extraction, point
+// labelling, and F-score against db's ground truth.
+func ClusteringFScore(db *dataset.DB, set *bubble.Set, minPts int, params extract.Params) (float64, error) {
+	space, err := optics.NewBubbleSpace(set)
+	if err != nil {
+		return 0, err
+	}
+	res, err := optics.Run(space, optics.Params{MinPts: minPts})
+	if err != nil {
+		return 0, err
+	}
+	// Entry IDs from a BubbleSpace are indices into the set.
+	labels := extract.ExtractTree(res.Order, params)
+	found, err := PointLabels(set, res, labels)
+	if err != nil {
+		return 0, err
+	}
+	truth, flat := AlignWithDB(db, found)
+	return FScore(truth, flat)
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationRuns(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Points = 1500
+	rows, err := Ablation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.FMean <= 0 || r.FMean > 1 {
+			t.Fatalf("F out of range: %+v", r)
+		}
+		if r.AvgBubbles <= 0 {
+			t.Fatalf("bubble count missing: %+v", r)
+		}
+	}
+	// p=0.8 and p=0.9 must land in the same ballpark (the paper's claim
+	// that the probability choice does not change the quality).
+	a, b := byName["p=0.9 rounds=1 (paper)"], byName["p=0.8 rounds=1"]
+	if diff := a.FMean - b.FMean; diff > 0.25 || diff < -0.25 {
+		t.Fatalf("p sensitivity too large: %.3f vs %.3f", a.FMean, b.FMean)
+	}
+	var buf bytes.Buffer
+	if err := WriteAblation(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "adaptive-count") {
+		t.Fatal("rendered ablation missing variant")
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSummaryCompareShapes(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Points = 2000
+	cfg.Bubbles = 40
+	rows, err := SummaryCompare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	byMethod := map[string]CompareRow{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+		if r.FMean <= 0 || r.FMean > 1 {
+			t.Fatalf("F out of range: %+v", r)
+		}
+		if r.Millis <= 0 {
+			t.Fatalf("non-positive time: %+v", r)
+		}
+	}
+	bub, raw := byMethod["bubbles"], byMethod["raw"]
+	// Summarized clustering stays within 0.15 F of the raw ceiling …
+	if raw.FMean-bub.FMean > 0.15 {
+		t.Fatalf("bubbles F %.3f far below raw %.3f", bub.FMean, raw.FMean)
+	}
+	// … at a small fraction of the cost.
+	if bub.Millis*5 > raw.Millis {
+		t.Fatalf("bubbles (%.1fms) not clearly cheaper than raw (%.1fms)", bub.Millis, raw.Millis)
+	}
+	var buf bytes.Buffer
+	if err := WriteCompare(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "raw") {
+		t.Fatal("rendered comparison missing method")
+	}
+}

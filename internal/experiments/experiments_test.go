@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"incbubbles/internal/dataset"
+)
+
+// smallCfg keeps experiment tests fast while exercising the full pipeline.
+func smallCfg() Config {
+	return Config{
+		Points:  1200,
+		Bubbles: 30,
+		Reps:    1,
+		Batches: 3,
+		MinPts:  8,
+		Seed:    3,
+	}
+}
+
+func TestConfigDefaultsAndValidate(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Points != 10000 || c.Bubbles != 100 || c.Reps != 3 || c.Probability != 0.9 {
+		t.Fatalf("defaults=%+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Points: 10, Bubbles: 4, Reps: 1, Batches: 1, UpdateFraction: 0.1, MinPts: 5, Probability: 0.9, Seed: 1},
+		{Points: 1000, Bubbles: 900, Reps: 1, Batches: 1, UpdateFraction: 0.1, MinPts: 5, Probability: 0.9, Seed: 1},
+		{Points: 1000, Bubbles: 20, Reps: 1, Batches: 1, UpdateFraction: 0.9, MinPts: 5, Probability: 0.9, Seed: 1},
+		{Points: 1000, Bubbles: 20, Reps: 1, Batches: 1, UpdateFraction: 0.1, MinPts: 1, Probability: 0.9, Seed: 1},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, b)
+		}
+	}
+}
+
+func TestTable1Datasets(t *testing.T) {
+	specs := Table1Datasets()
+	if len(specs) != 11 {
+		t.Fatalf("datasets=%d want 11", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Fatalf("duplicate dataset %s", s.Name)
+		}
+		names[s.Name] = true
+	}
+	if !names["Complex20d"] || !names["Random2d"] {
+		t.Fatalf("expected paper datasets, got %v", names)
+	}
+}
+
+func TestTable1SmallRun(t *testing.T) {
+	specs := []DatasetSpec{
+		{Name: "Random2d", Kind: 0, Dim: 2},
+		{Name: "Complex2d", Kind: 5, Dim: 2},
+	}
+	rows, err := Table1(smallCfg(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows=%d want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.FMean < 0 || r.FMean > 1 {
+			t.Fatalf("F out of range: %+v", r)
+		}
+		if r.CMean <= 0 {
+			t.Fatalf("compactness not positive: %+v", r)
+		}
+	}
+	// Paper shape: incremental F close to complete F (within 0.25 even on
+	// this tiny configuration).
+	for i := 0; i < len(rows); i += 2 {
+		com, inc := rows[i], rows[i+1]
+		if com.Scheme != "complete" || inc.Scheme != "inc" {
+			t.Fatalf("row order wrong: %+v %+v", com, inc)
+		}
+		if diff := com.FMean - inc.FMean; diff > 0.25 {
+			t.Fatalf("%s: incremental F %.3f far below complete %.3f", com.Dataset, inc.FMean, com.FMean)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteTable1(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Random2d") {
+		t.Fatal("rendered table missing dataset")
+	}
+}
+
+func TestFig7ShowsMeasureGap(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Points = 2000
+	cfg.Batches = 6
+	rows, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	byMeasure := map[string]Fig7Row{}
+	for _, r := range rows {
+		byMeasure[r.Measure] = r
+	}
+	beta, extent := byMeasure["beta"], byMeasure["extent"]
+	// The paper's qualitative claim: β attracts at least as many bubbles to
+	// the new cluster as the extent measure, and at least two.
+	if beta.NewClusterBubbles < 2 {
+		t.Fatalf("β measure attracted %d bubbles to the new cluster", beta.NewClusterBubbles)
+	}
+	if beta.NewClusterBubbles < extent.NewClusterBubbles {
+		t.Fatalf("β (%d) worse than extent (%d)", beta.NewClusterBubbles, extent.NewClusterBubbles)
+	}
+	var buf bytes.Buffer
+	if err := WriteFig7(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "beta") {
+		t.Fatal("rendered fig7 missing measure")
+	}
+}
+
+func TestFig8Snapshots(t *testing.T) {
+	cfg := smallCfg()
+	sunk := 0
+	snaps, err := Fig8(cfg, func(batch int, db *dataset.DB) error {
+		if db.Len() == 0 {
+			t.Fatal("empty snapshot database")
+		}
+		sunk++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One snapshot before updates plus one per batch.
+	if len(snaps) != cfg.Batches+1 || sunk != cfg.Batches+1 {
+		t.Fatalf("snaps=%d sunk=%d want %d", len(snaps), sunk, cfg.Batches+1)
+	}
+	// The complex scenario drains label 0 over the run.
+	first, last := snaps[0], snaps[len(snaps)-1]
+	if first.Sizes[0] == 0 {
+		t.Fatal("label 0 empty at start")
+	}
+	if last.Sizes[0] >= first.Sizes[0] {
+		t.Fatalf("disappear cluster grew: %d -> %d", first.Sizes[0], last.Sizes[0])
+	}
+	// Centroids exist for populated labels.
+	if _, ok := first.Centroids[1]; !ok {
+		t.Fatal("missing centroid for label 1")
+	}
+	var buf bytes.Buffer
+	if err := WriteFig8(&buf, snaps); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "batch 0:") {
+		t.Fatal("rendered fig8 missing batches")
+	}
+}
+
+func TestUpdateSweepShapes(t *testing.T) {
+	cfg := smallCfg()
+	rows, err := UpdateSweep(cfg, []float64{0.02, 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	small, large := rows[0], rows[1]
+	// Figure 10 shape: substantial pruning at both sizes.
+	if small.PrunedPct < 30 || large.PrunedPct < 30 {
+		t.Fatalf("pruning too weak: %+v %+v", small, large)
+	}
+	// Figure 11 shape: decreasing saving factor with larger updates, and
+	// large factors for small updates.
+	if small.SavingFactor <= large.SavingFactor {
+		t.Fatalf("saving factor not decreasing: %.1f -> %.1f", small.SavingFactor, large.SavingFactor)
+	}
+	if small.SavingFactor < 10 {
+		t.Fatalf("saving factor at 2%% updates only %.1f", small.SavingFactor)
+	}
+	// Figure 9 shape: only a small fraction of bubbles rebuilt.
+	if small.RebuiltPct > 50 || large.RebuiltPct > 50 {
+		t.Fatalf("too many rebuilds: %+v %+v", small, large)
+	}
+	var buf bytes.Buffer
+	for _, fig := range []int{9, 10, 11, 0} {
+		if err := WriteSweep(&buf, rows, fig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty sweep rendering")
+	}
+}
+
+func TestUpdateSweepDefaultFractions(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Points = 600
+	cfg.Bubbles = 15
+	cfg.Batches = 1
+	rows, err := UpdateSweep(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("default fractions=%d want 5", len(rows))
+	}
+}

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"incbubbles/internal/bubble"
+	"incbubbles/internal/core"
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/eval"
+	"incbubbles/internal/extract"
+	"incbubbles/internal/parallel"
+	"incbubbles/internal/stats"
+	"incbubbles/internal/synth"
+	"incbubbles/internal/vecmath"
+)
+
+// Fig7Row compares one quality measure on the appear/disappear dynamics of
+// Figure 7: the F-score after the updates and how many data bubbles ended
+// up compressing the newly appeared cluster. The paper's claim: the extent
+// measure leaves the new cluster under one bubble, the β measure attracts
+// several.
+type Fig7Row struct {
+	Measure           string
+	FScore            float64
+	NewClusterBubbles int
+}
+
+// Fig7 runs the quality-measure comparison on an extreme-appear scenario
+// (a new cluster in a region without any previous points — the situation
+// the extent measure cannot detect).
+func Fig7(cfg Config) ([]Fig7Row, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var rows []Fig7Row
+	for _, m := range []core.Measure{core.MeasureExtent, core.MeasureBeta} {
+		var fAvg stats.Running
+		var coverAvg stats.Running
+		for rep := 0; rep < cfg.Reps; rep++ {
+			sc, err := cfg.scenario(DatasetSpec{Kind: synth.ExtremeAppear, Dim: 2}, rep)
+			if err != nil {
+				return nil, err
+			}
+			s, err := core.New(sc.DB(), core.Options{
+				NumBubbles:            cfg.Bubbles,
+				UseTriangleInequality: true,
+				Seed:                  cfg.Seed + int64(rep)*31,
+				Config:                core.Config{Probability: cfg.Probability, Measure: m},
+			})
+			if err != nil {
+				return nil, err
+			}
+			for b := 0; b < cfg.Batches; b++ {
+				batch, err := sc.NextBatch()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := s.ApplyBatch(batch); err != nil {
+					return nil, err
+				}
+			}
+			f, err := eval.ClusteringFScore(sc.DB(), s.Set(), cfg.MinPts, extract.Params{})
+			if err != nil {
+				return nil, err
+			}
+			fAvg.Add(f)
+			label, _ := sc.AppearLabel()
+			coverAvg.Add(float64(bubblesOnLabel(s, label)))
+		}
+		rows = append(rows, Fig7Row{
+			Measure:           m.String(),
+			FScore:            fAvg.Mean(),
+			NewClusterBubbles: int(coverAvg.Mean() + 0.5),
+		})
+	}
+	return rows, nil
+}
+
+// bubblesOnLabel counts bubbles whose membership is majority-label points.
+func bubblesOnLabel(s *core.Summarizer, label int) int {
+	count := 0
+	for _, b := range s.Set().Bubbles() {
+		if b.N() == 0 {
+			continue
+		}
+		match := 0
+		for _, id := range b.MemberIDs() {
+			if rec, err := s.DB().Get(id); err == nil && rec.Label == label {
+				match++
+			}
+		}
+		if match*2 > b.N() {
+			count++
+		}
+	}
+	return count
+}
+
+// Fig8Snapshot is the state of the complex database after one batch: the
+// number of points per ground-truth label, plus the centroid of each
+// labelled cluster — enough to plot the Figure 8 panels.
+type Fig8Snapshot struct {
+	Batch     int
+	Sizes     map[int]int
+	Centroids map[int]vecmath.Point
+}
+
+// Fig8 plays the complex scenario and captures a snapshot after every
+// batch. When sink is non-nil it receives one CSV dump of the database per
+// batch for external plotting.
+func Fig8(cfg Config, sink func(batch int, db *dataset.DB) error) ([]Fig8Snapshot, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sc, err := cfg.scenario(DatasetSpec{Kind: synth.Complex, Dim: 2}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var snaps []Fig8Snapshot
+	capture := func(batch int) error {
+		snap := Fig8Snapshot{Batch: batch, Sizes: sc.DB().LabelHistogram(), Centroids: map[int]vecmath.Point{}}
+		sums := map[int]vecmath.Point{}
+		sc.DB().ForEach(func(r dataset.Record) {
+			if r.Label == dataset.Noise {
+				return
+			}
+			if _, ok := sums[r.Label]; !ok {
+				sums[r.Label] = make(vecmath.Point, sc.DB().Dim())
+			}
+			sums[r.Label].AddInPlace(r.P)
+		})
+		for l, sum := range sums {
+			snap.Centroids[l] = sum.Scale(1 / float64(snap.Sizes[l]))
+		}
+		snaps = append(snaps, snap)
+		if sink != nil {
+			return sink(batch, sc.DB())
+		}
+		return nil
+	}
+	if err := capture(0); err != nil {
+		return nil, err
+	}
+	for b := 1; b <= cfg.Batches; b++ {
+		if _, err := sc.NextBatch(); err != nil {
+			return nil, err
+		}
+		if err := capture(b); err != nil {
+			return nil, err
+		}
+	}
+	return snaps, nil
+}
+
+// SweepRow is one point of the update-size sweeps behind Figures 9–11,
+// measured on the complex 2-d database.
+type SweepRow struct {
+	// UpdateFraction is the batch size as a fraction of the database.
+	UpdateFraction float64
+	// RebuiltPct is the average percentage of bubbles rebuilt per batch
+	// (Figure 9).
+	RebuiltPct float64
+	// PrunedPct is the percentage of distance computations avoided by the
+	// triangle inequality while maintaining the incremental bubbles
+	// (Figure 10).
+	PrunedPct float64
+	// SavingFactor is (distance computations of complete rebuilds without
+	// triangle inequality) / (computations of the incremental scheme with
+	// it) (Figure 11).
+	SavingFactor float64
+}
+
+// UpdateSweep runs the complex-2d scenario once per update fraction and
+// per rep, collecting the three Figure 9–11 series in a single pass.
+func UpdateSweep(cfg Config, fractions []float64) ([]SweepRow, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(fractions) == 0 {
+		fractions = []float64{0.02, 0.04, 0.06, 0.08, 0.10}
+	}
+	type task struct{ fi, rep int }
+	tasks := make([]task, 0, len(fractions)*cfg.Reps)
+	for fi := range fractions {
+		for rep := 0; rep < cfg.Reps; rep++ {
+			tasks = append(tasks, task{fi: fi, rep: rep})
+		}
+	}
+	type cell struct{ rebuilt, pruned, saving float64 }
+	results := make([]cell, len(tasks))
+	err := parallel.ForEach(len(tasks), cfg.Workers, func(i int) error {
+		tk := tasks[i]
+		r, p, s, err := cfg.sweepRep(fractions[tk.fi], tk.rep)
+		if err != nil {
+			return fmt.Errorf("fraction %v rep %d: %w", fractions[tk.fi], tk.rep, err)
+		}
+		results[i] = cell{rebuilt: r, pruned: p, saving: s}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SweepRow, 0, len(fractions))
+	for fi, frac := range fractions {
+		var rebuilt, pruned, saving stats.Running
+		for i, tk := range tasks {
+			if tk.fi != fi {
+				continue
+			}
+			rebuilt.Add(results[i].rebuilt)
+			pruned.Add(results[i].pruned)
+			saving.Add(results[i].saving)
+		}
+		rows = append(rows, SweepRow{
+			UpdateFraction: frac,
+			RebuiltPct:     rebuilt.Mean(),
+			PrunedPct:      pruned.Mean(),
+			SavingFactor:   saving.Mean(),
+		})
+	}
+	return rows, nil
+}
+
+func (c Config) sweepRep(frac float64, rep int) (rebuiltPct, prunedPct, saving float64, err error) {
+	sc, err := synth.NewScenario(synth.Config{
+		Kind:           synth.Complex,
+		Dim:            2,
+		InitialPoints:  c.Points,
+		UpdateFraction: frac,
+		Batches:        c.Batches,
+		Seed:           c.Seed + int64(rep)*7919,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var incCounter vecmath.Counter
+	inc, err := core.New(sc.DB(), core.Options{
+		NumBubbles:            c.Bubbles,
+		UseTriangleInequality: true,
+		Counter:               &incCounter,
+		Seed:                  c.Seed + int64(rep)*31,
+		Config:                core.Config{Probability: c.Probability},
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	incCounter.Reset() // exclude initial construction: Figures 9–11 measure maintenance
+
+	var completeComputed uint64
+	for b := 0; b < c.Batches; b++ {
+		batch, err := sc.NextBatch()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if _, err := inc.ApplyBatch(batch); err != nil {
+			return 0, 0, 0, err
+		}
+		// Baseline: a complete rebuild after this batch, no pruning.
+		var cc vecmath.Counter
+		if _, err := bubble.Build(sc.DB(), c.Bubbles, bubble.Options{
+			UseTriangleInequality: false,
+			Counter:               &cc,
+			RNG:                   stats.NewRNG(c.Seed + int64(rep)*31 + int64(b)),
+		}); err != nil {
+			return 0, 0, 0, err
+		}
+		completeComputed += cc.Computed()
+	}
+	rebuiltPct = 100 * float64(inc.TotalRebuilt()) / float64(c.Batches*c.Bubbles)
+	prunedPct = 100 * incCounter.PruneFraction()
+	if incCounter.Computed() > 0 {
+		saving = float64(completeComputed) / float64(incCounter.Computed())
+	}
+	return rebuiltPct, prunedPct, saving, nil
+}
+
+// WriteFig7 renders Figure 7's comparison.
+func WriteFig7(w io.Writer, rows []Fig7Row) error {
+	if _, err := fmt.Fprintf(w, "%-8s %10s %22s\n", "Measure", "F-score", "Bubbles on new cluster"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-8s %10.4f %22d\n", r.Measure, r.FScore, r.NewClusterBubbles); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSweep renders one of the Figure 9–11 series; which columns are
+// printed depends on figure (9, 10 or 11); any other value prints all.
+func WriteSweep(w io.Writer, rows []SweepRow, figure int) error {
+	switch figure {
+	case 9:
+		fmt.Fprintf(w, "%12s %14s\n", "update frac", "rebuilt %")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%12.2f %14.2f\n", r.UpdateFraction, r.RebuiltPct)
+		}
+	case 10:
+		fmt.Fprintf(w, "%12s %14s\n", "update frac", "pruned %")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%12.2f %14.2f\n", r.UpdateFraction, r.PrunedPct)
+		}
+	case 11:
+		fmt.Fprintf(w, "%12s %14s\n", "update frac", "saving factor")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%12.2f %14.1f\n", r.UpdateFraction, r.SavingFactor)
+		}
+	default:
+		fmt.Fprintf(w, "%12s %12s %12s %14s\n", "update frac", "rebuilt %", "pruned %", "saving factor")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%12.2f %12.2f %12.2f %14.1f\n", r.UpdateFraction, r.RebuiltPct, r.PrunedPct, r.SavingFactor)
+		}
+	}
+	return nil
+}
+
+// WriteFig8 renders the per-batch snapshots.
+func WriteFig8(w io.Writer, snaps []Fig8Snapshot) error {
+	for _, s := range snaps {
+		if _, err := fmt.Fprintf(w, "batch %d:", s.Batch); err != nil {
+			return err
+		}
+		for label := -1; label <= 16; label++ {
+			if n, ok := s.Sizes[label]; ok {
+				fmt.Fprintf(w, " label%d=%d", label, n)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

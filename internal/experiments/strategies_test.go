@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStrategyCompareShapes(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Points = 2000
+	rows, err := StrategyCompare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	byName := map[string]StrategyRow{}
+	for _, r := range rows {
+		byName[r.Strategy] = r
+		if r.FMean <= 0 || r.FMean > 1 {
+			t.Fatalf("F out of range: %+v", r)
+		}
+		if r.AvgBatchCost <= 0 {
+			t.Fatalf("cost missing: %+v", r)
+		}
+	}
+	bub := byName["inc-bubbles (strategy 2)"]
+	db := byName["inc-dbscan (strategy 1)"]
+	// Both strategies must produce a usable clustering of the dynamic
+	// database.
+	if bub.FMean < 0.5 || db.FMean < 0.5 {
+		t.Fatalf("strategies collapsed: bubbles=%.3f dbscan=%.3f", bub.FMean, db.FMean)
+	}
+	var buf bytes.Buffer
+	if err := WriteStrategies(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "strategy 2") {
+		t.Fatal("rendered strategies missing row")
+	}
+}

@@ -1,0 +1,239 @@
+package extract
+
+import (
+	"math"
+	"sort"
+
+	"incbubbles/internal/optics"
+)
+
+// XiParams tunes the ξ-extraction of Ankerst et al. 1999 — the OPTICS
+// paper's own cluster extraction, provided as an alternative to the
+// cluster-tree method. A cluster is a region between a ξ-steep-down area
+// and a ξ-steep-up area whose interior reachability stays below both
+// flanks.
+type XiParams struct {
+	// Xi is the relative steepness threshold in (0,1): a bar is
+	// ξ-steep-down when the next bar is lower by a factor (1−ξ).
+	// Default 0.05.
+	Xi float64
+	// MinClusterWeight is the minimum number of points a cluster must
+	// represent. Default: 0.5% of the total weight, at least 2.
+	MinClusterWeight int
+	// MaxFlat is the number of consecutive non-steep bars tolerated
+	// inside one steep area. Default 2.
+	MaxFlat int
+}
+
+func (p XiParams) withDefaults(totalWeight int) XiParams {
+	if p.Xi == 0 {
+		p.Xi = 0.05
+	}
+	if p.MinClusterWeight == 0 {
+		p.MinClusterWeight = totalWeight / 200
+		if p.MinClusterWeight < 2 {
+			p.MinClusterWeight = 2
+		}
+	}
+	if p.MaxFlat == 0 {
+		p.MaxFlat = 2
+	}
+	return p
+}
+
+// XiCluster is one extracted cluster: the half-open entry range
+// [Start, End) of the ordering.
+type XiCluster struct {
+	Start, End int
+}
+
+// reachAt treats +Inf as a very large finite value so comparisons behave.
+func reachAt(entries []optics.Entry, i int) float64 {
+	if i >= len(entries) {
+		return math.Inf(1)
+	}
+	r := entries[i].Reach
+	if math.IsInf(r, 1) {
+		return math.MaxFloat64
+	}
+	return r
+}
+
+type steepArea struct {
+	start, end int
+	mib        float64 // maximum in between (updated as the scan advances)
+}
+
+// ExtractXi runs the ξ-cluster extraction over a (possibly weighted)
+// ordering and returns the extracted clusters sorted by start, outermost
+// first for equal starts. Overlapping (nested) clusters are all reported —
+// ξ-extraction is hierarchical by nature; use XiLabels for a flat
+// labelling of the leaves.
+func ExtractXi(entries []optics.Entry, params XiParams) []XiCluster {
+	if len(entries) < 2 {
+		return nil
+	}
+	var total int
+	for _, e := range entries {
+		total += e.Weight
+	}
+	params = params.withDefaults(total)
+	xi := params.Xi
+
+	steepDownAt := func(i int) bool {
+		return reachAt(entries, i)*(1-xi) >= reachAt(entries, i+1)
+	}
+	steepUpAt := func(i int) bool {
+		return reachAt(entries, i) <= reachAt(entries, i+1)*(1-xi)
+	}
+	downAt := func(i int) bool { // non-increasing
+		return reachAt(entries, i) >= reachAt(entries, i+1)
+	}
+	upAt := func(i int) bool { // non-decreasing
+		return reachAt(entries, i) <= reachAt(entries, i+1)
+	}
+
+	// extendArea grows a maximal steep area from index i: bars keep the
+	// monotone direction, with at most MaxFlat consecutive merely-flat
+	// bars, and ends at the last *steep* bar.
+	extendArea := func(i int, steep func(int) bool, mono func(int) bool) int {
+		end := i
+		flat := 0
+		for j := i + 1; j < len(entries)-1; j++ {
+			if !mono(j) {
+				break
+			}
+			if steep(j) {
+				end = j
+				flat = 0
+				continue
+			}
+			flat++
+			if flat > params.MaxFlat {
+				break
+			}
+		}
+		return end
+	}
+
+	weight := func(lo, hi int) int {
+		w := 0
+		for i := lo; i < hi && i < len(entries); i++ {
+			w += entries[i].Weight
+		}
+		return w
+	}
+
+	var clusters []XiCluster
+	var sdas []steepArea
+	mib := 0.0
+	index := 0
+	for index < len(entries)-1 {
+		mib = math.Max(mib, reachAt(entries, index))
+		switch {
+		case steepDownAt(index):
+			// Filter dominated steep-down areas, update their mibs.
+			sdas = filterSDAs(sdas, mib, entries, xi)
+			end := extendArea(index, steepDownAt, downAt)
+			sdas = append(sdas, steepArea{start: index, end: end})
+			index = end + 1
+			mib = reachAt(entries, index)
+		case steepUpAt(index):
+			sdas = filterSDAs(sdas, mib, entries, xi)
+			endUp := extendArea(index, steepUpAt, upAt)
+			endVal := reachAt(entries, endUp+1)
+			for _, d := range sdas {
+				// Valid cluster conditions (sc2* of the OPTICS paper):
+				// the interior maximum must sit below both flanks scaled
+				// by (1−ξ).
+				if d.mib > endVal*(1-xi) {
+					continue
+				}
+				start, end := d.start, endUp+1
+				// Border adjustment: trim the higher flank to the level
+				// of the lower one.
+				switch {
+				case reachAt(entries, d.start)*(1-xi) >= endVal:
+					// Start flank much higher: move start right to the
+					// last bar above endVal.
+					for start < d.end && reachAt(entries, start+1) > endVal {
+						start++
+					}
+				case endVal*(1-xi) >= reachAt(entries, d.start):
+					// End flank much higher: move end left.
+					for end > endUp && reachAt(entries, end-1) > reachAt(entries, d.start) {
+						end--
+					}
+				}
+				if end <= start+1 {
+					continue
+				}
+				if weight(start+1, end) < params.MinClusterWeight {
+					continue
+				}
+				// The cluster body is (start, end): the bars after the
+				// steep-down start, up to and including the steep-up run.
+				clusters = append(clusters, XiCluster{Start: start + 1, End: end})
+			}
+			index = endUp + 1
+			mib = reachAt(entries, index)
+		default:
+			index++
+		}
+	}
+	sort.Slice(clusters, func(a, b int) bool {
+		if clusters[a].Start != clusters[b].Start {
+			return clusters[a].Start < clusters[b].Start
+		}
+		return clusters[a].End > clusters[b].End
+	})
+	return dedupeClusters(clusters)
+}
+
+// filterSDAs drops steep-down areas whose start is no longer high enough
+// above the running maximum, and lifts the mib of the survivors.
+func filterSDAs(sdas []steepArea, mib float64, entries []optics.Entry, xi float64) []steepArea {
+	kept := sdas[:0]
+	for _, d := range sdas {
+		if reachAt(entries, d.start)*(1-xi) < mib {
+			continue
+		}
+		if mib > d.mib {
+			d.mib = mib
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func dedupeClusters(cs []XiCluster) []XiCluster {
+	var out []XiCluster
+	for _, c := range cs {
+		if len(out) > 0 && out[len(out)-1] == c {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// XiLabels flattens the (possibly nested) ξ clusters into per-entry
+// labels: each entry takes the *smallest* cluster containing it (the leaf
+// of the hierarchy), Noise otherwise.
+func XiLabels(entries []optics.Entry, clusters []XiCluster) []int {
+	labels := make([]int, len(entries))
+	for i := range labels {
+		labels[i] = Noise
+	}
+	// Assign larger clusters first so smaller (nested) ones overwrite.
+	bySize := append([]XiCluster(nil), clusters...)
+	sort.Slice(bySize, func(a, b int) bool {
+		return (bySize[a].End - bySize[a].Start) > (bySize[b].End - bySize[b].Start)
+	})
+	for li, c := range bySize {
+		for i := c.Start; i < c.End && i < len(entries); i++ {
+			labels[i] = li
+		}
+	}
+	return labels
+}

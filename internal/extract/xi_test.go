@@ -1,0 +1,141 @@
+package extract
+
+import (
+	"math"
+	"testing"
+
+	"incbubbles/internal/kdtree"
+	"incbubbles/internal/optics"
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+func TestExtractXiTrivial(t *testing.T) {
+	if got := ExtractXi(nil, XiParams{}); got != nil {
+		t.Fatalf("nil plot produced clusters: %v", got)
+	}
+	if got := ExtractXi(mkEntries([]float64{1}), XiParams{}); got != nil {
+		t.Fatalf("single entry produced clusters: %v", got)
+	}
+	// Perfectly flat plot: no steep areas, no clusters.
+	flat := mkEntries([]float64{math.Inf(1), 5, 5, 5, 5, 5, 5})
+	if got := ExtractXi(flat, XiParams{Xi: 0.1}); len(got) != 0 {
+		t.Fatalf("flat plot produced clusters: %v", got)
+	}
+}
+
+func TestExtractXiTwoValleys(t *testing.T) {
+	// Two deep valleys separated by a high bar.
+	reaches := []float64{
+		math.Inf(1),
+		10, 1, 1, 1, 1, 1, // valley 1 after steep down at index 1
+		10,            // steep up into bar 7, then steep down again
+		1, 1, 1, 1, 1, // valley 2
+		10, // closing flank
+	}
+	entries := mkEntries(reaches)
+	clusters := ExtractXi(entries, XiParams{Xi: 0.3, MinClusterWeight: 3})
+	if len(clusters) < 2 {
+		t.Fatalf("clusters=%v want at least the two valleys", clusters)
+	}
+	labels := XiLabels(entries, clusters)
+	// Valley interiors are clustered and separated.
+	if labels[3] == Noise || labels[10] == Noise {
+		t.Fatalf("valley interiors unlabelled: %v", labels)
+	}
+	if labels[3] == labels[10] {
+		t.Fatalf("valleys merged: %v", labels)
+	}
+	// The separating bar belongs to neither valley's leaf.
+	if labels[7] == labels[3] && labels[7] == labels[10] {
+		t.Fatalf("separator in both valleys: %v", labels)
+	}
+}
+
+func TestExtractXiMinWeight(t *testing.T) {
+	reaches := []float64{math.Inf(1), 10, 1, 1, 10, 1, 1, 1, 1, 1, 10}
+	entries := mkEntries(reaches)
+	clusters := ExtractXi(entries, XiParams{Xi: 0.3, MinClusterWeight: 4})
+	for _, c := range clusters {
+		w := 0
+		for i := c.Start; i < c.End; i++ {
+			w += entries[i].Weight
+		}
+		if w < 4 {
+			t.Fatalf("undersized cluster survived: %+v weight=%d", c, w)
+		}
+	}
+}
+
+func TestExtractXiWeighted(t *testing.T) {
+	// A small valley carrying heavy bubbles passes the weight gate.
+	reaches := []float64{math.Inf(1), 10, 1, 1, 10}
+	entries := mkEntries(reaches)
+	entries[2].Weight = 50
+	entries[3].Weight = 50
+	clusters := ExtractXi(entries, XiParams{Xi: 0.3, MinClusterWeight: 60})
+	if len(clusters) == 0 {
+		t.Fatal("heavy valley rejected")
+	}
+}
+
+func TestXiEndToEnd(t *testing.T) {
+	rng := stats.NewRNG(21)
+	var items []kdtree.Item
+	id := uint64(0)
+	for _, c := range []vecmath.Point{{0, 0}, {60, 0}, {0, 60}} {
+		for i := 0; i < 120; i++ {
+			items = append(items, kdtree.Item{ID: id, P: rng.GaussianPoint(c, 2)})
+			id++
+		}
+	}
+	ps, err := optics.NewPointSpace(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := optics.Run(ps, optics.Params{MinPts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ξ needs a real minimum cluster size on noisy plots — with a tiny
+	// one it reports every micro-fluctuation (its known sensitivity).
+	clusters := ExtractXi(res.Order, XiParams{Xi: 0.1, MinClusterWeight: 40})
+	labels := XiLabels(res.Order, clusters)
+	distinct := map[int]int{}
+	for _, l := range labels {
+		if l != Noise {
+			distinct[l]++
+		}
+	}
+	// The three generating clusters must each be recovered by some leaf
+	// with substantial coverage; ξ may additionally report macro regions.
+	big := 0
+	for _, n := range distinct {
+		if n >= 80 {
+			big++
+		}
+	}
+	if big < 3 {
+		t.Fatalf("ξ recovered %d substantial clusters want ≥3 (sizes=%v)", big, distinct)
+	}
+	// Points of one generating cluster must share a leaf label: check one
+	// cluster by scanning contiguous ordering blocks.
+	// (Soft check: the ordering groups clusters contiguously; identical
+	// generating clusters must not fragment into many labels.)
+	if len(distinct) > 8 {
+		t.Fatalf("excessive fragmentation: %v", distinct)
+	}
+}
+
+func TestXiLabelsNesting(t *testing.T) {
+	entries := mkEntries(make([]float64, 10))
+	clusters := []XiCluster{{Start: 1, End: 9}, {Start: 2, End: 5}}
+	labels := XiLabels(entries, clusters)
+	// Inner cluster wins inside its range.
+	if labels[3] == labels[7] {
+		t.Fatalf("nested leaf not dominant: %v", labels)
+	}
+	if labels[0] != Noise {
+		t.Fatalf("outside entry labelled: %v", labels)
+	}
+}

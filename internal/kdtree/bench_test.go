@@ -1,0 +1,55 @@
+package kdtree
+
+import (
+	"testing"
+
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+func benchItems(n, d int) []Item {
+	rng := stats.NewRNG(1)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{ID: uint64(i), P: rng.GaussianPoint(make(vecmath.Point, d), 10)}
+	}
+	return items
+}
+
+func BenchmarkBuild10k2d(b *testing.B) {
+	items := benchItems(10000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRange10k2d(b *testing.B) {
+	items := benchItems(10000, 2)
+	tr, err := Build(items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := rng.GaussianPoint(vecmath.Point{0, 0}, 10)
+		_ = tr.Range(q, 2)
+	}
+}
+
+func BenchmarkKNN10k10d(b *testing.B) {
+	items := benchItems(10000, 10)
+	tr, err := Build(items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := rng.GaussianPoint(make(vecmath.Point, 10), 10)
+		_ = tr.KNN(q, 10)
+	}
+}

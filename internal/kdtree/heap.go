@@ -1,0 +1,45 @@
+package kdtree
+
+// maxHeap is a binary max-heap of neighbours keyed on distance, used to
+// keep the k best candidates during KNN search.
+type maxHeap []Neighbor
+
+func (h *maxHeap) len() int      { return len(*h) }
+func (h *maxHeap) top() Neighbor { return (*h)[0] }
+
+func (h *maxHeap) push(n Neighbor) {
+	*h = append(*h, n)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].Dist >= (*h)[i].Dist {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *maxHeap) pop() Neighbor {
+	out := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < last && (*h)[l].Dist > (*h)[largest].Dist {
+			largest = l
+		}
+		if r < last && (*h)[r].Dist > (*h)[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		(*h)[i], (*h)[largest] = (*h)[largest], (*h)[i]
+		i = largest
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+// Package kmeans implements weighted k-means (Lloyd's algorithm with
+// k-means++ seeding). The paper's introduction positions data summaries as
+// inputs for partitioning algorithms too, and the stream literature it
+// reviews (Aggarwal et al.) clusters micro-clusters with a k-means that
+// treats each summary as a weighted point — this package is that consumer:
+// run it over bubble representatives weighted by their populations for an
+// O(k·s·d) "macro clustering" of the whole database.
+package kmeans
+
+import (
+	"errors"
+	"math"
+
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+// Config parameterises a clustering run.
+type Config struct {
+	// K is the number of clusters.
+	K int
+	// MaxIter bounds Lloyd iterations. Default 100.
+	MaxIter int
+	// Tolerance stops iteration when no center moves farther than this.
+	// Default 1e-6.
+	Tolerance float64
+	// Seed drives k-means++ initialisation. Default 1.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIter == 0 {
+		c.MaxIter = 100
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 1e-6
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Result is a completed clustering.
+type Result struct {
+	// Centers are the final cluster centers.
+	Centers []vecmath.Point
+	// Labels assigns each input point its center index.
+	Labels []int
+	// Inertia is the weighted sum of squared distances to assigned
+	// centers (the k-means objective).
+	Inertia float64
+	// Iters is the number of Lloyd iterations performed.
+	Iters int
+}
+
+// Cluster partitions weighted points into cfg.K groups. weights may be
+// nil (all 1); zero-weight points are assigned but exert no pull.
+func Cluster(points []vecmath.Point, weights []float64, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("kmeans: no points")
+	}
+	if cfg.K < 1 || cfg.K > n {
+		return nil, errors.New("kmeans: K out of range")
+	}
+	dim := points[0].Dim()
+	for _, p := range points {
+		if p.Dim() != dim {
+			return nil, errors.New("kmeans: mixed dimensionalities")
+		}
+	}
+	if weights == nil {
+		weights = make([]float64, n)
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != n {
+		return nil, errors.New("kmeans: weights length mismatch")
+	}
+	var totalW float64
+	for _, w := range weights {
+		if w < 0 {
+			return nil, errors.New("kmeans: negative weight")
+		}
+		totalW += w
+	}
+	if totalW == 0 {
+		return nil, errors.New("kmeans: all weights zero")
+	}
+
+	rng := stats.NewRNG(cfg.Seed)
+	centers := seedPlusPlus(points, weights, cfg.K, rng)
+	labels := make([]int, n)
+	for iter := 1; iter <= cfg.MaxIter; iter++ {
+		// Assignment step.
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := vecmath.SquaredDistance(p, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			labels[i] = best
+		}
+		// Update step.
+		sums := make([]vecmath.Point, cfg.K)
+		ws := make([]float64, cfg.K)
+		for c := range sums {
+			sums[c] = make(vecmath.Point, dim)
+		}
+		for i, p := range points {
+			c := labels[i]
+			ws[c] += weights[i]
+			sums[c].AddInPlace(p.Scale(weights[i]))
+		}
+		maxMove := 0.0
+		for c := range centers {
+			if ws[c] == 0 {
+				// Empty cluster: re-seed at the weighted point farthest
+				// from its center (standard repair).
+				centers[c] = farthestPoint(points, weights, centers, labels)
+				maxMove = math.Inf(1)
+				continue
+			}
+			next := sums[c].Scale(1 / ws[c])
+			if d := vecmath.Distance(centers[c], next); d > maxMove {
+				maxMove = d
+			}
+			centers[c] = next
+		}
+		if maxMove <= cfg.Tolerance {
+			return finish(points, weights, centers, labels, iter), nil
+		}
+	}
+	return finish(points, weights, centers, labels, cfg.MaxIter), nil
+}
+
+func finish(points []vecmath.Point, weights []float64, centers []vecmath.Point, labels []int, iters int) *Result {
+	// Final assignment against the final centers, then inertia.
+	var inertia float64
+	for i, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for c, ctr := range centers {
+			if d := vecmath.SquaredDistance(p, ctr); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		labels[i] = best
+		inertia += weights[i] * bestD
+	}
+	return &Result{Centers: centers, Labels: labels, Inertia: inertia, Iters: iters}
+}
+
+// seedPlusPlus performs weighted k-means++ initialisation.
+func seedPlusPlus(points []vecmath.Point, weights []float64, k int, rng *stats.RNG) []vecmath.Point {
+	centers := make([]vecmath.Point, 0, k)
+	centers = append(centers, points[weightedPick(weights, rng)].Clone())
+	d2 := make([]float64, len(points))
+	for len(centers) < k {
+		var total float64
+		last := centers[len(centers)-1]
+		for i, p := range points {
+			d := vecmath.SquaredDistance(p, last)
+			if len(centers) == 1 || d < d2[i] {
+				d2[i] = d
+			}
+			total += weights[i] * d2[i]
+		}
+		if total == 0 {
+			// All remaining mass sits on existing centers; duplicate one.
+			centers = append(centers, points[weightedPick(weights, rng)].Clone())
+			continue
+		}
+		x := rng.Float64() * total
+		idx := len(points) - 1
+		for i := range points {
+			x -= weights[i] * d2[i]
+			if x < 0 {
+				idx = i
+				break
+			}
+		}
+		centers = append(centers, points[idx].Clone())
+	}
+	return centers
+}
+
+// weightedPick draws an index proportional to weight.
+func weightedPick(weights []float64, rng *stats.RNG) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// farthestPoint returns the point with maximum weighted squared distance
+// to its assigned center (for empty-cluster repair).
+func farthestPoint(points []vecmath.Point, weights []float64, centers []vecmath.Point, labels []int) vecmath.Point {
+	best, bestV := 0, -1.0
+	for i, p := range points {
+		v := weights[i] * vecmath.SquaredDistance(p, centers[labels[i]])
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return points[best].Clone()
+}

@@ -1,0 +1,178 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+func TestValidation(t *testing.T) {
+	pts := []vecmath.Point{{0, 0}, {1, 1}}
+	cases := []struct {
+		pts     []vecmath.Point
+		weights []float64
+		cfg     Config
+	}{
+		{nil, nil, Config{K: 1}},
+		{pts, nil, Config{K: 0}},
+		{pts, nil, Config{K: 3}},
+		{[]vecmath.Point{{0}, {1, 1}}, nil, Config{K: 1}},
+		{pts, []float64{1}, Config{K: 1}},
+		{pts, []float64{1, -1}, Config{K: 1}},
+		{pts, []float64{0, 0}, Config{K: 1}},
+	}
+	for i, c := range cases {
+		if _, err := Cluster(c.pts, c.weights, c.cfg); err == nil {
+			t.Errorf("bad input %d accepted", i)
+		}
+	}
+}
+
+func TestTwoObviousClusters(t *testing.T) {
+	rng := stats.NewRNG(1)
+	var pts []vecmath.Point
+	for i := 0; i < 100; i++ {
+		pts = append(pts, rng.GaussianPoint(vecmath.Point{0, 0}, 1))
+	}
+	for i := 0; i < 100; i++ {
+		pts = append(pts, rng.GaussianPoint(vecmath.Point{50, 50}, 1))
+	}
+	res, err := Cluster(pts, nil, Config{K: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each half uniformly labelled, labels differ between halves.
+	for i := 1; i < 100; i++ {
+		if res.Labels[i] != res.Labels[0] {
+			t.Fatalf("first cluster split at %d", i)
+		}
+	}
+	for i := 101; i < 200; i++ {
+		if res.Labels[i] != res.Labels[100] {
+			t.Fatalf("second cluster split at %d", i)
+		}
+	}
+	if res.Labels[0] == res.Labels[100] {
+		t.Fatal("clusters merged")
+	}
+	// Centers near the generating means.
+	for _, want := range []vecmath.Point{{0, 0}, {50, 50}} {
+		found := false
+		for _, c := range res.Centers {
+			if vecmath.Distance(c, want) < 2 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no center near %v: %v", want, res.Centers)
+		}
+	}
+	if res.Iters < 1 || res.Inertia <= 0 {
+		t.Fatalf("result metadata: %+v", res)
+	}
+}
+
+func TestWeightsPullCenters(t *testing.T) {
+	// Two points, one heavy: with K=1 the center sits near the heavy one.
+	pts := []vecmath.Point{{0}, {10}}
+	res, err := Cluster(pts, []float64{9, 1}, Config{K: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Centers[0][0]-1) > 1e-9 {
+		t.Fatalf("weighted centroid=%v want 1", res.Centers[0][0])
+	}
+}
+
+func TestKEqualsN(t *testing.T) {
+	pts := []vecmath.Point{{0}, {5}, {10}}
+	res, err := Cluster(pts, nil, Config{K: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, l := range res.Labels {
+		seen[l] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("K=n did not isolate points: %v", res.Labels)
+	}
+	if res.Inertia > 1e-18 {
+		t.Fatalf("K=n inertia=%v", res.Inertia)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := make([]vecmath.Point, 20)
+	for i := range pts {
+		pts[i] = vecmath.Point{1, 1}
+	}
+	res, err := Cluster(pts, nil, Config{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("identical points inertia=%v", res.Inertia)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := stats.NewRNG(6)
+	pts := make([]vecmath.Point, 200)
+	for i := range pts {
+		pts[i] = rng.GaussianPoint(vecmath.Point{0, 0}, 10)
+	}
+	a, err := Cluster(pts, nil, Config{K: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(pts, nil, Config{K: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+// Property: inertia with K+1 centers never exceeds the best observed with
+// K (more centers can only help at the optimum; we compare against the
+// same seed which suffices as a sanity bound in practice), and every label
+// is within range.
+func TestClusterProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		n := 20 + rng.Intn(100)
+		pts := make([]vecmath.Point, n)
+		for i := range pts {
+			pts[i] = rng.GaussianPoint(vecmath.Point{0, 0, 0}, 10)
+		}
+		k := 1 + rng.Intn(6)
+		res, err := Cluster(pts, nil, Config{K: k, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, l := range res.Labels {
+			if l < 0 || l >= k {
+				return false
+			}
+		}
+		if len(res.Centers) != k {
+			return false
+		}
+		// Inertia equals the recomputed objective.
+		var want float64
+		for i, p := range pts {
+			want += vecmath.SquaredDistance(p, res.Centers[res.Labels[i]])
+		}
+		return math.Abs(res.Inertia-want) < 1e-6*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

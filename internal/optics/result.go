@@ -1,0 +1,91 @@
+package optics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// TotalWeight returns the number of database points represented by the
+// ordering.
+func (r *Result) TotalWeight() int {
+	var w int
+	for _, e := range r.Order {
+		w += e.Weight
+	}
+	return w
+}
+
+// Reachabilities returns the reachability values of the ordering in order.
+func (r *Result) Reachabilities() []float64 {
+	out := make([]float64, len(r.Order))
+	for i, e := range r.Order {
+		out[i] = e.Reach
+	}
+	return out
+}
+
+// Expand converts a bubble-level ordering into the point-level
+// "virtual reachability" plot of Breunig et al. 2001: each entry is
+// followed by weight−1 copies at the object's virtual reachability —
+// nnDist(MinPts) for bubbles, supplied by the virt callback — so that the
+// plot has one bar per database point and cluster widths are comparable to
+// a raw-point OPTICS plot. For point orderings (all weights 1) it returns
+// the ordering unchanged.
+func (r *Result) Expand(virt func(obj int) float64) []Entry {
+	out := make([]Entry, 0, r.TotalWeight())
+	for _, e := range r.Order {
+		out = append(out, e)
+		if e.Weight <= 1 {
+			continue
+		}
+		v := e.Core
+		if virt != nil {
+			v = virt(e.Obj)
+		}
+		ve := e
+		ve.Reach = v
+		ve.Weight = 1
+		for k := 1; k < e.Weight; k++ {
+			out = append(out, ve)
+		}
+	}
+	return out
+}
+
+// WritePlot renders the reachability plot as text, one bar per entry, for
+// quick inspection of the clustering structure. Infinite reachabilities
+// print as a full-width bar labelled "inf".
+func (r *Result) WritePlot(w io.Writer, width int) error {
+	if width <= 0 {
+		width = 60
+	}
+	var maxFinite float64
+	for _, e := range r.Order {
+		if !math.IsInf(e.Reach, 1) && e.Reach > maxFinite {
+			maxFinite = e.Reach
+		}
+	}
+	if maxFinite == 0 {
+		maxFinite = 1
+	}
+	for i, e := range r.Order {
+		var bar string
+		label := fmt.Sprintf("%8.3f", e.Reach)
+		if math.IsInf(e.Reach, 1) {
+			bar = strings.Repeat("#", width)
+			label = "     inf"
+		} else {
+			n := int(e.Reach / maxFinite * float64(width))
+			if n > width {
+				n = width
+			}
+			bar = strings.Repeat("*", n)
+		}
+		if _, err := fmt.Fprintf(w, "%5d %s |%s (n=%d)\n", i, label, bar, e.Weight); err != nil {
+			return err
+		}
+	}
+	return nil
+}

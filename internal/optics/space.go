@@ -1,0 +1,240 @@
+// Package optics implements the OPTICS hierarchical clustering algorithm
+// (Ankerst et al. 1999) over two kinds of objects: raw database points and
+// data bubbles. The bubble variant uses the adapted distance, core distance
+// and virtual reachability of Breunig et al. 2001, which is how the paper
+// obtains hierarchical clusterings from its (incremental or rebuilt) data
+// summarizations.
+package optics
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"incbubbles/internal/bubble"
+	"incbubbles/internal/kdtree"
+	"incbubbles/internal/vecmath"
+)
+
+// Neighbor is a neighbouring object index with its distance.
+type Neighbor struct {
+	Idx  int
+	Dist float64
+}
+
+// Space abstracts the object collection OPTICS runs over.
+type Space interface {
+	// Len returns the number of objects.
+	Len() int
+	// Weight returns how many database points object i represents
+	// (1 for raw points, n for a data bubble).
+	Weight(i int) int
+	// Neighbors returns all objects within eps of object i, including i
+	// itself, sorted by ascending distance.
+	Neighbors(i int, eps float64) []Neighbor
+	// CoreDist returns the core distance of object i with respect to
+	// minPts given its eps-neighbourhood, or +Inf when undefined.
+	CoreDist(i int, neighbors []Neighbor, minPts int) float64
+	// ID returns a stable external identifier for object i (a point ID or
+	// a bubble index).
+	ID(i int) uint64
+}
+
+// PointSpace adapts a static point set (via a k-d tree) to Space. Item IDs
+// must be unique.
+type PointSpace struct {
+	tree  *kdtree.Tree
+	items []kdtree.Item
+	byID  map[uint64]int
+}
+
+// NewPointSpace indexes the given items.
+func NewPointSpace(items []kdtree.Item) (*PointSpace, error) {
+	if len(items) == 0 {
+		return nil, errors.New("optics: empty point space")
+	}
+	tr, err := kdtree.Build(items)
+	if err != nil {
+		return nil, err
+	}
+	s := &PointSpace{
+		tree:  tr,
+		items: append([]kdtree.Item(nil), items...),
+		byID:  make(map[uint64]int, len(items)),
+	}
+	for i, it := range s.items {
+		if _, dup := s.byID[it.ID]; dup {
+			return nil, errors.New("optics: duplicate point IDs")
+		}
+		s.byID[it.ID] = i
+	}
+	return s, nil
+}
+
+// Len implements Space.
+func (s *PointSpace) Len() int { return len(s.items) }
+
+// Weight implements Space: every raw point represents itself.
+func (s *PointSpace) Weight(int) int { return 1 }
+
+// ID implements Space.
+func (s *PointSpace) ID(i int) uint64 { return s.items[i].ID }
+
+// Point returns the coordinates of object i.
+func (s *PointSpace) Point(i int) vecmath.Point { return s.items[i].P }
+
+// Neighbors implements Space using an ε-range query.
+func (s *PointSpace) Neighbors(i int, eps float64) []Neighbor {
+	var found []kdtree.Neighbor
+	if math.IsInf(eps, 1) {
+		found = s.tree.KNN(s.items[i].P, s.tree.Len())
+	} else {
+		found = s.tree.Range(s.items[i].P, eps)
+	}
+	out := make([]Neighbor, 0, len(found))
+	for _, n := range found {
+		out = append(out, Neighbor{Idx: s.byID[n.Item.ID], Dist: n.Dist})
+	}
+	return out
+}
+
+// CoreDist implements Space: the distance to the minPts-th nearest point
+// (the query point itself counts), or +Inf if the neighbourhood is smaller.
+func (s *PointSpace) CoreDist(_ int, neighbors []Neighbor, minPts int) float64 {
+	if len(neighbors) < minPts {
+		return math.Inf(1)
+	}
+	return neighbors[minPts-1].Dist
+}
+
+// BubbleSpace adapts the non-empty bubbles of a Set to Space, using the
+// bubble–bubble distance of Breunig et al. 2001:
+//
+//	d(B,C) = d(rep) − (eB+eC) + nn1(B) + nn1(C)   if d(rep) − (eB+eC) ≥ 0
+//	         max(nn1(B), nn1(C))                   otherwise
+//
+// Empty bubbles are excluded: they compress no points and must not appear
+// in the clustering structure.
+type BubbleSpace struct {
+	set     *bubble.Set
+	idx     []int // positions of non-empty bubbles in the set
+	reps    []vecmath.Point
+	extents []float64
+	nn1     []float64
+	weights []int
+	dists   [][]float64 // symmetric pairwise distance matrix
+}
+
+// NewBubbleSpace snapshots the current state of set. Later mutation of the
+// set does not affect the space.
+func NewBubbleSpace(set *bubble.Set) (*BubbleSpace, error) {
+	s := &BubbleSpace{set: set}
+	for i, b := range set.Bubbles() {
+		if b.N() == 0 {
+			continue
+		}
+		s.idx = append(s.idx, i)
+		s.reps = append(s.reps, b.Rep())
+		s.extents = append(s.extents, b.Extent())
+		s.nn1 = append(s.nn1, b.NNDist(1))
+		s.weights = append(s.weights, b.N())
+	}
+	if len(s.idx) == 0 {
+		return nil, errors.New("optics: no non-empty bubbles")
+	}
+	n := len(s.idx)
+	s.dists = make([][]float64, n)
+	for i := range s.dists {
+		s.dists[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := s.bubbleDist(i, j)
+			s.dists[i][j] = d
+			s.dists[j][i] = d
+		}
+	}
+	return s, nil
+}
+
+func (s *BubbleSpace) bubbleDist(i, j int) float64 {
+	dRep := vecmath.Distance(s.reps[i], s.reps[j])
+	sep := dRep - (s.extents[i] + s.extents[j])
+	if sep >= 0 {
+		return sep + s.nn1[i] + s.nn1[j]
+	}
+	return math.Max(s.nn1[i], s.nn1[j])
+}
+
+// Len implements Space.
+func (s *BubbleSpace) Len() int { return len(s.idx) }
+
+// Weight implements Space: a bubble stands for its n compressed points.
+func (s *BubbleSpace) Weight(i int) int { return s.weights[i] }
+
+// ID implements Space: the index of the bubble within its Set.
+func (s *BubbleSpace) ID(i int) uint64 { return uint64(s.idx[i]) }
+
+// BubbleIndex returns the Set index of space object i (typed convenience).
+func (s *BubbleSpace) BubbleIndex(i int) int { return s.idx[i] }
+
+// NNDist returns nnDist(k) of space object i, used for virtual
+// reachability during plot expansion.
+func (s *BubbleSpace) NNDist(i, k int) float64 {
+	return s.set.Bubble(s.idx[i]).NNDist(k)
+}
+
+// DistanceMatrix returns a copy of the pairwise bubble distances, e.g.
+// for feeding a different hierarchical algorithm (single-link) with the
+// same corrected distances OPTICS uses.
+func (s *BubbleSpace) DistanceMatrix() [][]float64 {
+	out := make([][]float64, len(s.dists))
+	for i, row := range s.dists {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// Weights returns the per-object point populations.
+func (s *BubbleSpace) Weights() []int {
+	return append([]int(nil), s.weights...)
+}
+
+// Neighbors implements Space by scanning the precomputed distance matrix
+// (the number of bubbles is small by construction).
+func (s *BubbleSpace) Neighbors(i int, eps float64) []Neighbor {
+	out := make([]Neighbor, 0, len(s.idx))
+	for j := range s.idx {
+		d := s.dists[i][j]
+		if j == i {
+			d = 0
+		}
+		if d <= eps || math.IsInf(eps, 1) {
+			out = append(out, Neighbor{Idx: j, Dist: d})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Dist < out[b].Dist })
+	return out
+}
+
+// CoreDist implements Space following Breunig et al.: when the bubble
+// itself holds at least minPts points the core distance is its estimated
+// minPts-nearest-neighbour distance nnDist(minPts); otherwise neighbouring
+// bubbles' populations are accumulated in distance order until minPts
+// points are covered.
+func (s *BubbleSpace) CoreDist(i int, neighbors []Neighbor, minPts int) float64 {
+	if s.weights[i] >= minPts {
+		return s.NNDist(i, minPts)
+	}
+	cum := 0
+	for _, nb := range neighbors {
+		cum += s.weights[nb.Idx]
+		if cum >= minPts {
+			if nb.Idx == i {
+				return s.NNDist(i, s.weights[i])
+			}
+			return nb.Dist
+		}
+	}
+	return math.Inf(1)
+}

@@ -1,0 +1,58 @@
+// Package parallel provides the tiny worker-pool primitive the experiment
+// harness uses to run independent repetitions concurrently. Every
+// repetition owns its scenario, summarizer and RNGs, so runs parallelise
+// without shared state; only the distance counters are shared, and those
+// are atomic.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach invokes fn(i) for every i in [0,n), using at most workers
+// goroutines (workers ≤ 0 selects GOMAXPROCS). It waits for all
+// invocations and returns the first error in index order. fn must be safe
+// to call concurrently for distinct i.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

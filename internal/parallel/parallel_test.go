@@ -1,0 +1,117 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	var count int64
+	seen := make([]int64, 100)
+	err := ForEach(100, 8, func(i int) error {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt64(&seen[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Fatalf("count=%d", count)
+	}
+	for i, s := range seen {
+		if s != 1 {
+			t.Fatalf("index %d visited %d times", i, s)
+		}
+	}
+}
+
+func TestForEachEmptyAndSerial(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+	order := []int{}
+	err := ForEach(5, 1, func(i int) error {
+		order = append(order, i) // safe: workers=1 is serial
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}
+
+func TestForEachFirstErrorByIndex(t *testing.T) {
+	e3 := errors.New("e3")
+	e7 := errors.New("e7")
+	err := ForEach(10, 4, func(i int) error {
+		switch i {
+		case 3:
+			return e3
+		case 7:
+			return e7
+		}
+		return nil
+	})
+	if err != e3 {
+		t.Fatalf("err=%v want e3 (first in index order)", err)
+	}
+}
+
+func TestForEachSerialStopsEarly(t *testing.T) {
+	ran := 0
+	boom := errors.New("boom")
+	err := ForEach(10, 1, func(i int) error {
+		ran++
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom || ran != 3 {
+		t.Fatalf("ran=%d err=%v", ran, err)
+	}
+}
+
+func TestForEachDefaultWorkers(t *testing.T) {
+	var count int64
+	if err := ForEach(50, 0, func(int) error {
+		atomic.AddInt64(&count, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 50 {
+		t.Fatalf("count=%d", count)
+	}
+}
+
+// Property: all indices visited exactly once regardless of worker count.
+func TestForEachProperty(t *testing.T) {
+	f := func(rawN, rawW uint8) bool {
+		n := int(rawN % 64)
+		w := int(rawW%8) + 1
+		visits := make([]int64, n)
+		if err := ForEach(n, w, func(i int) error {
+			atomic.AddInt64(&visits[i], 1)
+			return nil
+		}); err != nil {
+			return false
+		}
+		for _, v := range visits {
+			if v != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

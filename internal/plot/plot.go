@@ -1,0 +1,289 @@
+// Package plot renders the library's two key visual artefacts — OPTICS
+// reachability plots and 2-d scatter views of databases and bubbles — as
+// PNG images, using only the standard library. The paper's figures are all
+// one of these two forms.
+package plot
+
+import (
+	"errors"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/optics"
+	"incbubbles/internal/vecmath"
+)
+
+// Palette is the default categorical palette for cluster colouring; label
+// l uses Palette[l mod len]. Noise (-1) is drawn grey.
+var Palette = []color.RGBA{
+	{R: 0x1f, G: 0x77, B: 0xb4, A: 0xff},
+	{R: 0xff, G: 0x7f, B: 0x0e, A: 0xff},
+	{R: 0x2c, G: 0xa0, B: 0x2c, A: 0xff},
+	{R: 0xd6, G: 0x27, B: 0x28, A: 0xff},
+	{R: 0x94, G: 0x67, B: 0xbd, A: 0xff},
+	{R: 0x8c, G: 0x56, B: 0x4b, A: 0xff},
+	{R: 0xe3, G: 0x77, B: 0xc2, A: 0xff},
+	{R: 0x17, G: 0xbe, B: 0xcf, A: 0xff},
+}
+
+var (
+	noiseGray  = color.RGBA{R: 0xb0, G: 0xb0, B: 0xb0, A: 0xff}
+	background = color.RGBA{R: 0xff, G: 0xff, B: 0xff, A: 0xff}
+	axisGray   = color.RGBA{R: 0x60, G: 0x60, B: 0x60, A: 0xff}
+	infRed     = color.RGBA{R: 0xcc, G: 0x22, B: 0x22, A: 0xff}
+)
+
+func labelColor(label int) color.RGBA {
+	if label < 0 {
+		return noiseGray
+	}
+	return Palette[label%len(Palette)]
+}
+
+// Reachability renders a reachability plot: one vertical bar per ordering
+// entry, height proportional to reachability (infinite bars full-height in
+// red). labels, when non-nil and aligned with the ordering, colour the
+// bars by extracted cluster. The image is width×height pixels.
+func Reachability(w io.Writer, order []optics.Entry, labels []int, width, height int) error {
+	if len(order) == 0 {
+		return errors.New("plot: empty ordering")
+	}
+	if labels != nil && len(labels) != len(order) {
+		return errors.New("plot: labels misaligned with ordering")
+	}
+	if width <= 0 {
+		width = 800
+	}
+	if height <= 0 {
+		height = 240
+	}
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
+	fill(img, background)
+
+	var maxFinite float64
+	for _, e := range order {
+		if !math.IsInf(e.Reach, 1) && e.Reach > maxFinite {
+			maxFinite = e.Reach
+		}
+	}
+	if maxFinite == 0 {
+		maxFinite = 1
+	}
+	// Bars occupy rows [0, height-2); the bottom row is an axis line.
+	usable := height - 2
+	for i, e := range order {
+		x0 := i * width / len(order)
+		x1 := (i + 1) * width / len(order)
+		if x1 <= x0 {
+			x1 = x0 + 1
+		}
+		var barH int
+		c := labelColor(entryLabel(labels, i))
+		if math.IsInf(e.Reach, 1) {
+			barH = usable
+			c = infRed
+		} else {
+			barH = int(e.Reach / maxFinite * float64(usable))
+			if barH < 1 {
+				barH = 1
+			}
+		}
+		for x := x0; x < x1 && x < width; x++ {
+			for y := height - 2; y >= height-1-barH && y >= 0; y-- {
+				img.SetRGBA(x, y, c)
+			}
+		}
+	}
+	for x := 0; x < width; x++ {
+		img.SetRGBA(x, height-1, axisGray)
+	}
+	return png.Encode(w, img)
+}
+
+// entryLabel resolves the colour label of the i-th ordering entry.
+func entryLabel(labels []int, i int) int {
+	if labels == nil {
+		return 0
+	}
+	return labels[i]
+}
+
+// Scatter renders the 2-d points of db coloured by the given per-point
+// labels (ground-truth labels when labels is nil). Only the first two
+// coordinates are drawn; higher-dimensional databases are projected.
+func Scatter(w io.Writer, db *dataset.DB, labels map[dataset.PointID]int, width, height int) error {
+	if db.Len() == 0 {
+		return errors.New("plot: empty database")
+	}
+	if db.Dim() < 2 {
+		return errors.New("plot: scatter needs at least 2 dimensions")
+	}
+	if width <= 0 {
+		width = 600
+	}
+	if height <= 0 {
+		height = 600
+	}
+	lo, hi, err := db.Bounds()
+	if err != nil {
+		return err
+	}
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
+	fill(img, background)
+	proj := newProjector(lo, hi, width, height)
+	db.ForEach(func(r dataset.Record) {
+		label := r.Label
+		if labels != nil {
+			if l, ok := labels[r.ID]; ok {
+				label = l
+			} else {
+				label = -1
+			}
+		}
+		x, y := proj.apply(r.P)
+		dot(img, x, y, 1, labelColor(label))
+	})
+	return png.Encode(w, img)
+}
+
+// Bubbles renders bubble representatives as filled circles with radius
+// proportional to extent, over an optional database scatter. reps,
+// extents and labels must align; labels may be nil.
+func Bubbles(w io.Writer, db *dataset.DB, reps []vecmath.Point, extents []float64, labels []int, width, height int) error {
+	if len(reps) == 0 {
+		return errors.New("plot: no bubbles")
+	}
+	if len(extents) != len(reps) || (labels != nil && len(labels) != len(reps)) {
+		return errors.New("plot: misaligned bubble slices")
+	}
+	if width <= 0 {
+		width = 600
+	}
+	if height <= 0 {
+		height = 600
+	}
+	var lo, hi vecmath.Point
+	var err error
+	if db != nil && db.Len() > 0 {
+		lo, hi, err = db.Bounds()
+		if err != nil {
+			return err
+		}
+	} else {
+		lo = reps[0].Clone()
+		hi = reps[0].Clone()
+		for _, r := range reps {
+			for j := 0; j < 2; j++ {
+				if r[j] < lo[j] {
+					lo[j] = r[j]
+				}
+				if r[j] > hi[j] {
+					hi[j] = r[j]
+				}
+			}
+		}
+	}
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
+	fill(img, background)
+	proj := newProjector(lo, hi, width, height)
+	if db != nil {
+		db.ForEach(func(r dataset.Record) {
+			x, y := proj.apply(r.P)
+			dot(img, x, y, 0, color.RGBA{R: 0xdd, G: 0xdd, B: 0xdd, A: 0xff})
+		})
+	}
+	for i, rep := range reps {
+		if rep.Dim() < 2 {
+			return errors.New("plot: bubble representatives need 2 dimensions")
+		}
+		label := 0
+		if labels != nil {
+			label = labels[i]
+		}
+		x, y := proj.apply(rep)
+		r := int(extents[i] * proj.scale)
+		if r < 2 {
+			r = 2
+		}
+		circle(img, x, y, r, labelColor(label))
+		dot(img, x, y, 1, labelColor(label))
+	}
+	return png.Encode(w, img)
+}
+
+type projector struct {
+	lo, hi vecmath.Point
+	w, h   int
+	scale  float64
+	offX   float64
+	offY   float64
+}
+
+func newProjector(lo, hi vecmath.Point, w, h int) *projector {
+	const margin = 12
+	spanX := hi[0] - lo[0]
+	spanY := hi[1] - lo[1]
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	scale := math.Min(float64(w-2*margin)/spanX, float64(h-2*margin)/spanY)
+	return &projector{lo: lo, hi: hi, w: w, h: h, scale: scale, offX: margin, offY: margin}
+}
+
+func (pr *projector) apply(p vecmath.Point) (int, int) {
+	x := pr.offX + (p[0]-pr.lo[0])*pr.scale
+	// Flip y so larger coordinates render upwards.
+	y := float64(pr.h) - pr.offY - (p[1]-pr.lo[1])*pr.scale
+	return int(x), int(y)
+}
+
+func fill(img *image.RGBA, c color.RGBA) {
+	b := img.Bounds()
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			img.SetRGBA(x, y, c)
+		}
+	}
+}
+
+func dot(img *image.RGBA, cx, cy, r int, c color.RGBA) {
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if dx*dx+dy*dy <= r*r {
+				set(img, cx+dx, cy+dy, c)
+			}
+		}
+	}
+}
+
+func circle(img *image.RGBA, cx, cy, r int, c color.RGBA) {
+	// Midpoint circle outline.
+	x, y, err := r, 0, 0
+	for x >= y {
+		for _, pt := range [][2]int{
+			{cx + x, cy + y}, {cx + y, cy + x}, {cx - y, cy + x}, {cx - x, cy + y},
+			{cx - x, cy - y}, {cx - y, cy - x}, {cx + y, cy - x}, {cx + x, cy - y},
+		} {
+			set(img, pt[0], pt[1], c)
+		}
+		y++
+		err += 1 + 2*y
+		if 2*(err-x)+1 > 0 {
+			x--
+			err += 1 - 2*x
+		}
+	}
+}
+
+func set(img *image.RGBA, x, y int, c color.RGBA) {
+	if image.Pt(x, y).In(img.Bounds()) {
+		img.SetRGBA(x, y, c)
+	}
+}

@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMatchesBatch(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	mean, std, err := MeanStd(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Mean()-mean) > 1e-12 {
+		t.Errorf("Running mean=%v batch=%v", r.Mean(), mean)
+	}
+	if math.Abs(r.StdDev()-std) > 1e-12 {
+		t.Errorf("Running std=%v batch=%v", r.StdDev(), std)
+	}
+	if r.N() != len(xs) {
+		t.Errorf("N=%d", r.N())
+	}
+}
+
+func TestRunningRemove(t *testing.T) {
+	var r Running
+	for _, x := range []float64{5, 7, 11, 13} {
+		r.Add(x)
+	}
+	r.Remove(7)
+	r.Remove(13)
+	mean, std, _ := MeanStd([]float64{5, 11})
+	if math.Abs(r.Mean()-mean) > 1e-9 {
+		t.Errorf("mean after removal=%v want %v", r.Mean(), mean)
+	}
+	if math.Abs(r.StdDev()-std) > 1e-9 {
+		t.Errorf("std after removal=%v want %v", r.StdDev(), std)
+	}
+	r.Remove(5)
+	r.Remove(11)
+	if r.N() != 0 || r.Mean() != 0 || r.StdDev() != 0 {
+		t.Errorf("empty after removals: n=%d mean=%v std=%v", r.N(), r.Mean(), r.StdDev())
+	}
+}
+
+// Property: adding then removing the same multiset restores statistics.
+func TestRunningAddRemoveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		var r Running
+		base := make([]float64, 5)
+		for i := range base {
+			base[i] = rr.NormFloat64() * 100
+			r.Add(base[i])
+		}
+		wantMean, wantStd := r.Mean(), r.StdDev()
+		extra := make([]float64, 8)
+		for i := range extra {
+			extra[i] = rr.NormFloat64() * 100
+			r.Add(extra[i])
+		}
+		for _, x := range extra {
+			r.Remove(x)
+		}
+		return math.Abs(r.Mean()-wantMean) < 1e-6 && math.Abs(r.StdDev()-wantStd) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanErrors(t *testing.T) {
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Errorf("Mean(nil) err=%v", err)
+	}
+	if _, _, err := MeanStd(nil); err != ErrEmpty {
+		t.Errorf("MeanStd(nil) err=%v", err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Errorf("MinMax(nil) err=%v", err)
+	}
+}
+
+func TestSampleStd(t *testing.T) {
+	if SampleStd([]float64{5}) != 0 {
+		t.Errorf("SampleStd singleton != 0")
+	}
+	got := SampleStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := 2.138089935299395 // known value
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("SampleStd=%v want %v", got, want)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || min != -1 || max != 7 {
+		t.Fatalf("MinMax=(%v,%v,%v)", min, max, err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if q, _ := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0=%v", q)
+	}
+	if q, _ := Quantile(xs, 1); q != 4 {
+		t.Errorf("q1=%v", q)
+	}
+	if q, _ := Median(xs); q != 2.5 {
+		t.Errorf("median=%v", q)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Errorf("expected range error")
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Errorf("expected ErrEmpty")
+	}
+	if q, _ := Quantile([]float64{42}, 0.7); q != 42 {
+		t.Errorf("singleton quantile=%v", q)
+	}
+	// Input must not be reordered.
+	orig := []float64{9, 1, 5}
+	if _, err := Median(orig); err != nil {
+		t.Fatal(err)
+	}
+	if orig[0] != 9 || orig[1] != 1 || orig[2] != 5 {
+		t.Errorf("Quantile mutated input: %v", orig)
+	}
+}
+
+func TestChebyshevK(t *testing.T) {
+	k, err := ChebyshevK(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-1/math.Sqrt(0.1)) > 1e-12 {
+		t.Errorf("k=%v", k)
+	}
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := ChebyshevK(bad); err == nil {
+			t.Errorf("ChebyshevK(%v) accepted", bad)
+		}
+	}
+}
+
+func TestChebyshevBounds(t *testing.T) {
+	iv, err := ChebyshevBounds(10, 2, 0.75) // k = 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv.Lo-6) > 1e-12 || math.Abs(iv.Hi-14) > 1e-12 {
+		t.Errorf("bounds=%+v", iv)
+	}
+	if !iv.Contains(10) || iv.Contains(5) || iv.Contains(15) {
+		t.Errorf("Contains wrong: %+v", iv)
+	}
+	if math.Abs(iv.Width()-8) > 1e-12 {
+		t.Errorf("Width=%v", iv.Width())
+	}
+}
+
+// Property: Chebyshev bounds really do contain ≥ p of a Gaussian sample
+// (Gaussian concentration is far stronger than Chebyshev, so this holds
+// with huge margin and validates the bound direction).
+func TestChebyshevCoverageProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 500)
+		for i := range xs {
+			xs[i] = rr.NormFloat64()*3 + 7
+		}
+		iv, err := ChebyshevBoundsFromSample(xs, 0.9)
+		if err != nil {
+			return false
+		}
+		inside := 0
+		for _, x := range xs {
+			if iv.Contains(x) {
+				inside++
+			}
+		}
+		return float64(inside)/float64(len(xs)) >= 0.9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChebyshevBoundsFromSampleEmpty(t *testing.T) {
+	if _, err := ChebyshevBoundsFromSample(nil, 0.9); err == nil {
+		t.Fatal("expected error for empty sample")
+	}
+}

@@ -1,0 +1,190 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+
+	"incbubbles/internal/eval"
+	"incbubbles/internal/extract"
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Dim: 0, Capacity: 100},
+		{Dim: 2, Capacity: 5},
+		{Dim: 2, Capacity: 100, Bubbles: 80},
+		{Dim: 2, Capacity: 100, Bubbles: 1},
+		{Dim: 2, Capacity: 100, Bubbles: 20, Warmup: 5},
+	}
+	for i, c := range bad {
+		if _, err := NewWindow(c); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+	w, err := NewWindow(Config{Dim: 2, Capacity: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := w.Config()
+	if cfg.Bubbles != 10 || cfg.FlushEvery != 50 || cfg.Warmup != 40 {
+		t.Fatalf("defaults=%+v", cfg)
+	}
+}
+
+func TestWarmupThenReady(t *testing.T) {
+	w, err := NewWindow(Config{Dim: 2, Capacity: 500, Bubbles: 10, Warmup: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	for i := 0; i < 99; i++ {
+		if err := w.Push(rng.GaussianPoint(vecmath.Point{0, 0}, 3), 0); err != nil {
+			t.Fatal(err)
+		}
+		if w.Ready() {
+			t.Fatalf("ready after %d points, warmup is 100", i+1)
+		}
+	}
+	if err := w.Push(rng.GaussianPoint(vecmath.Point{0, 0}, 3), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Ready() {
+		t.Fatal("not ready after warmup")
+	}
+	if w.Summarizer() == nil || w.Summarizer().Set().Len() != 10 {
+		t.Fatal("summarizer missing after warmup")
+	}
+	if w.Len() != 100 || w.Arrived() != 100 {
+		t.Fatalf("Len=%d Arrived=%d", w.Len(), w.Arrived())
+	}
+}
+
+func TestSlidingEviction(t *testing.T) {
+	w, err := NewWindow(Config{Dim: 1, Capacity: 200, Bubbles: 8, Warmup: 50, FlushEvery: 25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		if err := w.Push(vecmath.Point{rng.Normal(0, 1)}, 0); err != nil {
+			t.Fatal(err)
+		}
+		if w.Len() > 200 {
+			t.Fatalf("window exceeded capacity: %d", w.Len())
+		}
+	}
+	if w.Len() != 200 {
+		t.Fatalf("steady-state Len=%d", w.Len())
+	}
+	if w.Arrived() != 1000 {
+		t.Fatalf("Arrived=%d", w.Arrived())
+	}
+	// Flush the tail and verify ownership consistency.
+	if _, err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Pending() != 0 {
+		t.Fatalf("Pending=%d after flush", w.Pending())
+	}
+	if w.Summarizer().Set().OwnedPoints() != w.Len() {
+		t.Fatalf("owned=%d want %d", w.Summarizer().Set().OwnedPoints(), w.Len())
+	}
+	if err := w.Summarizer().Set().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConceptDriftTracked(t *testing.T) {
+	// The stream's distribution moves: the window summary must follow and
+	// keep separating the two current clusters.
+	w, err := NewWindow(Config{Dim: 2, Capacity: 2000, Bubbles: 40, FlushEvery: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(5)
+	push := func(center vecmath.Point, label int, n int) {
+		for i := 0; i < n; i++ {
+			if err := w.Push(rng.GaussianPoint(center, 2), label); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Phase 1: clusters A and B.
+	for i := 0; i < 2000; i++ {
+		if i%2 == 0 {
+			push(vecmath.Point{10, 10}, 0, 1)
+		} else {
+			push(vecmath.Point{60, 60}, 1, 1)
+		}
+	}
+	// Phase 2: A vanishes from the stream; C appears elsewhere.
+	for i := 0; i < 4000; i++ {
+		if i%2 == 0 {
+			push(vecmath.Point{60, 60}, 1, 1)
+		} else {
+			push(vecmath.Point{110, 10}, 2, 1)
+		}
+	}
+	if _, err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Old cluster A has slid out entirely.
+	if got := w.DB().LabelHistogram()[0]; got != 0 {
+		t.Fatalf("stale points survive in window: %d", got)
+	}
+	f, err := eval.ClusteringFScore(w.DB(), w.Summarizer().Set(), 10, extract.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 0.9 {
+		t.Fatalf("window clustering degraded under drift: F=%v", f)
+	}
+}
+
+// Property: for any push/flush interleaving the window never exceeds
+// capacity and, once ready, bubble population always equals window size
+// after a flush.
+func TestWindowInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		w, err := NewWindow(Config{Dim: 2, Capacity: 150, Bubbles: 8, Warmup: 40, FlushEvery: 10, Seed: seed})
+		if err != nil {
+			return false
+		}
+		rng := stats.NewRNG(seed)
+		for i := 0; i < 500; i++ {
+			if err := w.Push(rng.GaussianPoint(vecmath.Point{0, 0}, 10), 0); err != nil {
+				return false
+			}
+			if w.Len() > 150 {
+				return false
+			}
+		}
+		if _, err := w.Flush(); err != nil {
+			return false
+		}
+		if !w.Ready() {
+			return false
+		}
+		total := 0
+		for _, b := range w.Summarizer().Set().Bubbles() {
+			total += b.N()
+		}
+		return total == w.Len() && w.Summarizer().Set().CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushBeforeWarmupNoop(t *testing.T) {
+	w, err := NewWindow(Config{Dim: 2, Capacity: 100, Bubbles: 5, Warmup: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := w.Flush()
+	if err != nil || stats.Inserted != 0 {
+		t.Fatalf("pre-warmup flush: %+v err=%v", stats, err)
+	}
+}

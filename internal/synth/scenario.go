@@ -1,0 +1,457 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+// Kind enumerates the dynamic scenarios of the paper's evaluation (§5).
+type Kind int
+
+const (
+	// Random: points are inserted and deleted randomly according to the
+	// (static) data distribution.
+	Random Kind = iota
+	// Appear: a new cluster appears over time inside the populated region.
+	Appear
+	// ExtremeAppear: a new cluster appears in a completely new region that
+	// contains no previous points, not even noise.
+	ExtremeAppear
+	// Disappear: an old cluster disappears over time.
+	Disappear
+	// Gradmove: one cluster gradually moves across the space.
+	Gradmove
+	// Complex: random churn plus simultaneous appear, disappear and move.
+	Complex
+)
+
+// String implements fmt.Stringer for Kind.
+func (k Kind) String() string {
+	switch k {
+	case Random:
+		return "random"
+	case Appear:
+		return "appear"
+	case ExtremeAppear:
+		return "extappear"
+	case Disappear:
+		return "disappear"
+	case Gradmove:
+		return "gradmove"
+	case Complex:
+		return "complex"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists all scenario kinds in presentation order.
+func Kinds() []Kind {
+	return []Kind{Random, Appear, ExtremeAppear, Disappear, Gradmove, Complex}
+}
+
+// Config parameterises a scenario. Zero fields take the documented defaults
+// so that Config{Kind: Appear, Dim: 2} is a complete specification.
+type Config struct {
+	Kind           Kind
+	Dim            int     // dimensionality (default 2)
+	InitialPoints  int     // initial database size (default 10000)
+	BaseClusters   int     // number of initial clusters (default 4)
+	NoiseFrac      float64 // uniform background noise fraction (default 0.05)
+	UpdateFraction float64 // fraction of |DB| updated per batch, inserts+deletes (default 0.10)
+	Batches        int     // batches over which scenario events complete (default 10)
+	Std            float64 // cluster standard deviation (default BoxSize/40)
+	BoxSize        float64 // data space is [0,BoxSize]^d (default 100)
+	Seed           int64   // RNG seed (default 1)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim == 0 {
+		c.Dim = 2
+	}
+	if c.InitialPoints == 0 {
+		c.InitialPoints = 10000
+	}
+	if c.BaseClusters == 0 {
+		c.BaseClusters = 4
+	}
+	if c.NoiseFrac == 0 {
+		c.NoiseFrac = 0.05
+	}
+	if c.UpdateFraction == 0 {
+		c.UpdateFraction = 0.10
+	}
+	if c.Batches == 0 {
+		c.Batches = 10
+	}
+	if c.BoxSize == 0 {
+		c.BoxSize = 100
+	}
+	if c.Std == 0 {
+		c.Std = c.BoxSize / 40
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Dim < 1 {
+		return errors.New("synth: dimension must be positive")
+	}
+	if c.InitialPoints < 10 {
+		return errors.New("synth: need at least 10 initial points")
+	}
+	if c.BaseClusters < 1 {
+		return errors.New("synth: need at least one base cluster")
+	}
+	if c.NoiseFrac < 0 || c.NoiseFrac >= 1 {
+		return errors.New("synth: noise fraction out of [0,1)")
+	}
+	if c.UpdateFraction <= 0 || c.UpdateFraction > 1 {
+		return errors.New("synth: update fraction out of (0,1]")
+	}
+	if c.Batches < 1 {
+		return errors.New("synth: need at least one batch")
+	}
+	return nil
+}
+
+// Scenario owns a dynamic database and emits batches of updates realising
+// its configured dynamics. The same Scenario instance (same seed) always
+// produces the same update stream, so competing summarization schemes can
+// be replayed against identical histories via DB().Clone() snapshots or by
+// consuming the applied batches.
+type Scenario struct {
+	cfg  Config
+	rng  *stats.RNG
+	mix  *Mixture
+	db   *dataset.DB
+	step int
+
+	appear       *Cluster // growing cluster, nil when absent or done
+	appearTarget int      // size at which growth stops
+	disappearLbl int      // label being drained, or noLabel
+	moving       *Cluster // cluster being translated, nil when absent
+	moveVel      vecmath.Point
+	moveLeft     int // batches of movement remaining
+}
+
+const noLabel = math.MinInt
+
+// NewScenario builds the initial database and dynamics for cfg.
+func NewScenario(cfg Config) (*Scenario, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	db, err := dataset.New(cfg.Dim)
+	if err != nil {
+		return nil, err
+	}
+	sep := cfg.BoxSize / float64(cfg.BaseClusters)
+	centers := SpreadCenters(rng, cfg.Dim, cfg.BaseClusters, cfg.BoxSize*0.1, cfg.BoxSize*0.9, sep)
+	mix := &Mixture{
+		Dim:       cfg.Dim,
+		NoiseFrac: cfg.NoiseFrac,
+		NoiseLo:   uniformPoint(cfg.Dim, 0),
+		NoiseHi:   uniformPoint(cfg.Dim, cfg.BoxSize),
+	}
+	for i, c := range centers {
+		mix.Clusters = append(mix.Clusters, &Cluster{Label: i, Center: c, Std: cfg.Std, Weight: 1})
+	}
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Scenario{cfg: cfg, rng: rng, mix: mix, db: db, disappearLbl: noLabel}
+	if err := mix.Populate(db, rng, cfg.InitialPoints); err != nil {
+		return nil, err
+	}
+	s.configureEvents()
+	return s, nil
+}
+
+func uniformPoint(d int, v float64) vecmath.Point {
+	p := make(vecmath.Point, d)
+	for i := range p {
+		p[i] = v
+	}
+	return p
+}
+
+// configureEvents sets up the appear/disappear/move machinery per Kind.
+func (s *Scenario) configureEvents() {
+	cfg := s.cfg
+	clusterShare := int(float64(cfg.InitialPoints) * (1 - cfg.NoiseFrac) / float64(cfg.BaseClusters))
+	newLabel := cfg.BaseClusters
+
+	makeAppear := func(extreme bool) {
+		var center vecmath.Point
+		if extreme {
+			// A region guaranteed to contain no previous points: outside the
+			// noise box on every axis.
+			center = uniformPoint(cfg.Dim, cfg.BoxSize*1.5)
+		} else {
+			center = s.rng.UniformPoint(cfg.Dim, cfg.BoxSize*0.1, cfg.BoxSize*0.9)
+		}
+		s.appear = &Cluster{Label: newLabel, Center: center, Std: cfg.Std, Weight: 1}
+		s.appearTarget = clusterShare
+	}
+
+	switch cfg.Kind {
+	case Random:
+		// no events: pure churn
+	case Appear:
+		makeAppear(false)
+	case ExtremeAppear:
+		makeAppear(true)
+	case Disappear:
+		s.disappearLbl = 0
+		s.mix.RemoveCluster(0) // no fresh points for the dying cluster
+	case Gradmove:
+		s.setupMove(0)
+	case Complex:
+		makeAppear(false)
+		if cfg.BaseClusters >= 2 {
+			s.disappearLbl = 0
+			s.mix.RemoveCluster(0)
+		}
+		if cfg.BaseClusters >= 2 {
+			s.setupMove(1)
+		} else {
+			s.setupMove(0)
+		}
+	}
+}
+
+func (s *Scenario) setupMove(label int) {
+	c := s.mix.ClusterByLabel(label)
+	if c == nil {
+		return
+	}
+	// Translate the cluster by ~40% of the box diagonal over all batches,
+	// reflecting direction to stay inside the box.
+	target := make(vecmath.Point, s.cfg.Dim)
+	for j := range target {
+		shift := s.cfg.BoxSize * 0.4
+		if c.Center[j]+shift > s.cfg.BoxSize*0.9 {
+			shift = -shift
+		}
+		target[j] = c.Center[j] + shift
+	}
+	s.moving = c
+	s.moveVel = target.Sub(c.Center).Scale(1 / float64(s.cfg.Batches))
+	s.moveLeft = s.cfg.Batches
+}
+
+// DB returns the scenario's live database. Callers must treat it as
+// read-only; updates flow exclusively through NextBatch.
+func (s *Scenario) DB() *dataset.DB { return s.db }
+
+// Mixture returns the current ground-truth mixture (inserts are drawn from
+// it). The returned value mutates as the scenario evolves.
+func (s *Scenario) Mixture() *Mixture { return s.mix }
+
+// Step returns the number of batches generated so far.
+func (s *Scenario) Step() int { return s.step }
+
+// Config returns the (defaulted) configuration.
+func (s *Scenario) Config() Config { return s.cfg }
+
+// AppearLabel returns the ground-truth label of the appearing cluster and
+// whether the scenario has one.
+func (s *Scenario) AppearLabel() (int, bool) {
+	if s.cfg.Kind == Appear || s.cfg.Kind == ExtremeAppear || s.cfg.Kind == Complex {
+		return s.cfg.BaseClusters, true
+	}
+	return 0, false
+}
+
+// NextBatch generates one batch of updates — equal numbers of insertions
+// and deletions totalling UpdateFraction·|DB| — applies it to the owned
+// database, and returns the applied batch (inserts carry their assigned
+// IDs, deletes carry the removed coordinates).
+func (s *Scenario) NextBatch() (dataset.Batch, error) {
+	n := s.db.Len()
+	half := int(s.cfg.UpdateFraction*float64(n)/2 + 0.5)
+	victims := s.pickVictims(half)
+	inserts := s.makeInserts(half)
+
+	batch := make(dataset.Batch, 0, len(victims)+len(inserts))
+	for _, id := range victims {
+		batch = append(batch, dataset.Update{Op: dataset.OpDelete, ID: id})
+	}
+	batch = append(batch, inserts...)
+	applied, err := batch.Apply(s.db)
+	if err != nil {
+		return applied, err
+	}
+	s.advanceEvents()
+	s.step++
+	return applied, nil
+}
+
+// pickVictims selects distinct deletion victims according to the active
+// events: the disappearing cluster is drained on schedule, the moving
+// cluster sheds trailing points, and the remainder is uniform churn that
+// spares the still-growing appearing cluster.
+func (s *Scenario) pickVictims(count int) []dataset.PointID {
+	chosen := make(map[dataset.PointID]bool, count)
+	out := make([]dataset.PointID, 0, count)
+	take := func(ids []dataset.PointID, k int) {
+		if k > len(ids) {
+			k = len(ids)
+		}
+		for _, i := range s.rng.SampleWithoutReplacement(len(ids), k) {
+			if !chosen[ids[i]] {
+				chosen[ids[i]] = true
+				out = append(out, ids[i])
+			}
+		}
+	}
+
+	remainingBatches := s.cfg.Batches - s.step
+	if remainingBatches < 1 {
+		remainingBatches = 1
+	}
+
+	if s.disappearLbl != noLabel {
+		ids := s.idsWithLabel(s.disappearLbl)
+		if len(ids) == 0 {
+			s.disappearLbl = noLabel
+		} else {
+			quota := (len(ids) + remainingBatches - 1) / remainingBatches
+			if quota > count/2 && count/2 > 0 {
+				quota = count / 2
+			}
+			take(ids, quota)
+		}
+	}
+	if s.moving != nil && s.moveLeft > 0 {
+		ids := s.idsWithLabel(s.moving.Label)
+		quota := (len(ids) + s.moveLeft - 1) / s.moveLeft
+		budget := count - len(out)
+		if quota > budget/2 && budget/2 > 0 {
+			quota = budget / 2
+		}
+		take(ids, quota)
+	}
+
+	// Uniform churn for the remainder, sparing the growing cluster.
+	spareLabel := noLabel
+	if s.appear != nil {
+		spareLabel = s.appear.Label
+	}
+	guard := 0
+	for len(out) < count && guard < 50*count+100 {
+		guard++
+		id, err := s.db.RandomID(s.rng)
+		if err != nil {
+			break
+		}
+		if chosen[id] {
+			continue
+		}
+		rec, err := s.db.Get(id)
+		if err != nil {
+			continue
+		}
+		if rec.Label == spareLabel {
+			continue
+		}
+		chosen[id] = true
+		out = append(out, id)
+	}
+	return out
+}
+
+// makeInserts builds the insertion half of a batch: growth quota for the
+// appearing cluster, replacement points for the moving cluster at its new
+// position, and mixture churn for the rest.
+func (s *Scenario) makeInserts(count int) []dataset.Update {
+	out := make([]dataset.Update, 0, count)
+	add := func(p vecmath.Point, label int) {
+		out = append(out, dataset.Update{Op: dataset.OpInsert, P: p, Label: label})
+	}
+
+	if s.appear != nil {
+		have := len(s.idsWithLabel(s.appear.Label))
+		remainingBatches := s.cfg.Batches - s.step
+		if remainingBatches < 1 {
+			remainingBatches = 1
+		}
+		quota := (s.appearTarget - have + remainingBatches - 1) / remainingBatches
+		if quota < 0 {
+			quota = 0
+		}
+		if quota > count/2 {
+			quota = count / 2
+		}
+		for i := 0; i < quota; i++ {
+			add(s.appear.Sample(s.rng), s.appear.Label)
+		}
+		if have+quota >= s.appearTarget {
+			// Growth finished: the new cluster joins the mixture and from now
+			// on participates in ordinary churn.
+			s.mix.Clusters = append(s.mix.Clusters, s.appear)
+			s.appear = nil
+		}
+	}
+	if s.moving != nil && s.moveLeft > 0 {
+		// Points inserted at the centre as it will be after this batch.
+		next := s.moving.Center.Add(s.moveVel)
+		budget := count - len(out)
+		quota := budget / 2
+		ids := len(s.idsWithLabel(s.moving.Label))
+		perBatch := (ids + s.moveLeft - 1) / s.moveLeft
+		if perBatch < quota {
+			quota = perBatch
+		}
+		for i := 0; i < quota; i++ {
+			add(s.rng.GaussianPoint(next, s.moving.Std), s.moving.Label)
+		}
+	}
+	for len(out) < count {
+		p, label := s.mix.Sample(s.rng)
+		add(p, label)
+	}
+	return out
+}
+
+// advanceEvents moves the moving cluster's centre one step.
+func (s *Scenario) advanceEvents() {
+	if s.moving != nil && s.moveLeft > 0 {
+		s.moving.Center = s.moving.Center.Add(s.moveVel)
+		s.moveLeft--
+	}
+}
+
+func (s *Scenario) idsWithLabel(label int) []dataset.PointID {
+	var ids []dataset.PointID
+	s.db.ForEach(func(r dataset.Record) {
+		if r.Label == label {
+			ids = append(ids, r.ID)
+		}
+	})
+	return ids
+}
+
+// Run advances the scenario by n batches, returning the applied batches.
+func (s *Scenario) Run(n int) ([]dataset.Batch, error) {
+	out := make([]dataset.Batch, 0, n)
+	for i := 0; i < n; i++ {
+		b, err := s.NextBatch()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

@@ -1,0 +1,359 @@
+package synth
+
+import (
+	"testing"
+
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		Random: "random", Appear: "appear", ExtremeAppear: "extappear",
+		Disappear: "disappear", Gradmove: "gradmove", Complex: "complex",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String()=%q want %q", k, k.String(), s)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind empty string")
+	}
+	if len(Kinds()) != 6 {
+		t.Errorf("Kinds()=%v", Kinds())
+	}
+}
+
+func TestMixtureValidate(t *testing.T) {
+	good := &Mixture{
+		Dim:       2,
+		Clusters:  []*Cluster{{Label: 0, Center: vecmath.Point{0, 0}, Std: 1, Weight: 1}},
+		NoiseFrac: 0.1,
+		NoiseLo:   vecmath.Point{0, 0},
+		NoiseHi:   vecmath.Point{10, 10},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid mixture rejected: %v", err)
+	}
+	bad := []*Mixture{
+		{Dim: 0},
+		{Dim: 2, NoiseFrac: -0.1},
+		{Dim: 2, NoiseFrac: 0.5, NoiseLo: vecmath.Point{0}, NoiseHi: vecmath.Point{1}},
+		{Dim: 2, NoiseFrac: 0.5, NoiseLo: vecmath.Point{0, 0}, NoiseHi: vecmath.Point{0, 1}},
+		{Dim: 2},
+		{Dim: 2, Clusters: []*Cluster{{Center: vecmath.Point{0}, Std: 1, Weight: 1}}},
+		{Dim: 1, Clusters: []*Cluster{{Center: vecmath.Point{0}, Std: 0, Weight: 1}}},
+		{Dim: 1, Clusters: []*Cluster{{Center: vecmath.Point{0}, Std: 1, Weight: -1}}},
+		{Dim: 1, Clusters: []*Cluster{{Center: vecmath.Point{0}, Std: 1, Weight: 0}}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad mixture %d accepted", i)
+		}
+	}
+}
+
+func TestMixtureSampleLabels(t *testing.T) {
+	m := &Mixture{
+		Dim: 2,
+		Clusters: []*Cluster{
+			{Label: 0, Center: vecmath.Point{0, 0}, Std: 1, Weight: 3},
+			{Label: 1, Center: vecmath.Point{50, 50}, Std: 1, Weight: 1},
+		},
+		NoiseFrac: 0.2,
+		NoiseLo:   vecmath.Point{0, 0},
+		NoiseHi:   vecmath.Point{60, 60},
+	}
+	rng := stats.NewRNG(2)
+	counts := map[int]int{}
+	for i := 0; i < 20000; i++ {
+		_, label := m.Sample(rng)
+		counts[label]++
+	}
+	// ~20% noise, rest split 3:1.
+	if counts[dataset.Noise] < 3000 || counts[dataset.Noise] > 5000 {
+		t.Errorf("noise count=%d", counts[dataset.Noise])
+	}
+	if counts[0] < 2*counts[1] {
+		t.Errorf("weights not respected: %v", counts)
+	}
+}
+
+func TestMixturePopulate(t *testing.T) {
+	m := &Mixture{
+		Dim:      2,
+		Clusters: []*Cluster{{Label: 7, Center: vecmath.Point{5, 5}, Std: 0.5, Weight: 1}},
+	}
+	db := dataset.MustNew(2)
+	if err := m.Populate(db, stats.NewRNG(1), 100); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 100 {
+		t.Fatalf("Len=%d", db.Len())
+	}
+	if db.LabelHistogram()[7] != 100 {
+		t.Fatalf("hist=%v", db.LabelHistogram())
+	}
+	bad := dataset.MustNew(3)
+	if err := m.Populate(bad, stats.NewRNG(1), 1); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestClusterByLabelAndRemove(t *testing.T) {
+	m := &Mixture{Dim: 1, Clusters: []*Cluster{
+		{Label: 0, Center: vecmath.Point{0}, Std: 1, Weight: 1},
+		{Label: 1, Center: vecmath.Point{5}, Std: 1, Weight: 1},
+	}}
+	if m.ClusterByLabel(1) == nil || m.ClusterByLabel(2) != nil {
+		t.Fatal("ClusterByLabel wrong")
+	}
+	if !m.RemoveCluster(0) || m.RemoveCluster(0) {
+		t.Fatal("RemoveCluster wrong")
+	}
+	if len(m.Clusters) != 1 || m.Clusters[0].Label != 1 {
+		t.Fatalf("Clusters=%v", m.Clusters)
+	}
+}
+
+func TestSpreadCenters(t *testing.T) {
+	rng := stats.NewRNG(3)
+	cs := SpreadCenters(rng, 2, 5, 0, 100, 20)
+	if len(cs) != 5 {
+		t.Fatalf("len=%d", len(cs))
+	}
+	for i, c := range cs {
+		if c.Dim() != 2 {
+			t.Fatalf("center %d dim=%d", i, c.Dim())
+		}
+		for _, v := range c {
+			if v < 0 || v >= 100 {
+				t.Fatalf("center out of box: %v", c)
+			}
+		}
+	}
+	// Impossible separation still returns k centers (best effort).
+	cs = SpreadCenters(rng, 2, 30, 0, 10, 1000)
+	if len(cs) != 30 {
+		t.Fatalf("best-effort len=%d", len(cs))
+	}
+}
+
+func TestScenarioDefaultsAndValidation(t *testing.T) {
+	s, err := NewScenario(Config{Kind: Random})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config()
+	if cfg.Dim != 2 || cfg.InitialPoints != 10000 || cfg.Batches != 10 {
+		t.Fatalf("defaults=%+v", cfg)
+	}
+	if s.DB().Len() != 10000 {
+		t.Fatalf("initial Len=%d", s.DB().Len())
+	}
+	bad := []Config{
+		{Kind: Random, Dim: -1},
+		{Kind: Random, InitialPoints: 5},
+		{Kind: Random, BaseClusters: -1},
+		{Kind: Random, NoiseFrac: 1.5},
+		{Kind: Random, UpdateFraction: 2},
+		{Kind: Random, Batches: -1},
+	}
+	for i, c := range bad {
+		if _, err := NewScenario(c); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestScenarioReproducible(t *testing.T) {
+	mk := func() []dataset.Record {
+		s, err := NewScenario(Config{Kind: Complex, InitialPoints: 1000, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(3); err != nil {
+			t.Fatal(err)
+		}
+		return s.DB().Snapshot()
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	am := map[dataset.PointID]dataset.Record{}
+	for _, r := range a {
+		am[r.ID] = r
+	}
+	for _, r := range b {
+		if !am[r.ID].P.Equal(r.P) || am[r.ID].Label != r.Label {
+			t.Fatalf("divergence at id %d", r.ID)
+		}
+	}
+}
+
+func TestScenarioBatchShape(t *testing.T) {
+	s, err := NewScenario(Config{Kind: Random, InitialPoints: 2000, UpdateFraction: 0.1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := s.DB().Len()
+	b, err := s.NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, del := b.Counts()
+	// Equal insert/delete volume, each half of 10% of the database.
+	if ins != del {
+		t.Fatalf("ins=%d del=%d", ins, del)
+	}
+	if ins < n0/25 || ins > n0/15 {
+		t.Fatalf("batch half=%d for n=%d", ins, n0)
+	}
+	if s.DB().Len() != n0 {
+		t.Fatalf("database size changed under equal churn: %d -> %d", n0, s.DB().Len())
+	}
+	// Applied batch annotations present.
+	for _, u := range b {
+		if u.Op == dataset.OpDelete && u.P == nil {
+			t.Fatal("delete not annotated with coordinates")
+		}
+	}
+	if s.Step() != 1 {
+		t.Fatalf("Step=%d", s.Step())
+	}
+}
+
+func TestAppearScenarioGrowsCluster(t *testing.T) {
+	s, err := NewScenario(Config{Kind: Appear, InitialPoints: 3000, Batches: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	label, ok := s.AppearLabel()
+	if !ok {
+		t.Fatal("Appear scenario without appear label")
+	}
+	if got := s.DB().LabelHistogram()[label]; got != 0 {
+		t.Fatalf("appear cluster pre-populated: %d", got)
+	}
+	if _, err := s.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	grown := s.DB().LabelHistogram()[label]
+	points := 3000.0
+	share := int(points * (1 - 0.05) / 4)
+	if grown < share/2 {
+		t.Fatalf("appear cluster only reached %d of ~%d", grown, share)
+	}
+}
+
+func TestExtremeAppearRegionEmpty(t *testing.T) {
+	s, err := NewScenario(Config{Kind: ExtremeAppear, InitialPoints: 2000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any batches, no point may lie outside the noise box (the
+	// appear region must contain no previous points, not even noise).
+	box := s.Config().BoxSize
+	s.DB().ForEach(func(r dataset.Record) {
+		for _, v := range r.P {
+			if v > box*1.25 {
+				t.Fatalf("initial point already in appear region: %v", r.P)
+			}
+		}
+	})
+	if _, err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	label, _ := s.AppearLabel()
+	if s.DB().LabelHistogram()[label] == 0 {
+		t.Fatal("extreme-appear cluster never materialised")
+	}
+}
+
+func TestDisappearScenarioDrainsCluster(t *testing.T) {
+	s, err := NewScenario(Config{Kind: Disappear, InitialPoints: 3000, Batches: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.DB().LabelHistogram()[0]
+	if before == 0 {
+		t.Fatal("cluster 0 empty at start")
+	}
+	if _, err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	after := s.DB().LabelHistogram()[0]
+	if after > before/10 {
+		t.Fatalf("cluster 0 not drained: %d -> %d", before, after)
+	}
+}
+
+func TestGradmoveScenarioMovesCentroid(t *testing.T) {
+	s, err := NewScenario(Config{Kind: Gradmove, InitialPoints: 3000, Batches: 10, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	centroid := func() vecmath.Point {
+		var pts []vecmath.Point
+		s.DB().ForEach(func(r dataset.Record) {
+			if r.Label == 0 {
+				pts = append(pts, r.P)
+			}
+		})
+		return vecmath.Mean(pts)
+	}
+	c0 := centroid()
+	if _, err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	c1 := centroid()
+	moved := vecmath.Distance(c0, c1)
+	if moved < s.Config().BoxSize*0.15 {
+		t.Fatalf("cluster barely moved: %v", moved)
+	}
+	// Cluster size should be roughly preserved.
+	n := s.DB().LabelHistogram()[0]
+	if n < 100 {
+		t.Fatalf("moving cluster lost its points: %d", n)
+	}
+}
+
+func TestComplexScenarioAllEvents(t *testing.T) {
+	s, err := NewScenario(Config{Kind: Complex, InitialPoints: 4000, Batches: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before0 := s.DB().LabelHistogram()[0]
+	if _, err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	h := s.DB().LabelHistogram()
+	label, _ := s.AppearLabel()
+	if h[label] == 0 {
+		t.Error("complex: appear cluster missing")
+	}
+	if h[0] > before0/5 {
+		t.Errorf("complex: disappear cluster not drained: %d -> %d", before0, h[0])
+	}
+	if h[1] == 0 {
+		t.Error("complex: moving cluster vanished")
+	}
+}
+
+func TestScenarioHighDim(t *testing.T) {
+	for _, d := range []int{5, 10, 20} {
+		s, err := NewScenario(Config{Kind: Complex, Dim: d, InitialPoints: 1000, Seed: 11})
+		if err != nil {
+			t.Fatalf("dim %d: %v", d, err)
+		}
+		if _, err := s.Run(2); err != nil {
+			t.Fatalf("dim %d: %v", d, err)
+		}
+		if s.DB().Dim() != d {
+			t.Fatalf("dim %d: db dim %d", d, s.DB().Dim())
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package vecmath
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter counts Euclidean distance computations. The paper's efficiency
+// results (Figures 10 and 11) are expressed in numbers of distance
+// calculations saved, so every code path whose cost matters routes distance
+// evaluation through a Counter. The zero value is ready to use. Counting is
+// atomic so concurrent experiment repetitions may share one counter.
+type Counter struct {
+	computed uint64
+	pruned   uint64
+}
+
+// Distance computes the Euclidean distance between p and q and counts one
+// computation.
+func (c *Counter) Distance(p, q Point) float64 {
+	atomic.AddUint64(&c.computed, 1)
+	return math.Sqrt(SquaredDistance(p, q))
+}
+
+// SquaredDistance computes the squared distance, counting one computation.
+// A squared distance has the same cost profile as a full distance (one pass
+// over the coordinates), so it counts identically.
+func (c *Counter) SquaredDistance(p, q Point) float64 {
+	atomic.AddUint64(&c.computed, 1)
+	return SquaredDistance(p, q)
+}
+
+// Prune records that one distance computation was avoided by a triangle-
+// inequality comparison (a lookup plus comparison rather than a coordinate
+// scan).
+func (c *Counter) Prune() { atomic.AddUint64(&c.pruned, 1) }
+
+// PruneN records n avoided computations at once.
+func (c *Counter) PruneN(n int) {
+	if n > 0 {
+		atomic.AddUint64(&c.pruned, uint64(n))
+	}
+}
+
+// Computed returns the number of distance computations performed.
+func (c *Counter) Computed() uint64 { return atomic.LoadUint64(&c.computed) }
+
+// Pruned returns the number of distance computations avoided.
+func (c *Counter) Pruned() uint64 { return atomic.LoadUint64(&c.pruned) }
+
+// Total returns computed + pruned: the number of distance computations a
+// naive implementation without pruning would have performed.
+func (c *Counter) Total() uint64 { return c.Computed() + c.Pruned() }
+
+// PruneFraction returns the fraction of would-be computations that were
+// avoided, in [0,1]. It returns 0 when nothing was counted.
+func (c *Counter) PruneFraction() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Pruned()) / float64(t)
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	atomic.StoreUint64(&c.computed, 0)
+	atomic.StoreUint64(&c.pruned, 0)
+}
+
+// Snapshot returns the current (computed, pruned) pair.
+func (c *Counter) Snapshot() (computed, pruned uint64) {
+	return c.Computed(), c.Pruned()
+}

@@ -1,0 +1,61 @@
+package vecmath
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterCounts(t *testing.T) {
+	var c Counter
+	p, q := Point{0, 0}, Point{3, 4}
+	if d := c.Distance(p, q); d != 5 {
+		t.Fatalf("Distance=%v", d)
+	}
+	if d := c.SquaredDistance(p, q); d != 25 {
+		t.Fatalf("SquaredDistance=%v", d)
+	}
+	if got := c.Computed(); got != 2 {
+		t.Fatalf("Computed=%d want 2", got)
+	}
+	c.Prune()
+	c.PruneN(3)
+	c.PruneN(0)  // no-op
+	c.PruneN(-1) // no-op
+	if got := c.Pruned(); got != 4 {
+		t.Fatalf("Pruned=%d want 4", got)
+	}
+	if got := c.Total(); got != 6 {
+		t.Fatalf("Total=%d want 6", got)
+	}
+	if f := c.PruneFraction(); f != 4.0/6.0 {
+		t.Fatalf("PruneFraction=%v", f)
+	}
+	comp, pr := c.Snapshot()
+	if comp != 2 || pr != 4 {
+		t.Fatalf("Snapshot=(%d,%d)", comp, pr)
+	}
+	c.Reset()
+	if c.Total() != 0 || c.PruneFraction() != 0 {
+		t.Fatalf("Reset did not zero counter")
+	}
+}
+
+func TestCounterConcurrency(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	p, q := Point{0}, Point{1}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Distance(p, q)
+				c.Prune()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Computed() != 8000 || c.Pruned() != 8000 {
+		t.Fatalf("concurrent counts off: computed=%d pruned=%d", c.Computed(), c.Pruned())
+	}
+}
