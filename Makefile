@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race detector is part of tier-1 verification: the parallel batch
+# assignment pipeline (DESIGN.md §7) promises data-race freedom and
+# bit-identical results for every worker count, and the -race-gated
+# stress tests only build here.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+verify: build vet test race

@@ -129,6 +129,10 @@ type ClusterOptions struct {
 	Eps float64
 	// Extract tunes the cluster-tree extraction.
 	Extract ExtractParams
+	// Workers bounds the worker pool of the bubble-space precomputation
+	// (pairwise distances and neighbour orders). ≤0 selects GOMAXPROCS;
+	// the clustering is identical for every setting.
+	Workers int
 }
 
 // Clustering is a hierarchical clustering derived from data bubbles: the
@@ -162,7 +166,7 @@ func ClusterBubbles(set *BubbleSet, opts ClusterOptions) (*Clustering, error) {
 	if opts.MinPts == 0 {
 		opts.MinPts = 10
 	}
-	space, err := optics.NewBubbleSpace(set)
+	space, err := optics.NewBubbleSpaceWorkers(set, opts.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -168,6 +168,49 @@ func BenchmarkIncrementalBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelApplyBatch compares the serial and parallel assignment
+// pipelines absorbing a 10% update batch, at two database scales. The
+// distcalcs/op metric must be identical between the worker counts of a
+// size — the pipeline parallelises the Figure 2 searches without changing
+// which distances they compute (see DESIGN.md, "Parallel batch
+// assignment").
+func BenchmarkParallelApplyBatch(b *testing.B) {
+	for _, points := range []int{10000, 100000} {
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", points, workers), func(b *testing.B) {
+				sc, err := NewScenario(ScenarioConfig{Kind: ScenarioComplex, InitialPoints: points, Seed: 6})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var counter DistanceCounter
+				sum, err := NewSummarizer(sc.DB(), SummarizerOptions{
+					NumBubbles: 100,
+					Seed:       7,
+					Counter:    &counter,
+					Config:     SummarizerConfig{Workers: workers},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				start := counter.Computed()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					batch, err := sc.NextBatch()
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if _, err := sum.ApplyBatch(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(counter.Computed()-start)/float64(b.N), "distcalcs/op")
+			})
+		}
+	}
+}
+
 // BenchmarkCompleteRebuild is the baseline the incremental scheme is
 // measured against: re-summarizing the whole database from scratch.
 func BenchmarkCompleteRebuild(b *testing.B) {

@@ -26,6 +26,7 @@ func main() {
 		bubbles  = flag.Int("bubbles", 100, "number of data bubbles")
 		minPts   = flag.Int("minpts", 10, "OPTICS MinPts")
 		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "assignment worker pool (0 = GOMAXPROCS; results identical for any value)")
 		plotFlag = flag.Bool("plot", false, "print the reachability plot")
 		assign   = flag.Bool("assignments", false, "print id,cluster for every point")
 		pngOut   = flag.String("png", "", "write a reachability-plot PNG to this path")
@@ -46,6 +47,7 @@ func main() {
 		Bubbles:     *bubbles,
 		MinPts:      *minPts,
 		Seed:        *seed,
+		Workers:     *workers,
 		Plot:        *plotFlag,
 		Assignments: *assign,
 		PNGOut:      *pngOut,

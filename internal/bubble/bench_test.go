@@ -1,6 +1,7 @@
 package bubble
 
 import (
+	"fmt"
 	"testing"
 
 	"incbubbles/internal/dataset"
@@ -32,6 +33,32 @@ func BenchmarkBuildTriangle(b *testing.B) {
 		if _, err := Build(db, 100, Options{UseTriangleInequality: true, RNG: stats.NewRNG(int64(i))}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBuildWorkers compares serial and parallel Build at 10k points.
+// The distcalcs/op metric must be identical across worker counts: the
+// parallel fan-out changes who computes each distance, never which
+// distances are computed.
+func BenchmarkBuildWorkers(b *testing.B) {
+	db := benchDB(b, 10000, 2)
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var counter vecmath.Counter
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := Build(db, 100, Options{
+					UseTriangleInequality: true,
+					RNG:                   stats.NewRNG(int64(i)),
+					Counter:               &counter,
+					Workers:               workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(counter.Computed())/float64(b.N), "distcalcs/op")
+		})
 	}
 }
 

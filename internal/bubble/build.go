@@ -5,6 +5,8 @@ import (
 	"fmt"
 
 	"incbubbles/internal/dataset"
+	"incbubbles/internal/parallel"
+	"incbubbles/internal/stats"
 )
 
 // Build constructs a set of data bubbles over db from scratch using the
@@ -12,6 +14,14 @@ import (
 // seeds, then scan the database assigning every point to its closest seed.
 // This is both the initial construction for the incremental scheme and the
 // "complete rebuild" baseline of the evaluation.
+//
+// The assignment scan runs as a two-phase pipeline: phase 1 fans the
+// closest-seed searches out over opts.Workers goroutines — each search is
+// read-only against the freshly seeded set and draws its probe order from
+// its own SubSeed-derived RNG stream — and phase 2 absorbs the points
+// serially in database order, so the sufficient statistics accumulate in a
+// fixed floating-point order and the result is identical for every worker
+// count.
 func Build(db *dataset.DB, numSeeds int, opts Options) (*Set, error) {
 	if numSeeds <= 0 {
 		return nil, errors.New("bubble: need at least one seed")
@@ -37,18 +47,27 @@ func Build(db *dataset.DB, numSeeds int, opts Options) (*Set, error) {
 			return nil, err
 		}
 	}
-	// Step 2: scan and assign every point to its closest seed.
-	var assignErr error
-	db.ForEach(func(r dataset.Record) {
-		if assignErr != nil {
-			return
+	// Step 2, phase 1: find every point's closest seed concurrently.
+	n := db.Len()
+	targets := make([]int, n)
+	base := s.rng.Int63()
+	err = parallel.ForEachWorker(n, parallel.Workers(opts.Workers, n),
+		func(int) *Finder { return s.NewFinder() },
+		func(f *Finder, i int) error {
+			t, _, err := f.ClosestSeed(db.At(i).P, stats.SubSeed(base, i))
+			targets[i] = t
+			return err
+		},
+		func(_ int, f *Finder) error { f.Flush(); return nil })
+	if err != nil {
+		return nil, err
+	}
+	// Step 2, phase 2: absorb serially in database order.
+	for i := 0; i < n; i++ {
+		rec := db.At(i)
+		if err := s.AssignTo(targets[i], rec.ID, rec.P); err != nil {
+			return nil, err
 		}
-		if _, err := s.AssignClosest(r.ID, r.P); err != nil {
-			assignErr = err
-		}
-	})
-	if assignErr != nil {
-		return nil, assignErr
 	}
 	return s, nil
 }

@@ -26,6 +26,10 @@ type Options struct {
 	// RNG drives the randomized probe order of the Figure 2 assignment
 	// loop and seed selection. Optional; a fixed-seed RNG is used when nil.
 	RNG *stats.RNG
+	// Workers bounds the worker pool of Build's phase-1 closest-seed
+	// fan-out. ≤0 selects GOMAXPROCS; 1 forces the serial path. The built
+	// set is bit-identical for every setting.
+	Workers int
 }
 
 // Set is a collection of data bubbles over one database: the bubbles, the
@@ -192,6 +196,23 @@ func (s *Set) ClosestSeedExcluding(p vecmath.Point, excl int) (int, float64, err
 }
 
 func (s *Set) closestSeed(p vecmath.Point, excl int) (int, float64, error) {
+	return s.searchClosest(p, excl, s.rng, &s.scratch, s.counter)
+}
+
+// distSink receives the distance accounting of one search. Both the shared
+// atomic *vecmath.Counter and a worker-private *vecmath.Tally satisfy it.
+type distSink interface {
+	Distance(p, q vecmath.Point) float64
+	PruneN(n int)
+}
+
+// searchClosest is the Figure 2 closest-seed search with all mutable state
+// — probe-order RNG, candidate scratch buffer, distance accounting —
+// passed in by the caller. Against a set that is not being mutated it only
+// reads the seed positions and the seed distance matrix, so any number of
+// searches with distinct (rng, scratch, sink) triples may run concurrently;
+// that is the read-only phase 1 of the parallel assignment pipeline.
+func (s *Set) searchClosest(p vecmath.Point, excl int, rng *stats.RNG, scratch *[]int, sink distSink) (int, float64, error) {
 	n := len(s.bubbles)
 	if n == 0 || (n == 1 && excl == 0) {
 		return 0, 0, ErrNoBubbles
@@ -202,7 +223,7 @@ func (s *Set) closestSeed(p vecmath.Point, excl int) (int, float64, error) {
 			if i == excl {
 				continue
 			}
-			d := s.counter.Distance(p, b.seed)
+			d := sink.Distance(p, b.seed)
 			if best < 0 || d < bestD {
 				best, bestD = i, d
 			}
@@ -214,26 +235,26 @@ func (s *Set) closestSeed(p vecmath.Point, excl int) (int, float64, error) {
 	// probed, all seeds provably no closer (d(s_j, s_c) ≥ 2·minDist) are
 	// pruned, then a random unpruned seed is probed, updating the candidate
 	// when closer, until no candidates remain.
-	if cap(s.scratch) < n {
-		s.scratch = make([]int, 0, n)
+	if cap(*scratch) < n {
+		*scratch = make([]int, 0, n)
 	}
-	cands := s.scratch[:0]
+	cands := (*scratch)[:0]
 	for i := range s.bubbles {
 		if i != excl {
 			cands = append(cands, i)
 		}
 	}
 	pick := func() int {
-		k := s.rng.Intn(len(cands))
+		k := rng.Intn(len(cands))
 		idx := cands[k]
 		cands[k] = cands[len(cands)-1]
 		cands = cands[:len(cands)-1]
 		return idx
 	}
 	sc := pick()
-	minDist := s.counter.Distance(p, s.bubbles[sc].seed)
+	minDist := sink.Distance(p, s.bubbles[sc].seed)
 	pruned := 0
-	defer func() { s.counter.PruneN(pruned) }()
+	defer func() { sink.PruneN(pruned) }()
 	for len(cands) > 0 {
 		// Prune everything Lemma 1 rules out with the current candidate.
 		kept := cands[:0]
@@ -250,7 +271,7 @@ func (s *Set) closestSeed(p vecmath.Point, excl int) (int, float64, error) {
 		improved := false
 		for len(cands) > 0 {
 			j := pick()
-			if d := s.counter.Distance(p, s.bubbles[j].seed); d < minDist {
+			if d := sink.Distance(p, s.bubbles[j].seed); d < minDist {
 				sc, minDist = j, d
 				improved = true
 				break

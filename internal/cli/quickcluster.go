@@ -21,6 +21,7 @@ type QuickclusterOptions struct {
 	Bubbles     int
 	MinPts      int
 	Seed        int64
+	Workers     int    // assignment/space worker pool (≤0 = GOMAXPROCS)
 	Plot        bool   // print the text reachability plot
 	Assignments bool   // print id,cluster rows
 	PNGOut      string // write a reachability-plot PNG here
@@ -41,11 +42,12 @@ func RunQuickcluster(in io.Reader, opts QuickclusterOptions, stdout, stderr io.W
 		UseTriangleInequality: true,
 		TrackMembers:          true,
 		RNG:                   stats.NewRNG(opts.Seed),
+		Workers:               opts.Workers,
 	})
 	if err != nil {
 		return err
 	}
-	space, err := optics.NewBubbleSpace(set)
+	space, err := optics.NewBubbleSpaceWorkers(set, opts.Workers)
 	if err != nil {
 		return err
 	}

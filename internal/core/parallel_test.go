@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"incbubbles/internal/synth"
+	"incbubbles/internal/vecmath"
+)
+
+// fingerprint captures everything the determinism contract promises to be
+// bit-identical across worker counts: every bubble's sufficient statistics
+// (n, LS, SS) and seed, the full point→bubble ownership map, and the exact
+// distance-computation accounting. Floats are rendered with %x so equality
+// is bit equality, not approximate.
+func fingerprint(t *testing.T, s *Summarizer, c *vecmath.Counter) string {
+	t.Helper()
+	if err := s.Set().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for i, bb := range s.Set().Bubbles() {
+		fmt.Fprintf(&b, "bubble %d: n=%d ss=%x seed=%x ls=%x\n", i, bb.N(), bb.SS(), bb.Seed(), bb.LS())
+		ids := bb.MemberIDs()
+		sort.Slice(ids, func(a, c int) bool { return ids[a] < ids[c] })
+		fmt.Fprintf(&b, "  members=%v\n", ids)
+	}
+	fmt.Fprintf(&b, "computed=%d pruned=%d\n", c.Computed(), c.Pruned())
+	return b.String()
+}
+
+// runScenario replays `batches` update batches of a fresh Complex scenario
+// through a fresh summarizer configured with the given worker count, and
+// returns the resulting fingerprint.
+func runScenario(t *testing.T, seed int64, workers, batches int) string {
+	t.Helper()
+	sc, err := synth.NewScenario(synth.Config{Kind: synth.Complex, InitialPoints: 1500, Batches: batches, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counter vecmath.Counter
+	s, err := New(sc.DB(), Options{
+		NumBubbles:            25,
+		UseTriangleInequality: true,
+		Seed:                  seed + 1,
+		Counter:               &counter,
+		Config:                Config{Workers: workers},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < batches; i++ {
+		batch, err := sc.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ApplyBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fingerprint(t, s, &counter)
+}
+
+// TestApplyBatchDeterministicAcrossWorkers is the core determinism
+// property of the two-phase assignment pipeline (see DESIGN.md, "Parallel
+// batch assignment"): for any worker count, initial build plus a sequence
+// of maintained batches produces bit-identical bubbles, ownership, and
+// distance-calculation counts. Workers=1 is the serial reference;
+// explicit counts bypass the small-batch serial cutoff, so the parallel
+// path is genuinely exercised.
+func TestApplyBatchDeterministicAcrossWorkers(t *testing.T) {
+	const batches = 4
+	for _, seed := range []int64{21, 22, 23} {
+		ref := runScenario(t, seed, 1, batches)
+		for _, w := range []int{2, 8, runtime.GOMAXPROCS(0), 0} {
+			if got := runScenario(t, seed, w, batches); got != ref {
+				t.Errorf("seed %d: workers=%d diverged from serial reference\nserial:\n%s\nworkers=%d:\n%s",
+					seed, w, ref, w, got)
+			}
+		}
+	}
+}
+
+// TestApplyBatchConcurrentSummarizers drives several independent
+// summarizers concurrently, all reporting into one shared Counter and each
+// running its own parallel assignment pool — the shape a server embedding
+// the library would produce. Run with -race this doubles as the
+// shared-Counter race test; without it, it still checks that concurrent
+// use does not disturb per-summarizer determinism.
+func TestApplyBatchConcurrentSummarizers(t *testing.T) {
+	const (
+		goroutines = 4
+		batches    = 3
+	)
+	var shared vecmath.Counter
+	results := make([]string, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			seed := int64(40 + g%2) // pairs share a seed so results can be cross-checked
+			sc, err := synth.NewScenario(synth.Config{Kind: synth.Complex, InitialPoints: 1000, Batches: batches, Seed: seed})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s, err := New(sc.DB(), Options{
+				NumBubbles:            20,
+				UseTriangleInequality: true,
+				Seed:                  seed + 1,
+				Counter:               &shared,
+				Config:                Config{Workers: 4},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < batches; i++ {
+				batch, err := sc.NextBatch()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.ApplyBatch(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := s.Set().CheckInvariants(); err != nil {
+				t.Error(err)
+				return
+			}
+			var b strings.Builder
+			for i, bb := range s.Set().Bubbles() {
+				fmt.Fprintf(&b, "%d: n=%d ss=%x ls=%x\n", i, bb.N(), bb.SS(), bb.LS())
+			}
+			results[g] = b.String()
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for g := 2; g < goroutines; g++ {
+		if results[g] != results[g-2] {
+			t.Errorf("goroutines %d and %d ran the same scenario but diverged", g-2, g)
+		}
+	}
+	if shared.Total() == 0 {
+		t.Fatal("shared counter recorded nothing")
+	}
+}
+
+// TestWorkersEquivalentCounters pins the RNG-invariance argument the
+// pipeline rests on: every closest-seed search either computes or prunes
+// each candidate exactly once, so Computed() and Pruned() are individually
+// identical across worker counts, not just their sum.
+func TestWorkersEquivalentCounters(t *testing.T) {
+	extract := func(fp string) string {
+		i := strings.LastIndex(fp, "computed=")
+		if i < 0 {
+			t.Fatalf("no counter line in fingerprint:\n%s", fp)
+		}
+		return fp[i:]
+	}
+	ref := extract(runScenario(t, 77, 1, 3))
+	for _, w := range []int{2, 8} {
+		if got := extract(runScenario(t, 77, w, 3)); got != ref {
+			t.Errorf("workers=%d counters %q != serial %q", w, got, ref)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+//go:build race
+
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"incbubbles/internal/synth"
+	"incbubbles/internal/vecmath"
+)
+
+// TestRaceStressSharedCounter only builds under -race: it runs many
+// summarizers concurrently, each with an oversubscribed worker pool, all
+// merging per-worker tallies into one shared Counter, so the detector sees
+// a dense interleaving of the pipeline's only cross-goroutine writes (the
+// atomic Counter adds and the targets-slice chunk writes).
+func TestRaceStressSharedCounter(t *testing.T) {
+	const (
+		summarizers = 6
+		batches     = 4
+	)
+	var shared vecmath.Counter
+	var wg sync.WaitGroup
+	for g := 0; g < summarizers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sc, err := synth.NewScenario(synth.Config{
+				Kind:          synth.Complex,
+				InitialPoints: 800,
+				Batches:       batches,
+				Seed:          int64(100 + g),
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s, err := New(sc.DB(), Options{
+				NumBubbles:            16,
+				UseTriangleInequality: true,
+				Seed:                  int64(200 + g),
+				Counter:               &shared,
+				Config:                Config{Workers: 8},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < batches; i++ {
+				batch, err := sc.NextBatch()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.ApplyBatch(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := s.Set().CheckInvariants(); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if shared.Total() == 0 {
+		t.Fatal("shared counter recorded nothing")
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"incbubbles/internal/bubble"
 	"incbubbles/internal/dataset"
+	"incbubbles/internal/parallel"
 	"incbubbles/internal/stats"
 	"incbubbles/internal/vecmath"
 )
@@ -98,6 +99,13 @@ type Config struct {
 	// the initial bubble count.
 	MinBubbles int
 	MaxBubbles int
+	// Workers bounds the worker pool of the two-phase assignment pipeline:
+	// phase 1 of ApplyBatch — and of the merge/split rebuild paths — fans
+	// read-only closest-seed searches out over this many goroutines, while
+	// phase 2 applies all Set mutation serially. ≤0 selects GOMAXPROCS;
+	// 1 forces the serial path. Results are bit-identical for every
+	// setting (DESIGN.md, "Parallel batch assignment").
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -235,22 +243,10 @@ func (s *Summarizer) TotalRebuilt() int { return s.totalRebuilt }
 // over-filled ones via synchronized merge and split.
 func (s *Summarizer) ApplyBatch(batch dataset.Batch) (BatchStats, error) {
 	var bs BatchStats
-	// Figure 3 step 1: decrement / increment sufficient statistics.
-	for _, u := range batch {
-		switch u.Op {
-		case dataset.OpDelete:
-			if _, err := s.set.Release(u.ID, u.P); err != nil {
-				return bs, fmt.Errorf("core: delete %d: %w", u.ID, err)
-			}
-			bs.Deleted++
-		case dataset.OpInsert:
-			if _, err := s.set.AssignClosest(u.ID, u.P); err != nil {
-				return bs, fmt.Errorf("core: insert %d: %w", u.ID, err)
-			}
-			bs.Inserted++
-		default:
-			return bs, fmt.Errorf("core: unknown op %v", u.Op)
-		}
+	// Figure 3 step 1: decrement / increment sufficient statistics, as a
+	// two-phase parallel pipeline.
+	if err := s.applyUpdates(batch, &bs); err != nil {
+		return bs, err
 	}
 	// Figure 3 step 2: identify low-quality bubbles and rebuild them.
 	for round := 0; round < s.cfg.MaxRounds; round++ {
@@ -284,6 +280,84 @@ func (s *Summarizer) ApplyBatch(batch dataset.Batch) (BatchStats, error) {
 	s.totalRebuilt += bs.Rebuilt
 	s.batches++
 	return bs, nil
+}
+
+// minParallelItems is the work-list size below which the default worker
+// resolution stays serial: dispatching a pool costs more than a handful of
+// pruned searches. An explicit Config.Workers is always honoured.
+const minParallelItems = 128
+
+// assignWorkers resolves the configured worker count for an n-item phase-1
+// fan-out.
+func (s *Summarizer) assignWorkers(n int) int {
+	if s.cfg.Workers <= 0 && n < minParallelItems {
+		return 1
+	}
+	return parallel.Workers(s.cfg.Workers, n)
+}
+
+// applyUpdates is Figure 3 step 1 as a two-phase pipeline.
+//
+// Phase 1 computes the closest bubble of every insertion concurrently. The
+// searches are read-only: between maintenance rounds the seed positions and
+// the seed distance matrix are frozen, deletions never move seeds, and each
+// worker carries a private Finder (RNG, scratch buffer, distance tally).
+// Each insertion's probe order comes from its own SubSeed-derived RNG
+// stream keyed by batch ordinal, so the chosen bubble and the per-point
+// computed/pruned counts are independent of worker count and scheduling;
+// the per-worker tallies merge into the shared counter in worker order once
+// the fan-out completes, keeping Computed()/Pruned() totals exact.
+//
+// Phase 2 walks the batch serially in order, releasing deletions and
+// absorbing insertions into their precomputed bubbles. All Set mutation —
+// ownership map, (n, LS, SS) accumulation — happens in one goroutine in a
+// fixed order, which keeps the Set lock-free and the result bit-identical
+// to the serial path (DESIGN.md, "Parallel batch assignment").
+func (s *Summarizer) applyUpdates(batch dataset.Batch, bs *BatchStats) error {
+	var inserts []int
+	for i, u := range batch {
+		if u.Op == dataset.OpInsert {
+			inserts = append(inserts, i)
+		}
+	}
+	targets := make([]int, len(inserts))
+	if len(inserts) > 0 {
+		base := s.rng.Int63()
+		err := parallel.ForEachWorker(len(inserts), s.assignWorkers(len(inserts)),
+			func(int) *bubble.Finder { return s.set.NewFinder() },
+			func(f *bubble.Finder, k int) error {
+				u := batch[inserts[k]]
+				t, _, err := f.ClosestSeed(u.P, stats.SubSeed(base, k))
+				if err != nil {
+					return fmt.Errorf("core: insert %d: %w", u.ID, err)
+				}
+				targets[k] = t
+				return nil
+			},
+			func(_ int, f *bubble.Finder) error { f.Flush(); return nil })
+		if err != nil {
+			return err
+		}
+	}
+	next := 0
+	for _, u := range batch {
+		switch u.Op {
+		case dataset.OpDelete:
+			if _, err := s.set.Release(u.ID, u.P); err != nil {
+				return fmt.Errorf("core: delete %d: %w", u.ID, err)
+			}
+			bs.Deleted++
+		case dataset.OpInsert:
+			if err := s.set.AssignTo(targets[next], u.ID, u.P); err != nil {
+				return fmt.Errorf("core: insert %d: %w", u.ID, err)
+			}
+			next++
+			bs.Inserted++
+		default:
+			return fmt.Errorf("core: unknown op %v", u.Op)
+		}
+	}
+	return nil
 }
 
 // adaptCount implements the §6 future-work extension. Growth: every
@@ -435,22 +509,42 @@ func (s *Summarizer) mergeAndSplit(donor, over int) error {
 }
 
 // mergeAway empties bubble donor, releasing each of its points to the
-// next-closest other bubble (the merge phase of Figure 6).
+// next-closest other bubble (the merge phase of Figure 6). The next-closest
+// searches run as the same two-phase pipeline as batch insertion: the
+// released points form an independent work list, phase 1 searches them
+// concurrently against the unchanged seeds, phase 2 reassigns serially in
+// member-ID order.
 func (s *Summarizer) mergeAway(donor int) error {
 	ids, err := s.set.TakeMembers(donor)
 	if err != nil {
 		return err
 	}
-	for _, id := range ids {
+	if len(ids) == 0 {
+		return nil
+	}
+	recs := make([]dataset.Record, len(ids))
+	for k, id := range ids {
 		rec, err := s.db.Get(id)
 		if err != nil {
 			return fmt.Errorf("core: merge lookup %d: %w", id, err)
 		}
-		tgt, _, err := s.set.ClosestSeedExcluding(rec.P, donor)
-		if err != nil {
+		recs[k] = rec
+	}
+	targets := make([]int, len(ids))
+	base := s.rng.Int63()
+	err = parallel.ForEachWorker(len(ids), s.assignWorkers(len(ids)),
+		func(int) *bubble.Finder { return s.set.NewFinder() },
+		func(f *bubble.Finder, k int) error {
+			t, _, err := f.ClosestSeedExcluding(recs[k].P, donor, stats.SubSeed(base, k))
+			targets[k] = t
 			return err
-		}
-		if err := s.set.AssignTo(tgt, id, rec.P); err != nil {
+		},
+		func(_ int, f *bubble.Finder) error { f.Flush(); return nil })
+	if err != nil {
+		return err
+	}
+	for k, id := range ids {
+		if err := s.set.AssignTo(targets[k], id, recs[k].P); err != nil {
 			return err
 		}
 	}
@@ -491,22 +585,43 @@ func (s *Summarizer) splitOver(donor, over int) error {
 		return err
 	}
 
+	// Distribute the points between the two fresh seeds with the same
+	// two-phase shape as batch assignment: the per-point two-seed decision
+	// is pure (no RNG), so phase 1 fans it out with per-worker tallies and
+	// phase 2 absorbs serially in member-ID order.
 	counter := s.set.Counter()
 	useTI := s.set.Options().UseTriangleInequality
 	seedSep := s.set.SeedDistance(donor, over)
-	for _, id := range overIDs {
+	donorSeed := s.set.Bubble(donor).Seed()
+	overSeed := s.set.Bubble(over).Seed()
+	recs := make([]dataset.Record, len(overIDs))
+	for k, id := range overIDs {
 		rec, err := s.db.Get(id)
 		if err != nil {
 			return fmt.Errorf("core: split lookup %d: %w", id, err)
 		}
-		d1 := counter.Distance(rec.P, s.set.Bubble(donor).Seed())
-		target := donor
-		if useTI && seedSep >= 2*d1 {
-			counter.Prune() // Lemma 1: s2 cannot be closer
-		} else if d2 := counter.Distance(rec.P, s.set.Bubble(over).Seed()); d2 < d1 {
-			target = over
-		}
-		if err := s.set.AssignTo(target, id, rec.P); err != nil {
+		recs[k] = rec
+	}
+	targets := make([]int, len(overIDs))
+	err = parallel.ForEachWorker(len(overIDs), s.assignWorkers(len(overIDs)),
+		func(int) *vecmath.Tally { return &vecmath.Tally{} },
+		func(t *vecmath.Tally, k int) error {
+			d1 := t.Distance(recs[k].P, donorSeed)
+			target := donor
+			if useTI && seedSep >= 2*d1 {
+				t.Prune() // Lemma 1: s2 cannot be closer
+			} else if d2 := t.Distance(recs[k].P, overSeed); d2 < d1 {
+				target = over
+			}
+			targets[k] = target
+			return nil
+		},
+		func(_ int, t *vecmath.Tally) error { t.AddTo(counter); return nil })
+	if err != nil {
+		return err
+	}
+	for k, id := range overIDs {
+		if err := s.set.AssignTo(targets[k], id, recs[k].P); err != nil {
 			return err
 		}
 	}

@@ -38,7 +38,8 @@ type Config struct {
 	// cluster is still materialising — useful as an ablation.
 	EvalEveryBatch bool
 	// Workers bounds how many repetitions run concurrently (each rep is
-	// fully independent). ≤0 selects GOMAXPROCS.
+	// fully independent) and is threaded into each summarizer's batch
+	// assignment pipeline (core.Config.Workers). ≤0 selects GOMAXPROCS.
 	Workers int
 }
 

@@ -47,7 +47,7 @@ func Fig7(cfg Config) ([]Fig7Row, error) {
 				NumBubbles:            cfg.Bubbles,
 				UseTriangleInequality: true,
 				Seed:                  cfg.Seed + int64(rep)*31,
-				Config:                core.Config{Probability: cfg.Probability, Measure: m},
+				Config:                core.Config{Probability: cfg.Probability, Measure: m, Workers: cfg.Workers},
 			})
 			if err != nil {
 				return nil, err
@@ -243,7 +243,7 @@ func (c Config) sweepRep(frac float64, rep int) (rebuiltPct, prunedPct, saving f
 		UseTriangleInequality: true,
 		Counter:               &incCounter,
 		Seed:                  c.Seed + int64(rep)*31,
-		Config:                core.Config{Probability: c.Probability},
+		Config:                core.Config{Probability: c.Probability, Workers: c.Workers},
 	})
 	if err != nil {
 		return 0, 0, 0, err

@@ -102,7 +102,7 @@ func (c Config) strategyRep(rep int) (dbF, dbCost, bubF, bubCost float64, err er
 		UseTriangleInequality: true,
 		Counter:               &bubCounter,
 		Seed:                  c.Seed + int64(rep)*31,
-		Config:                core.Config{Probability: c.Probability},
+		Config:                core.Config{Probability: c.Probability, Workers: c.Workers},
 	})
 	if err != nil {
 		return 0, 0, 0, 0, err

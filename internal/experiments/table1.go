@@ -83,7 +83,7 @@ func (c Config) table1Rep(spec DatasetSpec, rep int) (incF, incC, comF, comC flo
 		NumBubbles:            c.Bubbles,
 		UseTriangleInequality: true,
 		Seed:                  seed,
-		Config:                core.Config{Probability: c.Probability},
+		Config:                core.Config{Probability: c.Probability, Workers: c.Workers},
 	})
 	if err != nil {
 		return 0, 0, 0, 0, err

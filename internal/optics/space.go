@@ -13,6 +13,7 @@ import (
 
 	"incbubbles/internal/bubble"
 	"incbubbles/internal/kdtree"
+	"incbubbles/internal/parallel"
 	"incbubbles/internal/vecmath"
 )
 
@@ -122,12 +123,22 @@ type BubbleSpace struct {
 	extents []float64
 	nn1     []float64
 	weights []int
-	dists   [][]float64 // symmetric pairwise distance matrix
+	dists   [][]float64  // symmetric pairwise distance matrix
+	order   [][]Neighbor // per object: all objects by ascending distance
 }
 
 // NewBubbleSpace snapshots the current state of set. Later mutation of the
 // set does not affect the space.
 func NewBubbleSpace(set *bubble.Set) (*BubbleSpace, error) {
+	return NewBubbleSpaceWorkers(set, 0)
+}
+
+// NewBubbleSpaceWorkers is NewBubbleSpace with an explicit worker bound for
+// the O(n²) pairwise-distance and neighbour-order precomputation that
+// powers Neighbors and the OPTICS core-distance computation (≤0 selects
+// GOMAXPROCS). Each row of the precomputation is pure, so the space is
+// identical for every worker count.
+func NewBubbleSpaceWorkers(set *bubble.Set, workers int) (*BubbleSpace, error) {
 	s := &BubbleSpace{set: set}
 	for i, b := range set.Bubbles() {
 		if b.N() == 0 {
@@ -143,16 +154,42 @@ func NewBubbleSpace(set *bubble.Set) (*BubbleSpace, error) {
 		return nil, errors.New("optics: no non-empty bubbles")
 	}
 	n := len(s.idx)
+	w := parallel.Workers(workers, n)
 	s.dists = make([][]float64, n)
 	for i := range s.dists {
 		s.dists[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
+	// Row i fills the pairs (i, j>i). Rows are preallocated above and no
+	// two rows ever write the same cell, so the fan-out is race-free.
+	if err := parallel.ForEach(n, w, func(i int) error {
 		for j := i + 1; j < n; j++ {
 			d := s.bubbleDist(i, j)
 			s.dists[i][j] = d
 			s.dists[j][i] = d
 		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Sort every object's neighbourhood once, concurrently; Neighbors then
+	// copies a prefix instead of re-sorting on each OPTICS expansion. Ties
+	// break by index so the ordering is deterministic.
+	s.order = make([][]Neighbor, n)
+	if err := parallel.ForEach(n, w, func(i int) error {
+		row := make([]Neighbor, n)
+		for j := 0; j < n; j++ {
+			row[j] = Neighbor{Idx: j, Dist: s.dists[i][j]}
+		}
+		sort.Slice(row, func(a, b int) bool {
+			if row[a].Dist != row[b].Dist {
+				return row[a].Dist < row[b].Dist
+			}
+			return row[a].Idx < row[b].Idx
+		})
+		s.order[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -200,21 +237,14 @@ func (s *BubbleSpace) Weights() []int {
 	return append([]int(nil), s.weights...)
 }
 
-// Neighbors implements Space by scanning the precomputed distance matrix
-// (the number of bubbles is small by construction).
+// Neighbors implements Space by slicing the precomputed ascending-distance
+// neighbour order of object i at eps.
 func (s *BubbleSpace) Neighbors(i int, eps float64) []Neighbor {
-	out := make([]Neighbor, 0, len(s.idx))
-	for j := range s.idx {
-		d := s.dists[i][j]
-		if j == i {
-			d = 0
-		}
-		if d <= eps || math.IsInf(eps, 1) {
-			out = append(out, Neighbor{Idx: j, Dist: d})
-		}
+	row := s.order[i]
+	if !math.IsInf(eps, 1) {
+		row = row[:sort.Search(len(row), func(k int) bool { return row[k].Dist > eps })]
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Dist < out[b].Dist })
-	return out
+	return append([]Neighbor(nil), row...)
 }
 
 // CoreDist implements Space following Breunig et al.: when the bubble

@@ -22,6 +22,26 @@ func NewRNG(seed int64) *RNG {
 // Rand exposes the underlying *rand.Rand for operations not wrapped here.
 func (g *RNG) Rand() *rand.Rand { return g.r }
 
+// Reseed re-seeds the generator in place, as if freshly created with
+// NewRNG(seed). Per-point parallel search loops reuse one RNG per worker
+// and reseed it for every item instead of allocating a new source.
+func (g *RNG) Reseed(seed int64) { g.r.Seed(seed) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// SubSeed derives the k-th child seed of base with a SplitMix64 step. Every
+// item of a parallel loop gets its own reproducible RNG stream from
+// (base, item ordinal), so the stream an item sees is independent of the
+// worker that runs it and of execution order — the property the parallel
+// assignment pipeline's determinism rests on.
+func SubSeed(base int64, k int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*(uint64(k)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // Float64 returns a uniform value in [0,1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }
 

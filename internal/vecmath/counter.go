@@ -62,6 +62,13 @@ func (c *Counter) PruneFraction() float64 {
 	return float64(c.Pruned()) / float64(t)
 }
 
+// Add merges externally accumulated counts into the counter — the merge
+// point for the per-worker Tally values of a parallel assignment phase.
+func (c *Counter) Add(computed, pruned uint64) {
+	atomic.AddUint64(&c.computed, computed)
+	atomic.AddUint64(&c.pruned, pruned)
+}
+
 // Reset zeroes the counter.
 func (c *Counter) Reset() {
 	atomic.StoreUint64(&c.computed, 0)
@@ -71,4 +78,47 @@ func (c *Counter) Reset() {
 // Snapshot returns the current (computed, pruned) pair.
 func (c *Counter) Snapshot() (computed, pruned uint64) {
 	return c.Computed(), c.Pruned()
+}
+
+// Tally is a plain, non-atomic distance tally owned by a single goroutine.
+// The parallel assignment pipeline gives every worker its own Tally and
+// folds the tallies into the shared Counter (AddTo) when each worker's
+// chunk completes, so the per-point search loop avoids cross-core
+// contention on the Counter's cache line while the merged totals stay
+// exactly what a serial run would have counted.
+type Tally struct {
+	Computed uint64
+	Pruned   uint64
+}
+
+// Distance computes the Euclidean distance between p and q and tallies one
+// computation.
+func (t *Tally) Distance(p, q Point) float64 {
+	t.Computed++
+	return math.Sqrt(SquaredDistance(p, q))
+}
+
+// SquaredDistance computes the squared distance, tallying one computation.
+func (t *Tally) SquaredDistance(p, q Point) float64 {
+	t.Computed++
+	return SquaredDistance(p, q)
+}
+
+// Prune tallies one avoided distance computation.
+func (t *Tally) Prune() { t.Pruned++ }
+
+// PruneN tallies n avoided computations at once.
+func (t *Tally) PruneN(n int) {
+	if n > 0 {
+		t.Pruned += uint64(n)
+	}
+}
+
+// Total returns computed + pruned.
+func (t *Tally) Total() uint64 { return t.Computed + t.Pruned }
+
+// AddTo folds the tally into c and zeroes the tally.
+func (t *Tally) AddTo(c *Counter) {
+	c.Add(t.Computed, t.Pruned)
+	*t = Tally{}
 }
