@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race bench audit verify
 
 build:
 	$(GO) build ./...
@@ -21,4 +21,17 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-verify: build vet test race
+# Fuzz smoke: ten seconds per target (Go allows one -fuzz pattern per
+# invocation, hence one line each). Covers the bubble codec, the
+# codec+auditor composition, the CSV reader, and the telemetry auditor,
+# snapshot parser and event codec (DESIGN.md §8).
+FUZZTIME ?= 10s
+audit: vet race
+	$(GO) test ./internal/bubble -run='^$$' -fuzz='^FuzzLoad$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/bubble -run='^$$' -fuzz='^FuzzLoadAudit$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadCSV$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/telemetry -run='^$$' -fuzz='^FuzzAudit$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/telemetry -run='^$$' -fuzz='^FuzzSnapshot$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/telemetry -run='^$$' -fuzz='^FuzzEventRoundTrip$$' -fuzztime=$(FUZZTIME)
+
+verify: build vet test race audit

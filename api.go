@@ -2,6 +2,7 @@ package incbubbles
 
 import (
 	"io"
+	"net/http"
 
 	"incbubbles/internal/approx"
 	"incbubbles/internal/bubble"
@@ -16,6 +17,7 @@ import (
 	"incbubbles/internal/stats"
 	"incbubbles/internal/stream"
 	"incbubbles/internal/synth"
+	"incbubbles/internal/telemetry"
 	"incbubbles/internal/vecmath"
 )
 
@@ -204,6 +206,38 @@ type (
 
 // NewStreamWindow creates a sliding-window stream summarizer.
 func NewStreamWindow(cfg StreamConfig) (*StreamWindow, error) { return stream.NewWindow(cfg) }
+
+// Telemetry types (observability and invariant auditing, DESIGN.md §8).
+// Pass a TelemetrySink via SummarizerOptions.Telemetry to collect metrics
+// and events; set SummarizerOptions.Audit to validate the summary
+// invariants after every maintenance phase. Both are strict observers:
+// results are bit-identical with or without them.
+type (
+	// TelemetrySink bundles a metrics registry with an event log.
+	TelemetrySink = telemetry.Sink
+	// TelemetryEvent is one structured maintenance event.
+	TelemetryEvent = telemetry.Event
+	// AuditViolation is one invariant violation an audit pass found.
+	AuditViolation = telemetry.Violation
+)
+
+// NewTelemetrySink creates a sink with a default-capacity event ring.
+func NewTelemetrySink() *TelemetrySink { return telemetry.NewSink() }
+
+// AuditBubbles validates the summary invariants of set against the
+// expected total point count and returns any violations (nil when the
+// summary is consistent). It never panics and computes its distances
+// outside the instrumented counters.
+func AuditBubbles(set *BubbleSet, totalPoints int) []AuditViolation {
+	return telemetry.Audit(set, totalPoints)
+}
+
+// ServeTelemetryDebug serves /debug/telemetry, /debug/events and
+// /debug/pprof/* for sink on addr until the returned server is closed.
+// It returns the bound address, so addr may use port 0.
+func ServeTelemetryDebug(addr string, sink *TelemetrySink) (*http.Server, string, error) {
+	return telemetry.ServeDebug(addr, sink)
+}
 
 // SaveBubbles serializes a bubble set as JSON so a maintained summary
 // survives process restarts; LoadBubbles restores it.

@@ -25,6 +25,7 @@ import (
 
 	"incbubbles/internal/cli"
 	"incbubbles/internal/experiments"
+	"incbubbles/internal/telemetry"
 )
 
 func main() {
@@ -43,8 +44,22 @@ func main() {
 		datasets   = flag.String("datasets", "", "comma-separated Table 1 dataset names (default: all eleven)")
 		everyBatch = flag.Bool("evalEveryBatch", false, "average Table 1 quality over every batch instead of final state")
 		workers    = flag.Int("workers", 0, "concurrent repetitions (0 = GOMAXPROCS)")
+		audit      = flag.Bool("audit", false, "validate summary invariants after every batch; any violation aborts the run")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/telemetry, /debug/events and /debug/pprof on this address while running")
 	)
 	flag.Parse()
+
+	var sink *telemetry.Sink
+	if *debugAddr != "" {
+		sink = telemetry.NewSink()
+		srv, addr, err := telemetry.ServeDebug(*debugAddr, sink)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "incbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "incbench: debug endpoint on http://%s/debug/telemetry\n", addr)
+	}
 
 	opts := cli.IncbenchOptions{
 		Experiment: *experiment,
@@ -59,6 +74,8 @@ func main() {
 			Seed:           *seed,
 			EvalEveryBatch: *everyBatch,
 			Workers:        *workers,
+			Audit:          *audit,
+			Telemetry:      sink,
 		},
 		Fracs:    *fracs,
 		CSVDir:   *csvDir,

@@ -18,20 +18,34 @@ import (
 	"os"
 
 	"incbubbles/internal/cli"
+	"incbubbles/internal/telemetry"
 )
 
 func main() {
 	var (
-		in       = flag.String("in", "-", "input CSV ('-' for stdin)")
-		bubbles  = flag.Int("bubbles", 100, "number of data bubbles")
-		minPts   = flag.Int("minpts", 10, "OPTICS MinPts")
-		seed     = flag.Int64("seed", 1, "random seed")
-		workers  = flag.Int("workers", 0, "assignment worker pool (0 = GOMAXPROCS; results identical for any value)")
-		plotFlag = flag.Bool("plot", false, "print the reachability plot")
-		assign   = flag.Bool("assignments", false, "print id,cluster for every point")
-		pngOut   = flag.String("png", "", "write a reachability-plot PNG to this path")
+		in        = flag.String("in", "-", "input CSV ('-' for stdin)")
+		bubbles   = flag.Int("bubbles", 100, "number of data bubbles")
+		minPts    = flag.Int("minpts", 10, "OPTICS MinPts")
+		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "assignment worker pool (0 = GOMAXPROCS; results identical for any value)")
+		plotFlag  = flag.Bool("plot", false, "print the reachability plot")
+		assign    = flag.Bool("assignments", false, "print id,cluster for every point")
+		pngOut    = flag.String("png", "", "write a reachability-plot PNG to this path")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/telemetry, /debug/events and /debug/pprof on this address while running")
 	)
 	flag.Parse()
+
+	var sink *telemetry.Sink
+	if *debugAddr != "" {
+		sink = telemetry.NewSink()
+		srv, addr, err := telemetry.ServeDebug(*debugAddr, sink)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quickcluster:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "quickcluster: debug endpoint on http://%s/debug/telemetry\n", addr)
+	}
 
 	r := os.Stdin
 	if *in != "-" {
@@ -51,6 +65,7 @@ func main() {
 		Plot:        *plotFlag,
 		Assignments: *assign,
 		PNGOut:      *pngOut,
+		Telemetry:   sink,
 	}
 	if err := cli.RunQuickcluster(r, opts, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "quickcluster:", err)

@@ -14,6 +14,8 @@ import (
 	"incbubbles/internal/optics"
 	"incbubbles/internal/plot"
 	"incbubbles/internal/stats"
+	"incbubbles/internal/telemetry"
+	"incbubbles/internal/vecmath"
 )
 
 // QuickclusterOptions parameterises a one-shot summarize+cluster run.
@@ -25,6 +27,9 @@ type QuickclusterOptions struct {
 	Plot        bool   // print the text reachability plot
 	Assignments bool   // print id,cluster rows
 	PNGOut      string // write a reachability-plot PNG here
+	// Telemetry optionally receives build/cluster metrics (and is what a
+	// -debug-addr endpoint serves). Instrumentation never changes results.
+	Telemetry *telemetry.Sink
 }
 
 // RunQuickcluster reads a CSV database from in, summarizes and clusters
@@ -38,20 +43,26 @@ func RunQuickcluster(in io.Reader, opts QuickclusterOptions, stdout, stderr io.W
 	if db.Len() < numBubbles {
 		numBubbles = db.Len()
 	}
+	var counter vecmath.Counter
 	set, err := bubble.Build(db, numBubbles, bubble.Options{
 		UseTriangleInequality: true,
 		TrackMembers:          true,
 		RNG:                   stats.NewRNG(opts.Seed),
 		Workers:               opts.Workers,
+		Counter:               &counter,
 	})
 	if err != nil {
 		return err
 	}
-	space, err := optics.NewBubbleSpaceWorkers(set, opts.Workers)
+	if opts.Telemetry != nil {
+		opts.Telemetry.Counter(telemetry.MetricDistanceComputed).Add(counter.Computed())
+		opts.Telemetry.Counter(telemetry.MetricDistancePruned).Add(counter.Pruned())
+	}
+	space, err := optics.NewBubbleSpaceTelemetry(set, opts.Workers, opts.Telemetry)
 	if err != nil {
 		return err
 	}
-	res, err := optics.Run(space, optics.Params{MinPts: opts.MinPts})
+	res, err := optics.Run(space, optics.Params{MinPts: opts.MinPts, Sink: opts.Telemetry})
 	if err != nil {
 		return err
 	}

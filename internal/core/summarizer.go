@@ -14,11 +14,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"incbubbles/internal/bubble"
 	"incbubbles/internal/dataset"
 	"incbubbles/internal/parallel"
 	"incbubbles/internal/stats"
+	"incbubbles/internal/telemetry"
 	"incbubbles/internal/vecmath"
 )
 
@@ -148,6 +150,10 @@ type BatchStats struct {
 	Rounds         int // maintenance rounds executed
 	BubblesAdded   int // bubbles created by adaptive growth
 	BubblesRemoved int // empty bubbles removed by adaptive shrink
+	// AuditViolations is the total number of invariant violations the
+	// enabled audit passes reported during this batch (0 when Options.Audit
+	// is off or the summary is healthy).
+	AuditViolations int
 }
 
 // Summarizer incrementally maintains a set of data bubbles over a dynamic
@@ -161,6 +167,60 @@ type Summarizer struct {
 
 	totalRebuilt int
 	batches      int
+
+	// Observability. sink may be nil (telemetry disabled); the resolved
+	// metric handles are always valid — a nil sink hands out detached ones.
+	sink     *telemetry.Sink
+	metrics  coreMetrics
+	audit    bool
+	curBatch int // batch ordinal stamped on emitted events; -1 outside batches
+	// lastComputed/lastPruned remember the distance-counter state at the
+	// previous sync, so the telemetry counters advance by exact deltas of
+	// the same vecmath.Counter every code path counts into — the two
+	// surfaces cannot disagree (see syncDistances).
+	lastComputed   uint64
+	lastPruned     uint64
+	lastViolations []telemetry.Violation
+}
+
+// coreMetrics holds the summarizer's metric handles, resolved once at
+// construction so the hot paths only touch atomics.
+type coreMetrics struct {
+	distComputed    *telemetry.Counter
+	distPruned      *telemetry.Counter
+	batches         *telemetry.Counter
+	inserts         *telemetry.Counter
+	deletes         *telemetry.Counter
+	rebuilt         *telemetry.Counter
+	rounds          *telemetry.Counter
+	donorsFromGood  *telemetry.Counter
+	auditRuns       *telemetry.Counter
+	auditViolations *telemetry.Counter
+	bubbles         *telemetry.Gauge
+	searchSeconds   *telemetry.Histogram
+	applySeconds    *telemetry.Histogram
+	maintainSeconds *telemetry.Histogram
+	workerComputed  *telemetry.Histogram
+}
+
+func newCoreMetrics(sink *telemetry.Sink) coreMetrics {
+	return coreMetrics{
+		distComputed:    sink.Counter(telemetry.MetricDistanceComputed),
+		distPruned:      sink.Counter(telemetry.MetricDistancePruned),
+		batches:         sink.Counter(telemetry.MetricCoreBatches),
+		inserts:         sink.Counter(telemetry.MetricCoreInserts),
+		deletes:         sink.Counter(telemetry.MetricCoreDeletes),
+		rebuilt:         sink.Counter(telemetry.MetricCoreRebuilt),
+		rounds:          sink.Counter(telemetry.MetricCoreRounds),
+		donorsFromGood:  sink.Counter(telemetry.MetricCoreDonorsFromGood),
+		auditRuns:       sink.Counter(telemetry.MetricCoreAuditRuns),
+		auditViolations: sink.Counter(telemetry.MetricCoreAuditViolation),
+		bubbles:         sink.Gauge(telemetry.MetricCoreBubbles),
+		searchSeconds:   sink.Histogram(telemetry.MetricPhaseSearchSeconds, telemetry.SecondsBounds()),
+		applySeconds:    sink.Histogram(telemetry.MetricPhaseApplySeconds, telemetry.SecondsBounds()),
+		maintainSeconds: sink.Histogram(telemetry.MetricPhaseMaintainSeconds, telemetry.SecondsBounds()),
+		workerComputed:  sink.Histogram(telemetry.MetricWorkerComputed, telemetry.CountBounds()),
+	}
 }
 
 // Options bundles construction parameters for New.
@@ -177,6 +237,18 @@ type Options struct {
 	Counter *vecmath.Counter
 	// Seed drives seed selection and probe order. Default 1.
 	Seed int64
+	// Telemetry receives metrics and structured maintenance events.
+	// Optional; nil disables instrumentation with no overhead on the
+	// assignment hot paths. Telemetry is an observer only — enabling it
+	// never changes seeds, probe orders, or distance accounting, so
+	// instrumented and bare runs produce bit-identical summaries.
+	Telemetry *telemetry.Sink
+	// Audit enables an invariant audit (telemetry.Audit) after the apply
+	// phase, after every maintenance round, and after adaptive count
+	// changes. Violations are reported through BatchStats.AuditViolations,
+	// the telemetry sink, and LastViolations — never as errors or panics —
+	// so a corrupted summary degrades gracefully.
+	Audit bool
 }
 
 // New builds the initial data bubbles over db from scratch and returns a
@@ -218,7 +290,19 @@ func New(db *dataset.DB, opts Options) (*Summarizer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Summarizer{db: db, set: set, cfg: cfg, rng: rng}, nil
+	s := &Summarizer{
+		db: db, set: set, cfg: cfg, rng: rng,
+		sink:     opts.Telemetry,
+		metrics:  newCoreMetrics(opts.Telemetry),
+		audit:    opts.Audit,
+		curBatch: -1,
+	}
+	s.syncDistances()
+	if s.sink != nil {
+		s.metrics.bubbles.Set(float64(set.Len()))
+	}
+	s.runAudit(nil)
+	return s, nil
 }
 
 // Set exposes the maintained bubble set (read-only use).
@@ -237,18 +321,97 @@ func (s *Summarizer) Batches() int { return s.batches }
 // batches (the numerator of the paper's Figure 9).
 func (s *Summarizer) TotalRebuilt() int { return s.totalRebuilt }
 
+// Telemetry returns the sink the summarizer reports into (nil when
+// instrumentation is disabled).
+func (s *Summarizer) Telemetry() *telemetry.Sink { return s.sink }
+
+// Audit runs an on-demand invariant audit of the maintained summary and
+// returns the violations (empty for a healthy summary). Unlike the
+// automatic passes enabled by Options.Audit, an on-demand audit touches no
+// metrics or events.
+func (s *Summarizer) Audit() []telemetry.Violation {
+	return telemetry.Audit(s.set, s.db.Len())
+}
+
+// LastViolations returns the violations reported by the most recent
+// automatic audit pass that found any (nil if all passes were clean or
+// auditing is disabled).
+func (s *Summarizer) LastViolations() []telemetry.Violation { return s.lastViolations }
+
+// syncDistances advances the telemetry distance counters by the exact
+// delta of the set's vecmath.Counter since the previous sync. Feeding the
+// metrics only through these deltas — never by counting independently —
+// guarantees the two surfaces agree at every phase boundary.
+func (s *Summarizer) syncDistances() {
+	if s.sink == nil {
+		return
+	}
+	computed, pruned := s.set.Counter().Snapshot()
+	if d := computed - s.lastComputed; d > 0 {
+		s.metrics.distComputed.Add(d)
+	}
+	if d := pruned - s.lastPruned; d > 0 {
+		s.metrics.distPruned.Add(d)
+	}
+	s.lastComputed, s.lastPruned = computed, pruned
+}
+
+// emit stamps the current batch ordinal on e and appends it to the sink.
+func (s *Summarizer) emit(e telemetry.Event) {
+	if s.sink == nil {
+		return
+	}
+	e.Batch = s.curBatch
+	s.sink.Emit(e)
+}
+
+// runAudit performs one automatic audit pass when enabled, routing any
+// violations into bs (if non-nil), the metrics, and the event log.
+func (s *Summarizer) runAudit(bs *BatchStats) {
+	if !s.audit {
+		return
+	}
+	s.metrics.auditRuns.Inc()
+	vs := telemetry.Audit(s.set, s.db.Len())
+	if len(vs) == 0 {
+		return
+	}
+	s.lastViolations = vs
+	s.metrics.auditViolations.Add(uint64(len(vs)))
+	s.emit(telemetry.Event{Kind: telemetry.KindViolation, N: len(vs)})
+	if bs != nil {
+		bs.AuditViolations += len(vs)
+	}
+}
+
+// observeWorkerTally records one worker's private distance tally as it is
+// merged at a phase boundary.
+func (s *Summarizer) observeWorkerTally(t vecmath.Tally) {
+	if s.sink == nil {
+		return
+	}
+	s.metrics.workerComputed.Observe(float64(t.Computed))
+}
+
 // ApplyBatch incorporates one applied batch of updates (deletions carry
 // the removed coordinates, insertions their assigned IDs) and then runs
 // quality maintenance: classify all bubbles by β and rebuild the
 // over-filled ones via synchronized merge and split.
 func (s *Summarizer) ApplyBatch(batch dataset.Batch) (BatchStats, error) {
 	var bs BatchStats
+	s.curBatch = s.batches
 	// Figure 3 step 1: decrement / increment sufficient statistics, as a
 	// two-phase parallel pipeline.
 	if err := s.applyUpdates(batch, &bs); err != nil {
 		return bs, err
 	}
+	s.syncDistances()
+	s.runAudit(&bs)
 	// Figure 3 step 2: identify low-quality bubbles and rebuild them.
+	var maintainStart time.Time
+	if s.sink != nil {
+		maintainStart = time.Now()
+	}
 	for round := 0; round < s.cfg.MaxRounds; round++ {
 		cl := s.Classify()
 		if round == 0 {
@@ -265,6 +428,7 @@ func (s *Summarizer) ApplyBatch(batch dataset.Batch) (BatchStats, error) {
 		bs.Rebuilt += rebuilt
 		bs.DonorsFromGood += fromGood
 		bs.Rounds = round + 1
+		s.runAudit(&bs)
 		if rebuilt == 0 {
 			break
 		}
@@ -276,9 +440,24 @@ func (s *Summarizer) ApplyBatch(batch dataset.Batch) (BatchStats, error) {
 		}
 		bs.BubblesAdded = added
 		bs.BubblesRemoved = removed
+		s.runAudit(&bs)
 	}
 	s.totalRebuilt += bs.Rebuilt
 	s.batches++
+	s.syncDistances()
+	if s.sink != nil {
+		s.metrics.maintainSeconds.Observe(time.Since(maintainStart).Seconds())
+		s.metrics.batches.Inc()
+		s.metrics.inserts.Add(uint64(bs.Inserted))
+		s.metrics.deletes.Add(uint64(bs.Deleted))
+		s.metrics.rebuilt.Add(uint64(bs.Rebuilt))
+		s.metrics.rounds.Add(uint64(bs.Rounds))
+		s.metrics.donorsFromGood.Add(uint64(bs.DonorsFromGood))
+		s.metrics.bubbles.Set(float64(s.set.Len()))
+		s.emit(telemetry.Event{Kind: telemetry.KindBatchApply,
+			A: bs.Inserted, B: bs.Deleted, N: len(batch)})
+	}
+	s.curBatch = -1
 	return bs, nil
 }
 
@@ -322,6 +501,10 @@ func (s *Summarizer) applyUpdates(batch dataset.Batch, bs *BatchStats) error {
 	}
 	targets := make([]int, len(inserts))
 	if len(inserts) > 0 {
+		var searchStart time.Time
+		if s.sink != nil {
+			searchStart = time.Now()
+		}
 		base := s.rng.Int63()
 		err := parallel.ForEachWorker(len(inserts), s.assignWorkers(len(inserts)),
 			func(int) *bubble.Finder { return s.set.NewFinder() },
@@ -334,10 +517,21 @@ func (s *Summarizer) applyUpdates(batch dataset.Batch, bs *BatchStats) error {
 				targets[k] = t
 				return nil
 			},
-			func(_ int, f *bubble.Finder) error { f.Flush(); return nil })
+			func(_ int, f *bubble.Finder) error {
+				s.observeWorkerTally(f.Tally())
+				f.Flush()
+				return nil
+			})
 		if err != nil {
 			return err
 		}
+		if s.sink != nil {
+			s.metrics.searchSeconds.Observe(time.Since(searchStart).Seconds())
+		}
+	}
+	var applyStart time.Time
+	if s.sink != nil {
+		applyStart = time.Now()
 	}
 	next := 0
 	for _, u := range batch {
@@ -356,6 +550,9 @@ func (s *Summarizer) applyUpdates(batch dataset.Batch, bs *BatchStats) error {
 		default:
 			return fmt.Errorf("core: unknown op %v", u.Op)
 		}
+	}
+	if s.sink != nil {
+		s.metrics.applySeconds.Observe(time.Since(applyStart).Seconds())
 	}
 	return nil
 }
@@ -383,6 +580,7 @@ func (s *Summarizer) adaptCount() (added, removed int, err error) {
 		if err := s.splitOver(idx, over); err != nil {
 			return added, removed, err
 		}
+		s.emit(telemetry.Event{Kind: telemetry.KindGrow, A: idx, B: over})
 		added++
 	}
 	// Shrink: keep at most one empty bubble as a spare donor.
@@ -400,6 +598,7 @@ func (s *Summarizer) adaptCount() (added, removed int, err error) {
 		if err := s.set.RemoveBubble(empties[k]); err != nil {
 			return added, removed, err
 		}
+		s.emit(telemetry.Event{Kind: telemetry.KindShrink, A: empties[k]})
 		removed++
 	}
 	return added, removed, nil
@@ -539,7 +738,11 @@ func (s *Summarizer) mergeAway(donor int) error {
 			targets[k] = t
 			return err
 		},
-		func(_ int, f *bubble.Finder) error { f.Flush(); return nil })
+		func(_ int, f *bubble.Finder) error {
+			s.observeWorkerTally(f.Tally())
+			f.Flush()
+			return nil
+		})
 	if err != nil {
 		return err
 	}
@@ -548,6 +751,7 @@ func (s *Summarizer) mergeAway(donor int) error {
 			return err
 		}
 	}
+	s.emit(telemetry.Event{Kind: telemetry.KindMerge, A: donor, N: len(ids)})
 	return nil
 }
 
@@ -584,6 +788,8 @@ func (s *Summarizer) splitOver(donor, over int) error {
 	if err := s.set.ResetBubble(over, rec2.P); err != nil {
 		return err
 	}
+	s.emit(telemetry.Event{Kind: telemetry.KindReseed, A: donor})
+	s.emit(telemetry.Event{Kind: telemetry.KindReseed, A: over})
 
 	// Distribute the points between the two fresh seeds with the same
 	// two-phase shape as batch assignment: the per-point two-seed decision
@@ -616,7 +822,11 @@ func (s *Summarizer) splitOver(donor, over int) error {
 			targets[k] = target
 			return nil
 		},
-		func(_ int, t *vecmath.Tally) error { t.AddTo(counter); return nil })
+		func(_ int, t *vecmath.Tally) error {
+			s.observeWorkerTally(*t)
+			t.AddTo(counter)
+			return nil
+		})
 	if err != nil {
 		return err
 	}
@@ -625,5 +835,6 @@ func (s *Summarizer) splitOver(donor, over int) error {
 			return err
 		}
 	}
+	s.emit(telemetry.Event{Kind: telemetry.KindSplit, A: donor, B: over, N: len(overIDs)})
 	return nil
 }

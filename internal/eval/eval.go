@@ -7,6 +7,7 @@ package eval
 
 import (
 	"errors"
+	"sort"
 
 	"incbubbles/internal/bubble"
 	"incbubbles/internal/dataset"
@@ -54,15 +55,30 @@ func FScore(truth, found []int) (float64, error) {
 	for _, n := range classSize {
 		total += n
 	}
+	// Iterate in sorted key order: the weighted sum below is floating-point
+	// addition, so Go's randomized map order would make the score differ in
+	// the last bits between identical runs — enough to break byte-identical
+	// golden outputs.
+	classes := make([]int, 0, len(classSize))
+	for class := range classSize {
+		classes = append(classes, class)
+	}
+	sort.Ints(classes)
+	clusters := make([]int, 0, len(clusterSize))
+	for cluster := range clusterSize {
+		clusters = append(clusters, cluster)
+	}
+	sort.Ints(clusters)
 	var score float64
-	for class, lsize := range classSize {
+	for _, class := range classes {
+		lsize := classSize[class]
 		best := 0.0
-		for cluster, csize := range clusterSize {
+		for _, cluster := range clusters {
 			nij := inter[[2]int{class, cluster}]
 			if nij == 0 {
 				continue
 			}
-			p := float64(nij) / float64(csize)
+			p := float64(nij) / float64(clusterSize[cluster])
 			r := float64(nij) / float64(lsize)
 			if f := 2 * p * r / (p + r); f > best {
 				best = f

@@ -80,12 +80,12 @@ func (c Config) ablationRep(conf core.Config, rep int) (f float64, bubbles, rebu
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	s, err := core.New(sc.DB(), core.Options{
+	s, err := core.New(sc.DB(), c.instrument(core.Options{
 		NumBubbles:            c.Bubbles,
 		UseTriangleInequality: true,
 		Seed:                  c.Seed + int64(rep)*31,
 		Config:                conf,
-	})
+	}))
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -94,7 +94,7 @@ func (c Config) ablationRep(conf core.Config, rep int) (f float64, bubbles, rebu
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		if _, err := s.ApplyBatch(batch); err != nil {
+		if _, err := c.applyBatch(s, batch); err != nil {
 			return 0, 0, 0, err
 		}
 	}

@@ -15,7 +15,10 @@ import (
 	"errors"
 	"fmt"
 
+	"incbubbles/internal/core"
+	"incbubbles/internal/dataset"
 	"incbubbles/internal/synth"
+	"incbubbles/internal/telemetry"
 )
 
 // Config scales the experiments. The defaults run in seconds; the paper's
@@ -41,6 +44,16 @@ type Config struct {
 	// fully independent) and is threaded into each summarizer's batch
 	// assignment pipeline (core.Config.Workers). ≤0 selects GOMAXPROCS.
 	Workers int
+	// Audit enables telemetry.Audit invariant checks inside every
+	// maintained summarizer. Where the core degrades gracefully on a
+	// violation, an experiment must not: any violation aborts the run with
+	// an error, so an audited experiments run doubles as an end-to-end
+	// invariant check.
+	Audit bool
+	// Telemetry optionally receives metrics and maintenance events from
+	// every summarizer the experiments construct. One sink may be shared
+	// across all repetitions and datasets (its updates are atomic).
+	Telemetry *telemetry.Sink
 }
 
 // WithDefaults fills zero fields with the documented defaults.
@@ -118,6 +131,28 @@ func Table1Datasets() []DatasetSpec {
 		{Name: "Complex10d", Kind: synth.Complex, Dim: 10},
 		{Name: "Complex20d", Kind: synth.Complex, Dim: 20},
 	}
+}
+
+// instrument threads the experiment-wide telemetry and audit settings into
+// one summarizer's construction options.
+func (c Config) instrument(opts core.Options) core.Options {
+	opts.Telemetry = c.Telemetry
+	opts.Audit = c.Audit
+	return opts
+}
+
+// applyBatch feeds one batch to a maintained summarizer, escalating audit
+// violations (which the core only reports) into hard errors.
+func (c Config) applyBatch(s *core.Summarizer, batch dataset.Batch) (core.BatchStats, error) {
+	bs, err := s.ApplyBatch(batch)
+	if err != nil {
+		return bs, err
+	}
+	if bs.AuditViolations > 0 {
+		return bs, fmt.Errorf("experiments: audit reported %d violations after batch %d: %v",
+			bs.AuditViolations, s.Batches()-1, s.LastViolations())
+	}
+	return bs, nil
 }
 
 // scenario builds the synth scenario for a dataset spec and rep.

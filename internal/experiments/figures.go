@@ -43,12 +43,12 @@ func Fig7(cfg Config) ([]Fig7Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			s, err := core.New(sc.DB(), core.Options{
+			s, err := core.New(sc.DB(), cfg.instrument(core.Options{
 				NumBubbles:            cfg.Bubbles,
 				UseTriangleInequality: true,
 				Seed:                  cfg.Seed + int64(rep)*31,
 				Config:                core.Config{Probability: cfg.Probability, Measure: m, Workers: cfg.Workers},
-			})
+			}))
 			if err != nil {
 				return nil, err
 			}
@@ -57,7 +57,7 @@ func Fig7(cfg Config) ([]Fig7Row, error) {
 				if err != nil {
 					return nil, err
 				}
-				if _, err := s.ApplyBatch(batch); err != nil {
+				if _, err := cfg.applyBatch(s, batch); err != nil {
 					return nil, err
 				}
 			}
@@ -238,13 +238,13 @@ func (c Config) sweepRep(frac float64, rep int) (rebuiltPct, prunedPct, saving f
 		return 0, 0, 0, err
 	}
 	var incCounter vecmath.Counter
-	inc, err := core.New(sc.DB(), core.Options{
+	inc, err := core.New(sc.DB(), c.instrument(core.Options{
 		NumBubbles:            c.Bubbles,
 		UseTriangleInequality: true,
 		Counter:               &incCounter,
 		Seed:                  c.Seed + int64(rep)*31,
 		Config:                core.Config{Probability: c.Probability, Workers: c.Workers},
-	})
+	}))
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -256,7 +256,7 @@ func (c Config) sweepRep(frac float64, rep int) (rebuiltPct, prunedPct, saving f
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		if _, err := inc.ApplyBatch(batch); err != nil {
+		if _, err := c.applyBatch(inc, batch); err != nil {
 			return 0, 0, 0, err
 		}
 		// Baseline: a complete rebuild after this batch, no pruning.

@@ -97,13 +97,13 @@ func (c Config) strategyRep(rep int) (dbF, dbCost, bubF, bubCost float64, err er
 	dbCounter.Reset() // build cost excluded for both strategies
 
 	var bubCounter vecmath.Counter
-	sum, err := core.New(sc.DB(), core.Options{
+	sum, err := core.New(sc.DB(), c.instrument(core.Options{
 		NumBubbles:            c.Bubbles,
 		UseTriangleInequality: true,
 		Counter:               &bubCounter,
 		Seed:                  c.Seed + int64(rep)*31,
 		Config:                core.Config{Probability: c.Probability, Workers: c.Workers},
-	})
+	}))
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
@@ -128,7 +128,7 @@ func (c Config) strategyRep(rep int) (dbF, dbCost, bubF, bubCost float64, err er
 		// Resolve IncrementalDBSCAN's deferred split checks within the
 		// batch so its cost is charged where it accrues.
 		incDB.Flush()
-		if _, err := sum.ApplyBatch(batch); err != nil {
+		if _, err := c.applyBatch(sum, batch); err != nil {
 			return 0, 0, 0, 0, err
 		}
 	}

@@ -79,12 +79,12 @@ func (c Config) table1Rep(spec DatasetSpec, rep int) (incF, incC, comF, comC flo
 		return 0, 0, 0, 0, err
 	}
 	seed := c.Seed + int64(rep)*104729
-	inc, err := core.New(sc.DB(), core.Options{
+	inc, err := core.New(sc.DB(), c.instrument(core.Options{
 		NumBubbles:            c.Bubbles,
 		UseTriangleInequality: true,
 		Seed:                  seed,
 		Config:                core.Config{Probability: c.Probability, Workers: c.Workers},
-	})
+	}))
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
@@ -120,7 +120,7 @@ func (c Config) table1Rep(spec DatasetSpec, rep int) (incF, incC, comF, comC flo
 		if err != nil {
 			return 0, 0, 0, 0, err
 		}
-		if _, err := inc.ApplyBatch(batch); err != nil {
+		if _, err := c.applyBatch(inc, batch); err != nil {
 			return 0, 0, 0, 0, err
 		}
 		if c.EvalEveryBatch || b == c.Batches-1 {

@@ -3,6 +3,9 @@ package optics
 import (
 	"errors"
 	"math"
+	"time"
+
+	"incbubbles/internal/telemetry"
 )
 
 // Entry is one element of the OPTICS cluster ordering.
@@ -36,6 +39,9 @@ type Params struct {
 	// MinPts is the density threshold in points (not objects): data
 	// bubbles contribute their full populations.
 	MinPts int
+	// Sink optionally receives run accounting (run count, wall time).
+	// Instrumentation never changes the ordering.
+	Sink *telemetry.Sink
 }
 
 // Run computes the OPTICS cluster ordering of space. The algorithm is the
@@ -48,6 +54,7 @@ func Run(space Space, params Params) (*Result, error) {
 	if params.MinPts < 1 {
 		return nil, errors.New("optics: MinPts must be at least 1")
 	}
+	runStart := time.Now()
 	eps := params.Eps
 	if eps == 0 {
 		eps = math.Inf(1)
@@ -97,6 +104,11 @@ func Run(space Space, params Params) (*Result, error) {
 				update(space, seeds, nbJ, coreJ, processed, reach)
 			}
 		}
+	}
+	if params.Sink != nil {
+		params.Sink.Counter(telemetry.MetricOpticsRuns).Inc()
+		params.Sink.Histogram(telemetry.MetricOpticsRunSeconds, telemetry.SecondsBounds()).
+			Observe(time.Since(runStart).Seconds())
 	}
 	return &Result{Order: order, MinPts: params.MinPts, Eps: eps}, nil
 }

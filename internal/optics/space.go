@@ -10,10 +10,12 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"time"
 
 	"incbubbles/internal/bubble"
 	"incbubbles/internal/kdtree"
 	"incbubbles/internal/parallel"
+	"incbubbles/internal/telemetry"
 	"incbubbles/internal/vecmath"
 )
 
@@ -131,6 +133,24 @@ type BubbleSpace struct {
 // set does not affect the space.
 func NewBubbleSpace(set *bubble.Set) (*BubbleSpace, error) {
 	return NewBubbleSpaceWorkers(set, 0)
+}
+
+// NewBubbleSpaceTelemetry is NewBubbleSpaceWorkers with build accounting
+// reported into sink (build count, object count, wall time). A nil sink is
+// valid; the space itself is unaffected by instrumentation.
+func NewBubbleSpaceTelemetry(set *bubble.Set, workers int, sink *telemetry.Sink) (*BubbleSpace, error) {
+	start := time.Now()
+	s, err := NewBubbleSpaceWorkers(set, workers)
+	if err != nil {
+		return nil, err
+	}
+	if sink != nil {
+		sink.Counter(telemetry.MetricOpticsSpaceBuilds).Inc()
+		sink.Counter(telemetry.MetricOpticsSpaceObjects).Add(uint64(s.Len()))
+		sink.Histogram(telemetry.MetricOpticsSpaceSeconds, telemetry.SecondsBounds()).
+			Observe(time.Since(start).Seconds())
+	}
+	return s, nil
 }
 
 // NewBubbleSpaceWorkers is NewBubbleSpace with an explicit worker bound for

@@ -1,0 +1,121 @@
+package telemetry_test
+
+import (
+	"fmt"
+	"testing"
+
+	"incbubbles/internal/core"
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/stats"
+	"incbubbles/internal/telemetry"
+	"incbubbles/internal/vecmath"
+)
+
+// randomBatch builds a random mix of insertions and deletions against db:
+// inserts draw from a handful of Gaussian clusters (plus the occasional
+// far-away outlier, to provoke over-filled classifications and hence
+// merge/split maintenance), deletes pick uniformly among surviving points.
+func randomBatch(t *testing.T, rng *stats.RNG, db *dataset.DB, dim, size int) dataset.Batch {
+	t.Helper()
+	centers := []float64{0, 30, -25}
+	var batch dataset.Batch
+	for i := 0; i < size; i++ {
+		if rng.Float64() < 0.45 && db.Len() > 200 {
+			ids, err := db.RandomIDs(rng, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Skip IDs already deleted earlier in this batch: Apply fills
+			// coordinates in order, so duplicates would dangle.
+			dup := false
+			for _, u := range batch {
+				if u.Op == dataset.OpDelete && u.ID == ids[0] {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			batch = append(batch, dataset.Update{Op: dataset.OpDelete, ID: ids[0]})
+			continue
+		}
+		ci := rng.Intn(len(centers))
+		center := make(vecmath.Point, dim)
+		for d := range center {
+			center[d] = centers[ci]
+		}
+		spread := 4.0
+		if rng.Float64() < 0.05 {
+			spread = 60 // outlier: stress the classifier
+		}
+		batch = append(batch, dataset.Update{
+			Op:    dataset.OpInsert,
+			P:     rng.GaussianPoint(center, spread),
+			Label: ci,
+		})
+	}
+	return batch
+}
+
+// TestAuditPropertyRandomBatches is the property harness: across seeds,
+// dimensionalities, worker counts and maintenance configurations, random
+// insert/delete batch sequences must keep every audited invariant intact —
+// the auditor runs inside ApplyBatch after the apply phase, after every
+// merge/split round, and after adaptive count changes.
+func TestAuditPropertyRandomBatches(t *testing.T) {
+	const batches = 6
+	for _, dim := range []int{2, 5} {
+		for _, seed := range []int64{101, 202, 303} {
+			dim, seed := dim, seed
+			t.Run(fmt.Sprintf("dim=%d/seed=%d", dim, seed), func(t *testing.T) {
+				rng := stats.NewRNG(seed)
+				db := dataset.MustNew(dim)
+				for i := 0; i < 700; i++ {
+					center := make(vecmath.Point, dim)
+					for d := range center {
+						center[d] = []float64{0, 30, -25}[i%3]
+					}
+					db.Insert(rng.GaussianPoint(center, 4), i%3)
+				}
+				sink := telemetry.NewSink()
+				s, err := core.New(db, core.Options{
+					NumBubbles:            15,
+					UseTriangleInequality: true,
+					Seed:                  seed + 1,
+					Telemetry:             sink,
+					Audit:                 true,
+					Config: core.Config{
+						MaxRounds:     2,
+						AdaptiveCount: seed%2 == 0,
+						Workers:       int(seed % 3), // 0 (auto), 1 (serial), 2
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for b := 0; b < batches; b++ {
+					batch := randomBatch(t, rng, db, dim, 120)
+					batch, err := batch.Apply(db)
+					if err != nil {
+						t.Fatal(err)
+					}
+					bs, err := s.ApplyBatch(batch)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if bs.AuditViolations != 0 {
+						t.Fatalf("batch %d: %d violations: %v",
+							b, bs.AuditViolations, s.LastViolations())
+					}
+				}
+				if vs := s.Audit(); len(vs) != 0 {
+					t.Fatalf("final audit: %v", vs)
+				}
+				if got := sink.Counter(telemetry.MetricCoreAuditRuns).Value(); got == 0 {
+					t.Fatal("no audit passes recorded")
+				}
+			})
+		}
+	}
+}

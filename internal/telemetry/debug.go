@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns the debug HTTP handler the -debug-addr CLI flags
+// serve:
+//
+//	/debug/telemetry   expvar-style JSON snapshot of all metrics
+//	/debug/events      JSON array of the retained structured events
+//	/debug/pprof/...   the standard net/http/pprof handlers
+//
+// The handlers read the sink through its own synchronization, so the mux
+// can serve while the instrumented system runs.
+func DebugMux(sink *Sink) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var snap Snapshot
+		if sink != nil && sink.Metrics != nil {
+			snap = sink.Metrics.Snapshot()
+		}
+		if err := json.NewEncoder(w).Encode(snap); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		events := []Event{}
+		var total, dropped uint64
+		if sink != nil && sink.Events != nil {
+			events = sink.Events.Events()
+			total = sink.Events.Total()
+			dropped = sink.Events.Dropped()
+		}
+		err := json.NewEncoder(w).Encode(struct {
+			Total   uint64  `json:"total"`
+			Dropped uint64  `json:"dropped"`
+			Events  []Event `json:"events"`
+		}{Total: total, Dropped: dropped, Events: events})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the debug endpoint on addr (e.g. "localhost:6060") in
+// a background goroutine and returns the server plus the bound address
+// (useful when addr requests port 0). Shut it down with srv.Close.
+func ServeDebug(addr string, sink *Sink) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: DebugMux(sink)}
+	go func() {
+		// ErrServerClosed after Close/Shutdown is the expected exit.
+		_ = srv.Serve(ln)
+	}()
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Kind classifies a maintenance event. The set mirrors the operations the
+// paper's evaluation counts: batch absorption (Figure 3), the synchronized
+// merge and split of Figure 6 with their reseeds, the §6 adaptive-count
+// grow/shrink extension, and audit violations.
+type Kind uint8
+
+const (
+	// KindBatchApply is one completed ApplyBatch: A=inserted, B=deleted,
+	// N=batch length.
+	KindBatchApply Kind = iota
+	// KindMerge is one donor bubble emptied into its neighbours (Figure 6
+	// merge phase): A=donor index, N=points released.
+	KindMerge
+	// KindSplit is one over-filled bubble split between two fresh seeds:
+	// A=donor index, B=over index, N=points redistributed.
+	KindSplit
+	// KindReseed is one bubble re-seeded at a new position (ResetBubble
+	// during a split): A=bubble index.
+	KindReseed
+	// KindGrow is one bubble added by adaptive growth: A=new index,
+	// B=over-filled index it relieves.
+	KindGrow
+	// KindShrink is one empty bubble removed by adaptive shrink: A=removed
+	// index.
+	KindShrink
+	// KindViolation is one audit pass that found violations: N=violation
+	// count.
+	KindViolation
+
+	numKinds
+)
+
+// String implements fmt.Stringer for Kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBatchApply:
+		return "batch-apply"
+	case KindMerge:
+		return "merge"
+	case KindSplit:
+		return "split"
+	case KindReseed:
+		return "reseed"
+	case KindGrow:
+		return "grow"
+	case KindShrink:
+		return "shrink"
+	case KindViolation:
+		return "violation"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// MarshalText renders the kind name in JSON event dumps.
+func (k Kind) MarshalText() ([]byte, error) {
+	if k >= numKinds {
+		return nil, fmt.Errorf("telemetry: unknown event kind %d", uint8(k))
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText parses the names MarshalText produces, so event dumps
+// round-trip through JSON.
+func (k *Kind) UnmarshalText(text []byte) error {
+	for c := Kind(0); c < numKinds; c++ {
+		if c.String() == string(text) {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown event kind %q", text)
+}
+
+// Event is one structured maintenance event. The A/B/N fields are
+// kind-specific (see the Kind constants); Batch is the ordinal of the
+// batch being applied when the event fired, or -1 outside batch
+// processing. Events are fixed-size so appending never allocates.
+type Event struct {
+	Seq   uint64 `json:"seq"`
+	Kind  Kind   `json:"kind"`
+	Batch int    `json:"batch"`
+	A     int    `json:"a"`
+	B     int    `json:"b"`
+	N     int    `json:"n"`
+}
+
+// String summarises the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s batch=%d a=%d b=%d n=%d", e.Seq, e.Kind, e.Batch, e.A, e.B, e.N)
+}
+
+// DefaultEventCapacity bounds the event ring when NewEventLog is given a
+// non-positive capacity.
+const DefaultEventCapacity = 1024
+
+// EventLog is a bounded ring of events. When full, appending drops the
+// oldest event and counts the drop, so a long-lived production process has
+// a hard memory bound while per-kind totals stay exact.
+type EventLog struct {
+	mu      sync.Mutex
+	buf     []Event
+	head    int // index of the oldest retained event
+	n       int // retained events
+	seq     uint64
+	dropped uint64
+	counts  [numKinds]uint64
+}
+
+// NewEventLog returns a ring retaining at most capacity events
+// (DefaultEventCapacity when capacity ≤ 0).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	return &EventLog{buf: make([]Event, capacity)}
+}
+
+// Append records e, assigning its sequence number.
+func (l *EventLog) Append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Seq = l.seq
+	l.seq++
+	if int(e.Kind) < len(l.counts) {
+		l.counts[e.Kind]++
+	}
+	if l.n == len(l.buf) {
+		l.buf[l.head] = e
+		l.head = (l.head + 1) % len(l.buf)
+		l.dropped++
+		return
+	}
+	l.buf[(l.head+l.n)%len(l.buf)] = e
+	l.n++
+}
+
+// Events returns the retained events, oldest first.
+func (l *EventLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, l.n)
+	for i := 0; i < l.n; i++ {
+		out[i] = l.buf[(l.head+i)%len(l.buf)]
+	}
+	return out
+}
+
+// Total returns how many events were ever appended.
+func (l *EventLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Dropped returns how many events the bounded ring has evicted.
+func (l *EventLog) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Count returns how many events of kind k were ever appended (evicted ones
+// included).
+func (l *EventLog) Count(k Kind) uint64 {
+	if int(k) >= int(numKinds) {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.counts[k]
+}

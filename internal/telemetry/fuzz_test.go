@@ -1,0 +1,105 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"incbubbles/internal/bubble"
+	"incbubbles/internal/telemetry"
+)
+
+// FuzzAudit feeds arbitrary (frequently corrupt) bubble statistics through
+// the auditor: whatever (n, LS, SS) combination the snapshot decoder lets
+// through — including unrealizable ones — Audit must return structured
+// violations, never panic.
+func FuzzAudit(f *testing.F) {
+	var buf bytes.Buffer
+	set, _ := bubble.NewSet(2, bubble.Options{UseTriangleInequality: true, TrackMembers: true})
+	set.AddBubble([]float64{0, 0})
+	set.AddBubble([]float64{5, 5})
+	set.AssignClosest(1, []float64{0.5, 0})
+	set.AssignClosest(2, []float64{5, 5.5})
+	set.Save(&buf)
+	f.Add(buf.Bytes(), 2)
+	// Unrealizable statistics Load accepts: SS below ‖LS‖²/n, empty-bubble
+	// residue, huge magnitudes.
+	f.Add([]byte(`{"version":1,"dim":2,"bubbles":[{"seed":[0,0],"n":3,"ls":[9,9],"ss":1}]}`), 3)
+	f.Add([]byte(`{"version":1,"dim":2,"bubbles":[{"seed":[0,0],"n":0,"ls":[1,0],"ss":7}]}`), 0)
+	f.Add([]byte(`{"version":1,"dim":1,"bubbles":[{"seed":[1e308],"n":1,"ls":[-1e308],"ss":-1e308}]}`), 1)
+	f.Add([]byte(`{"version":1,"dim":3,"bubbles":[]}`), -5)
+	f.Fuzz(func(t *testing.T, data []byte, totalPoints int) {
+		s, err := bubble.Load(bytes.NewReader(data), bubble.Options{})
+		if err != nil {
+			return
+		}
+		vs := telemetry.AuditWith(s, totalPoints, telemetry.AuditOptions{MaxViolations: 16})
+		for _, v := range vs {
+			if v.Code == telemetry.CodeInternal {
+				t.Fatalf("auditor recovered from a panic on decodable input: %v", v)
+			}
+			_ = v.String()
+		}
+	})
+}
+
+// FuzzSnapshot asserts ParseSnapshot never panics and that any snapshot it
+// accepts re-marshals to a stable fixed point (parse∘marshal is identity
+// from the first marshal on).
+func FuzzSnapshot(f *testing.F) {
+	r := telemetry.NewRegistry()
+	r.Counter("distance.computed").Add(12)
+	r.Gauge("core.bubbles").Set(3.5)
+	r.Histogram("core.phase.search_seconds", telemetry.SecondsBounds()).Observe(0.01)
+	f.Add([]byte(r.String()))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"counters":{"a":1},"gauges":{"g":-2.5}}`))
+	f.Add([]byte(`{"histograms":{"h":{"bounds":[1,2],"counts":[0,1,2],"count":3,"sum":4.5}}}`))
+	f.Add([]byte(`{"counters":null}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := telemetry.ParseSnapshot(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(snap)
+		if err != nil {
+			// Non-finite gauge values parsed from nothing: impossible via
+			// JSON input, so marshal must succeed.
+			t.Fatalf("accepted snapshot failed to marshal: %v", err)
+		}
+		again, err := telemetry.ParseSnapshot(out)
+		if err != nil {
+			t.Fatalf("marshal produced unparsable output: %v", err)
+		}
+		out2, err := json.Marshal(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("snapshot not a fixed point:\n%s\nvs\n%s", out, out2)
+		}
+	})
+}
+
+// FuzzEventRoundTrip asserts events round-trip through their JSON encoding
+// for every valid kind.
+func FuzzEventRoundTrip(f *testing.F) {
+	f.Add(uint8(0), 1, 2, 3, 4)
+	f.Add(uint8(6), -1, 0, 0, 100)
+	f.Fuzz(func(t *testing.T, kind uint8, batch, a, b, n int) {
+		e := telemetry.Event{Kind: telemetry.Kind(kind), Batch: batch, A: a, B: b, N: n}
+		raw, err := json.Marshal(e)
+		if err != nil {
+			// Kinds outside the named range have no text form.
+			return
+		}
+		var back telemetry.Event
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("marshalled event does not unmarshal: %v\n%s", err, raw)
+		}
+		if !reflect.DeepEqual(e, back) {
+			t.Fatalf("event round-trip: %+v != %+v", e, back)
+		}
+	})
+}

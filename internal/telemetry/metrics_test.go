@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("a").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a") != c {
+		t.Fatal("re-resolving a counter returned a different handle")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	// v ≤ 1 → bucket 0 (0.5, 1); v ≤ 10 → bucket 1 (2, 10); v ≤ 100 →
+	// bucket 2 (50); overflow (1000).
+	want := []uint64{2, 2, 1, 1}
+	if !reflect.DeepEqual(snap.Counts, want) {
+		t.Fatalf("counts = %v, want %v", snap.Counts, want)
+	}
+	if snap.Count != 6 {
+		t.Fatalf("count = %d, want 6", snap.Count)
+	}
+	if snap.Sum != 0.5+1+2+10+50+1000 {
+		t.Fatalf("sum = %v", snap.Sum)
+	}
+}
+
+func TestHistogramSanitizesBounds(t *testing.T) {
+	h := newHistogram([]float64{10, 1, 10, math.NaN(), 5})
+	if want := []float64{1, 5, 10}; !reflect.DeepEqual(h.bounds, want) {
+		t.Fatalf("bounds = %v, want %v", h.bounds, want)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", CountBounds()).Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 8000 {
+		t.Fatalf("gauge = %v, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("distance.computed").Add(42)
+	r.Gauge("core.bubbles").Set(100)
+	r.Histogram("core.phase.search_seconds", SecondsBounds()).Observe(0.002)
+	first := r.String()
+	snap, err := ParseSnapshot([]byte(first))
+	if err != nil {
+		t.Fatalf("ParseSnapshot: %v", err)
+	}
+	again, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != first {
+		t.Fatalf("snapshot did not round-trip:\n%s\nvs\n%s", first, again)
+	}
+	if snap.Counters["distance.computed"] != 42 {
+		t.Fatalf("parsed counters = %v", snap.Counters)
+	}
+}
+
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(3)
+	for i := 0; i < 5; i++ {
+		l.Append(Event{Kind: KindMerge, A: i})
+	}
+	l.Append(Event{Kind: KindSplit})
+	events := l.Events()
+	if len(events) != 3 {
+		t.Fatalf("retained %d events, want 3", len(events))
+	}
+	// Oldest first; three merges were evicted.
+	if events[0].A != 3 || events[2].Kind != KindSplit {
+		t.Fatalf("unexpected ring contents: %v", events)
+	}
+	if got := l.Total(); got != 6 {
+		t.Fatalf("total = %d, want 6", got)
+	}
+	if got := l.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	if got := l.Count(KindMerge); got != 5 {
+		t.Fatalf("merge count = %d, want 5", got)
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i+3) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestNilSinkIsNoOp(t *testing.T) {
+	var s *Sink
+	s.Emit(Event{Kind: KindMerge})
+	s.Counter("x").Inc()
+	s.Gauge("y").Set(1)
+	s.Histogram("z", CountBounds()).Observe(1)
+}
+
+func TestDebugMux(t *testing.T) {
+	sink := NewSink()
+	sink.Counter(MetricCoreBatches).Add(7)
+	sink.Emit(Event{Kind: KindBatchApply, Batch: 0, N: 10})
+	mux := DebugMux(sink)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/telemetry", nil))
+	if rec.Code != 200 {
+		t.Fatalf("telemetry status %d", rec.Code)
+	}
+	snap, err := ParseSnapshot(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("telemetry body not a snapshot: %v", err)
+	}
+	if snap.Counters[MetricCoreBatches] != 7 {
+		t.Fatalf("snapshot counters = %v", snap.Counters)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	var body struct {
+		Total  uint64  `json:"total"`
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("events body: %v", err)
+	}
+	if body.Total != 1 || len(body.Events) != 1 || body.Events[0].N != 10 {
+		t.Fatalf("events = %+v", body)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rec.Code != 200 {
+		t.Fatalf("pprof status %d", rec.Code)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if s := k.String(); s == "" || s[0] == 'K' {
+			t.Fatalf("kind %d has no name: %q", k, s)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+// Canonical metric names. Instrumented packages resolve handles for these
+// once and update them atomically; DESIGN.md §8 documents the full schema.
+const (
+	// MetricDistanceComputed / MetricDistancePruned mirror the
+	// vecmath.Counter the summarizer routes all distance accounting
+	// through. They are fed exclusively by deltas of that counter taken at
+	// phase boundaries, so the two surfaces can never disagree (the
+	// cross-check test in internal/core pins this).
+	MetricDistanceComputed = "distance.computed"
+	MetricDistancePruned   = "distance.pruned"
+
+	MetricCoreBatches        = "core.batches"
+	MetricCoreInserts        = "core.inserts"
+	MetricCoreDeletes        = "core.deletes"
+	MetricCoreRebuilt        = "core.rebuilt"
+	MetricCoreRounds         = "core.maintenance_rounds"
+	MetricCoreDonorsFromGood = "core.donors_from_good"
+	MetricCoreBubbles        = "core.bubbles"
+	MetricCoreAuditRuns      = "core.audit.runs"
+	MetricCoreAuditViolation = "core.audit.violations"
+
+	// Per-phase timings of the two-phase assignment pipeline (DESIGN.md
+	// §7): the concurrent closest-seed search fan-out, the serial apply
+	// walk, and the classify→merge/split maintenance rounds.
+	MetricPhaseSearchSeconds   = "core.phase.search_seconds"
+	MetricPhaseApplySeconds    = "core.phase.apply_seconds"
+	MetricPhaseMaintainSeconds = "core.phase.maintain_seconds"
+
+	// MetricWorkerComputed observes each worker's private distance tally
+	// as it is merged at a phase boundary — the distribution behind the
+	// totals above.
+	MetricWorkerComputed = "core.assign.worker_computed"
+
+	MetricOpticsSpaceBuilds  = "optics.space.builds"
+	MetricOpticsSpaceObjects = "optics.space.objects"
+	MetricOpticsSpaceSeconds = "optics.space.build_seconds"
+	MetricOpticsRuns         = "optics.runs"
+	MetricOpticsRunSeconds   = "optics.run_seconds"
+)
+
+// SecondsBounds is the shared bucket layout for phase-timing histograms:
+// exponential from 1µs to 10s.
+func SecondsBounds() []float64 {
+	return []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+}
+
+// CountBounds is the shared bucket layout for per-worker tally histograms:
+// powers of four from 1 to ~1M.
+func CountBounds() []float64 {
+	return []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+}
+
+// Sink bundles the metrics registry and the event log one instrumented
+// component reports into. A nil *Sink is a valid no-op receiver, so call
+// sites need no guards.
+type Sink struct {
+	Metrics *Registry
+	Events  *EventLog
+}
+
+// NewSink returns a sink with a fresh registry and a default-capacity
+// event log.
+func NewSink() *Sink {
+	return &Sink{Metrics: NewRegistry(), Events: NewEventLog(0)}
+}
+
+// Emit appends e to the event log. Safe on a nil sink.
+func (s *Sink) Emit(e Event) {
+	if s == nil || s.Events == nil {
+		return
+	}
+	s.Events.Append(e)
+}
+
+// Counter resolves a counter handle. Safe on a nil sink: returns a
+// detached handle whose updates go nowhere visible.
+func (s *Sink) Counter(name string) *Counter {
+	if s == nil || s.Metrics == nil {
+		return &Counter{}
+	}
+	return s.Metrics.Counter(name)
+}
+
+// Gauge resolves a gauge handle, with the same nil behaviour as Counter.
+func (s *Sink) Gauge(name string) *Gauge {
+	if s == nil || s.Metrics == nil {
+		return &Gauge{}
+	}
+	return s.Metrics.Gauge(name)
+}
+
+// Histogram resolves a histogram handle, with the same nil behaviour as
+// Counter.
+func (s *Sink) Histogram(name string, bounds []float64) *Histogram {
+	if s == nil || s.Metrics == nil {
+		return newHistogram(bounds)
+	}
+	return s.Metrics.Histogram(name, bounds)
+}
