@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test vet race bench audit verify
+# Pinned versions for the optional third-party analyzers (installed in CI,
+# skipped gracefully where absent — this repo vendors no modules).
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+
+.PHONY: build test vet race bench audit lint modverify staticcheck vuln verify
 
 build:
 	$(GO) build ./...
@@ -34,4 +39,30 @@ audit: vet race
 	$(GO) test ./internal/telemetry -run='^$$' -fuzz='^FuzzSnapshot$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/telemetry -run='^$$' -fuzz='^FuzzEventRoundTrip$$' -fuzztime=$(FUZZTIME)
 
-verify: build vet test race audit
+# bubblelint is the repo's own analyzer suite (DESIGN.md §9): rawdist,
+# seededrng, floatsafe, telemetrysync, nopanic. The tree must stay clean;
+# suppressions require a //lint:allow directive with a reason.
+lint:
+	$(GO) build -o bin/bubblelint ./cmd/bubblelint
+	./bin/bubblelint ./...
+
+modverify:
+	$(GO) mod verify
+
+# Gated: run the pinned third-party analyzers when installed, skip with a
+# notice otherwise (offline development boxes cannot install them).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck $(STATICCHECK_VERSION) not installed; skipping" ; \
+	fi
+
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... ; \
+	else \
+		echo "govulncheck $(GOVULNCHECK_VERSION) not installed; skipping" ; \
+	fi
+
+verify: build vet lint modverify test race audit staticcheck vuln

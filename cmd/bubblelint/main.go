@@ -1,0 +1,90 @@
+// Command bubblelint runs the repository's custom static-analysis suite
+// (DESIGN.md §9): rawdist, seededrng, floatsafe, telemetrysync and
+// nopanic.
+//
+// Standalone:
+//
+//	bubblelint [-json] ./...        # load packages via the go command
+//
+// As a vet tool (the unitchecker protocol):
+//
+//	go vet -vettool=$(pwd)/bin/bubblelint ./...
+//
+// Exit status: 0 clean, 1 driver error, 2 diagnostics reported (standalone
+// and vet-tool modes alike). With -json, diagnostics are machine-readable
+// (package → analyzer → findings, the x/tools multichecker shape) on
+// stdout and the exit status is 0: consumers treat findings as data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"incbubbles/internal/analysis/bubblelint"
+	"incbubbles/internal/analysis/driver"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("bubblelint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON on stdout")
+	version := fs.String("V", "", "print version and exit (go vet handshake)")
+	printFlags := fs.Bool("flags", false, "print flags as JSON and exit (go vet handshake)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bubblelint [-json] [package patterns | unit.cfg]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *version != "" {
+		driver.PrintVersion(os.Stdout)
+		return 0
+	}
+	if *printFlags {
+		driver.PrintFlags(os.Stdout)
+		return 0
+	}
+	suite := bubblelint.Suite()
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return driver.RunUnitchecker(rest[0], suite, *jsonOut, os.Stdout, os.Stderr)
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	pkgs, err := driver.Load(".", rest)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bubblelint:", err)
+		return 1
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintln(os.Stderr, "bubblelint: type error:", terr)
+		}
+	}
+	diags, err := driver.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bubblelint:", err)
+		return 1
+	}
+	if *jsonOut {
+		// Always emit a JSON object ({} when clean) so consumers can
+		// parse unconditionally; findings are data, not failures.
+		if err := driver.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "bubblelint:", err)
+			return 1
+		}
+		return 0
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	driver.WriteText(os.Stderr, diags)
+	return 2
+}

@@ -1,0 +1,261 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against expectations embedded in the fixtures, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of this repository's
+// self-contained driver.
+//
+// Fixtures live in a GOPATH-style layout under a testdata directory:
+// testdata/src/<import/path>/*.go. An expected diagnostic is declared with
+// a comment on the offending line:
+//
+//	a := rand.Intn(7) // want `math/rand global`
+//
+// Each backquoted or double-quoted string after "want" is a regular
+// expression that must match the message of exactly one diagnostic
+// reported on that line; diagnostics with no matching expectation, and
+// expectations with no matching diagnostic, fail the test. Fixture
+// packages may import each other and the standard library; imports that
+// resolve inside testdata/src use the fixture sources, so fixtures can
+// stub repository packages (e.g. incbubbles/internal/vecmath) with just
+// the declarations a check needs. //lint:allow directives are honoured
+// exactly as in production runs, so suppression fixtures are testable.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"incbubbles/internal/analysis/driver"
+	"incbubbles/internal/analysis/framework"
+)
+
+// Run applies a to each fixture package (an import path under
+// testdata/src) and reports mismatches between produced and expected
+// diagnostics through t.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := &loader{
+		srcRoot: filepath.Join(testdata, "src"),
+		fset:    token.NewFileSet(),
+		pkgs:    map[string]*fixturePkg{},
+	}
+	if err := l.init(); err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, path := range pkgpaths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Errorf("analysistest: loading %s: %v", path, err)
+			continue
+		}
+		if len(pkg.typeErrs) > 0 {
+			t.Errorf("analysistest: fixture %s does not type-check: %v", path, pkg.typeErrs[0])
+			continue
+		}
+		diags, err := driver.Run([]*driver.Package{{
+			Path:      path,
+			Name:      pkg.types.Name(),
+			Fset:      l.fset,
+			Syntax:    pkg.files,
+			Types:     pkg.types,
+			TypesInfo: pkg.info,
+		}}, []*framework.Analyzer{a})
+		if err != nil {
+			t.Errorf("analysistest: running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		check(t, l.fset, pkg.files, diags)
+	}
+}
+
+// expectation is one "want" regexp at a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRe = regexp.MustCompile("(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+// check compares diagnostics against the fixtures' want comments.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []driver.Diagnostic) {
+	t.Helper()
+	var expects []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(body, "want ") {
+					continue
+				}
+				text := body[len("want "):]
+				posn := fset.Position(c.Pos())
+				for _, q := range wantRe.FindAllString(text, -1) {
+					var pattern string
+					if q[0] == '`' {
+						pattern = q[1 : len(q)-1]
+					} else {
+						var err error
+						pattern, err = strconv.Unquote(q)
+						if err != nil {
+							t.Errorf("%s: bad want string %s: %v", posn, q, err)
+							continue
+						}
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", posn, pattern, err)
+						continue
+					}
+					expects = append(expects, &expectation{file: posn.Filename, line: posn.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, e := range expects {
+			if !e.used && e.file == d.Posn.Filename && e.line == d.Posn.Line && e.re.MatchString(d.Message) {
+				e.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", d.Posn, d.Message, d.Analyzer)
+		}
+	}
+	for _, e := range expects {
+		if !e.used {
+			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.re)
+		}
+	}
+}
+
+// fixturePkg is one loaded fixture package.
+type fixturePkg struct {
+	files    []*ast.File
+	types    *types.Package
+	info     *types.Info
+	typeErrs []error
+}
+
+// loader loads fixture packages from testdata/src with memoization,
+// resolving non-fixture imports through the go command's export data.
+type loader struct {
+	srcRoot string
+	fset    *token.FileSet
+	pkgs    map[string]*fixturePkg
+	exports map[string]string
+	imp     types.Importer
+}
+
+// init discovers the external imports of every fixture file and resolves
+// their export data in one go command invocation.
+func (l *loader) init() error {
+	external := map[string]bool{}
+	err := filepath.Walk(l.srcRoot, func(path string, fi os.FileInfo, err error) error {
+		if err != nil || fi.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return err
+			}
+			if !l.isFixture(p) {
+				external[p] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	l.exports = map[string]string{}
+	if len(external) > 0 {
+		paths := make([]string, 0, len(external))
+		for p := range external {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		// The go command resolves from the enclosing module (the repo), so
+		// fixtures may import anything the repository itself can.
+		l.exports, err = driver.ExportData(".", paths)
+		if err != nil {
+			return err
+		}
+	}
+	l.imp = driver.ExportImporter(l.fset, l.exports)
+	return nil
+}
+
+func (l *loader) isFixture(path string) bool {
+	fi, err := os.Stat(filepath.Join(l.srcRoot, filepath.FromSlash(path)))
+	return err == nil && fi.IsDir()
+}
+
+// load parses and type-checks the fixture package at the given import
+// path, loading fixture dependencies recursively.
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return pkg, nil
+	}
+	l.pkgs[path] = nil // cycle marker
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &fixturePkg{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.files = append(pkg.files, f)
+	}
+	if len(pkg.files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	pkg.types, pkg.info, pkg.typeErrs = driver.Check(path, l.fset, pkg.files, importerFunc(func(p string) (*types.Package, error) {
+		if l.isFixture(p) {
+			dep, err := l.load(p)
+			if err != nil {
+				return nil, err
+			}
+			if len(dep.typeErrs) > 0 {
+				return nil, fmt.Errorf("fixture dependency %s: %v", p, dep.typeErrs[0])
+			}
+			return dep.types, nil
+		}
+		return l.imp.Import(p)
+	}))
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

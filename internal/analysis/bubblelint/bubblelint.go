@@ -1,0 +1,25 @@
+// Package bubblelint aggregates the repository's custom static analyzers
+// into the suite cmd/bubblelint runs. Each analyzer mechanically enforces
+// one invariant the paper's results rest on; DESIGN.md §9 documents the
+// rules, the rationale and the //lint:allow suppression policy.
+package bubblelint
+
+import (
+	"incbubbles/internal/analysis/bubblelint/floatsafe"
+	"incbubbles/internal/analysis/bubblelint/nopanic"
+	"incbubbles/internal/analysis/bubblelint/rawdist"
+	"incbubbles/internal/analysis/bubblelint/seededrng"
+	"incbubbles/internal/analysis/bubblelint/telemetrysync"
+	"incbubbles/internal/analysis/framework"
+)
+
+// Suite returns the full analyzer suite in reporting order.
+func Suite() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		rawdist.Analyzer,
+		seededrng.Analyzer,
+		floatsafe.Analyzer,
+		telemetrysync.Analyzer,
+		nopanic.Analyzer,
+	}
+}

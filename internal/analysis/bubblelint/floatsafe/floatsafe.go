@@ -1,0 +1,181 @@
+// Package floatsafe flags the two floating-point patterns that have
+// produced real nondeterminism in this repository: exact ==/!= between
+// computed floats, and floating-point accumulation driven by Go's
+// randomized map iteration order — the bug class fixed in eval.FScore
+// when the byte-identical Table 1 golden test was introduced (PR 2,
+// DESIGN.md §8).
+//
+// Comparisons against constants (x == 0, x != 1) and against math.Inf
+// sentinels are allowed: exact equality with an exactly-representable
+// sentinel is well-defined. The sort tie-break idiom
+// `if a != b { return a < b }` is also recognized and allowed — it orders,
+// rather than equates, the two values.
+package floatsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"incbubbles/internal/analysis/bubblelint/lintutil"
+	"incbubbles/internal/analysis/framework"
+)
+
+// Analyzer is the floatsafe check.
+var Analyzer = &framework.Analyzer{
+	Name: "floatsafe",
+	Doc: "flag exact float ==/!= and map-iteration-order float accumulation " +
+		"(protects byte-identical golden outputs, e.g. Table 1)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		tieBreaks := collectTieBreaks(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, n, tieBreaks)
+			case *ast.RangeStmt:
+				if isMapRange(pass, n) {
+					checkMapAccumulation(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// collectTieBreaks returns the float != comparisons that guard a sort
+// tie-break (`if a != b { return a < b }` or `> `), which are allowed.
+func collectTieBreaks(file *ast.File) map[*ast.BinaryExpr]bool {
+	allowed := map[*ast.BinaryExpr]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok || len(ifStmt.Body.List) != 1 {
+			return true
+		}
+		cond, ok := ast.Unparen(ifStmt.Cond).(*ast.BinaryExpr)
+		if !ok || cond.Op != token.NEQ {
+			return true
+		}
+		ret, ok := ifStmt.Body.List[0].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		cmp, ok := ast.Unparen(ret.Results[0]).(*ast.BinaryExpr)
+		if !ok || (cmp.Op != token.LSS && cmp.Op != token.GTR) {
+			return true
+		}
+		condX, condY := lintutil.ExprString(cond.X), lintutil.ExprString(cond.Y)
+		cmpX, cmpY := lintutil.ExprString(cmp.X), lintutil.ExprString(cmp.Y)
+		if (condX == cmpX && condY == cmpY) || (condX == cmpY && condY == cmpX) {
+			allowed[cond] = true
+		}
+		return true
+	})
+	return allowed
+}
+
+// checkComparison flags exact equality between two computed floats.
+func checkComparison(pass *framework.Pass, bin *ast.BinaryExpr, tieBreaks map[*ast.BinaryExpr]bool) {
+	if bin.Op != token.EQL && bin.Op != token.NEQ {
+		return
+	}
+	if !lintutil.IsFloat(pass.TypesInfo.TypeOf(bin.X)) || !lintutil.IsFloat(pass.TypesInfo.TypeOf(bin.Y)) {
+		return
+	}
+	if isExactSentinel(pass, bin.X) || isExactSentinel(pass, bin.Y) {
+		return
+	}
+	if bin.Op == token.NEQ && tieBreaks[bin] {
+		return
+	}
+	pass.Reportf(bin.OpPos,
+		"exact floating-point %s between computed values; compare against a tolerance, or restructure so one side is an exact sentinel constant",
+		bin.Op)
+}
+
+// isExactSentinel reports whether e is a compile-time constant or a
+// math.Inf call — values exact comparison against is meaningful for.
+func isExactSentinel(pass *framework.Pass, e ast.Expr) bool {
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok && lintutil.IsPkgFunc(pass.TypesInfo, call, "math", "Inf")
+}
+
+func isMapRange(pass *framework.Pass, rng *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapAccumulation flags float accumulation into storage declared
+// outside the map-range body: the sum depends on iteration order in its
+// last bits, so two identical runs can differ.
+func checkMapAccumulation(pass *framework.Pass, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		var target ast.Expr
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			target = as.Lhs[0]
+		case token.ASSIGN:
+			if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch bin.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+			default:
+				return true
+			}
+			lhs := lintutil.ExprString(as.Lhs[0])
+			if lintutil.ExprString(bin.X) != lhs && lintutil.ExprString(bin.Y) != lhs {
+				return true
+			}
+			target = as.Lhs[0]
+		default:
+			return true
+		}
+		if !lintutil.IsFloat(pass.TypesInfo.TypeOf(target)) {
+			return true
+		}
+		if declaredWithin(pass, target, rng) {
+			return true
+		}
+		pass.Reportf(as.Pos(),
+			"floating-point accumulation in map iteration order is nondeterministic in its last bits (the eval.FScore golden-output bug); iterate over sorted keys instead")
+		return true
+	})
+}
+
+// declaredWithin reports whether the accumulation target is a variable
+// declared inside the range statement (a per-iteration local, whose order
+// sensitivity dies with the iteration).
+func declaredWithin(pass *framework.Pass, target ast.Expr, rng *ast.RangeStmt) bool {
+	id, ok := ast.Unparen(target).(*ast.Ident)
+	if !ok {
+		return false // fields, indexed slots: storage outlives the loop
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()
+}

@@ -1,0 +1,12 @@
+package floatsafe_test
+
+import (
+	"testing"
+
+	"incbubbles/internal/analysis/analysistest"
+	"incbubbles/internal/analysis/bubblelint/floatsafe"
+)
+
+func TestFloatsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", floatsafe.Analyzer, "incbubbles/internal/eval")
+}

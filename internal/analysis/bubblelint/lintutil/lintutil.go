@@ -1,0 +1,156 @@
+// Package lintutil holds the small type- and AST-query helpers shared by
+// the bubblelint analyzers. Everything is keyed on package-path suffixes
+// rather than exact import paths so the analyzers behave identically on
+// the real repository packages and on the stub packages analysistest
+// fixtures provide under the same trailing path segments.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PathWithin reports whether pkgPath equals, ends with, or contains the
+// slash-separated segment sequence seg at segment boundaries. For example
+// PathWithin("incbubbles/internal/core", "internal/core") and
+// PathWithin("incbubbles/internal/core/sub", "internal/core") are true,
+// but PathWithin("x/internal/corely", "internal/core") is not.
+func PathWithin(pkgPath, seg string) bool {
+	if pkgPath == seg || strings.HasSuffix(pkgPath, "/"+seg) {
+		return true
+	}
+	return strings.Contains(pkgPath, "/"+seg+"/") || strings.HasPrefix(pkgPath, seg+"/")
+}
+
+// IsFloat reports whether t's core type is float32 or float64.
+func IsFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0 && b.Info()&types.IsComplex == 0
+}
+
+// Callee returns the called function or method of call, or nil for
+// indirect calls, conversions and builtins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether call invokes a package-level function named
+// name whose defining package path matches pathSeg under PathWithin.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pathSeg, name string) bool {
+	fn := Callee(info, call)
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return PathWithin(fn.Pkg().Path(), pathSeg)
+}
+
+// IsMethodOn reports whether call invokes a method named name declared on
+// a (possibly pointered) named type typeName from a package matching
+// pathSeg.
+func IsMethodOn(info *types.Info, call *ast.CallExpr, pathSeg, typeName, name string) bool {
+	fn := Callee(info, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return NamedTypeIs(sig.Recv().Type(), pathSeg, typeName)
+}
+
+// NamedTypeIs reports whether t (after pointer unwrapping) is a named
+// type with the given name from a package matching pathSeg.
+func NamedTypeIs(t types.Type, pathSeg, typeName string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != typeName || obj.Pkg() == nil {
+		return false
+	}
+	return PathWithin(obj.Pkg().Path(), pathSeg)
+}
+
+// PkgNameOf returns the imported package path when e is a reference to a
+// package name (the "rand" in rand.Intn), or "".
+func PkgNameOf(info *types.Info, e ast.Expr) string {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// ExprString renders e compactly for structural comparison of small
+// expressions (index variables, accumulator targets).
+func ExprString(e ast.Expr) string { return types.ExprString(e) }
+
+// DefiningRHS locates the expression(s) most recently assigned to the
+// object that id refers to within scope (an enclosing function body),
+// supporting := and = in both single- and multi-assign forms. For a
+// multi-assign from one call (a, b := f()), the call expression is
+// returned for every left-hand side. It returns nil when the object's
+// definition is not a plain assignment in scope (parameters, closures,
+// range variables).
+func DefiningRHS(info *types.Info, scope ast.Node, id *ast.Ident) []ast.Expr {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil || scope == nil {
+		return nil
+	}
+	var out []ast.Expr
+	ast.Inspect(scope, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || n.Pos() >= id.Pos() {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			target := info.Defs[lid]
+			if target == nil {
+				target = info.Uses[lid]
+			}
+			if target != obj {
+				continue
+			}
+			if len(as.Rhs) == len(as.Lhs) {
+				out = append(out, as.Rhs[i])
+			} else if len(as.Rhs) == 1 {
+				out = append(out, as.Rhs[0])
+			}
+		}
+		return true
+	})
+	return out
+}

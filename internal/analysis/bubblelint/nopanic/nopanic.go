@@ -1,0 +1,74 @@
+// Package nopanic forbids panic, log.Fatal* / log.Panic* and os.Exit in
+// library packages (everything under internal/ except internal/cli). The
+// repository's degradation policy is explicit: invariant violations are
+// reported as structured telemetry.Violation values and errors, never by
+// crashing the process that embeds the summarizer (DESIGN.md §8). Process
+// termination belongs to the CLI layer only.
+//
+// One idiom is exempt: functions whose names begin with "Must" exist
+// precisely to convert errors to panics at the caller's explicit request.
+package nopanic
+
+import (
+	"go/ast"
+	"strings"
+
+	"incbubbles/internal/analysis/bubblelint/lintutil"
+	"incbubbles/internal/analysis/framework"
+)
+
+// Analyzer is the nopanic check.
+var Analyzer = &framework.Analyzer{
+	Name: "nopanic",
+	Doc: "forbid panic/log.Fatal/os.Exit in library packages " +
+		"(invariant violations degrade gracefully; only the CLI may terminate)",
+	Run: run,
+}
+
+// fatalFuncs are the standard-library calls that crash or exit.
+var fatalFuncs = map[string]map[string]bool{
+	"log": {"Fatal": true, "Fatalf": true, "Fatalln": true, "Panic": true, "Panicf": true, "Panicln": true},
+	"os":  {"Exit": true},
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if !lintutil.PathWithin(path, "internal") || lintutil.PathWithin(path, "internal/cli") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasPrefix(fd.Name.Name, "Must") {
+				continue // documented panic-on-error constructors
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					if pass.TypesInfo.Uses[id] == nil || pass.TypesInfo.Uses[id].Pkg() == nil {
+						pass.Reportf(call.Pos(),
+							"panic in library package %s; return an error instead (violations degrade gracefully, DESIGN.md §8)",
+							pass.Pkg.Name())
+					}
+					return true
+				}
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					pkgPath := lintutil.PkgNameOf(pass.TypesInfo, sel.X)
+					if names, ok := fatalFuncs[pkgPath]; ok && names[sel.Sel.Name] {
+						pass.Reportf(call.Pos(),
+							"%s.%s terminates the process from library package %s; return an error and let the CLI decide",
+							pkgPath, sel.Sel.Name, pass.Pkg.Name())
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,15 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"incbubbles/internal/analysis/analysistest"
+	"incbubbles/internal/analysis/bubblelint/nopanic"
+)
+
+func TestNopanic(t *testing.T) {
+	analysistest.Run(t, "testdata", nopanic.Analyzer,
+		"incbubbles/internal/bubble",
+		"incbubbles/internal/cli",
+	)
+}

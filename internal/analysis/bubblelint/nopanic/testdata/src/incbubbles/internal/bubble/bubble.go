@@ -1,0 +1,56 @@
+// Package bubble exercises the nopanic analyzer in a library package:
+// panics and process-terminating calls are forbidden outside Must*
+// constructors; errors are the degradation path (DESIGN.md §8).
+package bubble
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+// Open crashes where it should degrade: every form is flagged.
+func Open(path string) error {
+	if path == "" {
+		panic("empty path") // want `panic in library package bubble`
+	}
+	if path == "-" {
+		log.Fatalf("cannot use stdin: %s", path) // want `log\.Fatalf terminates the process`
+	}
+	if path == "--" {
+		log.Panicln("bad path") // want `log\.Panicln terminates the process`
+	}
+	if len(path) > 4096 {
+		os.Exit(2) // want `os\.Exit terminates the process`
+	}
+	return nil
+}
+
+// OpenChecked is the sanctioned shape: report, do not crash.
+func OpenChecked(path string) error {
+	if path == "" {
+		return errors.New("bubble: empty path")
+	}
+	return nil
+}
+
+// MustOpen converts the error to a panic at the caller's explicit
+// request: the documented exemption.
+func MustOpen(path string) {
+	if err := OpenChecked(path); err != nil {
+		panic(err)
+	}
+}
+
+// Logging without terminating is fine.
+func warn(msg string) {
+	log.Printf("bubble: %s", msg)
+}
+
+// Suppression with a reason covers documented invariant panics.
+func invariant(ok bool) {
+	if !ok {
+		//lint:allow nopanic fixture documents an unreachable-state panic
+		panic("bubble: corrupted invariant")
+	}
+}

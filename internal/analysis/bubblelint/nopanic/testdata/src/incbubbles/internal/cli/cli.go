@@ -1,0 +1,18 @@
+// Package cli is the one layer allowed to terminate the process: the
+// nopanic analyzer must stay silent here.
+package cli
+
+import (
+	"log"
+	"os"
+)
+
+// Fail ends the run with a message: legal at the CLI boundary.
+func Fail(msg string) {
+	log.Fatal(msg)
+}
+
+// Exit propagates a status code: legal at the CLI boundary.
+func Exit(code int) {
+	os.Exit(code)
+}

@@ -1,0 +1,12 @@
+package rawdist_test
+
+import (
+	"testing"
+
+	"incbubbles/internal/analysis/analysistest"
+	"incbubbles/internal/analysis/bubblelint/rawdist"
+)
+
+func TestRawdist(t *testing.T) {
+	analysistest.Run(t, "testdata", rawdist.Analyzer, "incbubbles/internal/bubble")
+}

@@ -1,0 +1,55 @@
+// Package vecmath stubs the repository's vecmath package with just the
+// declarations the rawdist fixtures need. The analyzers match packages by
+// path suffix, so this stub behaves exactly like the real package.
+package vecmath
+
+import "math"
+
+// Point is a point in d-dimensional Euclidean space.
+type Point []float64
+
+// Distance returns the uncounted Euclidean distance.
+func Distance(p, q Point) float64 { return math.Sqrt(SquaredDistance(p, q)) }
+
+// SquaredDistance returns the uncounted squared Euclidean distance.
+func SquaredDistance(p, q Point) float64 {
+	var s float64
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return s
+}
+
+// Counter mirrors the instrumented counter's API.
+type Counter struct{ computed, pruned uint64 }
+
+// Distance counts one computation and returns the distance.
+func (c *Counter) Distance(p, q Point) float64 {
+	c.computed++
+	return Distance(p, q)
+}
+
+// SquaredDistance counts one computation and returns the squared distance.
+func (c *Counter) SquaredDistance(p, q Point) float64 {
+	c.computed++
+	return SquaredDistance(p, q)
+}
+
+// Computed returns the computed-distance count.
+func (c *Counter) Computed() uint64 { return c.computed }
+
+// Pruned returns the pruned-distance count.
+func (c *Counter) Pruned() uint64 { return c.pruned }
+
+// Snapshot returns both counts.
+func (c *Counter) Snapshot() (computed, pruned uint64) { return c.computed, c.pruned }
+
+// Tally mirrors the per-worker tally's API.
+type Tally struct{ computed uint64 }
+
+// SquaredDistance counts one computation and returns the squared distance.
+func (t *Tally) SquaredDistance(p, q Point) float64 {
+	t.computed++
+	return SquaredDistance(p, q)
+}

@@ -1,0 +1,122 @@
+// Package seededrng forbids nondeterministic entropy sources in the
+// packages whose output must be bit-reproducible from a seed: the shared
+// math/rand global generator, rand sources seeded from the wall clock, and
+// wall-clock-to-integer conversions. Determinism is what makes the repo's
+// golden experiment outputs and the two-phase parallel pipeline's
+// "bit-identical for every worker count" guarantee (DESIGN.md §7)
+// testable; all randomness must flow through stats.RNG streams derived
+// with stats.SubSeed.
+package seededrng
+
+import (
+	"go/ast"
+	"go/types"
+
+	"incbubbles/internal/analysis/bubblelint/lintutil"
+	"incbubbles/internal/analysis/framework"
+)
+
+// Analyzer is the seededrng check.
+var Analyzer = &framework.Analyzer{
+	Name: "seededrng",
+	Doc: "forbid math/rand globals and wall-clock entropy in deterministic packages " +
+		"(protects seed-reproducibility of every reported experiment)",
+	Run: run,
+}
+
+// deterministic lists the package path segments the check applies to: the
+// summarization core and everything whose results are reproduced from a
+// seed. stats is deliberately absent — it is the sanctioned wrapper that
+// owns the one rand.New call.
+var deterministic = []string{
+	"internal/bubble",
+	"internal/core",
+	"internal/optics",
+	"internal/kmeans",
+	"internal/synth",
+}
+
+// clockToInt are the time.Time methods that turn the wall clock into an
+// integer — the classic ad-hoc seed. Plain time.Now() for durations and
+// phase timings stays legal.
+var clockToInt = map[string]bool{
+	"Unix": true, "UnixNano": true, "UnixMilli": true, "UnixMicro": true, "Nanosecond": true,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	applies := false
+	for _, seg := range deterministic {
+		if lintutil.PathWithin(pass.Pkg.Path(), seg) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return nil, nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			pkgPath := lintutil.PkgNameOf(pass.TypesInfo, n.X)
+			if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
+				return true
+			}
+			if _, isType := pass.TypesInfo.Uses[n.Sel].(*types.TypeName); isType {
+				return true // rand.Rand, rand.Source in declarations are fine
+			}
+			switch n.Sel.Name {
+			case "New", "NewSource":
+				// Deterministic when the seed is explicit; the wall-clock
+				// form is caught at the enclosing call below.
+			default:
+				pass.Reportf(n.Pos(),
+					"math/rand global %s in deterministic package %s; draw from a stats.RNG stream derived with stats.SubSeed instead",
+					n.Sel.Name, pass.Pkg.Name())
+			}
+		case *ast.CallExpr:
+			if isRandConstructor(pass, n) && containsTimeNow(pass, n) {
+				pass.Reportf(n.Pos(),
+					"rand source seeded from the wall clock; derive the seed with stats.SubSeed so the run is reproducible")
+			}
+			// time.Now().UnixNano() and friends: wall-clock entropy.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && clockToInt[sel.Sel.Name] {
+				if inner, ok := ast.Unparen(sel.X).(*ast.CallExpr); ok &&
+					lintutil.IsPkgFunc(pass.TypesInfo, inner, "time", "Now") {
+					pass.Reportf(n.Pos(),
+						"wall-clock entropy (time.Now().%s) in deterministic package %s; thread a seed and use stats.SubSeed",
+						sel.Sel.Name, pass.Pkg.Name())
+				}
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// isRandConstructor reports whether call is rand.New or rand.NewSource
+// (math/rand or v2).
+func isRandConstructor(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "New" && sel.Sel.Name != "NewSource") {
+		return false
+	}
+	pkgPath := lintutil.PkgNameOf(pass.TypesInfo, sel.X)
+	return pkgPath == "math/rand" || pkgPath == "math/rand/v2"
+}
+
+// containsTimeNow reports whether any argument of call contains a
+// time.Now invocation (directly or through nested calls such as
+// rand.NewSource(time.Now().UnixNano())).
+func containsTimeNow(pass *framework.Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok &&
+				lintutil.IsPkgFunc(pass.TypesInfo, inner, "time", "Now") {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

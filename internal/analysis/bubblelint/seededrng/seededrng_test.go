@@ -1,0 +1,15 @@
+package seededrng_test
+
+import (
+	"testing"
+
+	"incbubbles/internal/analysis/analysistest"
+	"incbubbles/internal/analysis/bubblelint/seededrng"
+)
+
+func TestSeededrng(t *testing.T) {
+	analysistest.Run(t, "testdata", seededrng.Analyzer,
+		"incbubbles/internal/core",
+		"incbubbles/internal/dataset",
+	)
+}

@@ -1,0 +1,14 @@
+// Package dataset is outside the deterministic set: the seededrng
+// analyzer must stay silent here even for patterns it would flag in core.
+package dataset
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sample may use ad-hoc entropy: io-layer code is not seed-reproduced.
+func Sample() int {
+	r := rand.New(rand.NewSource(time.Now().UnixNano()))
+	return r.Intn(10) + rand.Intn(10)
+}

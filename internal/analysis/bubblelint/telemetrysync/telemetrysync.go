@@ -1,0 +1,163 @@
+// Package telemetrysync pins the delta-sync contract of DESIGN.md §8: the
+// telemetry distance counters (distance.computed / distance.pruned) mirror
+// the vecmath.Counter every code path counts into, and they are advanced
+// ONLY by deltas of that counter taken at phase boundaries. A write that
+// counts independently — Inc(), a literal, a length — creates a second
+// source of truth that can disagree with the Figure 10–11 accounting the
+// exact-equality cross-check test in internal/core pins.
+package telemetrysync
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+
+	"incbubbles/internal/analysis/bubblelint/lintutil"
+	"incbubbles/internal/analysis/framework"
+)
+
+// Analyzer is the telemetrysync check.
+var Analyzer = &framework.Analyzer{
+	Name: "telemetrysync",
+	Doc: "telemetry distance counters may only advance by vecmath.Counter deltas " +
+		"(pins the §8 delta-sync contract between metrics and Figure 10–11 accounting)",
+	Run: run,
+}
+
+// distanceMetric matches the canonical metric name constants' values.
+var distanceMetric = map[string]bool{
+	"distance.computed": true,
+	"distance.pruned":   true,
+}
+
+// handleName matches identifiers conventionally holding resolved distance
+// counter handles (coreMetrics.distComputed / distPruned and variants).
+var handleName = regexp.MustCompile(`(?i)^dist(ance)?[_.]?(computed|pruned)$`)
+
+// snapshotMethod lists the vecmath.Counter/Tally accessors whose values
+// (and differences of values) are legitimate deltas.
+var snapshotMethod = map[string]bool{
+	"Computed": true, "Pruned": true, "Total": true, "Snapshot": true,
+}
+
+// rememberedName matches fields/locals that cache the previous snapshot
+// for delta computation (lastComputed/lastPruned in core).
+var rememberedName = regexp.MustCompile(`(?i)^last[_.]?(computed|pruned)$`)
+
+func run(pass *framework.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		f := file
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			method := sel.Sel.Name
+			if method != "Add" && method != "Inc" {
+				return true
+			}
+			if !lintutil.IsMethodOn(pass.TypesInfo, call, "internal/telemetry", "Counter", method) {
+				return true
+			}
+			if !isDistanceHandle(pass, f, sel.X, 2) {
+				return true
+			}
+			if method == "Inc" {
+				pass.Reportf(call.Pos(),
+					"telemetry distance counter advanced with Inc(); only deltas of the shared vecmath.Counter may feed it (DESIGN.md §8 delta-sync contract)")
+				return true
+			}
+			if len(call.Args) == 1 && !derivesFromVecmath(pass, f, call.Args[0], 3) {
+				pass.Reportf(call.Pos(),
+					"telemetry distance counter fed by a value that is not a vecmath.Counter delta; take Computed/Pruned/Snapshot deltas at phase boundaries instead (DESIGN.md §8)")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isDistanceHandle reports whether expr resolves a distance-metric counter
+// handle: a Counter(name) lookup with a distance metric name, an
+// identifier/field named like a distance handle, or a local whose defining
+// assignment is such a lookup.
+func isDistanceHandle(pass *framework.Pass, file *ast.File, expr ast.Expr, depth int) bool {
+	if depth < 0 {
+		return false
+	}
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Counter" || len(e.Args) != 1 {
+			return false
+		}
+		tv, ok := pass.TypesInfo.Types[e.Args[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return false
+		}
+		return distanceMetric[constant.StringVal(tv.Value)]
+	case *ast.SelectorExpr:
+		return handleName.MatchString(e.Sel.Name)
+	case *ast.Ident:
+		if handleName.MatchString(e.Name) {
+			return true
+		}
+		scope := framework.EnclosingFunc(file, e.Pos())
+		for _, rhs := range lintutil.DefiningRHS(pass.TypesInfo, scope, e) {
+			if isDistanceHandle(pass, file, rhs, depth-1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// derivesFromVecmath reports whether expr's value provably derives from
+// the instrumented vecmath counters: it contains a Computed/Pruned/Total/
+// Snapshot call on a vecmath.Counter or vecmath.Tally, references a
+// remembered last-snapshot field, or is a local variable assigned from
+// such an expression (resolved intra-procedurally up to depth levels).
+func derivesFromVecmath(pass *framework.Pass, file *ast.File, expr ast.Expr, depth int) bool {
+	if depth < 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := lintutil.Callee(pass.TypesInfo, n)
+			if fn != nil && snapshotMethod[fn.Name()] &&
+				(lintutil.IsMethodOn(pass.TypesInfo, n, "internal/vecmath", "Counter", fn.Name()) ||
+					lintutil.IsMethodOn(pass.TypesInfo, n, "internal/vecmath", "Tally", fn.Name())) {
+				found = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if rememberedName.MatchString(n.Sel.Name) {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if rememberedName.MatchString(n.Name) {
+				found = true
+				return false
+			}
+			scope := framework.EnclosingFunc(file, n.Pos())
+			for _, rhs := range lintutil.DefiningRHS(pass.TypesInfo, scope, n) {
+				if derivesFromVecmath(pass, file, rhs, depth-1) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package telemetrysync_test
+
+import (
+	"testing"
+
+	"incbubbles/internal/analysis/analysistest"
+	"incbubbles/internal/analysis/bubblelint/telemetrysync"
+)
+
+func TestTelemetrysync(t *testing.T) {
+	analysistest.Run(t, "testdata", telemetrysync.Analyzer, "incbubbles/internal/core")
+}

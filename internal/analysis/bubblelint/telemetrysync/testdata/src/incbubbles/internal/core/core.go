@@ -1,0 +1,71 @@
+// Package core exercises the telemetrysync analyzer: the telemetry
+// distance counters may advance only by vecmath.Counter deltas, exactly
+// as the real core.syncDistances does.
+package core
+
+import (
+	"incbubbles/internal/telemetry"
+	"incbubbles/internal/vecmath"
+)
+
+type metrics struct {
+	distComputed *telemetry.Counter
+	distPruned   *telemetry.Counter
+	batches      *telemetry.Counter
+}
+
+type summarizer struct {
+	metrics      metrics
+	counter      *vecmath.Counter
+	lastComputed uint64
+	lastPruned   uint64
+}
+
+// Inc on a distance handle counts independently of vecmath: forbidden.
+func (s *summarizer) incPerCall() {
+	s.metrics.distComputed.Inc() // want `advanced with Inc\(\)`
+}
+
+// Feeding a length is a second source of truth: forbidden.
+func (s *summarizer) addLength(sink *telemetry.Sink, items []int) {
+	sink.Counter(telemetry.MetricDistanceComputed).Add(uint64(len(items))) // want `not a vecmath\.Counter delta`
+	sink.Counter("distance.pruned").Add(7)                                 // want `not a vecmath\.Counter delta`
+}
+
+// A handle-named local resolved through its defining assignment is still
+// a distance handle.
+func (s *summarizer) addThroughLocal(sink *telemetry.Sink, n uint64) {
+	distPruned := sink.Counter(telemetry.MetricDistancePruned)
+	distPruned.Add(n) // want `not a vecmath\.Counter delta`
+}
+
+// syncDistances is the sanctioned pattern: snapshot the shared counter,
+// advance the metrics by the delta, remember the snapshot.
+func (s *summarizer) syncDistances() {
+	computed, pruned := s.counter.Snapshot()
+	if d := computed - s.lastComputed; d > 0 {
+		s.metrics.distComputed.Add(d)
+	}
+	if d := pruned - s.lastPruned; d > 0 {
+		s.metrics.distPruned.Add(d)
+	}
+	s.lastComputed, s.lastPruned = computed, pruned
+}
+
+// Direct accessor feeds are deltas from zero: allowed.
+func report(sink *telemetry.Sink, ctr *vecmath.Counter) {
+	sink.Counter(telemetry.MetricDistanceComputed).Add(ctr.Computed())
+	sink.Counter(telemetry.MetricDistancePruned).Add(ctr.Pruned())
+}
+
+// Non-distance counters are outside the contract: Inc and lengths are fine.
+func (s *summarizer) countBatch(sink *telemetry.Sink, items []int) {
+	s.metrics.batches.Inc()
+	sink.Counter(telemetry.MetricBatchCount).Add(uint64(len(items)))
+}
+
+// Suppression with a reason is honoured.
+func (s *summarizer) allowed() {
+	//lint:allow telemetrysync fixture documents a sanctioned reset-time write
+	s.metrics.distComputed.Add(1)
+}

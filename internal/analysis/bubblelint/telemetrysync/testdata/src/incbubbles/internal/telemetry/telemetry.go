@@ -1,0 +1,35 @@
+// Package telemetry stubs the metric handles the telemetrysync fixtures
+// need, matching the real package by trailing path segments.
+package telemetry
+
+// Metric name constants mirror the real registry's.
+const (
+	MetricDistanceComputed = "distance.computed"
+	MetricDistancePruned   = "distance.pruned"
+	MetricBatchCount       = "batch.count"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct{ v uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Sink resolves named metric handles.
+type Sink struct{ counters map[string]*Counter }
+
+// Counter returns the named counter handle.
+func (s *Sink) Counter(name string) *Counter {
+	if s.counters == nil {
+		s.counters = map[string]*Counter{}
+	}
+	c := s.counters[name]
+	if c == nil {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}

@@ -1,0 +1,18 @@
+// Package vecmath stubs the instrumented distance counter for the
+// telemetrysync fixtures.
+package vecmath
+
+// Counter counts computed and pruned distance calculations.
+type Counter struct{ computed, pruned uint64 }
+
+// Computed returns the computed-distance count.
+func (c *Counter) Computed() uint64 { return c.computed }
+
+// Pruned returns the pruned-distance count.
+func (c *Counter) Pruned() uint64 { return c.pruned }
+
+// Total returns computed+pruned.
+func (c *Counter) Total() uint64 { return c.computed + c.pruned }
+
+// Snapshot returns both counts at once.
+func (c *Counter) Snapshot() (computed, pruned uint64) { return c.computed, c.pruned }

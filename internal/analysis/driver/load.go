@@ -1,0 +1,181 @@
+// Package driver loads and type-checks Go packages for the bubblelint
+// analyzers and runs them, standalone or under `go vet -vettool`. It is a
+// minimal stand-in for golang.org/x/tools/go/packages + the multichecker:
+// package metadata and dependency export data come from `go list -export`,
+// so loading works offline against the local build cache, and the roots are
+// type-checked from source with the standard library's gc importer in
+// lookup mode.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	Path      string
+	Name      string
+	Dir       string
+	GoFiles   []string // absolute paths
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// TypeErrors collects soft type-check errors. Analysis proceeds when
+	// possible; the driver reports them alongside diagnostics.
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` in dir for the given
+// patterns and returns the decoded package stream.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportData maps import paths to compiled export-data files for the given
+// packages and all their dependencies, resolved by the go command. It is
+// exported for the analysistest harness, which needs standard-library
+// export data to type-check fixture packages.
+func ExportData(dir string, patterns []string) (map[string]string, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// ExportImporter returns a types.Importer that resolves import paths via
+// the given path→file export-data map. Paths absent from the map fail with
+// an error naming the path.
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// Load loads the packages matching patterns (relative to dir, e.g. "./...")
+// and type-checks them from source. Test files are not loaded: the lint
+// invariants guard production code paths; tests exercise uncounted and
+// randomized behaviour deliberately.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var roots []listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		roots = append(roots, p)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+	var out []*Package
+	for _, p := range roots {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg := &Package{Path: p.ImportPath, Name: p.Name, Dir: p.Dir, Fset: fset}
+		for _, g := range p.GoFiles {
+			pkg.GoFiles = append(pkg.GoFiles, filepath.Join(p.Dir, g))
+		}
+		var parseErr error
+		for _, file := range pkg.GoFiles {
+			f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+			if err != nil {
+				parseErr = err
+				continue
+			}
+			pkg.Syntax = append(pkg.Syntax, f)
+		}
+		if parseErr != nil {
+			return nil, fmt.Errorf("parsing %s: %v", p.ImportPath, parseErr)
+		}
+		pkg.Types, pkg.TypesInfo, pkg.TypeErrors = Check(p.ImportPath, fset, pkg.Syntax, imp)
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Check type-checks one package's files, collecting soft errors instead of
+// stopping at the first.
+func Check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, []error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var soft []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { soft = append(soft, err) },
+	}
+	pkg, _ := conf.Check(path, fset, files, info) // hard errors are also in soft via conf.Error
+	return pkg, info, soft
+}

@@ -1,0 +1,108 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+
+	"incbubbles/internal/analysis/framework"
+)
+
+// Diagnostic is one reported finding with its position resolved.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Package  string         `json:"package"`
+	Posn     token.Position `json:"-"`
+	Position string         `json:"posn"` // file:line:col, the x/tools JSON field name
+	Message  string         `json:"message"`
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics: //lint:allow-suppressed findings are dropped, malformed
+// allow directives are reported as bubblelint's own findings, and the
+// result is sorted by position for stable output.
+func Run(pkgs []*Package, analyzers []*framework.Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("%s: package did not type-check", pkg.Path)
+		}
+		sup := framework.NewSuppressor(pkg.Fset, pkg.Syntax)
+		for _, bad := range sup.Malformed() {
+			out = append(out, diag(pkg, "bubblelint", bad.Pos,
+				"malformed //lint:allow directive: want \"//lint:allow <analyzer>[,<analyzer>] <reason>\""))
+		}
+		for _, a := range analyzers {
+			pass := &framework.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d framework.Diagnostic) {
+				if sup.Suppressed(name, d.Pos) {
+					return
+				}
+				out = append(out, diag(pkg, name, d.Pos, d.Message))
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzer %s: %v", pkg.Path, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Posn.Filename != b.Posn.Filename {
+			return a.Posn.Filename < b.Posn.Filename
+		}
+		if a.Posn.Line != b.Posn.Line {
+			return a.Posn.Line < b.Posn.Line
+		}
+		if a.Posn.Column != b.Posn.Column {
+			return a.Posn.Column < b.Posn.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+func diag(pkg *Package, analyzer string, pos token.Pos, msg string) Diagnostic {
+	posn := pkg.Fset.Position(pos)
+	return Diagnostic{
+		Analyzer: analyzer,
+		Package:  pkg.Path,
+		Posn:     posn,
+		Position: posn.String(),
+		Message:  msg,
+	}
+}
+
+// WriteText renders diagnostics in the `file:line:col: message (analyzer)`
+// form go vet users expect.
+func WriteText(w io.Writer, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s (%s)\n", d.Posn, d.Message, d.Analyzer)
+	}
+}
+
+// WriteJSON renders diagnostics grouped package → analyzer → findings,
+// the shape x/tools' multichecker emits with -json, so CI bots written
+// against that format can consume bubblelint output unchanged.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	grouped := map[string]map[string][]Diagnostic{}
+	for _, d := range diags {
+		byAnalyzer := grouped[d.Package]
+		if byAnalyzer == nil {
+			byAnalyzer = map[string][]Diagnostic{}
+			grouped[d.Package] = byAnalyzer
+		}
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], d)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(grouped)
+}

@@ -1,0 +1,170 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"incbubbles/internal/analysis/framework"
+)
+
+// vetConfig mirrors the JSON configuration `go vet -vettool` hands the
+// tool (the unitchecker protocol): one compiled package unit with its
+// sources and the export data of its dependencies.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnitchecker executes the analyzers on one vet unit described by the
+// cfg file. It returns the process exit code: 0 for success, 2 when
+// diagnostics were reported, 1 on driver errors (matching x/tools'
+// unitchecker). Diagnostics go to stderr (or stdout as JSON).
+func RunUnitchecker(cfgFile string, analyzers []*framework.Analyzer, asJSON bool, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "bubblelint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The vet cache requires the facts output to exist even when nothing
+	// is analyzed. The suite exchanges no facts, so the file is empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	// Skip test variants ("pkg [pkg.test]", "pkg_test [pkg.test]") and
+	// fact-only requests: bubblelint guards production code; tests exercise
+	// uncounted and randomized behaviour deliberately.
+	if cfg.VetxOnly || strings.Contains(cfg.ID, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	var imp types.Importer = ExportImporter(fset, exports)
+	if len(cfg.ImportMap) > 0 {
+		imp = mappedImporter{m: cfg.ImportMap, next: imp}
+	}
+	tpkg, info, softErrs := Check(cfg.ImportPath, fset, files, imp)
+	if tpkg == nil || len(softErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, e := range softErrs {
+			fmt.Fprintln(stderr, e)
+		}
+		return 1
+	}
+	pkg := &Package{
+		Path:      cfg.ImportPath,
+		Name:      tpkg.Name(),
+		Dir:       cfg.Dir,
+		GoFiles:   cfg.GoFiles,
+		Fset:      fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	diags, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	if asJSON {
+		if err := WriteJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0 // JSON consumers treat findings as data, matching x/tools
+	}
+	WriteText(stderr, diags)
+	return 2
+}
+
+// mappedImporter applies the vet config's ImportMap (vendoring and version
+// resolution) before delegating to the export-data importer.
+type mappedImporter struct {
+	m    map[string]string
+	next types.Importer
+}
+
+// Import implements types.Importer.
+func (mi mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := mi.m[path]; ok {
+		path = mapped
+	}
+	return mi.next.Import(path)
+}
+
+// PrintVersion implements the `-V=full` handshake `go vet` uses to build
+// its tool ID: "<name> version <content-hash>". Hashing the executable
+// keeps vet's result cache correct across rebuilds of the suite.
+func PrintVersion(w io.Writer) {
+	version := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			version = fmt.Sprintf("%x", sha256.Sum256(data))[:16]
+		}
+	}
+	fmt.Fprintf(w, "bubblelint version %s\n", version)
+}
+
+// PrintFlags implements the `-flags` handshake: `go vet` reads a JSON
+// array of the flags the tool supports before deciding what to pass.
+func PrintFlags(w io.Writer) {
+	type jsonFlag struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	flags := []jsonFlag{
+		{Name: "V", Bool: false, Usage: "print version and exit"},
+		{Name: "flags", Bool: true, Usage: "print flags in JSON"},
+		{Name: "json", Bool: true, Usage: "emit JSON output"},
+	}
+	data, _ := json.Marshal(flags) // static input cannot fail to marshal
+	fmt.Fprintln(w, string(data))
+}

@@ -1,0 +1,106 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one parsed //lint:allow suppression.
+type Directive struct {
+	// Analyzers are the analyzer names the directive suppresses ("all"
+	// suppresses every analyzer).
+	Analyzers []string
+	// Reason is the mandatory human explanation.
+	Reason string
+	// Line is the line the directive comment starts on. A directive covers
+	// its own line (trailing-comment form) and the line below it
+	// (standalone form).
+	Line int
+	// Pos is the directive's position, for reporting malformed directives.
+	Pos token.Pos
+}
+
+const directivePrefix = "//lint:allow"
+
+// ParseDirectives extracts the //lint:allow directives of f. Malformed
+// directives (no analyzer list, or no reason) are returned separately so
+// the driver can report them: a suppression without a recorded reason is
+// itself a policy violation (DESIGN.md §9).
+func ParseDirectives(fset *token.FileSet, f *ast.File) (ok []Directive, malformed []Directive) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			d := Directive{Line: fset.Position(c.Pos()).Line, Pos: c.Pos()}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				malformed = append(malformed, d)
+				continue
+			}
+			for _, name := range strings.Split(fields[0], ",") {
+				if name != "" {
+					d.Analyzers = append(d.Analyzers, name)
+				}
+			}
+			d.Reason = strings.Join(fields[1:], " ")
+			if len(d.Analyzers) == 0 {
+				malformed = append(malformed, d)
+				continue
+			}
+			ok = append(ok, d)
+		}
+	}
+	return ok, malformed
+}
+
+// Suppressor answers whether a diagnostic from a named analyzer at a
+// given position is covered by an allow directive.
+type Suppressor struct {
+	fset    *token.FileSet
+	byFile  map[string]map[int][]Directive // filename -> covered line -> directives
+	invalid []Directive
+}
+
+// NewSuppressor indexes the directives of the given files.
+func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
+	s := &Suppressor{fset: fset, byFile: make(map[string]map[int][]Directive)}
+	for _, f := range files {
+		ds, bad := ParseDirectives(fset, f)
+		s.invalid = append(s.invalid, bad...)
+		if len(ds) == 0 {
+			continue
+		}
+		name := fset.Position(f.Pos()).Filename
+		lines := s.byFile[name]
+		if lines == nil {
+			lines = make(map[int][]Directive)
+			s.byFile[name] = lines
+		}
+		for _, d := range ds {
+			lines[d.Line] = append(lines[d.Line], d)
+			lines[d.Line+1] = append(lines[d.Line+1], d)
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic of the named analyzer at pos is
+// covered by a directive naming that analyzer (or "all").
+func (s *Suppressor) Suppressed(analyzer string, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	for _, d := range s.byFile[p.Filename][p.Line] {
+		for _, name := range d.Analyzers {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Malformed returns the directives that could not be parsed (missing
+// analyzer list or reason).
+func (s *Suppressor) Malformed() []Directive { return s.invalid }

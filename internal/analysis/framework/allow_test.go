@@ -1,0 +1,99 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const allowSrc = `package p
+
+func a() {
+	//lint:allow rawdist recomputation is deliberate here
+	_ = 1
+}
+
+func b() {
+	//lint:allow rawdist,floatsafe two checks, one documented reason
+	_ = 2
+}
+
+func c() {
+	//lint:allow rawdist
+	_ = 3
+}
+
+func d() {
+	//lint:allow
+	_ = 4
+}
+
+func e() {
+	_ = 5 //lint:allow all trailing form covers its own line
+}
+`
+
+func parseAllow(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", allowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestParseDirectives(t *testing.T) {
+	fset, f := parseAllow(t)
+	ok, malformed := ParseDirectives(fset, f)
+	if len(ok) != 3 {
+		t.Fatalf("got %d well-formed directives, want 3: %+v", len(ok), ok)
+	}
+	if got := ok[1].Analyzers; len(got) != 2 || got[0] != "rawdist" || got[1] != "floatsafe" {
+		t.Errorf("comma list parsed as %v", got)
+	}
+	for _, d := range ok {
+		if d.Reason == "" {
+			t.Errorf("directive at line %d has no captured reason", d.Line)
+		}
+	}
+	// A directive without a reason and a bare //lint:allow are both
+	// malformed: suppressions must be explained (DESIGN.md §9).
+	if len(malformed) != 2 {
+		t.Fatalf("got %d malformed directives, want 2: %+v", len(malformed), malformed)
+	}
+}
+
+func TestSuppressor(t *testing.T) {
+	fset, f := parseAllow(t)
+	sup := NewSuppressor(fset, []*ast.File{f})
+	if len(sup.Malformed()) != 2 {
+		t.Fatalf("suppressor must surface malformed directives: %+v", sup.Malformed())
+	}
+	pos := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	// The directive on line 4 covers lines 4 and 5, for rawdist only.
+	if !sup.Suppressed("rawdist", pos(5)) {
+		t.Error("line below a rawdist directive must be suppressed")
+	}
+	if sup.Suppressed("floatsafe", pos(5)) {
+		t.Error("a rawdist directive must not suppress floatsafe")
+	}
+	if sup.Suppressed("rawdist", pos(6)) {
+		t.Error("a directive covers only its own and the next line")
+	}
+	// The comma form on line 9 suppresses both named analyzers on line 10.
+	if !sup.Suppressed("rawdist", pos(10)) || !sup.Suppressed("floatsafe", pos(10)) {
+		t.Error("comma-separated analyzers must both be suppressed")
+	}
+	// The malformed directive on line 14 suppresses nothing.
+	if sup.Suppressed("rawdist", pos(15)) {
+		t.Error("a malformed directive must not suppress anything")
+	}
+	// "all" (line 24, trailing form) covers every analyzer on its own line.
+	if !sup.Suppressed("telemetrysync", pos(24)) {
+		t.Error("an all directive must suppress every analyzer on its line")
+	}
+}

@@ -1,0 +1,91 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// core API of golang.org/x/tools/go/analysis, sized for this repository's
+// bubblelint suite (DESIGN.md §9). The build environment vendors no third-
+// party modules, so the suite carries its own driver; the types below keep
+// the field names and shapes of the upstream package so the analyzers can
+// migrate to the real framework by swapping an import path.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name for diagnostics and
+// suppression directives, documentation, and the Run function applied once
+// per package.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:allow directives.
+	// It must be a valid identifier.
+	Name string
+
+	// Doc is the analyzer's documentation. The first line is used as a
+	// one-line summary.
+	Doc string
+
+	// Run applies the analyzer to a package. It returns an analyzer-specific
+	// result (unused by this driver, kept for upstream compatibility) or an
+	// error that aborts the run.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	// Analyzer is the check being applied.
+	Analyzer *Analyzer
+	// Fset resolves token positions for Files.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds type and object resolution for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver installs it.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a position in Fset.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Inspect walks every file of the pass in depth-first order, calling fn for
+// each node. fn returning false prunes the subtree, matching ast.Inspect.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// EnclosingFunc returns the innermost function declaration or literal of f
+// whose extent contains pos, or nil. Analyzers use it for shallow
+// intra-procedural reasoning (e.g. resolving a local variable's defining
+// assignment).
+func EnclosingFunc(f *ast.File, pos token.Pos) ast.Node {
+	var best ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() > pos || n.End() <= pos {
+			// Subtrees are position-contiguous, so nothing below can
+			// contain pos either.
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			best = n
+		}
+		return true
+	})
+	return best
+}

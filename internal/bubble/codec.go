@@ -66,7 +66,10 @@ func (s *Set) Save(w io.Writer) error {
 
 // Load reconstructs a Set saved with Save. The counter and RNG are taken
 // from opts (Counter/RNG are the only Options fields consulted; structure
-// flags come from the snapshot itself).
+// flags come from the snapshot itself). A snapshot saved without member
+// IDs restores as a statistics-only set: populated bubbles have no
+// reconstructible ownership, which the set records (OwnershipComplete
+// reports false) so its invariants stay checkable.
 func Load(r io.Reader, opts Options) (*Set, error) {
 	var snap snapshot
 	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&snap); err != nil {
@@ -114,6 +117,10 @@ func Load(r io.Reader, opts Options) (*Set, error) {
 				b.members[id] = struct{}{}
 				s.owner[id] = idx
 			}
+		} else if bs.N > 0 {
+			// No member IDs to rebuild ownership from: the restored set is
+			// statistics-only (CheckInvariants relaxes its count check).
+			s.statsOnly = true
 		}
 	}
 	return s, nil

@@ -100,6 +100,43 @@ func TestSaveLoadWithoutMembers(t *testing.T) {
 	if total != 600 {
 		t.Fatalf("restored population=%d", total)
 	}
+	if back.OwnershipComplete() {
+		t.Fatal("stats-only restore claims complete ownership")
+	}
+	if err := back.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The restored set keeps accepting assignments, and the invariants
+	// hold with the partially rebuilt ownership map.
+	if _, err := back.AssignClosest(1_000_000, vecmath.Point{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadStatsOnlySnapshot pins the fuzz-found case: encoding/json
+// matches field names case-insensitively, so "BuBBles" decodes into the
+// bubbles list while the absent "members" flag leaves ownership empty.
+// Such a snapshot must load as a statistics-only set that still passes
+// CheckInvariants (regression input: testdata/fuzz/FuzzLoad/8942643b...).
+func TestLoadStatsOnlySnapshot(t *testing.T) {
+	const snap = `{"version":1,"dim":2,"BuBBles":[{"seed":[0,0],"n":1,"ls":[0,0]}]}`
+	s, err := Load(strings.NewReader(snap), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.OwnershipComplete() {
+		t.Fatal("n>0 with no member IDs must be stats-only")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestLoadRejectsCorruptSnapshots(t *testing.T) {

@@ -44,6 +44,11 @@ type Set struct {
 	counter  *vecmath.Counter
 	rng      *stats.RNG
 	scratch  []int // reusable candidate buffer for closestSeed
+	// statsOnly marks a set restored from a snapshot that carried no
+	// member IDs: bubble counts are trusted but the ownership map covers
+	// only points assigned after the restore, so it is a subset of — not
+	// equal to — the compressed population.
+	statsOnly bool
 }
 
 // Common errors.
@@ -421,9 +426,19 @@ func (s *Set) TotalCompactness() float64 {
 	return c
 }
 
+// OwnershipComplete reports whether the ownership map covers every
+// compressed point. It is false only for sets restored from a snapshot
+// saved without member IDs (see Save): such a set answers statistical
+// queries and accepts new assignments, but cannot locate pre-snapshot
+// points for deletion.
+func (s *Set) OwnershipComplete() bool { return !s.statsOnly }
+
 // CheckInvariants validates internal consistency (tests and debugging):
 // ownership entries point at in-range bubbles, member sets agree with the
-// ownership map, and per-bubble counts agree with membership sizes.
+// ownership map, and per-bubble counts agree with membership sizes. For a
+// stats-only restore (OwnershipComplete false) the ownership map is a
+// subset of the population, so counts may fall short of n but never
+// exceed it.
 func (s *Set) CheckInvariants() error {
 	counts := make([]int, len(s.bubbles))
 	for id, i := range s.owner {
@@ -436,7 +451,7 @@ func (s *Set) CheckInvariants() error {
 		}
 	}
 	for i, b := range s.bubbles {
-		if b.n != counts[i] {
+		if b.n != counts[i] && !(s.statsOnly && counts[i] < b.n) {
 			return fmt.Errorf("bubble %d: n=%d but %d ownership entries", i, b.n, counts[i])
 		}
 		if s.opts.TrackMembers && len(b.members) != b.n {

@@ -139,13 +139,22 @@ func (f *Feature) Diameter() float64 {
 	return math.Sqrt(d2)
 }
 
+// centroidDistances tallies every D0 evaluation the package performs, so
+// the CF baseline's distance work is measurable next to the data-bubble
+// accounting (compare deltas of DistanceCounter across a build).
+var centroidDistances = new(vecmath.Counter)
+
+// DistanceCounter returns the package-wide tally of centroid-distance
+// computations. Read it with Snapshot deltas; it is shared by every tree.
+func DistanceCounter() *vecmath.Counter { return centroidDistances }
+
 // CentroidDistance returns the distance between the centroids of f and
 // other (the D0 metric of BIRCH).
 func (f *Feature) CentroidDistance(other *Feature) float64 {
 	if f.n == 0 || other.n == 0 {
 		return math.Inf(1)
 	}
-	return vecmath.Distance(f.Centroid(), other.Centroid())
+	return centroidDistances.Distance(f.Centroid(), other.Centroid())
 }
 
 // MergedRadius returns the radius the union of f and other would have,

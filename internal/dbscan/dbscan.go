@@ -34,6 +34,9 @@ func Static(db *dataset.DB, params Params, counter *vecmath.Counter) (map[datase
 	if err := params.validate(); err != nil {
 		return nil, err
 	}
+	if counter == nil {
+		counter = new(vecmath.Counter) // count unconditionally; callers may discard the tally
+	}
 	if db.Len() == 0 {
 		return map[dataset.PointID]int{}, nil
 	}
@@ -51,13 +54,7 @@ func Static(db *dataset.DB, params Params, counter *vecmath.Counter) (map[datase
 	rangeQuery := func(p vecmath.Point) []dataset.PointID {
 		var out []dataset.PointID
 		ix.neighbors(p, func(id dataset.PointID, q vecmath.Point) {
-			var d2 float64
-			if counter != nil {
-				d2 = counter.SquaredDistance(p, q)
-			} else {
-				d2 = vecmath.SquaredDistance(p, q)
-			}
-			if d2 <= eps2 {
+			if d2 := counter.SquaredDistance(p, q); d2 <= eps2 {
 				out = append(out, id)
 			}
 		})

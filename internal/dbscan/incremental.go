@@ -45,6 +45,9 @@ func NewIncremental(dim int, params Params, counter *vecmath.Counter) (*Incremen
 	if err := params.validate(); err != nil {
 		return nil, err
 	}
+	if counter == nil {
+		counter = new(vecmath.Counter) // count unconditionally; callers may discard the tally
+	}
 	return &Incremental{
 		params:   params,
 		dim:      dim,
@@ -65,10 +68,7 @@ func (inc *Incremental) Len() int { return len(inc.pts) }
 func (inc *Incremental) Params() Params { return inc.params }
 
 func (inc *Incremental) dist2(p, q vecmath.Point) float64 {
-	if inc.counter != nil {
-		return inc.counter.SquaredDistance(p, q)
-	}
-	return vecmath.SquaredDistance(p, q)
+	return inc.counter.SquaredDistance(p, q)
 }
 
 // rangeIDs returns the ids within ε of p in ascending order.

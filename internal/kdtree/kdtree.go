@@ -24,12 +24,15 @@ type Neighbor struct {
 	Dist float64
 }
 
-// Tree is an immutable k-d tree.
+// Tree is an immutable k-d tree. Query-time distance computations are
+// tallied into a counter (a private one by default; SetCounter shares an
+// external one).
 type Tree struct {
-	dim   int
-	items []Item // reordered into tree layout
-	nodes []node
-	root  int
+	dim     int
+	items   []Item // reordered into tree layout
+	nodes   []node
+	root    int
+	counter *vecmath.Counter
 }
 
 type node struct {
@@ -54,11 +57,24 @@ func Build(items []Item) (*Tree, error) {
 			return nil, errors.New("kdtree: mixed dimensionalities")
 		}
 	}
-	t := &Tree{dim: dim, items: append([]Item(nil), items...)}
+	t := &Tree{dim: dim, items: append([]Item(nil), items...), counter: new(vecmath.Counter)}
 	t.nodes = make([]node, 0, len(items))
 	t.root = t.build(0, len(t.items), 0)
 	return t, nil
 }
+
+// SetCounter makes subsequent queries tally distance computations into c
+// (e.g. the summarizer's shared counter). A nil c restores the private
+// counter behaviour.
+func (t *Tree) SetCounter(c *vecmath.Counter) {
+	if c == nil {
+		c = new(vecmath.Counter)
+	}
+	t.counter = c
+}
+
+// Counter returns the counter queries currently tally into.
+func (t *Tree) Counter() *vecmath.Counter { return t.counter }
 
 // build arranges items[lo:hi] into a subtree and returns its node index.
 func (t *Tree) build(lo, hi, depth int) int {
@@ -105,7 +121,7 @@ func (t *Tree) rangeSearch(ni int, q vecmath.Point, eps, eps2 float64, out *[]Ne
 	}
 	n := &t.nodes[ni]
 	it := t.items[n.item]
-	if d2 := vecmath.SquaredDistance(q, it.P); d2 <= eps2 {
+	if d2 := t.counter.SquaredDistance(q, it.P); d2 <= eps2 {
 		*out = append(*out, Neighbor{Item: it, Dist: sqrt(d2)})
 	}
 	diff := q[n.axis] - n.split
@@ -138,7 +154,7 @@ func (t *Tree) knnSearch(ni int, q vecmath.Point, k int, h *maxHeap) {
 	}
 	n := &t.nodes[ni]
 	it := t.items[n.item]
-	d2 := vecmath.SquaredDistance(q, it.P)
+	d2 := t.counter.SquaredDistance(q, it.P)
 	if h.len() < k {
 		h.push(Neighbor{Item: it, Dist: sqrt(d2)})
 	} else if d := sqrt(d2); d < h.top().Dist {

@@ -26,6 +26,10 @@ type Config struct {
 	Tolerance float64
 	// Seed drives k-means++ initialisation. Default 1.
 	Seed int64
+	// Counter tallies every distance computation the run performs
+	// (seeding, assignment, convergence checks). Defaults to a fresh
+	// throwaway counter so the work is always counted.
+	Counter *vecmath.Counter
 }
 
 func (c Config) withDefaults() Config {
@@ -37,6 +41,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Counter == nil {
+		c.Counter = new(vecmath.Counter)
 	}
 	return c
 }
@@ -92,14 +99,15 @@ func Cluster(points []vecmath.Point, weights []float64, cfg Config) (*Result, er
 	}
 
 	rng := stats.NewRNG(cfg.Seed)
-	centers := seedPlusPlus(points, weights, cfg.K, rng)
+	counter := cfg.Counter
+	centers := seedPlusPlus(points, weights, cfg.K, rng, counter)
 	labels := make([]int, n)
 	for iter := 1; iter <= cfg.MaxIter; iter++ {
 		// Assignment step.
 		for i, p := range points {
 			best, bestD := 0, math.Inf(1)
 			for c, ctr := range centers {
-				if d := vecmath.SquaredDistance(p, ctr); d < bestD {
+				if d := counter.SquaredDistance(p, ctr); d < bestD {
 					best, bestD = c, d
 				}
 			}
@@ -121,30 +129,30 @@ func Cluster(points []vecmath.Point, weights []float64, cfg Config) (*Result, er
 			if ws[c] == 0 {
 				// Empty cluster: re-seed at the weighted point farthest
 				// from its center (standard repair).
-				centers[c] = farthestPoint(points, weights, centers, labels)
+				centers[c] = farthestPoint(points, weights, centers, labels, counter)
 				maxMove = math.Inf(1)
 				continue
 			}
 			next := sums[c].Scale(1 / ws[c])
-			if d := vecmath.Distance(centers[c], next); d > maxMove {
+			if d := counter.Distance(centers[c], next); d > maxMove {
 				maxMove = d
 			}
 			centers[c] = next
 		}
 		if maxMove <= cfg.Tolerance {
-			return finish(points, weights, centers, labels, iter), nil
+			return finish(points, weights, centers, labels, iter, counter), nil
 		}
 	}
-	return finish(points, weights, centers, labels, cfg.MaxIter), nil
+	return finish(points, weights, centers, labels, cfg.MaxIter, counter), nil
 }
 
-func finish(points []vecmath.Point, weights []float64, centers []vecmath.Point, labels []int, iters int) *Result {
+func finish(points []vecmath.Point, weights []float64, centers []vecmath.Point, labels []int, iters int, counter *vecmath.Counter) *Result {
 	// Final assignment against the final centers, then inertia.
 	var inertia float64
 	for i, p := range points {
 		best, bestD := 0, math.Inf(1)
 		for c, ctr := range centers {
-			if d := vecmath.SquaredDistance(p, ctr); d < bestD {
+			if d := counter.SquaredDistance(p, ctr); d < bestD {
 				best, bestD = c, d
 			}
 		}
@@ -155,7 +163,7 @@ func finish(points []vecmath.Point, weights []float64, centers []vecmath.Point, 
 }
 
 // seedPlusPlus performs weighted k-means++ initialisation.
-func seedPlusPlus(points []vecmath.Point, weights []float64, k int, rng *stats.RNG) []vecmath.Point {
+func seedPlusPlus(points []vecmath.Point, weights []float64, k int, rng *stats.RNG, counter *vecmath.Counter) []vecmath.Point {
 	centers := make([]vecmath.Point, 0, k)
 	centers = append(centers, points[weightedPick(weights, rng)].Clone())
 	d2 := make([]float64, len(points))
@@ -163,7 +171,7 @@ func seedPlusPlus(points []vecmath.Point, weights []float64, k int, rng *stats.R
 		var total float64
 		last := centers[len(centers)-1]
 		for i, p := range points {
-			d := vecmath.SquaredDistance(p, last)
+			d := counter.SquaredDistance(p, last)
 			if len(centers) == 1 || d < d2[i] {
 				d2[i] = d
 			}
@@ -206,10 +214,10 @@ func weightedPick(weights []float64, rng *stats.RNG) int {
 
 // farthestPoint returns the point with maximum weighted squared distance
 // to its assigned center (for empty-cluster repair).
-func farthestPoint(points []vecmath.Point, weights []float64, centers []vecmath.Point, labels []int) vecmath.Point {
+func farthestPoint(points []vecmath.Point, weights []float64, centers []vecmath.Point, labels []int, counter *vecmath.Counter) vecmath.Point {
 	best, bestV := 0, -1.0
 	for i, p := range points {
-		v := weights[i] * vecmath.SquaredDistance(p, centers[labels[i]])
+		v := weights[i] * counter.SquaredDistance(p, centers[labels[i]])
 		if v > bestV {
 			best, bestV = i, v
 		}

@@ -125,11 +125,21 @@ func NewFromMatrix(dist [][]float64, weights []int) (*Dendrogram, error) {
 }
 
 // NewFromPoints builds the dendrogram of weighted points under Euclidean
-// distance.
+// distance, tallying the O(n²) distance evaluations into a throwaway
+// counter. Use NewFromPointsCounted to fold them into shared accounting.
 func NewFromPoints(pts []vecmath.Point, weights []int) (*Dendrogram, error) {
+	return NewFromPointsCounted(pts, weights, nil)
+}
+
+// NewFromPointsCounted is NewFromPoints with the distance evaluations
+// counted into c (a fresh private counter when nil).
+func NewFromPointsCounted(pts []vecmath.Point, weights []int, c *vecmath.Counter) (*Dendrogram, error) {
 	n := len(pts)
 	if n == 0 {
 		return nil, errors.New("linkage: no points")
+	}
+	if c == nil {
+		c = new(vecmath.Counter)
 	}
 	dist := make([][]float64, n)
 	for i := range dist {
@@ -137,7 +147,7 @@ func NewFromPoints(pts []vecmath.Point, weights []int) (*Dendrogram, error) {
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			d := vecmath.Distance(pts[i], pts[j])
+			d := c.Distance(pts[i], pts[j])
 			dist[i][j] = d
 			dist[j][i] = d
 		}

@@ -127,6 +127,7 @@ type BubbleSpace struct {
 	weights []int
 	dists   [][]float64  // symmetric pairwise distance matrix
 	order   [][]Neighbor // per object: all objects by ascending distance
+	ctr     *vecmath.Counter
 }
 
 // NewBubbleSpace snapshots the current state of set. Later mutation of the
@@ -159,7 +160,10 @@ func NewBubbleSpaceTelemetry(set *bubble.Set, workers int, sink *telemetry.Sink)
 // GOMAXPROCS). Each row of the precomputation is pure, so the space is
 // identical for every worker count.
 func NewBubbleSpaceWorkers(set *bubble.Set, workers int) (*BubbleSpace, error) {
-	s := &BubbleSpace{set: set}
+	// The build tallies into a private counter, not the set's: space
+	// construction is clustering-side work and must not perturb the
+	// summarizer's Figure 10–11 accounting.
+	s := &BubbleSpace{set: set, ctr: new(vecmath.Counter)}
 	for i, b := range set.Bubbles() {
 		if b.N() == 0 {
 			continue
@@ -215,7 +219,7 @@ func NewBubbleSpaceWorkers(set *bubble.Set, workers int) (*BubbleSpace, error) {
 }
 
 func (s *BubbleSpace) bubbleDist(i, j int) float64 {
-	dRep := vecmath.Distance(s.reps[i], s.reps[j])
+	dRep := s.ctr.Distance(s.reps[i], s.reps[j])
 	sep := dRep - (s.extents[i] + s.extents[j])
 	if sep >= 0 {
 		return sep + s.nn1[i] + s.nn1[j]

@@ -129,6 +129,7 @@ func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
 // [0,n). It panics if k > n, matching the impossibility of the request.
 func (g *RNG) SampleWithoutReplacement(n, k int) []int {
 	if k > n {
+		//lint:allow nopanic k>n is a programmer error with no sensible partial result; the API documents the panic
 		panic("stats: sample larger than population")
 	}
 	// Floyd's algorithm: O(k) expected, no O(n) permutation for small k.

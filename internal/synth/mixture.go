@@ -154,6 +154,7 @@ func SpreadCenters(rng *stats.RNG, d, k int, lo, hi, sep float64) []vecmath.Poin
 			cand := rng.UniformPoint(d, lo, hi)
 			minD := 1e308
 			for _, c := range centers {
+				//lint:allow rawdist generator setup; center placement is not clustering work
 				if dd := vecmath.Distance(cand, c); dd < minD {
 					minD = dd
 				}

@@ -83,6 +83,7 @@ func newHistogram(bounds []float64) *Histogram {
 	// Deduplicate: equal bounds would create dead buckets.
 	out := bs[:0]
 	for i, b := range bs {
+		//lint:allow floatsafe deduplicating sorted bounds needs exact equality; near-equal bounds are distinct buckets
 		if i == 0 || b != bs[i-1] {
 			out = append(out, b)
 		}

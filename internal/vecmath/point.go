@@ -35,6 +35,7 @@ func (p Point) Equal(q Point) bool {
 		return false
 	}
 	for i := range p {
+		//lint:allow floatsafe Equal is exact by contract; tolerance comparison lives in ApproxEqual
 		if p[i] != q[i] {
 			return false
 		}
@@ -127,6 +128,7 @@ func (p Point) String() string {
 
 func mustSameDim(p, q Point) {
 	if len(p) != len(q) {
+		//lint:allow nopanic mixed dimensionalities are a programmer error; the arithmetic API documents the panic
 		panic(fmt.Sprintf("vecmath: dimension mismatch %d vs %d", len(p), len(q)))
 	}
 }
