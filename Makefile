@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: build test vet race bench audit lint modverify staticcheck vuln verify
+.PHONY: build test vet race bench audit crash lint modverify staticcheck vuln verify
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,15 @@ audit: vet race
 	$(GO) test ./internal/telemetry -run='^$$' -fuzz='^FuzzAudit$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/telemetry -run='^$$' -fuzz='^FuzzSnapshot$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/telemetry -run='^$$' -fuzz='^FuzzEventRoundTrip$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wal -run='^$$' -fuzz='^FuzzRecordRoundTrip$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wal -run='^$$' -fuzz='^FuzzSegmentScan$$' -fuzztime=$(FUZZTIME)
+
+# Full crash-recovery matrix (DESIGN.md §10): kill the workload at every
+# registered failpoint in every mode, resume from disk, and require the
+# final state to be bit-identical to the uninterrupted run. The env var
+# unlocks the full matrix; plain `go test` runs a smoke subset.
+crash:
+	INCBUBBLES_CRASH=1 $(GO) test ./internal/wal -run='^TestCrashRecoveryMatrix$$' -v
 
 # bubblelint is the repo's own analyzer suite (DESIGN.md §9): rawdist,
 # seededrng, floatsafe, telemetrysync, nopanic. The tree must stay clean;

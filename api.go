@@ -19,6 +19,7 @@ import (
 	"incbubbles/internal/synth"
 	"incbubbles/internal/telemetry"
 	"incbubbles/internal/vecmath"
+	"incbubbles/internal/wal"
 )
 
 // Core data types, re-exported for downstream use.
@@ -335,3 +336,48 @@ func SingleLinkBubbles(set *BubbleSet) (*Dendrogram, error) {
 	}
 	return linkage.NewFromMatrix(space.DistanceMatrix(), space.Weights())
 }
+
+// Durability: write-ahead logging and checkpointing (internal/wal).
+type (
+	// WALOptions configures the durability layer: directory, checkpoint
+	// cadence, retention, sync policy.
+	WALOptions = wal.Options
+	// WAL is the write-ahead log of one Summarizer; it implements the
+	// summarizer's durability hooks and takes automatic checkpoints.
+	WAL = wal.Log
+	// RecoveredState is what ResumeSummarizer reconstructs from disk.
+	RecoveredState = wal.RecoveredState
+)
+
+// ErrNoDurableState signals a resume against a directory with no
+// checkpoint — create a fresh summarizer with NewDurableSummarizer.
+var ErrNoDurableState = wal.ErrNoState
+
+// NewDurableSummarizer is NewSummarizer plus crash safety: every applied
+// batch is written ahead to a log in walOpts.Dir and checkpoints are
+// taken automatically, so the summary survives process crashes. The
+// returned WAL must be Closed when done; ResumeSummarizer reopens the
+// directory after a crash.
+func NewDurableSummarizer(db *DB, opts SummarizerOptions, walOpts WALOptions) (*Summarizer, *WAL, error) {
+	if !opts.UseTriangleInequality {
+		opts.UseTriangleInequality = true
+	}
+	return wal.New(db, opts, walOpts)
+}
+
+// ResumeSummarizer reconstructs a durable summarizer from walOpts.Dir:
+// newest usable checkpoint plus deterministic WAL replay. opts must carry
+// the same Seed and Config as the original run.
+func ResumeSummarizer(opts SummarizerOptions, walOpts WALOptions) (*RecoveredState, error) {
+	if !opts.UseTriangleInequality {
+		opts.UseTriangleInequality = true
+	}
+	return wal.Resume(opts, walOpts)
+}
+
+// HasDurableState reports whether dir holds a resumable summary.
+func HasDurableState(dir string) bool { return wal.HasState(dir) }
+
+// ResumeStreamWindow reopens a durable StreamWindow from
+// cfg.Durability.Dir after a crash or clean Close.
+func ResumeStreamWindow(cfg StreamConfig) (*StreamWindow, error) { return stream.Resume(cfg) }

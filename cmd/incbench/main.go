@@ -19,9 +19,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"incbubbles/internal/cli"
 	"incbubbles/internal/experiments"
@@ -30,7 +33,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig7 | fig8 | fig9 | fig10 | fig11 | sweep | compare | ablation | strategies | all")
+		experiment = flag.String("experiment", "all", "table1 | fig7 | fig8 | fig9 | fig10 | fig11 | sweep | compare | ablation | strategies | recovery | all")
 		points     = flag.Int("points", 10000, "initial database size")
 		bubbles    = flag.Int("bubbles", 100, "number of data bubbles")
 		reps       = flag.Int("reps", 3, "repetitions to average over (paper: 10)")
@@ -46,18 +49,25 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent repetitions (0 = GOMAXPROCS)")
 		audit      = flag.Bool("audit", false, "validate summary invariants after every batch; any violation aborts the run")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/telemetry, /debug/events and /debug/pprof on this address while running")
+		walDir     = flag.String("wal-dir", "", "recovery experiment: host its WAL/checkpoint directories here (default: temp)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "recovery experiment: checkpoint cadence in batches (0 = default)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the run at the next batch boundary; durable
+	// state (the recovery experiment's WAL) stays resumable by design.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var sink *telemetry.Sink
 	if *debugAddr != "" {
 		sink = telemetry.NewSink()
-		srv, addr, err := telemetry.ServeDebug(*debugAddr, sink)
+		_, addr, done, err := telemetry.ServeDebugUntil(ctx, *debugAddr, sink)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "incbench:", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
+		defer func() { stop(); <-done }() // drain in-flight scrapes, then exit
 		fmt.Fprintf(os.Stderr, "incbench: debug endpoint on http://%s/debug/telemetry\n", addr)
 	}
 
@@ -77,11 +87,13 @@ func main() {
 			Audit:          *audit,
 			Telemetry:      sink,
 		},
-		Fracs:    *fracs,
-		CSVDir:   *csvDir,
-		Datasets: *datasets,
+		Fracs:           *fracs,
+		CSVDir:          *csvDir,
+		Datasets:        *datasets,
+		WALDir:          *walDir,
+		CheckpointEvery: *ckptEvery,
 	}
-	if err := cli.RunIncbench(opts, os.Stdout); err != nil {
+	if err := cli.RunIncbench(ctx, opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "incbench:", err)
 		os.Exit(1)
 	}

@@ -13,9 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"incbubbles/internal/cli"
 	"incbubbles/internal/telemetry"
@@ -32,18 +35,25 @@ func main() {
 		assign    = flag.Bool("assignments", false, "print id,cluster for every point")
 		pngOut    = flag.String("png", "", "write a reachability-plot PNG to this path")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/telemetry, /debug/events and /debug/pprof on this address while running")
+		walDir    = flag.String("wal-dir", "", "persist the summary here (WAL + checkpoints); rerun with the same directory to resume instead of rebuilding")
+		ckptEvery = flag.Int("checkpoint-every", 0, "durable checkpoint cadence in batches (0 = default)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the summarize phase; a durable summary that
+	// reached its initial checkpoint stays resumable via -wal-dir.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var sink *telemetry.Sink
 	if *debugAddr != "" {
 		sink = telemetry.NewSink()
-		srv, addr, err := telemetry.ServeDebug(*debugAddr, sink)
+		_, addr, done, err := telemetry.ServeDebugUntil(ctx, *debugAddr, sink)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "quickcluster:", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
+		defer func() { stop(); <-done }() // drain in-flight scrapes, then exit
 		fmt.Fprintf(os.Stderr, "quickcluster: debug endpoint on http://%s/debug/telemetry\n", addr)
 	}
 
@@ -58,16 +68,18 @@ func main() {
 		r = f
 	}
 	opts := cli.QuickclusterOptions{
-		Bubbles:     *bubbles,
-		MinPts:      *minPts,
-		Seed:        *seed,
-		Workers:     *workers,
-		Plot:        *plotFlag,
-		Assignments: *assign,
-		PNGOut:      *pngOut,
-		Telemetry:   sink,
+		Bubbles:         *bubbles,
+		MinPts:          *minPts,
+		Seed:            *seed,
+		Workers:         *workers,
+		Plot:            *plotFlag,
+		Assignments:     *assign,
+		PNGOut:          *pngOut,
+		WALDir:          *walDir,
+		CheckpointEvery: *ckptEvery,
+		Telemetry:       sink,
 	}
-	if err := cli.RunQuickcluster(r, opts, os.Stdout, os.Stderr); err != nil {
+	if err := cli.RunQuickcluster(ctx, r, opts, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "quickcluster:", err)
 		os.Exit(1)
 	}

@@ -34,6 +34,8 @@ var deterministic = []string{
 	"internal/optics",
 	"internal/kmeans",
 	"internal/synth",
+	"internal/wal",
+	"internal/failpoint",
 }
 
 // clockToInt are the time.Time methods that turn the wall clock into an

@@ -1,6 +1,7 @@
 package bubble
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -23,6 +24,14 @@ import (
 // fixed floating-point order and the result is identical for every worker
 // count.
 func Build(db *dataset.DB, numSeeds int, opts Options) (*Set, error) {
+	return BuildContext(context.Background(), db, numSeeds, opts)
+}
+
+// BuildContext is Build with cancellation: ctx cancels the phase-1 search
+// fan-out, in which case no set is returned. The serial absorb phase is
+// not interrupted — once assignment starts the build always yields a
+// complete, invariant-satisfying set or an error, never a partial one.
+func BuildContext(ctx context.Context, db *dataset.DB, numSeeds int, opts Options) (*Set, error) {
 	if numSeeds <= 0 {
 		return nil, errors.New("bubble: need at least one seed")
 	}
@@ -51,7 +60,7 @@ func Build(db *dataset.DB, numSeeds int, opts Options) (*Set, error) {
 	n := db.Len()
 	targets := make([]int, n)
 	base := s.rng.Int63()
-	err = parallel.ForEachWorker(n, parallel.Workers(opts.Workers, n),
+	err = parallel.ForEachWorker(ctx, n, parallel.Workers(opts.Workers, n),
 		func(int) *Finder { return s.NewFinder() },
 		func(f *Finder, i int) error {
 			t, _, err := f.ClosestSeed(db.At(i).P, stats.SubSeed(base, i))

@@ -2,6 +2,8 @@ package cli
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -60,7 +62,7 @@ func TestRunIncbenchExperiments(t *testing.T) {
 				Fracs:      "0.1",
 				Datasets:   "Random2d",
 			}
-			if err := RunIncbench(opts, &buf); err != nil {
+			if err := RunIncbench(context.Background(), opts, &buf); err != nil {
 				t.Fatal(err)
 			}
 			if !strings.Contains(buf.String(), c.want) {
@@ -72,13 +74,13 @@ func TestRunIncbenchExperiments(t *testing.T) {
 
 func TestRunIncbenchUnknowns(t *testing.T) {
 	var buf bytes.Buffer
-	if err := RunIncbench(IncbenchOptions{Experiment: "nope", Config: tinyConfig()}, &buf); err == nil {
+	if err := RunIncbench(context.Background(), IncbenchOptions{Experiment: "nope", Config: tinyConfig()}, &buf); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := RunIncbench(IncbenchOptions{Experiment: "table1", Config: tinyConfig(), Datasets: "NotADataset"}, &buf); err == nil {
+	if err := RunIncbench(context.Background(), IncbenchOptions{Experiment: "table1", Config: tinyConfig(), Datasets: "NotADataset"}, &buf); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if err := RunIncbench(IncbenchOptions{Experiment: "fig9", Config: tinyConfig(), Fracs: "bogus"}, &buf); err == nil {
+	if err := RunIncbench(context.Background(), IncbenchOptions{Experiment: "fig9", Config: tinyConfig(), Fracs: "bogus"}, &buf); err == nil {
 		t.Error("bad fracs accepted")
 	}
 }
@@ -87,7 +89,7 @@ func TestRunIncbenchFig8CSVDir(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
 	opts := IncbenchOptions{Experiment: "fig8", Config: tinyConfig(), CSVDir: dir}
-	if err := RunIncbench(opts, &buf); err != nil {
+	if err := RunIncbench(context.Background(), opts, &buf); err != nil {
 		t.Fatal(err)
 	}
 	files, err := filepath.Glob(filepath.Join(dir, "complex_batch*.csv"))
@@ -131,7 +133,7 @@ func TestRunBubblegenAndQuickcluster(t *testing.T) {
 		Assignments: true,
 		PNGOut:      pngPath,
 	}
-	if err := RunQuickcluster(f, qc, &stdout, &stderr); err != nil {
+	if err := RunQuickcluster(context.Background(), f, qc, &stdout, &stderr); err != nil {
 		t.Fatal(err)
 	}
 	out := stdout.String()
@@ -178,7 +180,92 @@ func TestRunBubblegenUnknownKind(t *testing.T) {
 
 func TestRunQuickclusterBadInput(t *testing.T) {
 	var a, b bytes.Buffer
-	if err := RunQuickcluster(strings.NewReader("not,a,csv"), QuickclusterOptions{Bubbles: 5, MinPts: 3}, &a, &b); err == nil {
+	if err := RunQuickcluster(context.Background(), strings.NewReader("not,a,csv"), QuickclusterOptions{Bubbles: 5, MinPts: 3}, &a, &b); err == nil {
 		t.Error("malformed CSV accepted")
+	}
+}
+
+// TestRunIncbenchRecovery runs the crash-recovery demonstration end to
+// end: it must report an identical recovered state.
+func TestRunIncbenchRecovery(t *testing.T) {
+	var out bytes.Buffer
+	opts := IncbenchOptions{
+		Experiment:      "recovery",
+		Config:          tinyConfig(),
+		WALDir:          t.TempDir(),
+		CheckpointEvery: 2,
+	}
+	if err := RunIncbench(context.Background(), opts, &out); err != nil {
+		t.Fatalf("recovery experiment: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "IDENTICAL") {
+		t.Fatalf("recovery output:\n%s", out.String())
+	}
+}
+
+// TestRunQuickclusterDurableResume runs quickcluster twice against the
+// same WAL directory: the second run must resume the persisted summary
+// (no CSV read) and produce identical cluster output.
+func TestRunQuickclusterDurableResume(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "db.csv")
+	var stdout, stderr bytes.Buffer
+	gen := BubblegenOptions{Kind: "complex", Dim: 2, Points: 600, Batches: 1, Seed: 7, Out: csvPath}
+	if err := RunBubblegen(gen, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	walDir := filepath.Join(dir, "wal")
+	qc := QuickclusterOptions{Bubbles: 15, MinPts: 5, Seed: 8, WALDir: walDir}
+
+	f, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	err = RunQuickcluster(context.Background(), f, qc, &stdout, &stderr)
+	f.Close()
+	if err != nil {
+		t.Fatalf("durable run: %v", err)
+	}
+	first := stdout.String()
+	if !strings.Contains(stderr.String(), "persisted") {
+		t.Fatalf("no persistence note: %q", stderr.String())
+	}
+
+	// Resume: input reader is never touched.
+	stdout.Reset()
+	stderr.Reset()
+	if err := RunQuickcluster(context.Background(), strings.NewReader("ignored"), qc, &stdout, &stderr); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "resumed") {
+		t.Fatalf("no resume note: %q", stderr.String())
+	}
+	if stdout.String() != first {
+		t.Fatalf("resumed output differs:\n--- first\n%s--- resumed\n%s", first, stdout.String())
+	}
+}
+
+// TestRunQuickclusterCancelled verifies the build honours a cancelled
+// context and reports it.
+func TestRunQuickclusterCancelled(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "db.csv")
+	var stdout, stderr bytes.Buffer
+	gen := BubblegenOptions{Kind: "random", Dim: 2, Points: 400, Batches: 1, Seed: 9, Out: csvPath}
+	if err := RunBubblegen(gen, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stdout.Reset()
+	if err := RunQuickcluster(ctx, f, QuickclusterOptions{Bubbles: 10, MinPts: 5}, &stdout, &stderr); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }

@@ -5,6 +5,7 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -28,10 +29,18 @@ type IncbenchOptions struct {
 	CSVDir string
 	// Datasets restricts Table 1 to a comma-separated subset of names.
 	Datasets string
+	// WALDir hosts the recovery experiment's log/checkpoint directories
+	// (a temp directory when empty).
+	WALDir string
+	// CheckpointEvery is the recovery experiment's checkpoint cadence in
+	// batches (≤0 selects the wal default).
+	CheckpointEvery int
 }
 
-// RunIncbench executes the selected experiment, writing the report to out.
-func RunIncbench(opts IncbenchOptions, out io.Writer) error {
+// RunIncbench executes the selected experiment, writing the report to
+// out. ctx cancels between batches and experiments; a cancelled run
+// returns ctx's error with partial output already written.
+func RunIncbench(ctx context.Context, opts IncbenchOptions, out io.Writer) error {
 	cfg := opts.Config
 	sweepOnce := func() ([]experiments.SweepRow, error) {
 		fracs, err := ParseFracs(opts.Fracs)
@@ -89,11 +98,27 @@ func RunIncbench(opts IncbenchOptions, out io.Writer) error {
 		}
 		fmt.Fprintln(out, "Strategy comparison — specialized incremental algorithm vs incremental summaries")
 		return experiments.WriteStrategies(out, rows)
+	case "recovery":
+		res, err := experiments.Recovery(ctx, cfg, opts.WALDir, opts.CheckpointEvery)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Recovery — durable run killed mid-workload, resumed from WAL + checkpoint")
+		if err := experiments.WriteRecovery(out, res); err != nil {
+			return err
+		}
+		if !res.Identical {
+			return fmt.Errorf("recovered state diverged from the uninterrupted run")
+		}
+		return nil
 	case "all":
 		for _, sub := range []string{"table1", "fig7", "fig8", "sweep"} {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			next := opts
 			next.Experiment = sub
-			if err := RunIncbench(next, out); err != nil {
+			if err := RunIncbench(ctx, next, out); err != nil {
 				return err
 			}
 			fmt.Fprintln(out)

@@ -2,12 +2,14 @@ package cli
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 
 	"incbubbles/internal/bubble"
+	"incbubbles/internal/core"
 	"incbubbles/internal/dataset"
 	"incbubbles/internal/eval"
 	"incbubbles/internal/extract"
@@ -16,6 +18,7 @@ import (
 	"incbubbles/internal/stats"
 	"incbubbles/internal/telemetry"
 	"incbubbles/internal/vecmath"
+	"incbubbles/internal/wal"
 )
 
 // QuickclusterOptions parameterises a one-shot summarize+cluster run.
@@ -27,32 +30,92 @@ type QuickclusterOptions struct {
 	Plot        bool   // print the text reachability plot
 	Assignments bool   // print id,cluster rows
 	PNGOut      string // write a reachability-plot PNG here
+	// WALDir, when non-empty, makes the summary durable: a fresh run
+	// persists the database and built bubbles there (WAL + checkpoint),
+	// and a rerun pointing at the same directory resumes them instead of
+	// re-reading and re-summarizing the input. Seed and Bubbles must match
+	// the original run when resuming.
+	WALDir string
+	// CheckpointEvery is the durable checkpoint cadence (≤0 = wal default).
+	CheckpointEvery int
 	// Telemetry optionally receives build/cluster metrics (and is what a
 	// -debug-addr endpoint serves). Instrumentation never changes results.
 	Telemetry *telemetry.Sink
 }
 
-// RunQuickcluster reads a CSV database from in, summarizes and clusters
-// it, and reports on stdout (progress notes on stderr).
-func RunQuickcluster(in io.Reader, opts QuickclusterOptions, stdout, stderr io.Writer) error {
-	db, err := dataset.ReadCSV(bufio.NewReader(in))
-	if err != nil {
-		return err
-	}
-	numBubbles := opts.Bubbles
-	if db.Len() < numBubbles {
-		numBubbles = db.Len()
-	}
-	var counter vecmath.Counter
-	set, err := bubble.Build(db, numBubbles, bubble.Options{
+func (opts QuickclusterOptions) coreOptions(numBubbles int, counter *vecmath.Counter) core.Options {
+	return core.Options{
+		NumBubbles:            numBubbles,
 		UseTriangleInequality: true,
-		TrackMembers:          true,
-		RNG:                   stats.NewRNG(opts.Seed),
-		Workers:               opts.Workers,
-		Counter:               &counter,
-	})
-	if err != nil {
-		return err
+		Seed:                  opts.Seed,
+		Counter:               counter,
+		Telemetry:             opts.Telemetry,
+		Config:                core.Config{Workers: opts.Workers},
+	}
+}
+
+// RunQuickcluster reads a CSV database from in, summarizes and clusters
+// it, and reports on stdout (progress notes on stderr). With WALDir set
+// the summary is durable — see QuickclusterOptions.WALDir. ctx cancels
+// the build phase; clustering a built summary runs to completion.
+func RunQuickcluster(ctx context.Context, in io.Reader, opts QuickclusterOptions, stdout, stderr io.Writer) error {
+	var (
+		db      *dataset.DB
+		set     *bubble.Set
+		counter vecmath.Counter
+	)
+	switch {
+	case opts.WALDir != "" && wal.HasState(opts.WALDir):
+		st, err := wal.Resume(opts.coreOptions(opts.Bubbles, &counter),
+			wal.Options{Dir: opts.WALDir, CheckpointEvery: opts.CheckpointEvery, Telemetry: opts.Telemetry})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "quickcluster: resumed %d points from %s (%d batches replayed)\n",
+			st.DB.Len(), opts.WALDir, st.Replayed)
+		db, set = st.DB, st.Summarizer.Set()
+		defer st.Log.Close()
+	case opts.WALDir != "":
+		var err error
+		db, err = dataset.ReadCSV(bufio.NewReader(in))
+		if err != nil {
+			return err
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		numBubbles := opts.Bubbles
+		if db.Len() < numBubbles {
+			numBubbles = db.Len()
+		}
+		s, l, err := wal.New(db, opts.coreOptions(numBubbles, &counter),
+			wal.Options{Dir: opts.WALDir, CheckpointEvery: opts.CheckpointEvery, Telemetry: opts.Telemetry})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "quickcluster: summary persisted to %s\n", opts.WALDir)
+		set = s.Set()
+		defer l.Close()
+	default:
+		var err error
+		db, err = dataset.ReadCSV(bufio.NewReader(in))
+		if err != nil {
+			return err
+		}
+		numBubbles := opts.Bubbles
+		if db.Len() < numBubbles {
+			numBubbles = db.Len()
+		}
+		set, err = bubble.BuildContext(ctx, db, numBubbles, bubble.Options{
+			UseTriangleInequality: true,
+			TrackMembers:          true,
+			RNG:                   stats.NewRNG(opts.Seed),
+			Workers:               opts.Workers,
+			Counter:               &counter,
+		})
+		if err != nil {
+			return err
+		}
 	}
 	if opts.Telemetry != nil {
 		opts.Telemetry.Counter(telemetry.MetricDistanceComputed).Add(counter.Computed())

@@ -11,18 +11,57 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"time"
 
 	"incbubbles/internal/bubble"
 	"incbubbles/internal/dataset"
+	"incbubbles/internal/failpoint"
 	"incbubbles/internal/parallel"
 	"incbubbles/internal/stats"
 	"incbubbles/internal/telemetry"
 	"incbubbles/internal/vecmath"
 )
+
+// Durability receives the write-ahead hooks of a durability layer
+// (internal/wal) around every applied batch. BeforeApply is called after
+// the read-only phase-1 searches but before the first mutation: a
+// non-nil error aborts the batch with the summary unchanged, which is
+// what makes write-ahead logging sound — a batch is never applied unless
+// it is on stable storage first. AfterApply is called once the batch has
+// fully applied (or failed mid-mutation, with that error), and is where
+// the layer schedules checkpoints.
+type Durability interface {
+	BeforeApply(ctx context.Context, ordinal uint64, batch dataset.Batch) error
+	AfterApply(ctx context.Context, s *Summarizer, applyErr error) error
+}
+
+// Failpoints of the apply path, evaluated on every batch when a registry
+// is armed via Options.Failpoints (see internal/failpoint).
+const (
+	// FailApplyStart fires after the read-only phase-1 searches, before
+	// BeforeApply and before any mutation. Killing here must leave both
+	// the summary and the log unchanged.
+	FailApplyStart = "core.apply.start"
+	// FailMaintainRound fires at the top of every maintenance round, i.e.
+	// mid-mutation after the batch was logged. Killing here leaves a
+	// partially maintained in-memory summary whose durable truth is the
+	// log: recovery replays the whole batch.
+	FailMaintainRound = "core.apply.maintain-round"
+	// FailApplyDone fires after the batch fully applied and the ordinal
+	// advanced, before the durability layer's AfterApply checkpoint hook.
+	FailApplyDone = "core.apply.done"
+)
+
+// Failpoints returns the names of every failpoint in the apply path, for
+// crash-matrix tests that must cover them all.
+func Failpoints() []string {
+	return []string{FailApplyStart, FailMaintainRound, FailApplyDone}
+}
 
 // Class is the compression-quality class of a bubble (Definition 3).
 type Class int
@@ -168,6 +207,14 @@ type Summarizer struct {
 	totalRebuilt int
 	batches      int
 
+	// Durability. seedBase is the construction seed: under a durability
+	// layer every batch reseeds rng from SubSeed(seedBase, ordinal) so
+	// that checkpoint + replay reproduces the uninterrupted run
+	// bit-for-bit. Without a layer the RNG free-runs exactly as before.
+	seedBase   int64
+	durability Durability
+	fail       *failpoint.Registry // nil-safe; disarmed in production
+
 	// Observability. sink may be nil (telemetry disabled); the resolved
 	// metric handles are always valid — a nil sink hands out detached ones.
 	sink     *telemetry.Sink
@@ -249,18 +296,83 @@ type Options struct {
 	// the telemetry sink, and LastViolations — never as errors or panics —
 	// so a corrupted summary degrades gracefully.
 	Audit bool
+	// Durability, when non-nil, receives write-ahead hooks around every
+	// batch (see the Durability interface). It also switches ApplyBatch to
+	// replay-deterministic RNG use: each batch reseeds from
+	// SubSeed(Seed, ordinal), so recovery can reproduce the run exactly.
+	Durability Durability
+	// Failpoints threads a fault-injection registry through the apply
+	// path for crash testing. Optional; nil evaluates every point as
+	// disarmed at near-zero cost.
+	Failpoints *failpoint.Registry
 }
 
 // New builds the initial data bubbles over db from scratch and returns a
 // Summarizer maintaining them. db must stay the database the update
 // batches are applied to.
 func New(db *dataset.DB, opts Options) (*Summarizer, error) {
-	cfg := opts.Config.withDefaults()
-	if err := cfg.validate(); err != nil {
+	cfg, seed, err := resolveOptions(opts)
+	if err != nil {
 		return nil, err
 	}
+	rng := stats.NewRNG(seed)
+	set, err := bubble.Build(db, opts.NumBubbles, bubble.Options{
+		UseTriangleInequality: opts.UseTriangleInequality,
+		TrackMembers:          true,
+		Counter:               opts.Counter,
+		RNG:                   rng,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finishConstruct(db, set, cfg, seed, rng, opts), nil
+}
+
+// Load reconstructs a Summarizer around a bubble snapshot previously
+// written with Set().Save — the restore half of the durability layer's
+// checkpoint. The snapshot must have been saved with member tracking (the
+// summarizer's own sets always are); batches and totalRebuilt restore the
+// progress counters the snapshot does not carry. Under Options.Durability
+// the per-batch reseed makes the restored summarizer's future batches
+// bit-identical to the original run's, provided opts carries the same
+// Seed and Config.
+func Load(db *dataset.DB, snapshot io.Reader, opts Options, batches, totalRebuilt int) (*Summarizer, error) {
+	cfg, seed, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if batches < 0 || totalRebuilt < 0 {
+		return nil, errors.New("core: negative progress counters")
+	}
+	rng := stats.NewRNG(seed)
+	set, err := bubble.Load(snapshot, bubble.Options{
+		Counter: opts.Counter,
+		RNG:     rng,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if set.Dim() != db.Dim() {
+		return nil, fmt.Errorf("core: snapshot dimensionality %d != database %d", set.Dim(), db.Dim())
+	}
+	if !set.OwnershipComplete() {
+		return nil, errors.New("core: snapshot has no member ownership; cannot maintain it incrementally")
+	}
+	s := finishConstruct(db, set, cfg, seed, rng, opts)
+	s.batches = batches
+	s.totalRebuilt = totalRebuilt
+	return s, nil
+}
+
+// resolveOptions applies defaults and validates the construction options
+// shared by New and Load.
+func resolveOptions(opts Options) (Config, int64, error) {
+	cfg := opts.Config.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return cfg, 0, err
+	}
 	if opts.NumBubbles <= 0 {
-		return nil, errors.New("core: NumBubbles must be positive")
+		return cfg, 0, errors.New("core: NumBubbles must be positive")
 	}
 	seed := opts.Seed
 	if seed == 0 {
@@ -277,32 +389,29 @@ func New(db *dataset.DB, opts Options) (*Summarizer, error) {
 			cfg.MaxBubbles = opts.NumBubbles * 2
 		}
 		if cfg.MinBubbles > opts.NumBubbles || cfg.MaxBubbles < opts.NumBubbles {
-			return nil, errors.New("core: initial bubble count outside [MinBubbles, MaxBubbles]")
+			return cfg, 0, errors.New("core: initial bubble count outside [MinBubbles, MaxBubbles]")
 		}
 	}
-	rng := stats.NewRNG(seed)
-	set, err := bubble.Build(db, opts.NumBubbles, bubble.Options{
-		UseTriangleInequality: opts.UseTriangleInequality,
-		TrackMembers:          true,
-		Counter:               opts.Counter,
-		RNG:                   rng,
-	})
-	if err != nil {
-		return nil, err
-	}
+	return cfg, seed, nil
+}
+
+func finishConstruct(db *dataset.DB, set *bubble.Set, cfg Config, seed int64, rng *stats.RNG, opts Options) *Summarizer {
 	s := &Summarizer{
 		db: db, set: set, cfg: cfg, rng: rng,
-		sink:     opts.Telemetry,
-		metrics:  newCoreMetrics(opts.Telemetry),
-		audit:    opts.Audit,
-		curBatch: -1,
+		seedBase:   seed,
+		durability: opts.Durability,
+		fail:       opts.Failpoints,
+		sink:       opts.Telemetry,
+		metrics:    newCoreMetrics(opts.Telemetry),
+		audit:      opts.Audit,
+		curBatch:   -1,
 	}
 	s.syncDistances()
 	if s.sink != nil {
 		s.metrics.bubbles.Set(float64(set.Len()))
 	}
 	s.runAudit(nil)
-	return s, nil
+	return s
 }
 
 // Set exposes the maintained bubble set (read-only use).
@@ -398,21 +507,74 @@ func (s *Summarizer) observeWorkerTally(t vecmath.Tally) {
 // quality maintenance: classify all bubbles by β and rebuild the
 // over-filled ones via synchronized merge and split.
 func (s *Summarizer) ApplyBatch(batch dataset.Batch) (BatchStats, error) {
+	return s.ApplyBatchContext(context.Background(), batch)
+}
+
+// ApplyBatchContext is ApplyBatch with cancellation. The contract is
+// all-or-nothing: ctx is honoured only at mutation-free barriers — on
+// entry, during the read-only phase-1 search fan-out, and once more
+// before the batch is logged and applied — so a cancelled call always
+// returns with the summary (and any write-ahead log) exactly as it was.
+// Once mutation starts the batch runs to completion regardless of ctx.
+func (s *Summarizer) ApplyBatchContext(ctx context.Context, batch dataset.Batch) (BatchStats, error) {
 	var bs BatchStats
-	s.curBatch = s.batches
-	// Figure 3 step 1: decrement / increment sufficient statistics, as a
-	// two-phase parallel pipeline.
-	if err := s.applyUpdates(batch, &bs); err != nil {
+	if err := ctx.Err(); err != nil {
 		return bs, err
 	}
+	ordinal := s.batches
+	if s.durability != nil {
+		// Replay determinism: derive this batch's whole RNG stream from
+		// (seed, ordinal) alone, so checkpoint + replay of the log suffix
+		// reproduces the uninterrupted run bit-for-bit.
+		s.rng.Reseed(stats.SubSeed(s.seedBase, ordinal))
+	}
+	s.curBatch = ordinal
+	defer func() { s.curBatch = -1 }()
+	// Figure 3 step 1, phase 1: closest-bubble searches, read-only and
+	// therefore cancellable.
+	targets, err := s.searchInserts(ctx, batch)
+	if err != nil {
+		return bs, err
+	}
+	if err := ctx.Err(); err != nil {
+		return bs, err
+	}
+	if err := s.fail.Hit(FailApplyStart); err != nil {
+		return bs, err
+	}
+	if s.durability != nil {
+		if err := s.durability.BeforeApply(ctx, uint64(ordinal), batch); err != nil {
+			return bs, fmt.Errorf("core: batch %d not durable: %w", ordinal, err)
+		}
+	}
+	// Point of no return: the batch is on stable storage (when durable)
+	// and mutation starts.
+	applyErr := s.applyAndMaintain(batch, targets, &bs)
+	if s.durability != nil {
+		if err := s.durability.AfterApply(ctx, s, applyErr); applyErr == nil && err != nil {
+			applyErr = err
+		}
+	}
+	return bs, applyErr
+}
+
+// applyAndMaintain is the mutating half of a batch: phase-2 statistic
+// updates (Figure 3 step 1), then quality maintenance (step 2).
+func (s *Summarizer) applyAndMaintain(batch dataset.Batch, targets []int, bs *BatchStats) error {
+	if err := s.applyMutations(batch, targets, bs); err != nil {
+		return err
+	}
 	s.syncDistances()
-	s.runAudit(&bs)
+	s.runAudit(bs)
 	// Figure 3 step 2: identify low-quality bubbles and rebuild them.
 	var maintainStart time.Time
 	if s.sink != nil {
 		maintainStart = time.Now()
 	}
 	for round := 0; round < s.cfg.MaxRounds; round++ {
+		if err := s.fail.Hit(FailMaintainRound); err != nil {
+			return err
+		}
 		cl := s.Classify()
 		if round == 0 {
 			bs.OverFilled = len(cl.Over)
@@ -423,12 +585,12 @@ func (s *Summarizer) ApplyBatch(batch dataset.Batch) (BatchStats, error) {
 		}
 		rebuilt, fromGood, err := s.rebuild(cl)
 		if err != nil {
-			return bs, err
+			return err
 		}
 		bs.Rebuilt += rebuilt
 		bs.DonorsFromGood += fromGood
 		bs.Rounds = round + 1
-		s.runAudit(&bs)
+		s.runAudit(bs)
 		if rebuilt == 0 {
 			break
 		}
@@ -436,11 +598,11 @@ func (s *Summarizer) ApplyBatch(batch dataset.Batch) (BatchStats, error) {
 	if s.cfg.AdaptiveCount {
 		added, removed, err := s.adaptCount()
 		if err != nil {
-			return bs, err
+			return err
 		}
 		bs.BubblesAdded = added
 		bs.BubblesRemoved = removed
-		s.runAudit(&bs)
+		s.runAudit(bs)
 	}
 	s.totalRebuilt += bs.Rebuilt
 	s.batches++
@@ -457,8 +619,7 @@ func (s *Summarizer) ApplyBatch(batch dataset.Batch) (BatchStats, error) {
 		s.emit(telemetry.Event{Kind: telemetry.KindBatchApply,
 			A: bs.Inserted, B: bs.Deleted, N: len(batch)})
 	}
-	s.curBatch = -1
-	return bs, nil
+	return s.fail.Hit(FailApplyDone)
 }
 
 // minParallelItems is the work-list size below which the default worker
@@ -475,60 +636,67 @@ func (s *Summarizer) assignWorkers(n int) int {
 	return parallel.Workers(s.cfg.Workers, n)
 }
 
-// applyUpdates is Figure 3 step 1 as a two-phase pipeline.
-//
-// Phase 1 computes the closest bubble of every insertion concurrently. The
-// searches are read-only: between maintenance rounds the seed positions and
-// the seed distance matrix are frozen, deletions never move seeds, and each
-// worker carries a private Finder (RNG, scratch buffer, distance tally).
-// Each insertion's probe order comes from its own SubSeed-derived RNG
-// stream keyed by batch ordinal, so the chosen bubble and the per-point
+// searchInserts is phase 1 of Figure 3 step 1: it computes the closest
+// bubble of every insertion in batch concurrently. The searches are
+// read-only: between maintenance rounds the seed positions and the seed
+// distance matrix are frozen, deletions never move seeds, and each worker
+// carries a private Finder (RNG, scratch buffer, distance tally). Each
+// insertion's probe order comes from its own SubSeed-derived RNG stream
+// keyed by batch ordinal, so the chosen bubble and the per-point
 // computed/pruned counts are independent of worker count and scheduling;
-// the per-worker tallies merge into the shared counter in worker order once
-// the fan-out completes, keeping Computed()/Pruned() totals exact.
-//
-// Phase 2 walks the batch serially in order, releasing deletions and
-// absorbing insertions into their precomputed bubbles. All Set mutation —
-// ownership map, (n, LS, SS) accumulation — happens in one goroutine in a
-// fixed order, which keeps the Set lock-free and the result bit-identical
-// to the serial path (DESIGN.md, "Parallel batch assignment").
-func (s *Summarizer) applyUpdates(batch dataset.Batch, bs *BatchStats) error {
+// the per-worker tallies merge into the shared counter in worker order
+// once the fan-out completes, keeping Computed()/Pruned() totals exact.
+// Because nothing is mutated, cancelling ctx here aborts the batch with
+// the summary untouched.
+func (s *Summarizer) searchInserts(ctx context.Context, batch dataset.Batch) (targets []int, err error) {
 	var inserts []int
 	for i, u := range batch {
 		if u.Op == dataset.OpInsert {
 			inserts = append(inserts, i)
 		}
 	}
-	targets := make([]int, len(inserts))
-	if len(inserts) > 0 {
-		var searchStart time.Time
-		if s.sink != nil {
-			searchStart = time.Now()
-		}
-		base := s.rng.Int63()
-		err := parallel.ForEachWorker(len(inserts), s.assignWorkers(len(inserts)),
-			func(int) *bubble.Finder { return s.set.NewFinder() },
-			func(f *bubble.Finder, k int) error {
-				u := batch[inserts[k]]
-				t, _, err := f.ClosestSeed(u.P, stats.SubSeed(base, k))
-				if err != nil {
-					return fmt.Errorf("core: insert %d: %w", u.ID, err)
-				}
-				targets[k] = t
-				return nil
-			},
-			func(_ int, f *bubble.Finder) error {
-				s.observeWorkerTally(f.Tally())
-				f.Flush()
-				return nil
-			})
-		if err != nil {
-			return err
-		}
-		if s.sink != nil {
-			s.metrics.searchSeconds.Observe(time.Since(searchStart).Seconds())
-		}
+	targets = make([]int, len(inserts))
+	if len(inserts) == 0 {
+		return targets, nil
 	}
+	var searchStart time.Time
+	if s.sink != nil {
+		searchStart = time.Now()
+	}
+	base := s.rng.Int63()
+	err = parallel.ForEachWorker(ctx, len(inserts), s.assignWorkers(len(inserts)),
+		func(int) *bubble.Finder { return s.set.NewFinder() },
+		func(f *bubble.Finder, k int) error {
+			u := batch[inserts[k]]
+			t, _, err := f.ClosestSeed(u.P, stats.SubSeed(base, k))
+			if err != nil {
+				return fmt.Errorf("core: insert %d: %w", u.ID, err)
+			}
+			targets[k] = t
+			return nil
+		},
+		func(_ int, f *bubble.Finder) error {
+			s.observeWorkerTally(f.Tally())
+			f.Flush()
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if s.sink != nil {
+		s.metrics.searchSeconds.Observe(time.Since(searchStart).Seconds())
+	}
+	return targets, nil
+}
+
+// applyMutations is phase 2 of Figure 3 step 1: it walks the batch
+// serially in order, releasing deletions and absorbing insertions into
+// their precomputed bubbles. All Set mutation — ownership map, (n, LS,
+// SS) accumulation — happens in one goroutine in a fixed order, which
+// keeps the Set lock-free and the result bit-identical to the serial path
+// (DESIGN.md, "Parallel batch assignment").
+// targets[k] is the destination of the k-th insertion in batch order.
+func (s *Summarizer) applyMutations(batch dataset.Batch, targets []int, bs *BatchStats) error {
 	var applyStart time.Time
 	if s.sink != nil {
 		applyStart = time.Now()
@@ -731,7 +899,7 @@ func (s *Summarizer) mergeAway(donor int) error {
 	}
 	targets := make([]int, len(ids))
 	base := s.rng.Int63()
-	err = parallel.ForEachWorker(len(ids), s.assignWorkers(len(ids)),
+	err = parallel.ForEachWorker(context.Background(), len(ids), s.assignWorkers(len(ids)),
 		func(int) *bubble.Finder { return s.set.NewFinder() },
 		func(f *bubble.Finder, k int) error {
 			t, _, err := f.ClosestSeedExcluding(recs[k].P, donor, stats.SubSeed(base, k))
@@ -809,7 +977,7 @@ func (s *Summarizer) splitOver(donor, over int) error {
 		recs[k] = rec
 	}
 	targets := make([]int, len(overIDs))
-	err = parallel.ForEachWorker(len(overIDs), s.assignWorkers(len(overIDs)),
+	err = parallel.ForEachWorker(context.Background(), len(overIDs), s.assignWorkers(len(overIDs)),
 		func(int) *vecmath.Tally { return &vecmath.Tally{} },
 		func(t *vecmath.Tally, k int) error {
 			d1 := t.Distance(recs[k].P, donorSeed)

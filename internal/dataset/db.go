@@ -100,6 +100,36 @@ func (db *DB) Insert(p vecmath.Point, label int) (PointID, error) {
 	return id, nil
 }
 
+// InsertWithID restores a record under its original ID — the restore path
+// of deserialization and WAL replay, where IDs assigned in the original
+// run must be preserved exactly. The coordinates are validated like
+// Insert's and copied; nextID advances past rec.ID so later Insert calls
+// never collide.
+func (db *DB) InsertWithID(rec Record) error {
+	if !rec.P.IsFinite() {
+		return ErrNonFinite
+	}
+	if rec.Label < Noise {
+		return ErrLabelReserve
+	}
+	return db.insertWithID(rec)
+}
+
+// SetNextID restores the ID allocator to next, e.g. from a checkpoint.
+// It refuses to move the allocator backwards over a live record, which
+// would let a future Insert reuse that ID.
+func (db *DB) SetNextID(next PointID) error {
+	if next < db.nextID {
+		for _, rec := range db.recs {
+			if rec.ID >= next {
+				return fmt.Errorf("%w: next ID %d would reuse live ID %d", ErrDuplicateID, next, rec.ID)
+			}
+		}
+	}
+	db.nextID = next
+	return nil
+}
+
 // insertWithID restores a record with a fixed ID (deserialization only).
 func (db *DB) insertWithID(rec Record) error {
 	if rec.P.Dim() != db.dim {

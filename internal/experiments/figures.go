@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -192,7 +193,7 @@ func UpdateSweep(cfg Config, fractions []float64) ([]SweepRow, error) {
 	}
 	type cell struct{ rebuilt, pruned, saving float64 }
 	results := make([]cell, len(tasks))
-	err := parallel.ForEach(len(tasks), cfg.Workers, func(i int) error {
+	err := parallel.ForEach(context.Background(), len(tasks), cfg.Workers, func(i int) error {
 		tk := tasks[i]
 		r, p, s, err := cfg.sweepRep(fractions[tk.fi], tk.rep)
 		if err != nil {

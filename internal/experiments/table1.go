@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -41,7 +42,7 @@ func Table1(cfg Config, specs []DatasetSpec) ([]Table1Row, error) {
 		incC := make([]float64, cfg.Reps)
 		comF := make([]float64, cfg.Reps)
 		comC := make([]float64, cfg.Reps)
-		err := parallel.ForEach(cfg.Reps, cfg.Workers, func(rep int) error {
+		err := parallel.ForEach(context.Background(), cfg.Reps, cfg.Workers, func(rep int) error {
 			rif, ric, rcf, rcc, err := cfg.table1Rep(spec, rep)
 			if err != nil {
 				return fmt.Errorf("%s rep %d: %w", spec.Name, rep, err)

@@ -7,6 +7,7 @@
 package optics
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -185,7 +186,7 @@ func NewBubbleSpaceWorkers(set *bubble.Set, workers int) (*BubbleSpace, error) {
 	}
 	// Row i fills the pairs (i, j>i). Rows are preallocated above and no
 	// two rows ever write the same cell, so the fan-out is race-free.
-	if err := parallel.ForEach(n, w, func(i int) error {
+	if err := parallel.ForEach(context.Background(), n, w, func(i int) error {
 		for j := i + 1; j < n; j++ {
 			d := s.bubbleDist(i, j)
 			s.dists[i][j] = d
@@ -199,7 +200,7 @@ func NewBubbleSpaceWorkers(set *bubble.Set, workers int) (*BubbleSpace, error) {
 	// copies a prefix instead of re-sorting on each OPTICS expansion. Ties
 	// break by index so the ordering is deterministic.
 	s.order = make([][]Neighbor, n)
-	if err := parallel.ForEach(n, w, func(i int) error {
+	if err := parallel.ForEach(context.Background(), n, w, func(i int) error {
 		row := make([]Neighbor, n)
 		for j := 0; j < n; j++ {
 			row[j] = Neighbor{Idx: j, Dist: s.dists[i][j]}

@@ -5,9 +5,16 @@
 // space) fans read-only closest-seed searches out with ForEachWorker,
 // giving each worker private scratch state that is merged back
 // deterministically once the fan-out completes.
+//
+// Every fan-out takes a context and stops dispatching new items once it
+// is cancelled. Cancellation is cooperative and per-item: running
+// invocations finish, so callers that mutate shared state only in a
+// serial phase after the fan-out (the repository's two-phase pattern)
+// get all-or-nothing batches for free.
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -80,14 +87,19 @@ func call(i int, fn func(int) error) (err error) {
 // early: indices not yet handed to a worker are skipped, running
 // invocations finish. ForEach waits for all started invocations and returns
 // the first observed error in index order; a panicking fn surfaces as a
-// *PanicError. fn must be safe to call concurrently for distinct i.
-func ForEach(n, workers int, fn func(i int) error) error {
+// *PanicError. Cancelling ctx also stops dispatch, and ctx.Err() is
+// returned only when no item itself failed. fn must be safe to call
+// concurrently for distinct i.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers = Workers(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := call(i, fn); err != nil {
 				return err
 			}
@@ -110,7 +122,12 @@ func ForEach(n, workers int, fn func(i int) error) error {
 			}
 		}()
 	}
+	cancelled := false
 	for i := 0; i < n && !failed.Load(); i++ {
+		if ctx.Err() != nil {
+			cancelled = true
+			break
+		}
 		next <- i
 	}
 	close(next)
@@ -120,16 +137,19 @@ func ForEach(n, workers int, fn func(i int) error) error {
 			return err
 		}
 	}
+	if cancelled {
+		return ctx.Err()
+	}
 	return nil
 }
 
 // Map invokes fn(i) for every i in [0,n) with at most workers goroutines
 // and returns the results in index order. On failure the partial results
 // are discarded and the first error in index order is returned, with the
-// same early-cancel and panic-recovery behaviour as ForEach.
-func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+// same early-cancel, cancellation and panic-recovery behaviour as ForEach.
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(n, workers, func(i int) error {
+	err := ForEach(ctx, n, workers, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err
@@ -157,13 +177,15 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 //
 // Errors (panics included, reported as *PanicError) cancel early: the
 // failing worker abandons the rest of its chunk and the other workers stop
-// at their next index. State from every worker whose setup succeeded is
-// still merged, in order, so externally visible tallies stay exact even on
-// the error path. The error of the lowest-indexed failing item wins; merge
-// errors are reported only when no item failed.
-func ForEachWorker[S any](n, workers int, setup func(w int) S, fn func(state S, i int) error, merge func(w int, state S) error) error {
+// at their next index. Cancelling ctx stops every worker at its next index
+// the same way. State from every worker whose setup succeeded is still
+// merged, in order, so externally visible tallies stay exact even on the
+// error path. The error of the lowest-indexed failing item wins; ctx.Err()
+// is reported only when no item failed, and merge errors only when neither
+// did.
+func ForEachWorker[S any](ctx context.Context, n, workers int, setup func(w int) S, fn func(state S, i int) error, merge func(w int, state S) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers = Workers(workers, n)
 	states := make([]S, workers)
@@ -185,7 +207,7 @@ func ForEachWorker[S any](n, workers int, setup func(w int) S, fn func(state S, 
 				return
 			}
 			ready[w] = true
-			for i := lo; i < hi && !failed.Load(); i++ {
+			for i := lo; i < hi && !failed.Load() && ctx.Err() == nil; i++ {
 				if err := call(i, func(i int) error { return fn(states[w], i) }); err != nil {
 					errs[w] = err
 					failed.Store(true)
@@ -203,6 +225,9 @@ func ForEachWorker[S any](n, workers int, setup func(w int) S, fn func(state S, 
 			firstErr = err
 			break
 		}
+	}
+	if firstErr == nil {
+		firstErr = ctx.Err()
 	}
 	for w := 0; w < workers; w++ {
 		if merge == nil || !ready[w] {

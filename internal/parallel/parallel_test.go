@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -13,7 +14,7 @@ import (
 func TestForEachRunsAll(t *testing.T) {
 	var count int64
 	seen := make([]int64, 100)
-	err := ForEach(100, 8, func(i int) error {
+	err := ForEach(context.Background(), 100, 8, func(i int) error {
 		atomic.AddInt64(&count, 1)
 		atomic.AddInt64(&seen[i], 1)
 		return nil
@@ -32,11 +33,11 @@ func TestForEachRunsAll(t *testing.T) {
 }
 
 func TestForEachEmptyAndSerial(t *testing.T) {
-	if err := ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+	if err := ForEach(context.Background(), 0, 4, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatal(err)
 	}
 	order := []int{}
-	err := ForEach(5, 1, func(i int) error {
+	err := ForEach(context.Background(), 5, 1, func(i int) error {
 		order = append(order, i) // safe: workers=1 is serial
 		return nil
 	})
@@ -53,7 +54,7 @@ func TestForEachEmptyAndSerial(t *testing.T) {
 func TestForEachFirstErrorByIndex(t *testing.T) {
 	e3 := errors.New("e3")
 	e7 := errors.New("e7")
-	err := ForEach(10, 4, func(i int) error {
+	err := ForEach(context.Background(), 10, 4, func(i int) error {
 		switch i {
 		case 3:
 			return e3
@@ -70,7 +71,7 @@ func TestForEachFirstErrorByIndex(t *testing.T) {
 func TestForEachSerialStopsEarly(t *testing.T) {
 	ran := 0
 	boom := errors.New("boom")
-	err := ForEach(10, 1, func(i int) error {
+	err := ForEach(context.Background(), 10, 1, func(i int) error {
 		ran++
 		if i == 2 {
 			return boom
@@ -84,7 +85,7 @@ func TestForEachSerialStopsEarly(t *testing.T) {
 
 func TestForEachDefaultWorkers(t *testing.T) {
 	var count int64
-	if err := ForEach(50, 0, func(int) error {
+	if err := ForEach(context.Background(), 50, 0, func(int) error {
 		atomic.AddInt64(&count, 1)
 		return nil
 	}); err != nil {
@@ -96,7 +97,7 @@ func TestForEachDefaultWorkers(t *testing.T) {
 }
 
 func TestForEachPanicRecovered(t *testing.T) {
-	err := ForEach(20, 4, func(i int) error {
+	err := ForEach(context.Background(), 20, 4, func(i int) error {
 		if i == 11 {
 			panic("boom")
 		}
@@ -112,7 +113,7 @@ func TestForEachPanicRecovered(t *testing.T) {
 }
 
 func TestForEachSerialPanicRecovered(t *testing.T) {
-	err := ForEach(3, 1, func(i int) error {
+	err := ForEach(context.Background(), 3, 1, func(i int) error {
 		if i == 1 {
 			panic(42)
 		}
@@ -127,7 +128,7 @@ func TestForEachSerialPanicRecovered(t *testing.T) {
 func TestForEachEarlyCancel(t *testing.T) {
 	var ran int64
 	boom := errors.New("boom")
-	err := ForEach(1000, 4, func(i int) error {
+	err := ForEach(context.Background(), 1000, 4, func(i int) error {
 		atomic.AddInt64(&ran, 1)
 		if i == 0 {
 			return boom
@@ -144,7 +145,7 @@ func TestForEachEarlyCancel(t *testing.T) {
 }
 
 func TestMapOrdered(t *testing.T) {
-	out, err := Map(50, 8, func(i int) (int, error) { return i * i, nil })
+	out, err := Map(context.Background(), 50, 8, func(i int) (int, error) { return i * i, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestMapOrdered(t *testing.T) {
 
 func TestMapError(t *testing.T) {
 	boom := errors.New("boom")
-	out, err := Map(10, 2, func(i int) (int, error) {
+	out, err := Map(context.Background(), 10, 2, func(i int) (int, error) {
 		if i == 4 {
 			return 0, boom
 		}
@@ -169,7 +170,7 @@ func TestMapError(t *testing.T) {
 }
 
 func TestMapEmpty(t *testing.T) {
-	out, err := Map(0, 4, func(int) (string, error) { return "x", nil })
+	out, err := Map(context.Background(), 0, 4, func(int) (string, error) { return "x", nil })
 	if err != nil || len(out) != 0 {
 		t.Fatalf("out=%v err=%v", out, err)
 	}
@@ -218,7 +219,7 @@ func TestForEachWorkerVisitsChunks(t *testing.T) {
 	const n, workers = 103, 7
 	owner := make([]int64, n)
 	last := make([]int, workers)
-	err := ForEachWorker(n, workers,
+	err := ForEachWorker(context.Background(), n, workers,
 		func(w int) int { last[w] = -1; return w },
 		func(w int, i int) error {
 			atomic.AddInt64(&owner[i], int64(w+1))
@@ -253,7 +254,7 @@ func TestForEachWorkerMergeOrdering(t *testing.T) {
 	var itemsDone int64
 	type state struct{ count int }
 	var merged []int
-	err := ForEachWorker(n, workers,
+	err := ForEachWorker(context.Background(), n, workers,
 		func(int) *state { return &state{} },
 		func(s *state, _ int) error {
 			atomic.AddInt64(&itemsDone, 1)
@@ -286,7 +287,7 @@ func TestForEachWorkerMergeOrdering(t *testing.T) {
 
 func TestForEachWorkerEmptySerialOversubscribed(t *testing.T) {
 	// Empty: neither setup nor merge must run.
-	if err := ForEachWorker(0, 4,
+	if err := ForEachWorker(context.Background(), 0, 4,
 		func(int) int { t.Error("setup on empty input"); return 0 },
 		func(int, int) error { return errors.New("never") },
 		func(int, int) error { t.Error("merge on empty input"); return nil },
@@ -295,7 +296,7 @@ func TestForEachWorkerEmptySerialOversubscribed(t *testing.T) {
 	}
 	// Serial (workers=1): indices in ascending order.
 	var order []int
-	if err := ForEachWorker(9, 1,
+	if err := ForEachWorker(context.Background(), 9, 1,
 		func(int) int { return 0 },
 		func(_ int, i int) error { order = append(order, i); return nil },
 		nil,
@@ -310,7 +311,7 @@ func TestForEachWorkerEmptySerialOversubscribed(t *testing.T) {
 	// Oversubscribed: more workers than items — setup must run at most n
 	// times and every item exactly once.
 	var setups, items int64
-	if err := ForEachWorker(3, 16,
+	if err := ForEachWorker(context.Background(), 3, 16,
 		func(int) int { atomic.AddInt64(&setups, 1); return 0 },
 		func(int, int) error { atomic.AddInt64(&items, 1); return nil },
 		nil,
@@ -329,7 +330,7 @@ func TestForEachWorkerErrorStillMerges(t *testing.T) {
 	const n, workers = 40, 4
 	e1 := errors.New("e1")
 	var merged int64
-	err := ForEachWorker(n, workers,
+	err := ForEachWorker(context.Background(), n, workers,
 		func(int) int { return 0 },
 		func(_ int, i int) error {
 			if i == 13 || i == 27 {
@@ -348,7 +349,7 @@ func TestForEachWorkerErrorStillMerges(t *testing.T) {
 
 func TestForEachWorkerPanicInSetupAndFn(t *testing.T) {
 	var pe *PanicError
-	err := ForEachWorker(10, 2,
+	err := ForEachWorker(context.Background(), 10, 2,
 		func(w int) int {
 			if w == 1 {
 				panic("setup")
@@ -360,7 +361,7 @@ func TestForEachWorkerPanicInSetupAndFn(t *testing.T) {
 	if !errors.As(err, &pe) || pe.Value != "setup" {
 		t.Fatalf("err=%v", err)
 	}
-	err = ForEachWorker(10, 2,
+	err = ForEachWorker(context.Background(), 10, 2,
 		func(int) int { return 0 },
 		func(_ int, i int) error {
 			if i == 7 {
@@ -376,7 +377,7 @@ func TestForEachWorkerPanicInSetupAndFn(t *testing.T) {
 
 func TestForEachWorkerMergeError(t *testing.T) {
 	boom := errors.New("merge boom")
-	err := ForEachWorker(10, 2,
+	err := ForEachWorker(context.Background(), 10, 2,
 		func(int) int { return 0 },
 		func(int, int) error { return nil },
 		func(w int, _ int) error {
@@ -396,7 +397,7 @@ func TestForEachProperty(t *testing.T) {
 		n := int(rawN % 64)
 		w := int(rawW%8) + 1
 		visits := make([]int64, n)
-		if err := ForEach(n, w, func(i int) error {
+		if err := ForEach(context.Background(), n, w, func(i int) error {
 			atomic.AddInt64(&visits[i], 1)
 			return nil
 		}); err != nil {
@@ -411,5 +412,86 @@ func TestForEachProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestForEachCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int64
+	err := ForEach(ctx, 100, 4, func(int) error {
+		atomic.AddInt64(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("ran %d items under a cancelled context", ran)
+	}
+}
+
+func TestForEachCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int64
+	err := ForEach(ctx, 1000, 4, func(i int) error {
+		if atomic.AddInt64(&ran, 1) == 10 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v want context.Canceled", err)
+	}
+	if got := atomic.LoadInt64(&ran); got >= 1000 {
+		t.Fatalf("cancellation did not stop dispatch: ran all %d items", got)
+	}
+}
+
+// Item errors outrank cancellation so callers never mistake a real failure
+// for a clean cancel.
+func TestForEachItemErrorBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	err := ForEach(ctx, 100, 1, func(i int) error {
+		if i == 5 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err=%v want item error", err)
+	}
+}
+
+func TestForEachWorkerCancelStillMerges(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var merged int64
+	err := ForEachWorker(ctx, 400, 4,
+		func(int) int { return 0 },
+		func(_ int, i int) error {
+			if i == 3 {
+				cancel()
+			}
+			time.Sleep(100 * time.Microsecond)
+			return nil
+		},
+		func(int, int) error { atomic.AddInt64(&merged, 1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v want context.Canceled", err)
+	}
+	if merged == 0 {
+		t.Fatal("no worker state merged after cancellation")
+	}
+}
+
+func TestMapCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := Map(ctx, 10, 2, func(i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) || out != nil {
+		t.Fatalf("out=%v err=%v", out, err)
 	}
 }

@@ -9,12 +9,15 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"incbubbles/internal/core"
 	"incbubbles/internal/dataset"
 	"incbubbles/internal/vecmath"
+	"incbubbles/internal/wal"
 )
 
 // Config parameterises a sliding window summarizer.
@@ -39,6 +42,12 @@ type Config struct {
 	Summarizer core.Config
 	// Seed drives bubble construction. Default 1.
 	Seed int64
+	// Durability, when non-nil, persists the summary through a write-ahead
+	// log and checkpoints in Durability.Dir, activated once warmup
+	// completes. Updates become durable when flushed (per FlushEvery), not
+	// per point; a crash loses at most the un-flushed buffer. Use Resume
+	// to reopen a window from such a directory.
+	Durability *wal.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -85,13 +94,15 @@ func (c Config) validate() error {
 // Window is a sliding-window stream summarizer. It is not safe for
 // concurrent use; wrap it if multiple goroutines feed one stream.
 type Window struct {
-	cfg     Config
-	db      *dataset.DB
-	sum     *core.Summarizer
-	fifo    []dataset.PointID
-	head    int // index of the oldest live entry in fifo
-	pending dataset.Batch
-	arrived int
+	cfg      Config
+	db       *dataset.DB
+	sum      *core.Summarizer
+	log      *wal.Log
+	fifo     []dataset.PointID
+	head     int // index of the oldest live entry in fifo
+	pending  dataset.Batch
+	arrived  int
+	replayed int
 }
 
 // NewWindow creates an empty sliding-window summarizer.
@@ -186,13 +197,25 @@ func (w *Window) evictOldest() error {
 	return errors.New("stream: eviction requested on empty window")
 }
 
-func (w *Window) build() error {
-	sum, err := core.New(w.db, core.Options{
+func (w *Window) coreOptions() core.Options {
+	return core.Options{
 		NumBubbles:            w.cfg.Bubbles,
 		UseTriangleInequality: true,
 		Seed:                  w.cfg.Seed,
 		Config:                w.cfg.Summarizer,
-	})
+	}
+}
+
+func (w *Window) build() error {
+	if w.cfg.Durability != nil {
+		sum, log, err := wal.New(w.db, w.coreOptions(), *w.cfg.Durability)
+		if err != nil {
+			return err
+		}
+		w.sum, w.log = sum, log
+		return nil
+	}
+	sum, err := core.New(w.db, w.coreOptions())
 	if err != nil {
 		return err
 	}
@@ -200,16 +223,98 @@ func (w *Window) build() error {
 	return nil
 }
 
+// Resume reopens a durable window from cfg.Durability.Dir: the summary
+// and its points come from the newest usable checkpoint plus WAL replay,
+// and the FIFO eviction order is reconstructed from the point IDs (IDs
+// are assigned in arrival order and never reused). cfg must carry the
+// same Seed, Bubbles and Summarizer config as the original run. The total
+// arrival count is not durable; Arrived restarts at the window size. A
+// window that crashed before warmup left no durable state — wal.ErrNoState
+// signals that NewWindow is the right entry point.
+func Resume(cfg Config) (*Window, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Durability == nil {
+		return nil, errors.New("stream: Resume requires Config.Durability")
+	}
+	w := &Window{cfg: cfg}
+	st, err := wal.Resume(w.coreOptions(), *cfg.Durability)
+	if err != nil {
+		return nil, err
+	}
+	w.db, w.sum, w.log = st.DB, st.Summarizer, st.Log
+	w.replayed = st.Replayed
+	if w.db.Dim() != cfg.Dim {
+		return nil, fmt.Errorf("stream: recovered dimensionality %d, config says %d", w.db.Dim(), cfg.Dim)
+	}
+	w.fifo = w.db.IDs()
+	sort.Slice(w.fifo, func(a, b int) bool { return w.fifo[a] < w.fifo[b] })
+	w.arrived = w.db.Len()
+	return w, nil
+}
+
+// Log exposes the durability log, or nil when the window is not durable
+// (or warmup has not completed).
+func (w *Window) Log() *wal.Log { return w.log }
+
+// Replayed returns how many WAL batches Resume re-applied on top of the
+// checkpoint this window recovered from (zero for fresh windows).
+func (w *Window) Replayed() int { return w.replayed }
+
 // Flush applies the buffered updates to the summarizer immediately and
 // returns the maintenance statistics. Flushing with nothing pending (or
 // before warmup) is a no-op.
 func (w *Window) Flush() (core.BatchStats, error) {
+	return w.FlushContext(context.Background())
+}
+
+// FlushContext is Flush with cancellation, inheriting ApplyBatchContext's
+// all-or-nothing contract: on a cancelled context the buffered updates
+// stay pending and the summary (and log) are unchanged.
+func (w *Window) FlushContext(ctx context.Context) (core.BatchStats, error) {
 	if w.sum == nil || len(w.pending) == 0 {
 		return core.BatchStats{}, nil
 	}
-	stats, err := w.sum.ApplyBatch(w.pending)
+	stats, err := w.sum.ApplyBatchContext(ctx, w.pending)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return stats, err // batch not applied; keep it pending
+	}
 	w.pending = w.pending[:0]
 	return stats, err
+}
+
+// Checkpoint flushes the buffer and persists the current summary. It is
+// a no-op before warmup and an error on a non-durable window.
+func (w *Window) Checkpoint() error {
+	if w.sum == nil {
+		return nil
+	}
+	if w.log == nil {
+		return errors.New("stream: window has no durability configured")
+	}
+	if _, err := w.Flush(); err != nil {
+		return err
+	}
+	return w.log.Checkpoint(w.sum)
+}
+
+// Close flushes, takes a final checkpoint when durable, and releases the
+// log. The window must not be used afterwards.
+func (w *Window) Close() error {
+	if w.log == nil {
+		if w.sum != nil {
+			_, err := w.Flush()
+			return err
+		}
+		return nil
+	}
+	err := w.Checkpoint()
+	if cerr := w.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Pending returns the number of buffered, not-yet-applied updates.

@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -8,6 +10,7 @@ import (
 	"incbubbles/internal/extract"
 	"incbubbles/internal/stats"
 	"incbubbles/internal/vecmath"
+	"incbubbles/internal/wal"
 )
 
 func TestConfigValidation(t *testing.T) {
@@ -186,5 +189,121 @@ func TestFlushBeforeWarmupNoop(t *testing.T) {
 	stats, err := w.Flush()
 	if err != nil || stats.Inserted != 0 {
 		t.Fatalf("pre-warmup flush: %+v err=%v", stats, err)
+	}
+}
+
+// TestDurableWindowResume pushes a stream through a durable window, kills
+// it (abandons without Close), resumes, and checks the recovered window
+// matches the durable prefix and keeps sliding correctly.
+func TestDurableWindowResume(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Dim: 2, Capacity: 300, Bubbles: 10, Warmup: 100, FlushEvery: 25, Seed: 3,
+		Durability: &wal.Options{Dir: dir, CheckpointEvery: 2},
+	}
+	w, err := NewWindow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(4)
+	for i := 0; i < 450; i++ {
+		if err := w.Push(rng.GaussianPoint(vecmath.Point{0, 0}, 3), 0); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if w.Log() == nil {
+		t.Fatal("durable window has no log after warmup")
+	}
+	durableBatches := w.Summarizer().Batches()
+	durableLen := w.Len() - w.Pending() // un-flushed pushes are lost by design
+	_ = durableLen
+
+	// Simulated kill: no Close, no final flush.
+	r, err := Resume(cfg)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if r.Summarizer().Batches() != durableBatches {
+		t.Fatalf("resumed at batch %d, want %d", r.Summarizer().Batches(), durableBatches)
+	}
+	if err := r.Summarizer().Set().CheckInvariants(); err != nil {
+		t.Fatalf("recovered set: %v", err)
+	}
+	if r.Summarizer().Set().OwnedPoints() != r.Len() {
+		t.Fatalf("owned=%d len=%d", r.Summarizer().Set().OwnedPoints(), r.Len())
+	}
+	// The recovered window keeps sliding: push enough to force evictions
+	// through the reconstructed FIFO and flush.
+	before := r.Len()
+	for i := 0; i < 200; i++ {
+		if err := r.Push(rng.GaussianPoint(vecmath.Point{1, 1}, 2), 1); err != nil {
+			t.Fatalf("post-resume push %d: %v", i, err)
+		}
+	}
+	if r.Len() > cfg.Capacity || r.Len() < before {
+		t.Fatalf("window size %d after resume pushes", r.Len())
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Close checkpointed everything: a second resume lands exactly there.
+	r2, err := Resume(cfg)
+	if err != nil {
+		t.Fatalf("second resume: %v", err)
+	}
+	if r2.Replayed() != 0 {
+		t.Fatalf("replayed %d batches after a clean Close", r2.Replayed())
+	}
+	if r2.Len() != r.Len() {
+		t.Fatalf("len=%d want %d", r2.Len(), r.Len())
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResumeWithoutState maps a missing directory to wal.ErrNoState so
+// callers can fall back to NewWindow.
+func TestResumeWithoutState(t *testing.T) {
+	cfg := Config{Dim: 2, Capacity: 100, Durability: &wal.Options{Dir: t.TempDir()}}
+	if _, err := Resume(cfg); !errors.Is(err, wal.ErrNoState) {
+		t.Fatalf("want ErrNoState, got %v", err)
+	}
+	if _, err := Resume(Config{Dim: 2, Capacity: 100}); err == nil {
+		t.Fatal("Resume without Durability accepted")
+	}
+}
+
+// TestFlushContextCancelKeepsPending cancels a flush: the buffer must
+// survive untouched and a later flush applies it.
+func TestFlushContextCancelKeepsPending(t *testing.T) {
+	w, err := NewWindow(Config{Dim: 2, Capacity: 300, Bubbles: 10, Warmup: 100, FlushEvery: 1 << 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(6)
+	for i := 0; i < 150; i++ {
+		if err := w.Push(rng.GaussianPoint(vecmath.Point{0, 0}, 3), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Pending() == 0 {
+		t.Fatal("nothing pending")
+	}
+	n := w.Pending()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := w.FlushContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if w.Pending() != n {
+		t.Fatalf("pending %d after cancelled flush, want %d", w.Pending(), n)
+	}
+	if _, err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Pending() != 0 {
+		t.Fatal("flush left pending updates")
 	}
 }

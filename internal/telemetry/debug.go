@@ -1,10 +1,12 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // DebugMux returns the debug HTTP handler the -debug-addr CLI flags
@@ -68,4 +70,33 @@ func ServeDebug(addr string, sink *Sink) (*http.Server, string, error) {
 		_ = srv.Serve(ln)
 	}()
 	return srv, ln.Addr().String(), nil
+}
+
+// shutdownGrace bounds how long a cancelled debug server waits for
+// in-flight scrapes (a long pprof profile, say) before closing their
+// connections.
+const shutdownGrace = 5 * time.Second
+
+// ServeDebugUntil is ServeDebug tied to a context: when ctx is cancelled
+// the server shuts down gracefully, draining in-flight requests for up to
+// shutdownGrace before forcing connections closed. The returned done
+// channel closes once shutdown has completed, so a CLI can wait for it
+// before exiting.
+func ServeDebugUntil(ctx context.Context, addr string, sink *Sink) (srv *http.Server, bound string, done <-chan struct{}, err error) {
+	srv, bound, err = ServeDebug(addr, sink)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	ch := make(chan struct{})
+	go func() {
+		defer close(ch)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			// Drain expired: force-close the stragglers.
+			_ = srv.Close()
+		}
+	}()
+	return srv, bound, ch, nil
 }

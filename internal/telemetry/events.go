@@ -33,6 +33,19 @@ const (
 	// KindViolation is one audit pass that found violations: N=violation
 	// count.
 	KindViolation
+	// KindCheckpoint is one durable checkpoint written by the WAL layer:
+	// A=batch ordinal covered, N=checkpoint bytes.
+	KindCheckpoint
+	// KindWALTruncate is one corrupt WAL tail truncated during recovery:
+	// A=records salvaged from the segment, N=bytes discarded.
+	KindWALTruncate
+	// KindQuarantine is one checkpoint quarantined during recovery because
+	// it was corrupt or failed the post-replay audit: A=batch ordinal of
+	// the rejected checkpoint.
+	KindQuarantine
+	// KindRecover is one completed recovery: A=batch ordinal restored from
+	// the chosen checkpoint, N=batches replayed from the WAL suffix.
+	KindRecover
 
 	numKinds
 )
@@ -54,6 +67,14 @@ func (k Kind) String() string {
 		return "shrink"
 	case KindViolation:
 		return "violation"
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindWALTruncate:
+		return "wal-truncate"
+	case KindQuarantine:
+		return "quarantine"
+	case KindRecover:
+		return "recover"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

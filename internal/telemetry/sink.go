@@ -38,6 +38,18 @@ const (
 	MetricOpticsSpaceSeconds = "optics.space.build_seconds"
 	MetricOpticsRuns         = "optics.runs"
 	MetricOpticsRunSeconds   = "optics.run_seconds"
+
+	// Durability layer (internal/wal): write-ahead log appends and syncs,
+	// checkpoints, and the degradation events of the recovery ladder
+	// (DESIGN.md §10).
+	MetricWALAppends         = "wal.appends"
+	MetricWALAppendBytes     = "wal.append_bytes"
+	MetricWALSyncs           = "wal.syncs"
+	MetricWALTruncations     = "wal.truncations"
+	MetricWALCheckpoints     = "wal.checkpoints"
+	MetricWALCheckpointBytes = "wal.checkpoint_bytes"
+	MetricWALQuarantined     = "wal.quarantined"
+	MetricWALReplayedBatches = "wal.replayed_batches"
 )
 
 // SecondsBounds is the shared bucket layout for phase-timing histograms:

@@ -1,0 +1,147 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+
+	"incbubbles/internal/core"
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/vecmath"
+)
+
+// Checkpoint file layout: checkpointMagic, then u64 batch ordinal, u64
+// total-rebuilt counter, u32 dimensionality, u64 next point ID, u64
+// record count, the database records sorted by ID (u64 id, i64 label, dim
+// float64s each), u32 snapshot length and the bubble snapshot (the JSON
+// the bubble codec round-trips exactly), and finally a u32 CRC-32 over
+// everything after the magic. The whole file is written to a temp name,
+// fsynced, and renamed into place, so a checkpoint either exists in full
+// or not at all — the CRC catches the remaining failure mode of a rename
+// that outran an interrupted data sync.
+const checkpointMagic = "IBCKPT01"
+
+// ErrBadCheckpoint reports a checkpoint file recovery must not trust.
+var ErrBadCheckpoint = errors.New("wal: corrupt checkpoint")
+
+// checkpointData is one decoded checkpoint.
+type checkpointData struct {
+	ordinal      uint64 // batches applied when it was taken
+	totalRebuilt uint64
+	dim          int
+	nextID       dataset.PointID
+	recs         []dataset.Record
+	snapshot     []byte
+}
+
+// Fingerprint returns a canonical byte encoding of s — its database
+// (ID-sorted) and bubble snapshot — for bit-for-bit state comparison in
+// recovery tests and experiments. Two summarizers fingerprint equal iff
+// a checkpoint of one restores the other exactly.
+func Fingerprint(s *core.Summarizer) ([]byte, error) {
+	return encodeCheckpoint(s)
+}
+
+// encodeCheckpoint captures s — database and bubble snapshot — at its
+// current batch ordinal.
+func encodeCheckpoint(s *core.Summarizer) ([]byte, error) {
+	db := s.DB()
+	recs := db.Snapshot()
+	sort.Slice(recs, func(a, b int) bool { return recs[a].ID < recs[b].ID })
+	var snap bytes.Buffer
+	if err := s.Set().Save(&snap); err != nil {
+		return nil, err
+	}
+	dim := db.Dim()
+	out := make([]byte, 0, len(checkpointMagic)+8+8+4+8+8+len(recs)*(16+dim*8)+4+snap.Len()+4)
+	out = append(out, checkpointMagic...)
+	out = appendUint64(out, uint64(s.Batches()))
+	out = appendUint64(out, uint64(s.TotalRebuilt()))
+	out = appendUint32(out, uint32(dim))
+	out = appendUint64(out, uint64(db.NextID()))
+	out = appendUint64(out, uint64(len(recs)))
+	for _, rec := range recs {
+		out = appendUint64(out, uint64(rec.ID))
+		out = appendUint64(out, uint64(int64(rec.Label)))
+		for _, v := range rec.P {
+			out = appendUint64(out, math.Float64bits(v))
+		}
+	}
+	out = appendUint32(out, uint32(snap.Len()))
+	out = append(out, snap.Bytes()...)
+	return appendUint32(out, crc32.ChecksumIEEE(out[len(checkpointMagic):])), nil
+}
+
+// decodeCheckpoint validates and parses checkpoint bytes. Every failure
+// wraps ErrBadCheckpoint so recovery can fall back to an older file.
+func decodeCheckpoint(data []byte) (*checkpointData, error) {
+	if len(data) < len(checkpointMagic)+8+8+4+8+8+4+4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadCheckpoint, len(data))
+	}
+	if string(data[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+	}
+	body := data[len(checkpointMagic) : len(data)-4]
+	wantCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrBadCheckpoint)
+	}
+	cp := &checkpointData{
+		ordinal:      binary.LittleEndian.Uint64(body),
+		totalRebuilt: binary.LittleEndian.Uint64(body[8:]),
+		dim:          int(binary.LittleEndian.Uint32(body[16:])),
+		nextID:       dataset.PointID(binary.LittleEndian.Uint64(body[20:])),
+	}
+	if cp.dim <= 0 {
+		return nil, fmt.Errorf("%w: dimensionality %d", ErrBadCheckpoint, cp.dim)
+	}
+	numRecs := binary.LittleEndian.Uint64(body[28:])
+	off := 36
+	recBytes := uint64(16 + cp.dim*8)
+	if numRecs > uint64(len(body)-off)/recBytes {
+		return nil, fmt.Errorf("%w: %d records in %d bytes", ErrBadCheckpoint, numRecs, len(body)-off)
+	}
+	cp.recs = make([]dataset.Record, 0, numRecs)
+	for i := uint64(0); i < numRecs; i++ {
+		id := dataset.PointID(binary.LittleEndian.Uint64(body[off:]))
+		label := int(int64(binary.LittleEndian.Uint64(body[off+8:])))
+		off += 16
+		p := make(vecmath.Point, cp.dim)
+		for d := 0; d < cp.dim; d++ {
+			p[d] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+			off += 8
+		}
+		cp.recs = append(cp.recs, dataset.Record{ID: id, P: p, Label: label})
+	}
+	if off+4 > len(body) {
+		return nil, fmt.Errorf("%w: missing snapshot length", ErrBadCheckpoint)
+	}
+	snapLen := binary.LittleEndian.Uint32(body[off:])
+	off += 4
+	if int(snapLen) != len(body)-off {
+		return nil, fmt.Errorf("%w: snapshot length %d != %d remaining", ErrBadCheckpoint, snapLen, len(body)-off)
+	}
+	cp.snapshot = append([]byte(nil), body[off:]...)
+	return cp, nil
+}
+
+// restoreDB reconstructs the database a checkpoint captured.
+func (cp *checkpointData) restoreDB() (*dataset.DB, error) {
+	db, err := dataset.New(cp.dim)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range cp.recs {
+		if err := db.InsertWithID(rec); err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrBadCheckpoint, rec.ID, err)
+		}
+	}
+	if err := db.SetNextID(cp.nextID); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	return db, nil
+}

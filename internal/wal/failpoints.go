@@ -1,0 +1,39 @@
+package wal
+
+// Failpoints of the durability I/O paths, evaluated on every operation
+// when a registry is armed via Options.Failpoints. The crash-recovery
+// matrix (crash_test.go) kills at each of these — and at the core apply
+// failpoints — and verifies recovery reproduces the uninterrupted run.
+const (
+	// FailAppendWrite guards the segment write of one framed record
+	// (write-type: torn mode persists a seeded prefix).
+	FailAppendWrite = "wal.append.write"
+	// FailAppendSync guards the fsync after a record append.
+	FailAppendSync = "wal.append.sync"
+	// FailCkptWrite guards the temp-file write of a checkpoint
+	// (write-type).
+	FailCkptWrite = "wal.ckpt.temp.write"
+	// FailCkptSync guards the temp-file fsync before the rename.
+	FailCkptSync = "wal.ckpt.temp.sync"
+	// FailCkptRename guards the atomic rename installing a checkpoint.
+	FailCkptRename = "wal.ckpt.rename"
+	// FailCkptRotate guards opening the fresh segment after a checkpoint.
+	FailCkptRotate = "wal.ckpt.rotate"
+	// FailCkptGC guards the garbage collection of superseded checkpoints
+	// and fully-covered segments.
+	FailCkptGC = "wal.ckpt.gc"
+)
+
+// Failpoints returns the names of every failpoint in the WAL and
+// checkpoint paths, for crash-matrix tests that must cover them all.
+func Failpoints() []string {
+	return []string{
+		FailAppendWrite,
+		FailAppendSync,
+		FailCkptWrite,
+		FailCkptSync,
+		FailCkptRename,
+		FailCkptRotate,
+		FailCkptGC,
+	}
+}

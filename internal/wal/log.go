@@ -1,0 +1,489 @@
+package wal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"incbubbles/internal/core"
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/failpoint"
+	"incbubbles/internal/telemetry"
+)
+
+// Options configures the durability layer.
+type Options struct {
+	// Dir is the directory holding WAL segments and checkpoints. It is
+	// created if missing. Required.
+	Dir string
+	// CheckpointEvery writes an automatic checkpoint after this many
+	// applied batches (≤0 selects 8). Checkpoints bound replay time and
+	// rotate the WAL to a fresh segment.
+	CheckpointEvery int
+	// KeepCheckpoints retains this many most-recent checkpoints (≤0
+	// selects 2) so a corrupt newest checkpoint can fall back to the one
+	// before it.
+	KeepCheckpoints int
+	// NoSync skips the per-append fsync; appends then reach stable
+	// storage only at checkpoints and Close. Faster, but a crash can lose
+	// the batches since the last sync. Default false: every append syncs.
+	NoSync bool
+	// Telemetry receives the wal.* metrics and the durability events
+	// (checkpoint, wal-truncate, quarantine, recover). Optional.
+	Telemetry *telemetry.Sink
+	// Failpoints threads a fault-injection registry through every I/O
+	// boundary of the layer. Optional; nil evaluates points as disarmed.
+	Failpoints *failpoint.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 8
+	}
+	if o.KeepCheckpoints <= 0 {
+		o.KeepCheckpoints = 2
+	}
+	return o
+}
+
+// On-disk names: segments are named by the first batch ordinal they may
+// contain, checkpoints by the ordinal they cover. Rejected files are
+// renamed aside with quarantineSuffix, never deleted, so an operator can
+// inspect what recovery refused to trust.
+const (
+	segmentPrefix    = "wal-"
+	segmentSuffix    = ".log"
+	ckptPrefix       = "ckpt-"
+	ckptSuffix       = ".ckpt"
+	tmpSuffix        = ".tmp"
+	quarantineSuffix = ".quarantined"
+	ordinalDigits    = 16
+)
+
+func segmentName(first uint64) string {
+	return fmt.Sprintf("%s%0*d%s", segmentPrefix, ordinalDigits, first, segmentSuffix)
+}
+
+func ckptName(ordinal uint64) string {
+	return fmt.Sprintf("%s%0*d%s", ckptPrefix, ordinalDigits, ordinal, ckptSuffix)
+}
+
+// ErrPoisoned reports a log that refuses further writes because an
+// earlier failure left its on-disk tail state unknown (a torn append, a
+// failed fsync, or an apply that died after its batch was logged). The
+// durable state is intact — recover with Resume.
+var ErrPoisoned = errors.New("wal: log poisoned by earlier failure")
+
+// Log is the write-ahead log of one Summarizer. It implements
+// core.Durability: BeforeApply appends the batch to the current segment
+// and syncs it before the summarizer mutates anything, and AfterApply
+// takes automatic checkpoints. Log is not safe for concurrent use,
+// matching the summarizer's sequential batch model.
+type Log struct {
+	dir  string
+	opts Options
+	dim  int
+	sink *telemetry.Sink
+	fail *failpoint.Registry
+	m    walMetrics
+
+	f           *os.File
+	segSize     int64
+	nextOrdinal uint64 // ordinal the next BeforeApply must carry
+	sinceCkpt   int
+	replaying   bool
+	poisoned    error
+	closed      bool
+}
+
+// walMetrics holds the layer's metric handles, resolved once.
+type walMetrics struct {
+	appends         *telemetry.Counter
+	appendBytes     *telemetry.Counter
+	syncs           *telemetry.Counter
+	truncations     *telemetry.Counter
+	checkpoints     *telemetry.Counter
+	checkpointBytes *telemetry.Counter
+	quarantined     *telemetry.Counter
+	replayed        *telemetry.Counter
+}
+
+func newWALMetrics(sink *telemetry.Sink) walMetrics {
+	return walMetrics{
+		appends:         sink.Counter(telemetry.MetricWALAppends),
+		appendBytes:     sink.Counter(telemetry.MetricWALAppendBytes),
+		syncs:           sink.Counter(telemetry.MetricWALSyncs),
+		truncations:     sink.Counter(telemetry.MetricWALTruncations),
+		checkpoints:     sink.Counter(telemetry.MetricWALCheckpoints),
+		checkpointBytes: sink.Counter(telemetry.MetricWALCheckpointBytes),
+		quarantined:     sink.Counter(telemetry.MetricWALQuarantined),
+		replayed:        sink.Counter(telemetry.MetricWALReplayedBatches),
+	}
+}
+
+func newLog(dim int, opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", opts.Dir, err)
+	}
+	return &Log{
+		dir:  opts.Dir,
+		opts: opts,
+		dim:  dim,
+		sink: opts.Telemetry,
+		fail: opts.Failpoints,
+		m:    newWALMetrics(opts.Telemetry),
+	}, nil
+}
+
+// Dir returns the directory the log persists into.
+func (l *Log) Dir() string { return l.dir }
+
+// NextOrdinal returns the batch ordinal the next append must carry.
+func (l *Log) NextOrdinal() uint64 { return l.nextOrdinal }
+
+// Poisoned returns the failure that froze the log, or nil while it is
+// healthy.
+func (l *Log) Poisoned() error { return l.poisoned }
+
+// poison freezes the log after err and returns err. The first poisoning
+// failure is retained; later operations fail with it wrapped in
+// ErrPoisoned.
+func (l *Log) poison(err error) error {
+	if l.poisoned == nil {
+		l.poisoned = fmt.Errorf("%w: %v", ErrPoisoned, err)
+	}
+	return err
+}
+
+func (l *Log) emit(e telemetry.Event) {
+	if l.sink == nil {
+		return
+	}
+	l.sink.Emit(e)
+}
+
+// BeforeApply implements core.Durability: it makes the batch durable
+// before the summarizer mutates anything. During recovery replay it only
+// verifies the ordinal — the batch is already on stable storage.
+//
+// Failure semantics: an error before any byte reaches the segment (a
+// rejected encode, an injected error with nothing written) leaves the log
+// healthy and the batch simply not applied. Any failure that may have
+// left bytes behind — a torn write, a short write that could not be
+// rolled back, a failed fsync — poisons the log: the tail state on disk
+// is unknown, so further appends are refused and the caller must Resume.
+func (l *Log) BeforeApply(_ context.Context, ordinal uint64, batch dataset.Batch) error {
+	if l.poisoned != nil {
+		return l.poisoned
+	}
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	if ordinal != l.nextOrdinal {
+		return l.poison(fmt.Errorf("wal: batch ordinal %d, expected %d", ordinal, l.nextOrdinal))
+	}
+	if l.replaying {
+		l.nextOrdinal++
+		l.m.replayed.Inc()
+		return nil
+	}
+	payload, err := encodePayload(l.dim, ordinal, batch)
+	if err != nil {
+		return err
+	}
+	frame := frameRecord(payload)
+	keep, injected := l.fail.HitWrite(FailAppendWrite, len(frame))
+	var wrote int
+	var werr error
+	if keep > 0 {
+		wrote, werr = l.f.Write(frame[:keep])
+	}
+	if injected != nil {
+		if wrote > 0 {
+			// A torn write: persist the partial frame the way a power
+			// loss would, then freeze.
+			_ = l.f.Sync()
+			return l.poison(injected)
+		}
+		return injected // nothing written; log still healthy
+	}
+	if werr != nil {
+		// Real write error: try to roll the segment back to the
+		// pre-append boundary; only a clean rollback keeps the log alive.
+		if terr := l.f.Truncate(l.segSize); terr != nil {
+			return l.poison(fmt.Errorf("wal: append failed (%v) and rollback failed: %w", werr, terr))
+		}
+		return fmt.Errorf("wal: appending batch %d: %w", ordinal, werr)
+	}
+	if err := l.fail.Hit(FailAppendSync); err != nil {
+		return l.poison(err)
+	}
+	if !l.opts.NoSync {
+		if err := l.f.Sync(); err != nil {
+			return l.poison(fmt.Errorf("wal: syncing batch %d: %w", ordinal, err))
+		}
+		l.m.syncs.Inc()
+	}
+	l.segSize += int64(len(frame))
+	l.nextOrdinal++
+	l.m.appends.Inc()
+	l.m.appendBytes.Add(uint64(len(frame)))
+	return nil
+}
+
+// AfterApply implements core.Durability. On a clean apply it counts the
+// batch toward the automatic checkpoint cadence; when the apply failed
+// mid-mutation it poisons the log — the batch is durable but the
+// in-memory summary is in an unknown intermediate state, so the log (the
+// durable truth) stops advancing until the caller resumes from disk.
+func (l *Log) AfterApply(_ context.Context, s *core.Summarizer, applyErr error) error {
+	if applyErr != nil {
+		if !l.replaying {
+			_ = l.poison(fmt.Errorf("apply failed after batch was logged: %w", applyErr))
+		}
+		return nil // never mask the apply error
+	}
+	if l.replaying || l.poisoned != nil || l.closed {
+		return nil
+	}
+	l.sinceCkpt++
+	if l.sinceCkpt >= l.opts.CheckpointEvery {
+		return l.Checkpoint(s)
+	}
+	return nil
+}
+
+// Checkpoint atomically persists s (database + bubble snapshot) and
+// rotates the WAL to a fresh segment: write to a temp file, fsync,
+// rename into place, fsync the directory. A checkpoint failure does not
+// poison the log — the previous checkpoint plus the intact WAL still
+// reconstruct the state — so the caller may keep applying batches and
+// retry at the next cadence point.
+func (l *Log) Checkpoint(s *core.Summarizer) error {
+	if l.poisoned != nil {
+		return l.poisoned
+	}
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	if uint64(s.Batches()) != l.nextOrdinal {
+		return fmt.Errorf("wal: summarizer at batch %d but log at %d", s.Batches(), l.nextOrdinal)
+	}
+	data, err := encodeCheckpoint(s)
+	if err != nil {
+		return err
+	}
+	ordinal := uint64(s.Batches())
+	if err := l.writeCheckpointFile(ordinal, data); err != nil {
+		return fmt.Errorf("wal: checkpoint %d: %w", ordinal, err)
+	}
+	l.sinceCkpt = 0
+	l.m.checkpoints.Inc()
+	l.m.checkpointBytes.Add(uint64(len(data)))
+	l.emit(telemetry.Event{Kind: telemetry.KindCheckpoint, Batch: int(ordinal), A: int(ordinal), N: len(data)})
+	if err := l.rotate(); err != nil {
+		return err
+	}
+	return l.gc()
+}
+
+// writeCheckpointFile performs the write-temp → fsync → rename → fsync-dir
+// dance. A leftover temp file from an interrupted attempt is invisible to
+// recovery and overwritten by the next attempt.
+func (l *Log) writeCheckpointFile(ordinal uint64, data []byte) error {
+	final := filepath.Join(l.dir, ckptName(ordinal))
+	tmp := final + tmpSuffix
+	keep, injected := l.fail.HitWrite(FailCkptWrite, len(data))
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if keep > 0 {
+		if _, werr := f.Write(data[:keep]); werr != nil {
+			_ = f.Close()
+			return werr
+		}
+	}
+	if injected != nil {
+		_ = f.Sync()
+		_ = f.Close()
+		return injected
+	}
+	if err := l.fail.Hit(FailCkptSync); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := l.fail.Hit(FailCkptRename); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return syncDir(l.dir)
+}
+
+// rotate closes the current segment and opens a fresh one named after the
+// next ordinal, so each checkpoint starts an empty replay suffix.
+func (l *Log) rotate() error {
+	if err := l.fail.Hit(FailCkptRotate); err != nil {
+		return err
+	}
+	if l.f != nil {
+		_ = l.f.Sync()
+		if err := l.f.Close(); err != nil {
+			l.f = nil
+			return l.poison(err)
+		}
+		l.f = nil
+	}
+	return l.openSegment(l.nextOrdinal)
+}
+
+// openSegment creates (or truncates) the segment for batches ≥ first and
+// makes it the append target. Truncation is safe: a pre-existing file of
+// the same name can only be an empty or torn leftover of a crashed run —
+// every decodable record below first has already been replayed or
+// checkpointed.
+func (l *Log) openSegment(first uint64) error {
+	path := filepath.Join(l.dir, segmentName(first))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return l.poison(err)
+	}
+	if _, err := f.WriteString(segmentMagic); err != nil {
+		_ = f.Close()
+		return l.poison(err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return l.poison(err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		_ = f.Close()
+		return l.poison(err)
+	}
+	l.f = f
+	l.segSize = int64(len(segmentMagic))
+	return nil
+}
+
+// gc removes checkpoints beyond the retention window and segments wholly
+// covered by the oldest retained checkpoint. Removal failures are left
+// for the next cadence point; only an injected fault surfaces.
+func (l *Log) gc() error {
+	if err := l.fail.Hit(FailCkptGC); err != nil {
+		return err
+	}
+	ckpts, segs, err := listState(l.dir)
+	if err != nil || len(ckpts) == 0 {
+		return nil
+	}
+	if len(ckpts) > l.opts.KeepCheckpoints {
+		for _, c := range ckpts[:len(ckpts)-l.opts.KeepCheckpoints] {
+			_ = os.Remove(c.path)
+		}
+		ckpts = ckpts[len(ckpts)-l.opts.KeepCheckpoints:]
+	}
+	oldest := ckpts[0].ordinal
+	// Segment i spans ordinals [segs[i].ordinal, segs[i+1].ordinal): it is
+	// disposable only when that whole span is at or below the oldest
+	// retained checkpoint. The newest segment is never removed.
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].ordinal <= oldest {
+			_ = os.Remove(segs[i].path)
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the current segment. The durable state stays
+// resumable; Close only ends this process's append session.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	var err error
+	if l.poisoned == nil && !l.opts.NoSync {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// fileRef is one on-disk segment or checkpoint, with the ordinal parsed
+// from its name.
+type fileRef struct {
+	path    string
+	ordinal uint64
+}
+
+// listState enumerates the checkpoints and segments in dir, each sorted
+// by ascending ordinal. Temp files, quarantined files and foreign names
+// are ignored.
+func listState(dir string) (ckpts, segs []fileRef, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if ord, ok := parseName(name, ckptPrefix, ckptSuffix); ok {
+			ckpts = append(ckpts, fileRef{path: filepath.Join(dir, name), ordinal: ord})
+		} else if ord, ok := parseName(name, segmentPrefix, segmentSuffix); ok {
+			segs = append(segs, fileRef{path: filepath.Join(dir, name), ordinal: ord})
+		}
+	}
+	sort.Slice(ckpts, func(a, b int) bool { return ckpts[a].ordinal < ckpts[b].ordinal })
+	sort.Slice(segs, func(a, b int) bool { return segs[a].ordinal < segs[b].ordinal })
+	return ckpts, segs, nil
+}
+
+func parseName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	if len(digits) != ordinalDigits {
+		return 0, false
+	}
+	ord, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return ord, true
+}
+
+// syncDir fsyncs a directory so a rename or create within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,205 @@
+// Package wal is the durability layer: an append-only write-ahead log of
+// applied update batches plus atomic checkpoints of the bubble summary
+// and its database, so a maintained summary survives process crashes.
+//
+// A batch is logged before it is applied (core.Durability wires the hook
+// order) and every batch under durability runs from an RNG state derived
+// only from (seed, ordinal), so recovery — newest valid checkpoint +
+// deterministic replay of the WAL suffix — reproduces the uninterrupted
+// run bit-for-bit. Corruption degrades gracefully instead of dying: a
+// torn WAL tail is truncated at the first bad record, a corrupt
+// checkpoint falls back to the previous one, and a post-replay audit
+// failure quarantines the checkpoint and rebuilds from an older one
+// (DESIGN.md §10 documents the ladder).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/vecmath"
+)
+
+// Segment and record framing. A segment starts with segmentMagic; each
+// record is framed as u32 payload length, u32 CRC-32 (IEEE) of the
+// payload, then the payload. All integers are little-endian.
+const (
+	segmentMagic = "IBWAL001"
+	frameBytes   = 8 // u32 len + u32 crc
+	// maxRecordBytes bounds a single record so a corrupt length field
+	// cannot drive a giant allocation during recovery.
+	maxRecordBytes = 64 << 20
+)
+
+// Payload layout: recType byte, u64 batch ordinal, u32 dimensionality,
+// u32 update count, then the updates. An insert carries op, ID, label and
+// coordinates; a delete carries op and ID only — replay re-resolves the
+// victim's coordinates from the database, exactly like the live path.
+const (
+	recBatch  = 1
+	opInsert  = 1
+	opDelete  = 2
+	updHeader = 1 + 8 // op byte + u64 id
+)
+
+// Codec errors surfaced by recovery; all of them mean "stop replay at the
+// previous record".
+var (
+	ErrBadMagic  = errors.New("wal: bad segment magic")
+	ErrTornTail  = errors.New("wal: torn record at segment tail")
+	ErrBadCRC    = errors.New("wal: record CRC mismatch")
+	ErrBadRecord = errors.New("wal: malformed record payload")
+)
+
+// record is one decoded WAL record.
+type record struct {
+	ordinal uint64
+	dim     int
+	batch   dataset.Batch
+}
+
+// appendUint32/appendUint64 are little-endian append helpers.
+func appendUint32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// encodePayload serializes one applied batch. Inserts must already carry
+// their assigned IDs (ApplyBatch receives applied batches), and every
+// coordinate must be finite — the database guarantees both.
+func encodePayload(dim int, ordinal uint64, batch dataset.Batch) ([]byte, error) {
+	payload := make([]byte, 0, 1+8+4+4+len(batch)*(updHeader+8+dim*8))
+	payload = append(payload, recBatch)
+	payload = appendUint64(payload, ordinal)
+	payload = appendUint32(payload, uint32(dim))
+	payload = appendUint32(payload, uint32(len(batch)))
+	for i, u := range batch {
+		switch u.Op {
+		case dataset.OpInsert:
+			if u.P.Dim() != dim {
+				return nil, fmt.Errorf("wal: update %d: dimensionality %d != %d", i, u.P.Dim(), dim)
+			}
+			payload = append(payload, opInsert)
+			payload = appendUint64(payload, uint64(u.ID))
+			payload = appendUint64(payload, uint64(int64(u.Label)))
+			for _, v := range u.P {
+				payload = appendUint64(payload, math.Float64bits(v))
+			}
+		case dataset.OpDelete:
+			payload = append(payload, opDelete)
+			payload = appendUint64(payload, uint64(u.ID))
+		default:
+			return nil, fmt.Errorf("wal: update %d: unknown op %v", i, u.Op)
+		}
+	}
+	return payload, nil
+}
+
+// frameRecord wraps payload in the length+CRC frame.
+func frameRecord(payload []byte) []byte {
+	out := make([]byte, 0, frameBytes+len(payload))
+	out = appendUint32(out, uint32(len(payload)))
+	out = appendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// decodePayload parses one CRC-verified payload.
+func decodePayload(payload []byte) (record, error) {
+	var rec record
+	if len(payload) < 1+8+4+4 {
+		return rec, fmt.Errorf("%w: %d-byte payload", ErrBadRecord, len(payload))
+	}
+	if payload[0] != recBatch {
+		return rec, fmt.Errorf("%w: unknown record type %d", ErrBadRecord, payload[0])
+	}
+	rec.ordinal = binary.LittleEndian.Uint64(payload[1:])
+	dim := binary.LittleEndian.Uint32(payload[9:])
+	count := binary.LittleEndian.Uint32(payload[13:])
+	if dim == 0 || dim > maxRecordBytes/8 {
+		return rec, fmt.Errorf("%w: dimensionality %d", ErrBadRecord, dim)
+	}
+	rec.dim = int(dim)
+	body := payload[17:]
+	// Every update is at least updHeader bytes, so a hostile count cannot
+	// force a large allocation past the payload it arrived in.
+	if uint64(count)*updHeader > uint64(len(body)) {
+		return rec, fmt.Errorf("%w: %d updates in %d bytes", ErrBadRecord, count, len(body))
+	}
+	rec.batch = make(dataset.Batch, 0, count)
+	off := 0
+	for i := uint32(0); i < count; i++ {
+		if off+updHeader > len(body) {
+			return rec, fmt.Errorf("%w: truncated update %d", ErrBadRecord, i)
+		}
+		op := body[off]
+		id := dataset.PointID(binary.LittleEndian.Uint64(body[off+1:]))
+		off += updHeader
+		switch op {
+		case opInsert:
+			need := 8 + rec.dim*8
+			if off+need > len(body) {
+				return rec, fmt.Errorf("%w: truncated insert %d", ErrBadRecord, i)
+			}
+			label := int(int64(binary.LittleEndian.Uint64(body[off:])))
+			off += 8
+			p := make(vecmath.Point, rec.dim)
+			for d := 0; d < rec.dim; d++ {
+				p[d] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+				off += 8
+			}
+			rec.batch = append(rec.batch, dataset.Update{Op: dataset.OpInsert, ID: id, P: p, Label: label})
+		case opDelete:
+			rec.batch = append(rec.batch, dataset.Update{Op: dataset.OpDelete, ID: id})
+		default:
+			return rec, fmt.Errorf("%w: unknown op %d in update %d", ErrBadRecord, op, i)
+		}
+	}
+	if off != len(body) {
+		return rec, fmt.Errorf("%w: %d trailing bytes", ErrBadRecord, len(body)-off)
+	}
+	return rec, nil
+}
+
+// scanSegment parses segment bytes: the magic, then records until the
+// data ends or goes bad. It returns the decoded records and the byte
+// length of the valid prefix (magic included). tailErr is non-nil when
+// trailing bytes had to be abandoned — a torn frame, a CRC mismatch or a
+// malformed payload — and recovery truncates the segment there; the
+// records before the bad tail remain usable.
+func scanSegment(data []byte) (recs []record, validLen int, tailErr error) {
+	if len(data) < len(segmentMagic) || string(data[:len(segmentMagic)]) != segmentMagic {
+		return nil, 0, ErrBadMagic
+	}
+	off := len(segmentMagic)
+	for off < len(data) {
+		if off+frameBytes > len(data) {
+			return recs, off, fmt.Errorf("%w: %d frame bytes", ErrTornTail, len(data)-off)
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxRecordBytes {
+			return recs, off, fmt.Errorf("%w: implausible record length %d", ErrBadCRC, n)
+		}
+		if off+frameBytes+int(n) > len(data) {
+			return recs, off, fmt.Errorf("%w: %d of %d payload bytes", ErrTornTail, len(data)-off-frameBytes, n)
+		}
+		payload := data[off+frameBytes : off+frameBytes+int(n)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return recs, off, ErrBadCRC
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return recs, off, err
+		}
+		recs = append(recs, rec)
+		off += frameBytes + int(n)
+	}
+	return recs, off, nil
+}

@@ -1,0 +1,282 @@
+package wal
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+
+	"incbubbles/internal/core"
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/telemetry"
+)
+
+// ErrNoState reports a Resume against a directory with no checkpoint to
+// recover from.
+var ErrNoState = errors.New("wal: no durable state to resume")
+
+// HasState reports whether dir holds any WAL segment or checkpoint, i.e.
+// whether Resume rather than New is the right entry point.
+func HasState(dir string) bool {
+	ckpts, segs, err := listState(dir)
+	return err == nil && (len(ckpts) > 0 || len(segs) > 0)
+}
+
+// New builds a fresh durable summarizer: it creates the WAL directory,
+// opens segment 0, constructs the summarizer over db with the log wired
+// in as its durability layer, and takes checkpoint 0 so the directory is
+// resumable from the first moment. The directory must not already hold
+// durable state — Resume owns that case.
+func New(db *dataset.DB, coreOpts core.Options, walOpts Options) (*core.Summarizer, *Log, error) {
+	walOpts = walOpts.withDefaults()
+	if HasState(walOpts.Dir) {
+		return nil, nil, fmt.Errorf("wal: %s already holds durable state, use Resume", walOpts.Dir)
+	}
+	l, err := newLog(db.Dim(), walOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := l.openSegment(0); err != nil {
+		return nil, nil, err
+	}
+	coreOpts.Durability = l
+	if coreOpts.Failpoints == nil {
+		coreOpts.Failpoints = walOpts.Failpoints
+	}
+	s, err := core.New(db, coreOpts)
+	if err != nil {
+		_ = l.Close()
+		return nil, nil, err
+	}
+	if err := l.Checkpoint(s); err != nil {
+		_ = l.Close()
+		return nil, nil, fmt.Errorf("wal: initial checkpoint: %w", err)
+	}
+	return s, l, nil
+}
+
+// RecoveredState is the result of a Resume: the reconstructed summarizer
+// and database, the reopened log, and how recovery got there.
+type RecoveredState struct {
+	Summarizer *core.Summarizer
+	DB         *dataset.DB
+	Log        *Log
+	// Batches is the batch ordinal the summarizer resumed at.
+	Batches int
+	// Replayed counts the WAL records re-applied on top of the checkpoint.
+	Replayed int
+}
+
+// Resume reconstructs the summarizer persisted in walOpts.Dir and reopens
+// the log for further appends. Recovery degrades gracefully down a
+// ladder: WAL segments are truncated at their first undecodable record;
+// checkpoints are tried newest-first, and one that fails to decode, to
+// rebuild, or to pass the post-replay invariant audit is quarantined
+// (renamed aside, never deleted) before falling back to the next; only
+// when no checkpoint survives does Resume fail. coreOpts must carry the
+// same Seed and Config as the original run — replay determinism derives
+// every batch's randomness from (seed, ordinal).
+func Resume(coreOpts core.Options, walOpts Options) (*RecoveredState, error) {
+	walOpts = walOpts.withDefaults()
+	sink := walOpts.Telemetry
+	m := newWALMetrics(sink)
+	ckpts, segs, err := listState(walOpts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(ckpts) == 0 {
+		return nil, fmt.Errorf("%w: no checkpoint in %s", ErrNoState, walOpts.Dir)
+	}
+	records, err := scanAndRepair(segs, sink, m)
+	if err != nil {
+		return nil, err
+	}
+	// The checkpoint ladder: newest first, quarantine what can't be
+	// trusted, fall back.
+	var fails []error
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		st, err := tryRecover(ckpts[i], records, coreOpts, walOpts)
+		if err == nil {
+			return st, nil
+		}
+		fails = append(fails, fmt.Errorf("%s: %w", ckpts[i].path, err))
+		quarantine(ckpts[i].path, sink, m)
+	}
+	return nil, fmt.Errorf("wal: no usable checkpoint in %s: %w", walOpts.Dir, errors.Join(fails...))
+}
+
+// scanAndRepair decodes every segment into an ordinal→record map and
+// repairs damage in place: a segment with a torn or corrupt tail is
+// truncated to its valid prefix, and a segment whose magic is wrong is
+// quarantined wholesale.
+func scanAndRepair(segs []fileRef, sink *telemetry.Sink, m walMetrics) (map[uint64]record, error) {
+	records := make(map[uint64]record)
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: reading %s: %w", seg.path, err)
+		}
+		recs, validLen, tailErr := scanSegment(data)
+		if errors.Is(tailErr, ErrBadMagic) {
+			quarantine(seg.path, sink, m)
+			continue
+		}
+		if tailErr != nil {
+			if err := os.Truncate(seg.path, int64(validLen)); err != nil {
+				return nil, fmt.Errorf("wal: truncating %s: %w", seg.path, err)
+			}
+			m.truncations.Inc()
+			if sink != nil {
+				sink.Emit(telemetry.Event{Kind: telemetry.KindWALTruncate,
+					A: validLen, N: len(data) - validLen})
+			}
+		}
+		for _, rec := range recs {
+			records[rec.ordinal] = rec
+		}
+	}
+	return records, nil
+}
+
+// tryRecover attempts recovery from one checkpoint file: decode, rebuild
+// the database and summarizer, replay the consecutive WAL suffix, then
+// audit the result. Any failure rejects the checkpoint.
+func tryRecover(ck fileRef, records map[uint64]record, coreOpts core.Options, walOpts Options) (*RecoveredState, error) {
+	data, err := os.ReadFile(ck.path)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := decodeCheckpoint(data)
+	if err != nil {
+		return nil, err
+	}
+	if cp.ordinal != ck.ordinal {
+		return nil, fmt.Errorf("%w: ordinal %d in file named %d", ErrBadCheckpoint, cp.ordinal, ck.ordinal)
+	}
+	db, err := cp.restoreDB()
+	if err != nil {
+		return nil, err
+	}
+	l, err := newLog(cp.dim, walOpts)
+	if err != nil {
+		return nil, err
+	}
+	l.replaying = true
+	l.nextOrdinal = cp.ordinal
+	coreOpts.Durability = l
+	if coreOpts.Failpoints == nil {
+		coreOpts.Failpoints = walOpts.Failpoints
+	}
+	s, err := core.Load(db, bytes.NewReader(cp.snapshot), coreOpts, int(cp.ordinal), int(cp.totalRebuilt))
+	if err != nil {
+		return nil, err
+	}
+	replayed, err := replay(s, db, cp, records)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Poisoned(); err != nil {
+		return nil, err
+	}
+	// The recovered summary must be internally consistent before the log
+	// accepts new batches on top of it.
+	if err := s.Set().CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("wal: recovered set: %w", err)
+	}
+	if vs := s.Audit(); len(vs) > 0 {
+		return nil, fmt.Errorf("wal: recovered set fails audit: %v", vs[0])
+	}
+	l.replaying = false
+	if err := l.openSegment(l.nextOrdinal); err != nil {
+		return nil, err
+	}
+	// Count the replayed suffix toward the checkpoint cadence so a long
+	// replay is re-checkpointed promptly instead of re-replayed next time.
+	l.sinceCkpt = replayed
+	if walOpts.Telemetry != nil {
+		walOpts.Telemetry.Emit(telemetry.Event{Kind: telemetry.KindRecover,
+			Batch: int(cp.ordinal), A: replayed, N: db.Len()})
+	}
+	return &RecoveredState{
+		Summarizer: s,
+		DB:         db,
+		Log:        l,
+		Batches:    s.Batches(),
+		Replayed:   replayed,
+	}, nil
+}
+
+// replay re-applies the consecutive run of logged batches starting at the
+// checkpoint ordinal. Ordinals below the checkpoint are already folded
+// in; a gap ends replay (records past a gap cannot be trusted to follow
+// the recovered state).
+func replay(s *core.Summarizer, db *dataset.DB, cp *checkpointData, records map[uint64]record) (int, error) {
+	ordinals := make([]uint64, 0, len(records))
+	for ord := range records {
+		if ord >= cp.ordinal {
+			ordinals = append(ordinals, ord)
+		}
+	}
+	sort.Slice(ordinals, func(a, b int) bool { return ordinals[a] < ordinals[b] })
+	replayed := 0
+	next := cp.ordinal
+	for _, ord := range ordinals {
+		if ord != next {
+			break
+		}
+		rec := records[ord]
+		if rec.dim != cp.dim {
+			return replayed, fmt.Errorf("%w: batch %d dimensionality %d != %d", ErrBadRecord, ord, rec.dim, cp.dim)
+		}
+		batch, err := applyToDB(db, rec.batch)
+		if err != nil {
+			return replayed, fmt.Errorf("wal: replaying batch %d: %w", ord, err)
+		}
+		if _, err := s.ApplyBatchContext(context.Background(), batch); err != nil {
+			return replayed, fmt.Errorf("wal: replaying batch %d: %w", ord, err)
+		}
+		replayed++
+		next++
+	}
+	return replayed, nil
+}
+
+// applyToDB executes a logged batch against the database exactly like the
+// live path's Batch.Apply, except inserts restore their logged IDs:
+// deletions re-resolve the victim's coordinates, and the summarizer then
+// sees the same applied batch it saw in the original run.
+func applyToDB(db *dataset.DB, batch dataset.Batch) (dataset.Batch, error) {
+	out := make(dataset.Batch, len(batch))
+	copy(out, batch)
+	for i := range out {
+		u := &out[i]
+		switch u.Op {
+		case dataset.OpInsert:
+			if err := db.InsertWithID(dataset.Record{ID: u.ID, P: u.P, Label: u.Label}); err != nil {
+				return nil, fmt.Errorf("update %d: %w", i, err)
+			}
+		case dataset.OpDelete:
+			rec, err := db.Delete(u.ID)
+			if err != nil {
+				return nil, fmt.Errorf("update %d: %w", i, err)
+			}
+			u.P = rec.P
+			u.Label = rec.Label
+		default:
+			return nil, fmt.Errorf("update %d: unknown op %v", i, u.Op)
+		}
+	}
+	return out, nil
+}
+
+// quarantine renames a rejected file aside with quarantineSuffix so an
+// operator can inspect it; recovery never trusts or deletes it again.
+func quarantine(path string, sink *telemetry.Sink, m walMetrics) {
+	_ = os.Rename(path, path+quarantineSuffix)
+	m.quarantined.Inc()
+	if sink != nil {
+		sink.Emit(telemetry.Event{Kind: telemetry.KindQuarantine})
+	}
+}
