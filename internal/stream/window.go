@@ -271,17 +271,25 @@ func (w *Window) Flush() (core.BatchStats, error) {
 }
 
 // FlushContext is Flush with cancellation, inheriting ApplyBatchContext's
-// all-or-nothing contract: on a cancelled context the buffered updates
-// stay pending and the summary (and log) are unchanged.
+// all-or-nothing contract. The buffer is cleared only when the batch was
+// actually absorbed — the batch counter advancing is the commit signal,
+// which also covers an applied batch whose trailing checkpoint failed.
+// On a recoverable failure — cancellation, a WAL append rejected before
+// anything reached disk — the batch was neither applied nor logged, so
+// it stays pending for a retry (its points are already in w.db; dropping
+// it would desynchronize the summary from the database for good). A
+// poisoned log also clears the buffer: the batch is either durably
+// logged (replay re-applies it) or lost with the torn tail, and either
+// way only wal.Resume can continue from here.
 func (w *Window) FlushContext(ctx context.Context) (core.BatchStats, error) {
 	if w.sum == nil || len(w.pending) == 0 {
 		return core.BatchStats{}, nil
 	}
+	before := w.sum.Batches()
 	stats, err := w.sum.ApplyBatchContext(ctx, w.pending)
-	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-		return stats, err // batch not applied; keep it pending
+	if w.sum.Batches() != before || (w.log != nil && w.log.Poisoned() != nil) {
+		w.pending = w.pending[:0]
 	}
-	w.pending = w.pending[:0]
 	return stats, err
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"incbubbles/internal/eval"
 	"incbubbles/internal/extract"
+	"incbubbles/internal/failpoint"
 	"incbubbles/internal/stats"
 	"incbubbles/internal/vecmath"
 	"incbubbles/internal/wal"
@@ -272,6 +273,60 @@ func TestResumeWithoutState(t *testing.T) {
 	}
 	if _, err := Resume(Config{Dim: 2, Capacity: 100}); err == nil {
 		t.Fatal("Resume without Durability accepted")
+	}
+}
+
+// TestFlushErrorKeepsPendingForRetry injects a recoverable WAL append
+// failure (nothing reached disk, log healthy): the buffered batch was
+// neither logged nor applied, so it must stay pending — its points are
+// already in the database, and dropping it would desynchronize the
+// summary from the database permanently. A retry then absorbs it.
+func TestFlushErrorKeepsPendingForRetry(t *testing.T) {
+	reg := failpoint.New(11)
+	cfg := Config{
+		Dim: 2, Capacity: 300, Bubbles: 10, Warmup: 100, FlushEvery: 1 << 30, Seed: 5,
+		Durability: &wal.Options{Dir: t.TempDir(), Failpoints: reg},
+	}
+	w, err := NewWindow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(6)
+	for i := 0; i < 150; i++ {
+		if err := w.Push(rng.GaussianPoint(vecmath.Point{0, 0}, 3), 0); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	n := w.Pending()
+	if n == 0 {
+		t.Fatal("nothing pending")
+	}
+	batches := w.Summarizer().Batches()
+	reg.ArmError(wal.FailAppendWrite, 1, nil)
+	if _, err := w.Flush(); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if w.Log().Poisoned() != nil {
+		t.Fatalf("recoverable append failure poisoned the log: %v", w.Log().Poisoned())
+	}
+	if w.Pending() != n {
+		t.Fatalf("pending %d after recoverable flush failure, want %d kept for retry", w.Pending(), n)
+	}
+	if _, err := w.Flush(); err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	if w.Pending() != 0 {
+		t.Fatalf("pending %d after successful retry", w.Pending())
+	}
+	if got := w.Summarizer().Batches(); got != batches+1 {
+		t.Fatalf("batches=%d want %d", got, batches+1)
+	}
+	// Summary and database agree again: every windowed point is owned.
+	if owned := w.Summarizer().Set().OwnedPoints(); owned != w.Len() {
+		t.Fatalf("owned=%d len=%d after retry", owned, w.Len())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
 	}
 }
 

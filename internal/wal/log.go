@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -218,8 +219,8 @@ func (l *Log) BeforeApply(_ context.Context, ordinal uint64, batch dataset.Batch
 	if werr != nil {
 		// Real write error: try to roll the segment back to the
 		// pre-append boundary; only a clean rollback keeps the log alive.
-		if terr := l.f.Truncate(l.segSize); terr != nil {
-			return l.poison(fmt.Errorf("wal: append failed (%v) and rollback failed: %w", werr, terr))
+		if rerr := l.rollbackAppend(); rerr != nil {
+			return l.poison(fmt.Errorf("wal: append failed (%v) and rollback failed: %w", werr, rerr))
 		}
 		return fmt.Errorf("wal: appending batch %d: %w", ordinal, werr)
 	}
@@ -237,6 +238,20 @@ func (l *Log) BeforeApply(_ context.Context, ordinal uint64, batch dataset.Batch
 	l.m.appends.Inc()
 	l.m.appendBytes.Add(uint64(len(frame)))
 	return nil
+}
+
+// rollbackAppend rewinds the segment to the pre-append boundary after a
+// failed write. os.File.Truncate does not move the file offset, so the
+// offset is seeked back explicitly — without the seek the next append
+// would land past the boundary, leaving a zero-filled gap that recovery
+// reads as a corrupt tail and truncates, silently dropping every record
+// after it.
+func (l *Log) rollbackAppend() error {
+	if err := l.f.Truncate(l.segSize); err != nil {
+		return err
+	}
+	_, err := l.f.Seek(l.segSize, io.SeekStart)
+	return err
 }
 
 // AfterApply implements core.Durability. On a clean apply it counts the
@@ -421,8 +436,11 @@ func (l *Log) Close() error {
 	if l.f == nil {
 		return nil
 	}
+	// Sync whenever the log is healthy: under NoSync this is the one
+	// place the documented "durable at Close" promise is kept (with
+	// per-append syncs it is a cheap no-op).
 	var err error
-	if l.poisoned == nil && !l.opts.NoSync {
+	if l.poisoned == nil {
 		err = l.f.Sync()
 	}
 	if cerr := l.f.Close(); err == nil && cerr != nil {

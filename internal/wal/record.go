@@ -55,11 +55,21 @@ var (
 	ErrBadRecord = errors.New("wal: malformed record payload")
 )
 
-// record is one decoded WAL record.
+// ErrRecordTooLarge rejects a batch whose encoding would exceed
+// maxRecordBytes. It surfaces from BeforeApply before any byte reaches
+// the segment — recovery's scanner refuses such frames, so acking one as
+// durable would be a lie. The caller must split the batch.
+var ErrRecordTooLarge = errors.New("wal: batch exceeds the maximum record size")
+
+// record is one decoded WAL record, with the provenance recovery needs
+// to repair the log in place: the segment it was scanned from and the
+// byte offset of its frame within that segment.
 type record struct {
 	ordinal uint64
 	dim     int
 	batch   dataset.Batch
+	seg     string
+	off     int64
 }
 
 // appendUint32/appendUint64 are little-endian append helpers.
@@ -73,19 +83,38 @@ func appendUint64(b []byte, v uint64) []byte {
 
 // encodePayload serializes one applied batch. Inserts must already carry
 // their assigned IDs (ApplyBatch receives applied batches), and every
-// coordinate must be finite — the database guarantees both.
+// coordinate must be finite — the database guarantees both. The size is
+// computed (and the updates validated) up front so an oversized batch is
+// rejected without allocating its encoding: maxRecordBytes must hold on
+// the write side too, or the scanner would refuse a frame that was
+// already acked as durable.
 func encodePayload(dim int, ordinal uint64, batch dataset.Batch) ([]byte, error) {
-	payload := make([]byte, 0, 1+8+4+4+len(batch)*(updHeader+8+dim*8))
-	payload = append(payload, recBatch)
-	payload = appendUint64(payload, ordinal)
-	payload = appendUint32(payload, uint32(dim))
-	payload = appendUint32(payload, uint32(len(batch)))
+	size := 1 + 8 + 4 + 4
 	for i, u := range batch {
 		switch u.Op {
 		case dataset.OpInsert:
 			if u.P.Dim() != dim {
 				return nil, fmt.Errorf("wal: update %d: dimensionality %d != %d", i, u.P.Dim(), dim)
 			}
+			size += updHeader + 8 + dim*8
+		case dataset.OpDelete:
+			size += updHeader
+		default:
+			return nil, fmt.Errorf("wal: update %d: unknown op %v", i, u.Op)
+		}
+	}
+	if size > maxRecordBytes {
+		return nil, fmt.Errorf("%w: batch %d encodes to %d bytes (limit %d); split the batch",
+			ErrRecordTooLarge, ordinal, size, maxRecordBytes)
+	}
+	payload := make([]byte, 0, size)
+	payload = append(payload, recBatch)
+	payload = appendUint64(payload, ordinal)
+	payload = appendUint32(payload, uint32(dim))
+	payload = appendUint32(payload, uint32(len(batch)))
+	for _, u := range batch {
+		switch u.Op {
+		case dataset.OpInsert:
 			payload = append(payload, opInsert)
 			payload = appendUint64(payload, uint64(u.ID))
 			payload = appendUint64(payload, uint64(int64(u.Label)))
@@ -95,8 +124,6 @@ func encodePayload(dim int, ordinal uint64, batch dataset.Batch) ([]byte, error)
 		case dataset.OpDelete:
 			payload = append(payload, opDelete)
 			payload = appendUint64(payload, uint64(u.ID))
-		default:
-			return nil, fmt.Errorf("wal: update %d: unknown op %v", i, u.Op)
 		}
 	}
 	return payload, nil
@@ -198,6 +225,7 @@ func scanSegment(data []byte) (recs []record, validLen int, tailErr error) {
 		if err != nil {
 			return recs, off, err
 		}
+		rec.off = int64(off)
 		recs = append(recs, rec)
 		off += frameBytes + int(n)
 	}

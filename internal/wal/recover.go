@@ -98,6 +98,20 @@ func Resume(coreOpts core.Options, walOpts Options) (*RecoveredState, error) {
 	var fails []error
 	for i := len(ckpts) - 1; i >= 0; i-- {
 		st, err := tryRecover(ckpts[i], records, coreOpts, walOpts)
+		// A record that decodes but cannot be re-applied is WAL damage,
+		// not checkpoint damage: every older checkpoint would replay
+		// through the same record and the whole ladder would drown.
+		// Truncate the log just before it and retry the same checkpoint —
+		// that recovers strictly more state than falling back. Each repair
+		// removes at least one record, so the loop terminates.
+		var rf *replayFault
+		for errors.As(err, &rf) {
+			if rerr := truncateAtFault(rf, records, &segs, sink, m); rerr != nil {
+				err = errors.Join(err, rerr)
+				break
+			}
+			st, err = tryRecover(ckpts[i], records, coreOpts, walOpts)
+		}
 		if err == nil {
 			return st, nil
 		}
@@ -105,6 +119,54 @@ func Resume(coreOpts core.Options, walOpts Options) (*RecoveredState, error) {
 		quarantine(ckpts[i].path, sink, m)
 	}
 	return nil, fmt.Errorf("wal: no usable checkpoint in %s: %w", walOpts.Dir, errors.Join(fails...))
+}
+
+// replayFault identifies a WAL record that decoded cleanly (framed, CRC
+// intact) but could not be re-applied on top of the recovered state. It
+// carries the record's provenance so Resume can cut the log just before
+// it instead of condemning the checkpoint it was replayed onto.
+type replayFault struct {
+	ordinal uint64
+	seg     string
+	off     int64
+	err     error
+}
+
+func (f *replayFault) Error() string {
+	return fmt.Sprintf("wal: replaying batch %d: %v", f.ordinal, f.err)
+}
+
+func (f *replayFault) Unwrap() error { return f.err }
+
+// truncateAtFault repairs the WAL after a replay fault: the segment
+// holding the bad record is truncated just before its frame, every later
+// segment is quarantined (its records follow the removed ordinal and can
+// no longer follow any history the rebuilt log will write), and the
+// in-memory record map and segment list are trimmed to match the disk.
+func truncateAtFault(rf *replayFault, records map[uint64]record, segs *[]fileRef, sink *telemetry.Sink, m walMetrics) error {
+	if err := os.Truncate(rf.seg, rf.off); err != nil {
+		return fmt.Errorf("wal: truncating %s at replay fault: %w", rf.seg, err)
+	}
+	m.truncations.Inc()
+	if sink != nil {
+		sink.Emit(telemetry.Event{Kind: telemetry.KindWALTruncate, Batch: int(rf.ordinal), A: int(rf.off)})
+	}
+	keep := (*segs)[:0]
+	for _, s := range *segs {
+		// Zero-padded names make lexical order the ordinal order.
+		if s.path > rf.seg {
+			quarantine(s.path, sink, m)
+			continue
+		}
+		keep = append(keep, s)
+	}
+	*segs = keep
+	for ord := range records {
+		if ord >= rf.ordinal {
+			delete(records, ord)
+		}
+	}
+	return nil
 }
 
 // scanAndRepair decodes every segment into an ordinal→record map and
@@ -134,6 +196,7 @@ func scanAndRepair(segs []fileRef, sink *telemetry.Sink, m walMetrics) (map[uint
 			}
 		}
 		for _, rec := range recs {
+			rec.seg = seg.path
 			records[rec.ordinal] = rec
 		}
 	}
@@ -211,7 +274,10 @@ func tryRecover(ck fileRef, records map[uint64]record, coreOpts core.Options, wa
 // replay re-applies the consecutive run of logged batches starting at the
 // checkpoint ordinal. Ordinals below the checkpoint are already folded
 // in; a gap ends replay (records past a gap cannot be trusted to follow
-// the recovered state).
+// the recovered state). A record that cannot be re-applied — a dimension
+// mismatch, a delete of an ID the database never held, an apply failure —
+// surfaces as a *replayFault so Resume can truncate the log at its frame
+// and retry, rather than condemning the checkpoint.
 func replay(s *core.Summarizer, db *dataset.DB, cp *checkpointData, records map[uint64]record) (int, error) {
 	ordinals := make([]uint64, 0, len(records))
 	for ord := range records {
@@ -227,15 +293,18 @@ func replay(s *core.Summarizer, db *dataset.DB, cp *checkpointData, records map[
 			break
 		}
 		rec := records[ord]
+		fault := func(err error) error {
+			return &replayFault{ordinal: ord, seg: rec.seg, off: rec.off, err: err}
+		}
 		if rec.dim != cp.dim {
-			return replayed, fmt.Errorf("%w: batch %d dimensionality %d != %d", ErrBadRecord, ord, rec.dim, cp.dim)
+			return replayed, fault(fmt.Errorf("%w: dimensionality %d != %d", ErrBadRecord, rec.dim, cp.dim))
 		}
 		batch, err := applyToDB(db, rec.batch)
 		if err != nil {
-			return replayed, fmt.Errorf("wal: replaying batch %d: %w", ord, err)
+			return replayed, fault(err)
 		}
 		if _, err := s.ApplyBatchContext(context.Background(), batch); err != nil {
-			return replayed, fmt.Errorf("wal: replaying batch %d: %w", ord, err)
+			return replayed, fault(err)
 		}
 		replayed++
 		next++

@@ -486,6 +486,145 @@ func TestGCRetainsCoveringState(t *testing.T) {
 	}
 }
 
+// TestAppendRollbackResetsOffset simulates the aftermath of a failed
+// partial write — bytes on disk past the record boundary AND a file
+// offset advanced past it (os.File.Truncate does not move the offset) —
+// and checks rollbackAppend restores both, so the next append leaves no
+// zero-filled gap for recovery to trip over.
+func TestAppendRollbackResetsOffset(t *testing.T) {
+	l, err := newLog(2, Options{Dir: t.TempDir()}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.openSegment(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.f.Write([]byte("partial-garbage")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.rollbackAppend(); err != nil {
+		t.Fatalf("rollback: %v", err)
+	}
+	batch := dataset.Batch{{Op: dataset.OpDelete, ID: 1}}
+	if err := l.BeforeApply(context.Background(), 0, batch); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(l.dir, segmentName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, n, tailErr := scanSegment(data)
+	if tailErr != nil || len(recs) != 1 || n != len(data) {
+		t.Fatalf("segment after rollback: recs=%d n=%d/%d err=%v", len(recs), n, len(data), tailErr)
+	}
+	if recs[0].ordinal != 0 || len(recs[0].batch) != 1 {
+		t.Fatalf("recovered record %+v", recs[0])
+	}
+}
+
+// TestOversizedBatchRejectedBeforeWrite feeds the log a batch whose
+// encoding would exceed maxRecordBytes: it must be rejected before any
+// byte reaches the segment — recovery's scanner refuses such frames, so
+// acking one durable would silently lose it — and the log stays healthy.
+func TestOversizedBatchRejectedBeforeWrite(t *testing.T) {
+	const dim = maxRecordBytes / 8 // one insert at this dim overflows the limit
+	l, err := newLog(dim, Options{Dir: t.TempDir()}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.openSegment(0); err != nil {
+		t.Fatal(err)
+	}
+	huge := dataset.Batch{{Op: dataset.OpInsert, ID: 1, P: make(vecmath.Point, dim), Label: 0}}
+	if err := l.BeforeApply(context.Background(), 0, huge); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("want ErrRecordTooLarge, got %v", err)
+	}
+	if l.Poisoned() != nil {
+		t.Fatalf("oversized batch poisoned the log: %v", l.Poisoned())
+	}
+	if l.NextOrdinal() != 0 {
+		t.Fatalf("ordinal advanced to %d for an unlogged batch", l.NextOrdinal())
+	}
+	// Deletes are small regardless of dim: the same ordinal still appends.
+	if err := l.BeforeApply(context.Background(), 0, dataset.Batch{{Op: dataset.OpDelete, ID: 2}}); err != nil {
+		t.Fatalf("append after rejection: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(l.dir, segmentName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs, _, tailErr := scanSegment(data); tailErr != nil || len(recs) != 1 {
+		t.Fatalf("segment holds recs=%d err=%v; oversized bytes leaked", len(recs), tailErr)
+	}
+}
+
+// TestReplayFaultTruncatesWALNotCheckpoints appends a forged record that
+// decodes cleanly but cannot be re-applied (a delete of an ID the
+// database never held). The old ladder quarantined the newest checkpoint,
+// then every older one died replaying through the same record; now the
+// WAL is truncated just before the bad record and the same checkpoint
+// recovers everything up to it.
+func TestReplayFaultTruncatesWALNotCheckpoints(t *testing.T) {
+	f := makeFixture(t, 400, 8)
+	want := runAll(t, f, t.TempDir(), Options{CheckpointEvery: 3})
+	dir := t.TempDir()
+	runAll(t, f, dir, Options{CheckpointEvery: 3})
+
+	_, segs, err := listState(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments (%v)", err)
+	}
+	newest := segs[len(segs)-1]
+	payload, err := encodePayload(f.initial.Dim(), uint64(len(f.batches)), dataset.Batch{{Op: dataset.OpDelete, ID: 1 << 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := os.OpenFile(newest.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seg.Write(frameRecord(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sink := telemetry.NewSink()
+	st, err := Resume(coreOpts(), Options{Dir: dir, CheckpointEvery: 3, Telemetry: sink})
+	if err != nil {
+		t.Fatalf("resume over replay fault: %v", err)
+	}
+	if st.Batches != len(f.batches) {
+		t.Fatalf("resumed at batch %d, want %d", st.Batches, len(f.batches))
+	}
+	if got := fingerprint(t, st.Summarizer); !bytes.Equal(got, want) {
+		t.Fatal("recovery over replay fault differs from uninterrupted run")
+	}
+	if n := sink.Metrics.Counter(telemetry.MetricWALQuarantined).Value(); n != 0 {
+		t.Fatalf("replay fault quarantined %d files; should only truncate the WAL", n)
+	}
+	if sink.Metrics.Counter(telemetry.MetricWALTruncations).Value() == 0 {
+		t.Fatal("no WAL truncation counted for the replay fault")
+	}
+	// The bad record is gone from disk: a second resume replays cleanly
+	// without repairs.
+	sink2 := telemetry.NewSink()
+	st2, err := Resume(coreOpts(), Options{Dir: dir, CheckpointEvery: 3, Telemetry: sink2})
+	if err != nil {
+		t.Fatalf("second resume: %v", err)
+	}
+	if got := fingerprint(t, st2.Summarizer); !bytes.Equal(got, want) {
+		t.Fatal("second resume differs")
+	}
+	if sink2.Metrics.Counter(telemetry.MetricWALTruncations).Value() != 0 {
+		t.Fatal("repair did not stick: second resume truncated again")
+	}
+}
+
 // TestOrdinalMismatchPoisons feeds the log an out-of-order ordinal.
 func TestOrdinalMismatchPoisons(t *testing.T) {
 	l, err := newLog(2, Options{Dir: t.TempDir()}.withDefaults())
