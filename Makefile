@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: build test vet race bench audit crash lint modverify staticcheck vuln verify
+.PHONY: build test vet race bench microbench verify-bench audit crash lint modverify staticcheck vuln verify
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,23 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Pinned benchmark suite (DESIGN.md §11): fixed-seed, fixed-operation
+# workloads whose work-proportional metrics are byte-stable under the
+# preset+seed. `make bench` refreshes the committed baseline; commit the
+# result only when the trajectory change is intentional.
+BENCH_PRESET ?= full
 bench:
+	$(GO) run ./cmd/benchsuite -preset $(BENCH_PRESET) -seed 1 -out BENCH_incbubbles.json
+
+# Regression gate: regenerate the report and hard-fail if it regressed
+# against the committed baseline (CI runs the same diff warn-only).
+verify-bench:
+	$(GO) run ./cmd/benchsuite -preset $(BENCH_PRESET) -seed 1 -out bench-current.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_incbubbles.json -current bench-current.json
+	@rm -f bench-current.json
+
+# Raw go-test microbenchmarks, unpinned (adaptive b.N, machine-dependent).
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Fuzz smoke: ten seconds per target (Go allows one -fuzz pattern per
@@ -49,8 +65,8 @@ crash:
 	INCBUBBLES_CRASH=1 $(GO) test ./internal/wal -run='^TestCrashRecoveryMatrix$$' -v
 
 # bubblelint is the repo's own analyzer suite (DESIGN.md §9): rawdist,
-# seededrng, floatsafe, telemetrysync, nopanic. The tree must stay clean;
-# suppressions require a //lint:allow directive with a reason.
+# seededrng, floatsafe, telemetrysync, spanend, nopanic. The tree must stay
+# clean; suppressions require a //lint:allow directive with a reason.
 lint:
 	$(GO) build -o bin/bubblelint ./cmd/bubblelint
 	./bin/bubblelint ./...

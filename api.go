@@ -18,6 +18,7 @@ import (
 	"incbubbles/internal/stream"
 	"incbubbles/internal/synth"
 	"incbubbles/internal/telemetry"
+	"incbubbles/internal/trace"
 	"incbubbles/internal/vecmath"
 	"incbubbles/internal/wal"
 )
@@ -238,6 +239,39 @@ func AuditBubbles(set *BubbleSet, totalPoints int) []AuditViolation {
 // It returns the bound address, so addr may use port 0.
 func ServeTelemetryDebug(addr string, sink *TelemetrySink) (*http.Server, string, error) {
 	return telemetry.ServeDebug(addr, sink)
+}
+
+// Tracing types (hierarchical span tracing, DESIGN.md §11). Pass a Tracer
+// via SummarizerOptions.Tracer to record batch → phase → operation spans
+// with distance-work attributes. Like the telemetry sink it is a strict
+// observer: results are bit-identical with or without it, and a nil
+// *Tracer disables all recording at negligible cost.
+type (
+	// Tracer records hierarchical spans into a bounded ring.
+	Tracer = trace.Tracer
+	// TracerOptions sizes the span ring and injects a test clock.
+	TracerOptions = trace.Options
+	// TraceSpan is one in-flight span; End commits it to the ring.
+	TraceSpan = trace.Span
+	// TraceRecord is one completed span as retained by the ring.
+	TraceRecord = trace.Record
+)
+
+// NewTracer creates a span tracer (zero options select the defaults).
+func NewTracer(opts TracerOptions) *Tracer { return trace.New(opts) }
+
+// WriteChromeTrace writes completed spans as Chrome trace-event JSON,
+// loadable in chrome://tracing or ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, recs []TraceRecord) error { return trace.WriteChrome(w, recs) }
+
+// WriteFlameSummary writes completed spans as an aggregated plain-text
+// flame view (spans, wall time and distance work per call path).
+func WriteFlameSummary(w io.Writer, recs []TraceRecord) error { return trace.WriteFlame(w, recs) }
+
+// ServeTelemetryDebugTracer is ServeTelemetryDebug plus a /debug/trace
+// span-capture endpoint backed by tracer.
+func ServeTelemetryDebugTracer(addr string, sink *TelemetrySink, tracer *Tracer) (*http.Server, string, error) {
+	return telemetry.ServeDebugTracer(addr, sink, tracer)
 }
 
 // SaveBubbles serializes a bubble set as JSON so a maintained summary

@@ -1,0 +1,86 @@
+// Command benchdiff compares a current benchsuite report against a
+// committed baseline and gates regressions: wall clock beyond the time
+// threshold, or deterministic work metrics (distance calculations per
+// op, span counts) beyond the count threshold.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_incbubbles.json -current bench-current.json
+//	benchdiff ... -warn-only     # report but exit 0 (CI smoke lanes)
+//
+// Exit codes: 0 no regressions (or -warn-only), 1 regressions found,
+// 2 unusable input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"incbubbles/internal/bench"
+)
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "BENCH_incbubbles.json", "committed baseline report")
+		current  = flag.String("current", "", "freshly generated report to check")
+		timeThr  = flag.Float64("time-threshold", 0.30, "allowed relative ns_per_op increase")
+		countThr = flag.Float64("count-threshold", 0.02, "allowed relative increase of deterministic work metrics")
+		warnOnly = flag.Bool("warn-only", false, "report regressions but exit 0")
+	)
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+	base, err := readReport(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := readReport(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	regs, notes, err := bench.Diff(base, cur, bench.DiffOptions{
+		TimeThreshold:  *timeThr,
+		CountThreshold: *countThr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	for _, n := range notes {
+		fmt.Println("note:", n)
+	}
+	if len(regs) == 0 {
+		fmt.Printf("benchdiff: %d benchmarks within thresholds (time %.0f%%, counts %.0f%%)\n",
+			len(base.Benchmarks), *timeThr*100, *countThr*100)
+		return
+	}
+	for _, r := range regs {
+		fmt.Println("REGRESSION:", r)
+	}
+	if *warnOnly {
+		fmt.Println("benchdiff: warn-only mode, not failing")
+		return
+	}
+	os.Exit(1)
+}
+
+func readReport(path string) (*bench.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != bench.Schema {
+		return nil, fmt.Errorf("%s: unsupported schema %q (want %q)", path, rep.Schema, bench.Schema)
+	}
+	return &rep, nil
+}

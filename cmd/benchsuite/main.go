@@ -1,0 +1,63 @@
+// Command benchsuite runs the repository's pinned benchmark suite
+// (internal/bench) and writes the BENCH_incbubbles.json report:
+// fixed-seed, fixed-operation workloads whose work-proportional metrics
+// (distance calculations per op, span counts, per-phase breakdown) are
+// byte-stable under a given preset and seed, alongside machine-dependent
+// wall-clock and allocator figures.
+//
+// Usage:
+//
+//	benchsuite -preset full -out BENCH_incbubbles.json   # refresh baseline
+//	benchsuite -preset short -out bench-current.json     # CI smoke
+//
+// Compare two reports with cmd/benchdiff.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"incbubbles/internal/bench"
+)
+
+func main() {
+	var (
+		preset = flag.String("preset", "short", "workload scale: short | full")
+		seed   = flag.Int64("seed", 1, "base random seed (the committed baseline pins 1)")
+		reps   = flag.Int("reps", 3, "timed repetitions per workload (median reported)")
+		out    = flag.String("out", "", "write the JSON report here (default: stdout)")
+	)
+	flag.Parse()
+
+	p := bench.Preset(*preset)
+	if p != bench.PresetShort && p != bench.PresetFull {
+		fmt.Fprintf(os.Stderr, "benchsuite: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+	rep, err := bench.Run(bench.Config{Preset: p, Seed: *seed, Reps: *reps})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	for _, b := range rep.Benchmarks {
+		fmt.Fprintf(os.Stderr, "%-16s ops=%-6d %12.0f ns/op %12.1f dist/op %6d spans\n",
+			b.Name, b.Ops, b.NsPerOp, b.DistanceComputedPerOp, b.Spans)
+	}
+	fmt.Fprintf(os.Stderr, "benchsuite: wrote %s (preset=%s seed=%d)\n", *out, rep.Preset, rep.Seed)
+}

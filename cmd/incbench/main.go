@@ -29,6 +29,7 @@ import (
 	"incbubbles/internal/cli"
 	"incbubbles/internal/experiments"
 	"incbubbles/internal/telemetry"
+	"incbubbles/internal/trace"
 )
 
 func main() {
@@ -48,9 +49,12 @@ func main() {
 		everyBatch = flag.Bool("evalEveryBatch", false, "average Table 1 quality over every batch instead of final state")
 		workers    = flag.Int("workers", 0, "concurrent repetitions (0 = GOMAXPROCS)")
 		audit      = flag.Bool("audit", false, "validate summary invariants after every batch; any violation aborts the run")
-		debugAddr  = flag.String("debug-addr", "", "serve /debug/telemetry, /debug/events and /debug/pprof on this address while running")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/telemetry, /debug/events, /debug/trace and /debug/pprof on this address while running")
 		walDir     = flag.String("wal-dir", "", "recovery experiment: host its WAL/checkpoint directories here (default: temp)")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "recovery experiment: checkpoint cadence in batches (0 = default)")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the run here (plus a flame summary on stderr)")
+		traceCap   = flag.Int("trace-cap", 0, "span ring capacity; oldest spans drop beyond it (0 = default)")
+		eventsCap  = flag.Int("events-cap", 0, "telemetry event ring capacity (0 = default)")
 	)
 	flag.Parse()
 
@@ -59,10 +63,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var tracer *trace.Tracer
+	if *traceOut != "" || *debugAddr != "" {
+		tracer = trace.New(trace.Options{Capacity: *traceCap})
+	}
 	var sink *telemetry.Sink
 	if *debugAddr != "" {
-		sink = telemetry.NewSink()
-		_, addr, done, err := telemetry.ServeDebugUntil(ctx, *debugAddr, sink)
+		sink = telemetry.NewSinkOptions(telemetry.SinkOptions{EventCapacity: *eventsCap})
+		_, addr, done, err := telemetry.ServeDebugUntilTracer(ctx, *debugAddr, sink, tracer)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "incbench:", err)
 			os.Exit(1)
@@ -86,6 +94,7 @@ func main() {
 			Workers:        *workers,
 			Audit:          *audit,
 			Telemetry:      sink,
+			Tracer:         tracer,
 		},
 		Fracs:           *fracs,
 		CSVDir:          *csvDir,
@@ -93,7 +102,13 @@ func main() {
 		WALDir:          *walDir,
 		CheckpointEvery: *ckptEvery,
 	}
-	if err := cli.RunIncbench(ctx, opts, os.Stdout); err != nil {
+	err := cli.RunIncbench(ctx, opts, os.Stdout)
+	// Export whatever spans accumulated even when the run failed: the
+	// trace is most useful exactly then.
+	if xerr := cli.ExportTrace(tracer, *traceOut, os.Stderr); xerr != nil {
+		fmt.Fprintln(os.Stderr, "incbench: trace export:", xerr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "incbench:", err)
 		os.Exit(1)
 	}

@@ -22,6 +22,7 @@ import (
 
 	"incbubbles/internal/cli"
 	"incbubbles/internal/telemetry"
+	"incbubbles/internal/trace"
 )
 
 func main() {
@@ -34,9 +35,12 @@ func main() {
 		plotFlag  = flag.Bool("plot", false, "print the reachability plot")
 		assign    = flag.Bool("assignments", false, "print id,cluster for every point")
 		pngOut    = flag.String("png", "", "write a reachability-plot PNG to this path")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/telemetry, /debug/events and /debug/pprof on this address while running")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/telemetry, /debug/events, /debug/trace and /debug/pprof on this address while running")
 		walDir    = flag.String("wal-dir", "", "persist the summary here (WAL + checkpoints); rerun with the same directory to resume instead of rebuilding")
 		ckptEvery = flag.Int("checkpoint-every", 0, "durable checkpoint cadence in batches (0 = default)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the run here (plus a flame summary on stderr)")
+		traceCap  = flag.Int("trace-cap", 0, "span ring capacity; oldest spans drop beyond it (0 = default)")
+		eventsCap = flag.Int("events-cap", 0, "telemetry event ring capacity (0 = default)")
 	)
 	flag.Parse()
 
@@ -45,10 +49,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var tracer *trace.Tracer
+	if *traceOut != "" || *debugAddr != "" {
+		tracer = trace.New(trace.Options{Capacity: *traceCap})
+	}
 	var sink *telemetry.Sink
 	if *debugAddr != "" {
-		sink = telemetry.NewSink()
-		_, addr, done, err := telemetry.ServeDebugUntil(ctx, *debugAddr, sink)
+		sink = telemetry.NewSinkOptions(telemetry.SinkOptions{EventCapacity: *eventsCap})
+		_, addr, done, err := telemetry.ServeDebugUntilTracer(ctx, *debugAddr, sink, tracer)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "quickcluster:", err)
 			os.Exit(1)
@@ -78,8 +86,15 @@ func main() {
 		WALDir:          *walDir,
 		CheckpointEvery: *ckptEvery,
 		Telemetry:       sink,
+		Tracer:          tracer,
 	}
-	if err := cli.RunQuickcluster(ctx, r, opts, os.Stdout, os.Stderr); err != nil {
+	err := cli.RunQuickcluster(ctx, r, opts, os.Stdout, os.Stderr)
+	// Export whatever spans accumulated even when the run failed: the
+	// trace is most useful exactly then.
+	if xerr := cli.ExportTrace(tracer, *traceOut, os.Stderr); xerr != nil {
+		fmt.Fprintln(os.Stderr, "quickcluster: trace export:", xerr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "quickcluster:", err)
 		os.Exit(1)
 	}

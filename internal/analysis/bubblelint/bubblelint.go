@@ -9,6 +9,7 @@ import (
 	"incbubbles/internal/analysis/bubblelint/nopanic"
 	"incbubbles/internal/analysis/bubblelint/rawdist"
 	"incbubbles/internal/analysis/bubblelint/seededrng"
+	"incbubbles/internal/analysis/bubblelint/spanend"
 	"incbubbles/internal/analysis/bubblelint/telemetrysync"
 	"incbubbles/internal/analysis/framework"
 )
@@ -20,6 +21,7 @@ func Suite() []*framework.Analyzer {
 		seededrng.Analyzer,
 		floatsafe.Analyzer,
 		telemetrysync.Analyzer,
+		spanend.Analyzer,
 		nopanic.Analyzer,
 	}
 }

@@ -1,0 +1,215 @@
+// Package spanend pins the trace-span lifecycle contract of DESIGN.md §11:
+// every span obtained from a Start call (trace.Tracer.Start, trace.Span.Start,
+// or a start* helper returning *trace.Span) must reach End() in the function
+// that created it — directly, via defer, through a chain ending .End(), or by
+// transferring ownership (returning the span or passing it to another
+// function). A span that never Ends is never recorded into the ring: the
+// phase silently vanishes from every capture and the per-phase distance
+// attributes stop summing to the telemetry deltas the cross-check test pins.
+//
+// The check is an intra-procedural heuristic, deliberately permissive:
+// any End on the same variable name anywhere in the enclosing function
+// counts (including inside nested closures, so `defer func() { sp.End() }()`
+// passes), and any escape — return, call argument, reassignment, composite
+// literal — transfers responsibility. Suppress a deliberate leak with a
+// //lint:allow spanend directive and a reason.
+package spanend
+
+import (
+	"go/ast"
+	"strings"
+
+	"incbubbles/internal/analysis/bubblelint/lintutil"
+	"incbubbles/internal/analysis/framework"
+)
+
+// Analyzer is the spanend check.
+var Analyzer = &framework.Analyzer{
+	Name: "spanend",
+	Doc: "every trace span Start must be matched by End (or ownership transfer) " +
+		"in the creating function, or the span is never recorded (DESIGN.md §11)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkBody walks one function body (nested closures included — a span
+// started in a closure finds its End in the same subtree) and checks each
+// span-producing call.
+func checkBody(pass *framework.Pass, body *ast.BlockStmt) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if call, ok := n.(*ast.CallExpr); ok && producesSpan(pass, call) {
+			checkSpanCall(pass, body, call, append([]ast.Node(nil), stack...))
+		}
+		return true
+	})
+}
+
+// producesSpan reports whether call creates a span the caller owns: its
+// static type is *trace.Span and the callee is named Start/start*. Accessors
+// that merely borrow an existing span (trace.FromContext) stay exempt.
+func producesSpan(pass *framework.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || !lintutil.NamedTypeIs(tv.Type, "internal/trace", "Span") {
+		return false
+	}
+	fn := lintutil.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	return strings.HasPrefix(fn.Name(), "Start") || strings.HasPrefix(fn.Name(), "start")
+}
+
+// checkSpanCall classifies how the span value flows out of the Start call
+// and reports the two leak shapes: a discarded result, and a variable that
+// neither reaches End nor escapes.
+func checkSpanCall(pass *framework.Pass, body *ast.BlockStmt, call *ast.CallExpr, stack []ast.Node) {
+	// stack ends with call itself; climb method chains first:
+	// tr.Start("x").Bind(c) keeps returning the span, .End() finishes it.
+	cur := ast.Node(call)
+	i := len(stack) - 1
+	for i >= 2 {
+		sel, ok := stack[i-1].(*ast.SelectorExpr)
+		if !ok || sel.X != cur {
+			break
+		}
+		outer, ok := stack[i-2].(*ast.CallExpr)
+		if !ok || outer.Fun != sel {
+			break
+		}
+		if sel.Sel.Name == "End" {
+			return // chain ends the span
+		}
+		tv, ok := pass.TypesInfo.Types[outer]
+		if !ok || !lintutil.NamedTypeIs(tv.Type, "internal/trace", "Span") {
+			// A chained method that does not return the span (SetInt, say)
+			// consumes the only reference without ending it.
+			pass.Reportf(call.Pos(),
+				"span is discarded without End(); chain .End(), or assign it and defer End() (spanend)")
+			return
+		}
+		cur, i = outer, i-2
+	}
+	if i < 1 {
+		return
+	}
+	switch parent := stack[i-1].(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(),
+			"span is discarded without End(); chain .End(), or assign it and defer End() (spanend)")
+	case *ast.AssignStmt:
+		if len(parent.Lhs) != len(parent.Rhs) {
+			return // multi-return unpacking cannot produce a bare span here
+		}
+		for j, rhs := range parent.Rhs {
+			if ast.Unparen(rhs) != cur {
+				continue
+			}
+			name := lintutil.ExprString(parent.Lhs[j])
+			if name == "_" {
+				pass.Reportf(call.Pos(),
+					"span is assigned to _ and can never End(); drop the span or keep the handle (spanend)")
+				return
+			}
+			if _, isIdent := parent.Lhs[j].(*ast.Ident); !isIdent {
+				return // stored into a field/index: ownership moved to the structure
+			}
+			if !endedOrEscapes(body, name) {
+				pass.Reportf(call.Pos(),
+					"span %s never reaches End() in this function; defer %s.End() or transfer ownership (spanend)", name, name)
+			}
+			return
+		}
+	case *ast.ValueSpec:
+		for j, v := range parent.Values {
+			if ast.Unparen(v) != cur {
+				continue
+			}
+			name := parent.Names[j].Name
+			if name == "_" {
+				pass.Reportf(call.Pos(),
+					"span is assigned to _ and can never End(); drop the span or keep the handle (spanend)")
+				return
+			}
+			if !endedOrEscapes(body, name) {
+				pass.Reportf(call.Pos(),
+					"span %s never reaches End() in this function; defer %s.End() or transfer ownership (spanend)", name, name)
+			}
+			return
+		}
+	}
+	// Remaining parents — ReturnStmt, CallExpr argument, CompositeLit,
+	// KeyValueExpr — all transfer ownership; the consumer Ends the span.
+}
+
+// endedOrEscapes reports whether the named span variable reaches End()
+// anywhere in body (defer and closures included) or escapes the function:
+// returned, passed as an argument, reassigned, or stored in a composite
+// literal. Matching is structural on the rendered expression, so field
+// handles (s.span) compare like locals.
+func endedOrEscapes(body *ast.BlockStmt, name string) bool {
+	found := false
+	match := func(e ast.Expr) bool { return lintutil.ExprString(ast.Unparen(e)) == name }
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+				sel.Sel.Name == "End" && match(sel.X) {
+				found = true
+				return false
+			}
+			for _, arg := range n.Args {
+				if match(arg) {
+					found = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if match(r) {
+					found = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				if match(r) {
+					found = true
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if match(el) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

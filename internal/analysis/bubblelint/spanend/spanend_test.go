@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"incbubbles/internal/analysis/analysistest"
+	"incbubbles/internal/analysis/bubblelint/spanend"
+)
+
+func TestSpanend(t *testing.T) {
+	analysistest.Run(t, "testdata", spanend.Analyzer, "incbubbles/internal/core")
+}

@@ -1,0 +1,90 @@
+// Package core exercises the spanend analyzer: every Start must reach
+// End or transfer ownership within the creating function.
+package core
+
+import "incbubbles/internal/trace"
+
+func okDefer(tr *trace.Tracer) {
+	sp := tr.Start("core.batch")
+	defer sp.End()
+}
+
+func okExplicit(tr *trace.Tracer) {
+	sp := tr.Start("core.search").Bind(nil)
+	sp.SetInt("dist_computed", 1)
+	sp.End()
+}
+
+func okChain(tr *trace.Tracer) {
+	tr.Start("core.tick").End()
+}
+
+func okClosureEnd(tr *trace.Tracer) {
+	sp := tr.Start("core.batch")
+	defer func() { sp.End() }()
+}
+
+func okTransferReturn(tr *trace.Tracer) *trace.Span {
+	return tr.Start("core.handoff")
+}
+
+// startSpan transfers its span to the caller, like wal's helper.
+func startSpan(tr *trace.Tracer) *trace.Span {
+	return tr.Start("core.helper")
+}
+
+func okHelper(tr *trace.Tracer) {
+	sp := startSpan(tr)
+	defer sp.End()
+}
+
+func okTransferArg(tr *trace.Tracer) {
+	consume(tr.Start("core.given"))
+}
+
+func consume(sp *trace.Span) { sp.End() }
+
+func okChild(tr *trace.Tracer) {
+	parent := tr.Start("core.batch")
+	defer parent.End()
+	child := parent.Start("core.apply")
+	child.End()
+}
+
+func okBorrow(ctx interface{}) {
+	sp := trace.FromContext(ctx)
+	sp.SetInt("n", 1)
+}
+
+func leakDiscard(tr *trace.Tracer) {
+	tr.Start("core.leak") // want `span is discarded without End`
+}
+
+func leakChainNoEnd(tr *trace.Tracer) {
+	tr.Start("core.leak").SetInt("n", 1) // want `span is discarded without End`
+}
+
+func leakBlank(tr *trace.Tracer) {
+	_ = tr.Start("core.leak") // want `assigned to _ and can never End`
+}
+
+func leakVar(tr *trace.Tracer) {
+	sp := tr.Start("core.leak") // want `span sp never reaches End`
+	sp.SetInt("n", 1)
+}
+
+func leakHelper(tr *trace.Tracer) {
+	sp := startSpan(tr) // want `span sp never reaches End`
+	sp.SetInt("n", 1)
+}
+
+func leakChild(tr *trace.Tracer) {
+	parent := tr.Start("core.batch")
+	defer parent.End()
+	parent.Start("core.apply") // want `span is discarded without End`
+}
+
+func allowedLeak(tr *trace.Tracer) {
+	//lint:allow spanend fixture documents a deliberately abandoned span
+	tr.Start("core.sanctioned")
+}

@@ -1,0 +1,27 @@
+// Package trace stubs the hierarchical span tracer with exactly the
+// declarations the spanend fixtures need.
+package trace
+
+// Tracer is the stub tracer.
+type Tracer struct{}
+
+// Start opens a root span.
+func (t *Tracer) Start(name string) *Span { return &Span{} }
+
+// Span is the stub span.
+type Span struct{}
+
+// Start opens a child span.
+func (s *Span) Start(name string) *Span { return &Span{} }
+
+// Bind returns the receiver for chaining, like the real API.
+func (s *Span) Bind(c interface{}) *Span { return s }
+
+// SetInt records an attribute.
+func (s *Span) SetInt(key string, v int64) {}
+
+// End completes the span.
+func (s *Span) End() {}
+
+// FromContext borrows the ambient span; borrowers carry no End obligation.
+func FromContext(ctx interface{}) *Span { return nil }

@@ -8,6 +8,7 @@ import (
 	"incbubbles/internal/dataset"
 	"incbubbles/internal/parallel"
 	"incbubbles/internal/stats"
+	"incbubbles/internal/trace"
 )
 
 // Build constructs a set of data bubbles over db from scratch using the
@@ -42,24 +43,34 @@ func BuildContext(ctx context.Context, db *dataset.DB, numSeeds int, opts Option
 	if err != nil {
 		return nil, err
 	}
-	// Step 1: random seeds.
+	bsp := opts.Tracer.Start("bubble.build")
+	defer bsp.End()
+	bsp.SetInt(trace.AttrCount, int64(db.Len()))
+	// Step 1: random seeds. The seed span covers the O(numSeeds²)
+	// seed-distance matrix construction inside AddBubble.
+	ssp := bsp.Start("bubble.seeds").Bind(s.Counter())
 	seedIDs, err := db.RandomIDs(s.rng, numSeeds)
 	if err != nil {
+		ssp.End()
 		return nil, err
 	}
 	for _, id := range seedIDs {
 		rec, err := db.Get(id)
 		if err != nil {
+			ssp.End()
 			return nil, err
 		}
 		if _, err := s.AddBubble(rec.P); err != nil {
+			ssp.End()
 			return nil, err
 		}
 	}
+	ssp.End()
 	// Step 2, phase 1: find every point's closest seed concurrently.
 	n := db.Len()
 	targets := make([]int, n)
 	base := s.rng.Int63()
+	fsp := bsp.Start("bubble.search").Bind(s.Counter())
 	err = parallel.ForEachWorker(ctx, n, parallel.Workers(opts.Workers, n),
 		func(int) *Finder { return s.NewFinder() },
 		func(f *Finder, i int) error {
@@ -68,10 +79,13 @@ func BuildContext(ctx context.Context, db *dataset.DB, numSeeds int, opts Option
 			return err
 		},
 		func(_ int, f *Finder) error { f.Flush(); return nil })
+	fsp.End()
 	if err != nil {
 		return nil, err
 	}
 	// Step 2, phase 2: absorb serially in database order.
+	asp := bsp.Start("bubble.absorb").Bind(s.Counter())
+	defer asp.End()
 	for i := 0; i < n; i++ {
 		rec := db.At(i)
 		if err := s.AssignTo(targets[i], rec.ID, rec.P); err != nil {

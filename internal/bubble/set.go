@@ -6,6 +6,7 @@ import (
 
 	"incbubbles/internal/dataset"
 	"incbubbles/internal/stats"
+	"incbubbles/internal/trace"
 	"incbubbles/internal/vecmath"
 )
 
@@ -30,6 +31,10 @@ type Options struct {
 	// fan-out. ≤0 selects GOMAXPROCS; 1 forces the serial path. The built
 	// set is bit-identical for every setting.
 	Workers int
+	// Tracer records Build's seed/search/absorb spans with their
+	// distance-calc deltas (internal/trace). Optional; nil records
+	// nothing. Purely observational — it never perturbs the build.
+	Tracer *trace.Tracer
 }
 
 // Set is a collection of data bubbles over one database: the bubbles, the

@@ -17,6 +17,7 @@ import (
 	"incbubbles/internal/plot"
 	"incbubbles/internal/stats"
 	"incbubbles/internal/telemetry"
+	"incbubbles/internal/trace"
 	"incbubbles/internal/vecmath"
 	"incbubbles/internal/wal"
 )
@@ -41,6 +42,10 @@ type QuickclusterOptions struct {
 	// Telemetry optionally receives build/cluster metrics (and is what a
 	// -debug-addr endpoint serves). Instrumentation never changes results.
 	Telemetry *telemetry.Sink
+	// Tracer optionally records hierarchical spans of the build, the WAL
+	// and the clustering (and is what -trace exports). Like Telemetry it
+	// never changes results.
+	Tracer *trace.Tracer
 }
 
 func (opts QuickclusterOptions) coreOptions(numBubbles int, counter *vecmath.Counter) core.Options {
@@ -50,6 +55,7 @@ func (opts QuickclusterOptions) coreOptions(numBubbles int, counter *vecmath.Cou
 		Seed:                  opts.Seed,
 		Counter:               counter,
 		Telemetry:             opts.Telemetry,
+		Tracer:                opts.Tracer,
 		Config:                core.Config{Workers: opts.Workers},
 	}
 }
@@ -67,7 +73,7 @@ func RunQuickcluster(ctx context.Context, in io.Reader, opts QuickclusterOptions
 	switch {
 	case opts.WALDir != "" && wal.HasState(opts.WALDir):
 		st, err := wal.Resume(opts.coreOptions(opts.Bubbles, &counter),
-			wal.Options{Dir: opts.WALDir, CheckpointEvery: opts.CheckpointEvery, Telemetry: opts.Telemetry})
+			wal.Options{Dir: opts.WALDir, CheckpointEvery: opts.CheckpointEvery, Telemetry: opts.Telemetry, Tracer: opts.Tracer})
 		if err != nil {
 			return err
 		}
@@ -89,7 +95,7 @@ func RunQuickcluster(ctx context.Context, in io.Reader, opts QuickclusterOptions
 			numBubbles = db.Len()
 		}
 		s, l, err := wal.New(db, opts.coreOptions(numBubbles, &counter),
-			wal.Options{Dir: opts.WALDir, CheckpointEvery: opts.CheckpointEvery, Telemetry: opts.Telemetry})
+			wal.Options{Dir: opts.WALDir, CheckpointEvery: opts.CheckpointEvery, Telemetry: opts.Telemetry, Tracer: opts.Tracer})
 		if err != nil {
 			return err
 		}
@@ -112,6 +118,7 @@ func RunQuickcluster(ctx context.Context, in io.Reader, opts QuickclusterOptions
 			RNG:                   stats.NewRNG(opts.Seed),
 			Workers:               opts.Workers,
 			Counter:               &counter,
+			Tracer:                opts.Tracer,
 		})
 		if err != nil {
 			return err
@@ -121,11 +128,11 @@ func RunQuickcluster(ctx context.Context, in io.Reader, opts QuickclusterOptions
 		opts.Telemetry.Counter(telemetry.MetricDistanceComputed).Add(counter.Computed())
 		opts.Telemetry.Counter(telemetry.MetricDistancePruned).Add(counter.Pruned())
 	}
-	space, err := optics.NewBubbleSpaceTelemetry(set, opts.Workers, opts.Telemetry)
+	space, err := optics.NewBubbleSpaceTelemetry(set, opts.Workers, opts.Telemetry, opts.Tracer)
 	if err != nil {
 		return err
 	}
-	res, err := optics.Run(space, optics.Params{MinPts: opts.MinPts, Sink: opts.Telemetry})
+	res, err := optics.Run(space, optics.Params{MinPts: opts.MinPts, Sink: opts.Telemetry, Tracer: opts.Tracer})
 	if err != nil {
 		return err
 	}

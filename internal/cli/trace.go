@@ -1,0 +1,37 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"incbubbles/internal/trace"
+)
+
+// ExportTrace writes the tracer's retained spans to path as Chrome
+// trace-event JSON (loadable in chrome://tracing or ui.perfetto.dev) and
+// prints a flame summary plus ring-drop accounting to summary. A nil
+// tracer or empty path is a no-op; a nil summary skips the flame text.
+func ExportTrace(tracer *trace.Tracer, path string, summary io.Writer) error {
+	if tracer == nil || path == "" {
+		return nil
+	}
+	recs := tracer.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if summary == nil {
+		return nil
+	}
+	fmt.Fprintf(summary, "trace: wrote %d spans to %s (%d dropped by the ring)\n",
+		len(recs), path, tracer.Dropped())
+	return trace.WriteFlame(summary, recs)
+}

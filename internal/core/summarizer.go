@@ -24,6 +24,7 @@ import (
 	"incbubbles/internal/parallel"
 	"incbubbles/internal/stats"
 	"incbubbles/internal/telemetry"
+	"incbubbles/internal/trace"
 	"incbubbles/internal/vecmath"
 )
 
@@ -219,6 +220,7 @@ type Summarizer struct {
 	// metric handles are always valid — a nil sink hands out detached ones.
 	sink     *telemetry.Sink
 	metrics  coreMetrics
+	tracer   *trace.Tracer // nil-safe span recording; see Options.Tracer
 	audit    bool
 	curBatch int // batch ordinal stamped on emitted events; -1 outside batches
 	// lastComputed/lastPruned remember the distance-counter state at the
@@ -305,6 +307,13 @@ type Options struct {
 	// path for crash testing. Optional; nil evaluates every point as
 	// disarmed at near-zero cost.
 	Failpoints *failpoint.Registry
+	// Tracer records hierarchical batch → phase → operation spans
+	// (internal/trace) including the exact distance-computation delta of
+	// every counted phase. Optional; nil disables span recording — the
+	// nil-safe no-op spans keep the hot paths branch-free. Like
+	// Telemetry, the tracer is an observer only and never perturbs
+	// seeds, probe orders, or distance accounting.
+	Tracer *trace.Tracer
 }
 
 // New builds the initial data bubbles over db from scratch and returns a
@@ -321,6 +330,7 @@ func New(db *dataset.DB, opts Options) (*Summarizer, error) {
 		TrackMembers:          true,
 		Counter:               opts.Counter,
 		RNG:                   rng,
+		Tracer:                opts.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -403,6 +413,7 @@ func finishConstruct(db *dataset.DB, set *bubble.Set, cfg Config, seed int64, rn
 		fail:       opts.Failpoints,
 		sink:       opts.Telemetry,
 		metrics:    newCoreMetrics(opts.Telemetry),
+		tracer:     opts.Tracer,
 		audit:      opts.Audit,
 		curBatch:   -1,
 	}
@@ -530,9 +541,16 @@ func (s *Summarizer) ApplyBatchContext(ctx context.Context, batch dataset.Batch)
 	}
 	s.curBatch = ordinal
 	defer func() { s.curBatch = -1 }()
+	bsp := s.tracer.Start("core.batch")
+	defer bsp.End()
+	bsp.SetInt(trace.AttrOrdinal, int64(ordinal))
+	bsp.SetInt(trace.AttrBatchSize, int64(len(batch)))
+	// The batch span rides the context across the durability boundary so
+	// the WAL's append/fsync/checkpoint spans nest under it.
+	ctx = trace.ContextWith(ctx, bsp)
 	// Figure 3 step 1, phase 1: closest-bubble searches, read-only and
 	// therefore cancellable.
-	targets, err := s.searchInserts(ctx, batch)
+	targets, err := s.searchInserts(ctx, batch, bsp)
 	if err != nil {
 		return bs, err
 	}
@@ -549,7 +567,7 @@ func (s *Summarizer) ApplyBatchContext(ctx context.Context, batch dataset.Batch)
 	}
 	// Point of no return: the batch is on stable storage (when durable)
 	// and mutation starts.
-	applyErr := s.applyAndMaintain(batch, targets, &bs)
+	applyErr := s.applyAndMaintain(batch, targets, &bs, bsp)
 	if s.durability != nil {
 		if err := s.durability.AfterApply(ctx, s, applyErr); applyErr == nil && err != nil {
 			applyErr = err
@@ -560,49 +578,18 @@ func (s *Summarizer) ApplyBatchContext(ctx context.Context, batch dataset.Batch)
 
 // applyAndMaintain is the mutating half of a batch: phase-2 statistic
 // updates (Figure 3 step 1), then quality maintenance (step 2).
-func (s *Summarizer) applyAndMaintain(batch dataset.Batch, targets []int, bs *BatchStats) error {
-	if err := s.applyMutations(batch, targets, bs); err != nil {
+func (s *Summarizer) applyAndMaintain(batch dataset.Batch, targets []int, bs *BatchStats, bsp *trace.Span) error {
+	if err := s.applyMutations(batch, targets, bs, bsp); err != nil {
 		return err
 	}
 	s.syncDistances()
 	s.runAudit(bs)
-	// Figure 3 step 2: identify low-quality bubbles and rebuild them.
 	var maintainStart time.Time
 	if s.sink != nil {
 		maintainStart = time.Now()
 	}
-	for round := 0; round < s.cfg.MaxRounds; round++ {
-		if err := s.fail.Hit(FailMaintainRound); err != nil {
-			return err
-		}
-		cl := s.Classify()
-		if round == 0 {
-			bs.OverFilled = len(cl.Over)
-			bs.UnderFilled = len(cl.Under)
-		}
-		if len(cl.Over) == 0 {
-			break
-		}
-		rebuilt, fromGood, err := s.rebuild(cl)
-		if err != nil {
-			return err
-		}
-		bs.Rebuilt += rebuilt
-		bs.DonorsFromGood += fromGood
-		bs.Rounds = round + 1
-		s.runAudit(bs)
-		if rebuilt == 0 {
-			break
-		}
-	}
-	if s.cfg.AdaptiveCount {
-		added, removed, err := s.adaptCount()
-		if err != nil {
-			return err
-		}
-		bs.BubblesAdded = added
-		bs.BubblesRemoved = removed
-		s.runAudit(bs)
+	if err := s.maintain(bs, bsp); err != nil {
+		return err
 	}
 	s.totalRebuilt += bs.Rebuilt
 	s.batches++
@@ -620,6 +607,50 @@ func (s *Summarizer) applyAndMaintain(batch dataset.Batch, targets []int, bs *Ba
 			A: bs.Inserted, B: bs.Deleted, N: len(batch)})
 	}
 	return s.fail.Hit(FailApplyDone)
+}
+
+// maintain is Figure 3 step 2: identify low-quality bubbles and rebuild
+// them round by round, then adapt the bubble count when enabled. It is
+// one span of the batch trace; the per-operation merge/split/grow spans
+// below it carry the distance-calc attribution.
+func (s *Summarizer) maintain(bs *BatchStats, bsp *trace.Span) error {
+	msp := bsp.Start("core.maintain")
+	defer msp.End()
+	defer func() { msp.SetInt(trace.AttrCount, int64(bs.Rounds)) }()
+	for round := 0; round < s.cfg.MaxRounds; round++ {
+		if err := s.fail.Hit(FailMaintainRound); err != nil {
+			return err
+		}
+		cl := s.Classify()
+		if round == 0 {
+			bs.OverFilled = len(cl.Over)
+			bs.UnderFilled = len(cl.Under)
+		}
+		if len(cl.Over) == 0 {
+			break
+		}
+		rebuilt, fromGood, err := s.rebuild(cl, msp)
+		if err != nil {
+			return err
+		}
+		bs.Rebuilt += rebuilt
+		bs.DonorsFromGood += fromGood
+		bs.Rounds = round + 1
+		s.runAudit(bs)
+		if rebuilt == 0 {
+			break
+		}
+	}
+	if s.cfg.AdaptiveCount {
+		added, removed, err := s.adaptCount(msp)
+		if err != nil {
+			return err
+		}
+		bs.BubblesAdded = added
+		bs.BubblesRemoved = removed
+		s.runAudit(bs)
+	}
+	return nil
 }
 
 // minParallelItems is the work-list size below which the default worker
@@ -648,7 +679,7 @@ func (s *Summarizer) assignWorkers(n int) int {
 // once the fan-out completes, keeping Computed()/Pruned() totals exact.
 // Because nothing is mutated, cancelling ctx here aborts the batch with
 // the summary untouched.
-func (s *Summarizer) searchInserts(ctx context.Context, batch dataset.Batch) (targets []int, err error) {
+func (s *Summarizer) searchInserts(ctx context.Context, batch dataset.Batch, bsp *trace.Span) (targets []int, err error) {
 	var inserts []int
 	for i, u := range batch {
 		if u.Op == dataset.OpInsert {
@@ -659,6 +690,11 @@ func (s *Summarizer) searchInserts(ctx context.Context, batch dataset.Batch) (ta
 	if len(inserts) == 0 {
 		return targets, nil
 	}
+	// Leaf span bound to the shared counter: the per-worker tallies merge
+	// before ForEachWorker returns, so End sees the full search delta.
+	ssp := bsp.Start("core.search").Bind(s.set.Counter())
+	defer ssp.End()
+	ssp.SetInt(trace.AttrCount, int64(len(inserts)))
 	var searchStart time.Time
 	if s.sink != nil {
 		searchStart = time.Now()
@@ -696,7 +732,11 @@ func (s *Summarizer) searchInserts(ctx context.Context, batch dataset.Batch) (ta
 // keeps the Set lock-free and the result bit-identical to the serial path
 // (DESIGN.md, "Parallel batch assignment").
 // targets[k] is the destination of the k-th insertion in batch order.
-func (s *Summarizer) applyMutations(batch dataset.Batch, targets []int, bs *BatchStats) error {
+func (s *Summarizer) applyMutations(batch dataset.Batch, targets []int, bs *BatchStats, bsp *trace.Span) error {
+	// Bound even though phase 2 computes no distances: a non-zero delta
+	// here would mean the serial-apply contract was broken.
+	asp := bsp.Start("core.apply").Bind(s.set.Counter())
+	defer asp.End()
 	var applyStart time.Time
 	if s.sink != nil {
 		applyStart = time.Now()
@@ -730,7 +770,7 @@ func (s *Summarizer) applyMutations(batch dataset.Batch, targets []int, bs *Batc
 // into a brand-new bubble seeded at one of its points, up to MaxBubbles.
 // Shrink: empty bubbles beyond what the under-filled donor pool needs are
 // removed, down to MinBubbles.
-func (s *Summarizer) adaptCount() (added, removed int, err error) {
+func (s *Summarizer) adaptCount(msp *trace.Span) (added, removed int, err error) {
 	cl := s.Classify()
 	for _, over := range cl.Over {
 		if s.set.Len() >= s.cfg.MaxBubbles {
@@ -741,11 +781,17 @@ func (s *Summarizer) adaptCount() (added, removed int, err error) {
 			continue
 		}
 		// Seed the new bubble anywhere (reset follows inside splitOver).
+		// The grow span covers only AddBubble (its seed-matrix extension
+		// computes distances); splitOver binds its own leaf span, so the
+		// two never double-count.
+		gsp := msp.Start("core.grow").Bind(s.set.Counter())
+		gsp.SetInt(trace.AttrBubble, int64(over))
 		idx, err := s.set.AddBubble(b.Seed())
+		gsp.End()
 		if err != nil {
 			return added, removed, err
 		}
-		if err := s.splitOver(idx, over); err != nil {
+		if err := s.splitOver(idx, over, msp); err != nil {
 			return added, removed, err
 		}
 		s.emit(telemetry.Event{Kind: telemetry.KindGrow, A: idx, B: over})
@@ -819,7 +865,7 @@ func (s *Summarizer) Classify() Classification {
 // bubble when available, otherwise the lowest-β good bubble — and performs
 // the synchronized merge and split of Figure 6. It returns the number of
 // bubbles rebuilt and how many donors came from the good class.
-func (s *Summarizer) rebuild(cl Classification) (rebuilt, fromGood int, err error) {
+func (s *Summarizer) rebuild(cl Classification, msp *trace.Span) (rebuilt, fromGood int, err error) {
 	// Donor queue: under-filled first (lowest β first), then good bubbles
 	// by ascending β. Over-filled bubbles are never donors.
 	type donor struct {
@@ -851,7 +897,7 @@ func (s *Summarizer) rebuild(cl Classification) (rebuilt, fromGood int, err erro
 		}
 		d := donors[di]
 		di++
-		if err := s.mergeAndSplit(d.idx, over); err != nil {
+		if err := s.mergeAndSplit(d.idx, over, msp); err != nil {
 			return rebuilt, fromGood, err
 		}
 		rebuilt += 2
@@ -868,11 +914,11 @@ func (s *Summarizer) rebuild(cl Classification) (rebuilt, fromGood int, err erro
 // donor is re-positioned at s1, over re-seeded at s2, and over's points are
 // distributed between the two (§4.2, Figure 6). Triangle-inequality pruning
 // is used throughout when enabled.
-func (s *Summarizer) mergeAndSplit(donor, over int) error {
-	if err := s.mergeAway(donor); err != nil {
+func (s *Summarizer) mergeAndSplit(donor, over int, msp *trace.Span) error {
+	if err := s.mergeAway(donor, msp); err != nil {
 		return err
 	}
-	return s.splitOver(donor, over)
+	return s.splitOver(donor, over, msp)
 }
 
 // mergeAway empties bubble donor, releasing each of its points to the
@@ -881,7 +927,7 @@ func (s *Summarizer) mergeAndSplit(donor, over int) error {
 // released points form an independent work list, phase 1 searches them
 // concurrently against the unchanged seeds, phase 2 reassigns serially in
 // member-ID order.
-func (s *Summarizer) mergeAway(donor int) error {
+func (s *Summarizer) mergeAway(donor int, msp *trace.Span) error {
 	ids, err := s.set.TakeMembers(donor)
 	if err != nil {
 		return err
@@ -889,6 +935,10 @@ func (s *Summarizer) mergeAway(donor int) error {
 	if len(ids) == 0 {
 		return nil
 	}
+	sp := msp.Start("core.merge").Bind(s.set.Counter())
+	defer sp.End()
+	sp.SetInt(trace.AttrBubble, int64(donor))
+	sp.SetInt(trace.AttrCount, int64(len(ids)))
 	recs := make([]dataset.Record, len(ids))
 	for k, id := range ids {
 		rec, err := s.db.Get(id)
@@ -926,11 +976,19 @@ func (s *Summarizer) mergeAway(donor int) error {
 // splitOver splits bubble over between two fresh seeds drawn from its
 // current points, re-positioning the (empty) bubble donor at the first
 // seed (the split phase of Figure 6).
-func (s *Summarizer) splitOver(donor, over int) error {
+func (s *Summarizer) splitOver(donor, over int, msp *trace.Span) error {
+	// The split span covers reseeding too: ResetBubble recomputes the
+	// donor/over rows of the seed-distance matrix, and those counted
+	// distances belong to the split operation.
+	sp := msp.Start("core.split").Bind(s.set.Counter())
+	defer sp.End()
+	sp.SetInt(trace.AttrBubble, int64(donor))
+	sp.SetInt(trace.AttrBubbleB, int64(over))
 	overIDs, err := s.set.TakeMembers(over)
 	if err != nil {
 		return err
 	}
+	sp.SetInt(trace.AttrCount, int64(len(overIDs)))
 	if len(overIDs) < 2 {
 		// Degenerate (points migrated away during merge): restore them.
 		for _, id := range overIDs {

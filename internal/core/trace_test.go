@@ -1,0 +1,184 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"incbubbles/internal/synth"
+	"incbubbles/internal/telemetry"
+	"incbubbles/internal/trace"
+	"incbubbles/internal/vecmath"
+)
+
+// runTraced replays a Complex scenario through a summarizer wired to a
+// sink and a tracer large enough to retain every span, returning the
+// summarizer, its instrumentation, and the tracer timestamp/metric value
+// taken right after construction (so callers can isolate the batch
+// phase from the build).
+func runTraced(t *testing.T, seed int64, workers, batches int, adaptive bool) (*Summarizer, *telemetry.Sink, *trace.Tracer, *vecmath.Counter, int64, uint64) {
+	t.Helper()
+	sc, err := synth.NewScenario(synth.Config{Kind: synth.Complex, InitialPoints: 1500, Batches: batches, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counter vecmath.Counter
+	sink := telemetry.NewSink()
+	tracer := trace.New(trace.Options{Capacity: 1 << 16})
+	s, err := New(sc.DB(), Options{
+		NumBubbles:            25,
+		UseTriangleInequality: true,
+		Seed:                  seed + 1,
+		Counter:               &counter,
+		Telemetry:             sink,
+		Tracer:                tracer,
+		Config:                Config{Workers: workers, AdaptiveCount: adaptive},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := tracer.Now()
+	c0 := sink.Counter(telemetry.MetricDistanceComputed).Value()
+	for i := 0; i < batches; i++ {
+		batch, err := sc.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ApplyBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := tracer.Dropped(); d != 0 {
+		t.Fatalf("trace ring dropped %d spans; grow the test capacity", d)
+	}
+	return s, sink, tracer, &counter, t0, c0
+}
+
+func sumAttr(recs []trace.Record, key string) uint64 {
+	var sum uint64
+	for _, r := range recs {
+		if v, ok := r.Attr(key); ok {
+			sum += uint64(v)
+		}
+	}
+	return sum
+}
+
+// TestTraceDistanceAttrsMatchTelemetry pins the leaf-binding invariant:
+// only leaf spans bind the shared distance counter, so the sum of the
+// dist_computed span attributes equals the telemetry distance.computed
+// advance exactly — per batch phase and for the whole run, build
+// included, at every worker count.
+func TestTraceDistanceAttrsMatchTelemetry(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		// AdaptiveCount exercises the core.grow leaf as well.
+		_, sink, tracer, counter, t0, c0 := runTraced(t, 61, w, 4, true)
+
+		// Batch phase only: spans started after construction vs the
+		// metric delta over the same window.
+		batchRecs := tracer.SnapshotSince(t0)
+		delta := sink.Counter(telemetry.MetricDistanceComputed).Value() - c0
+		if got := sumAttr(batchRecs, trace.AttrDistComputed); got != delta {
+			t.Fatalf("workers=%d: batch span dist_computed sum %d != telemetry delta %d", w, got, delta)
+		}
+
+		// Whole run including the build spans vs the raw counter (which
+		// the telemetry total equals — pinned by TestTelemetryMatchesCounter).
+		all := tracer.Snapshot()
+		if got := sumAttr(all, trace.AttrDistComputed); got != counter.Computed() {
+			t.Fatalf("workers=%d: total span dist_computed sum %d != counter %d", w, got, counter.Computed())
+		}
+		if got := sumAttr(all, trace.AttrDistPruned); got != counter.Pruned() {
+			t.Fatalf("workers=%d: total span dist_pruned sum %d != counter %d", w, got, counter.Pruned())
+		}
+	}
+}
+
+// TestTraceSpanNesting checks the recorded forest is well-formed: parents
+// exist, children fall inside their parent's window, and non-leaf spans
+// carry no distance attributes (they must never double-count).
+func TestTraceSpanNesting(t *testing.T) {
+	_, _, tracer, _, _, _ := runTraced(t, 62, 2, 3, true)
+	recs := tracer.Snapshot()
+	if len(recs) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	byID := make(map[uint64]trace.Record, len(recs))
+	for _, r := range recs {
+		byID[r.ID] = r
+	}
+	names := map[string]bool{}
+	hasChild := map[uint64]bool{}
+	for _, r := range recs {
+		names[r.Name] = true
+		if r.Parent == 0 {
+			continue
+		}
+		hasChild[r.Parent] = true
+		p, ok := byID[r.Parent]
+		if !ok {
+			t.Fatalf("span %s #%d: parent #%d not recorded", r.Name, r.ID, r.Parent)
+		}
+		if r.Start < p.Start || r.Start+r.Dur > p.Start+p.Dur {
+			t.Fatalf("span %s [%d,%d] escapes parent %s [%d,%d]",
+				r.Name, r.Start, r.Start+r.Dur, p.Name, p.Start, p.Start+p.Dur)
+		}
+	}
+	for _, want := range []string{"bubble.build", "core.batch", "core.search", "core.apply", "core.maintain"} {
+		if !names[want] {
+			t.Fatalf("expected a %q span; recorded names: %v", want, names)
+		}
+	}
+	for _, r := range recs {
+		if !hasChild[r.ID] {
+			continue
+		}
+		// The maintenance parent aggregates nothing itself; all distance
+		// work must sit on bound leaves.
+		if r.Name == "core.batch" || r.Name == "core.maintain" {
+			if _, ok := r.Attr(trace.AttrDistComputed); ok {
+				t.Fatalf("non-leaf span %s carries dist_computed", r.Name)
+			}
+		}
+	}
+}
+
+// TestTraceChromeExportFromRun round-trips a real run's spans through the
+// Chrome exporter and checks the output is a well-formed trace-event
+// document.
+func TestTraceChromeExportFromRun(t *testing.T) {
+	_, _, tracer, _, _, _ := runTraced(t, 63, 0, 2, false)
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, tracer.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("exported trace has no events")
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" || e.Name == "" || e.Dur < 0 {
+			t.Fatalf("malformed event %+v", e)
+		}
+	}
+}
+
+// TestTracerDoesNotPerturbResults: tracing is an observer; the summary
+// must be bit-identical with and without it.
+func TestTracerDoesNotPerturbResults(t *testing.T) {
+	bare := runScenario(t, 64, 2, 3)
+	s, _, _, counter, _, _ := runTraced(t, 64, 2, 3, false)
+	if got := fingerprint(t, s, counter); got != bare {
+		t.Fatalf("tracing changed the result\nbare:\n%s\ntraced:\n%s", bare, got)
+	}
+}

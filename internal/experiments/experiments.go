@@ -19,6 +19,7 @@ import (
 	"incbubbles/internal/dataset"
 	"incbubbles/internal/synth"
 	"incbubbles/internal/telemetry"
+	"incbubbles/internal/trace"
 )
 
 // Config scales the experiments. The defaults run in seconds; the paper's
@@ -54,6 +55,10 @@ type Config struct {
 	// every summarizer the experiments construct. One sink may be shared
 	// across all repetitions and datasets (its updates are atomic).
 	Telemetry *telemetry.Sink
+	// Tracer optionally records hierarchical spans from every summarizer
+	// the experiments construct. Spans from concurrent repetitions
+	// interleave in the ring but each batch's tree stays intact.
+	Tracer *trace.Tracer
 }
 
 // WithDefaults fills zero fields with the documented defaults.
@@ -138,6 +143,7 @@ func Table1Datasets() []DatasetSpec {
 func (c Config) instrument(opts core.Options) core.Options {
 	opts.Telemetry = c.Telemetry
 	opts.Audit = c.Audit
+	opts.Tracer = c.Tracer
 	return opts
 }
 

@@ -45,13 +45,13 @@ func Recovery(ctx context.Context, cfg Config, walDir string, checkpointEvery in
 		walDir = dir
 	}
 	sink := cfg.Telemetry
-	walOpts := wal.Options{CheckpointEvery: checkpointEvery, Telemetry: sink}
-	coreOpts := core.Options{
+	walOpts := wal.Options{CheckpointEvery: checkpointEvery, Telemetry: sink, Tracer: cfg.Tracer}
+	coreOpts := cfg.instrument(core.Options{
 		NumBubbles:            cfg.Bubbles,
 		UseTriangleInequality: true,
 		Seed:                  cfg.Seed + 1,
 		Config:                core.Config{Workers: cfg.Workers},
-	}
+	})
 
 	initial, batches, err := recoveryWorkload(cfg)
 	if err != nil {
@@ -83,7 +83,7 @@ func Recovery(ctx context.Context, cfg Config, walDir string, checkpointEvery in
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		applied, err := reapply(st.DB, batches[i])
+		applied, err := Reapply(st.DB, batches[i])
 		if err != nil {
 			return nil, fmt.Errorf("batch %d: %w", i, err)
 		}
@@ -148,7 +148,7 @@ func durableRun(ctx context.Context, db *dataset.DB, batches []dataset.Batch, co
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		applied, err := reapply(db, batches[i])
+		applied, err := Reapply(db, batches[i])
 		if err != nil {
 			return nil, fmt.Errorf("batch %d: %w", i, err)
 		}
@@ -166,10 +166,10 @@ func durableRun(ctx context.Context, db *dataset.DB, batches []dataset.Batch, co
 	return fp, l.Close()
 }
 
-// reapply executes one pre-recorded applied batch against db, restoring
+// Reapply executes one pre-recorded applied batch against db, restoring
 // insert IDs and re-resolving delete coordinates, without mutating the
 // recorded template.
-func reapply(db *dataset.DB, batch dataset.Batch) (dataset.Batch, error) {
+func Reapply(db *dataset.DB, batch dataset.Batch) (dataset.Batch, error) {
 	out := make(dataset.Batch, len(batch))
 	copy(out, batch)
 	for i := range out {

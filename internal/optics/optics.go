@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"incbubbles/internal/telemetry"
+	"incbubbles/internal/trace"
 )
 
 // Entry is one element of the OPTICS cluster ordering.
@@ -42,6 +43,9 @@ type Params struct {
 	// Sink optionally receives run accounting (run count, wall time).
 	// Instrumentation never changes the ordering.
 	Sink *telemetry.Sink
+	// Tracer optionally records an optics.run span (object count,
+	// ordering length). Like Sink it never changes the ordering.
+	Tracer *trace.Tracer
 }
 
 // Run computes the OPTICS cluster ordering of space. The algorithm is the
@@ -54,6 +58,9 @@ func Run(space Space, params Params) (*Result, error) {
 	if params.MinPts < 1 {
 		return nil, errors.New("optics: MinPts must be at least 1")
 	}
+	sp := params.Tracer.Start("optics.run")
+	defer sp.End()
+	sp.SetInt(trace.AttrCount, int64(space.Len()))
 	runStart := time.Now()
 	eps := params.Eps
 	if eps == 0 {

@@ -17,6 +17,7 @@ import (
 	"incbubbles/internal/kdtree"
 	"incbubbles/internal/parallel"
 	"incbubbles/internal/telemetry"
+	"incbubbles/internal/trace"
 	"incbubbles/internal/vecmath"
 )
 
@@ -138,14 +139,26 @@ func NewBubbleSpace(set *bubble.Set) (*BubbleSpace, error) {
 }
 
 // NewBubbleSpaceTelemetry is NewBubbleSpaceWorkers with build accounting
-// reported into sink (build count, object count, wall time). A nil sink is
-// valid; the space itself is unaffected by instrumentation.
-func NewBubbleSpaceTelemetry(set *bubble.Set, workers int, sink *telemetry.Sink) (*BubbleSpace, error) {
+// reported into sink (build count, object count, wall time) and an
+// optics.space span recorded on tracer. Both observers are optional and
+// nil-safe; the space itself is unaffected by instrumentation.
+func NewBubbleSpaceTelemetry(set *bubble.Set, workers int, sink *telemetry.Sink, tracer *trace.Tracer) (*BubbleSpace, error) {
+	sp := tracer.Start("optics.space")
+	defer sp.End()
 	start := time.Now()
 	s, err := NewBubbleSpaceWorkers(set, workers)
 	if err != nil {
 		return nil, err
 	}
+	// The build counts into the space's private counter (see
+	// NewBubbleSpaceWorkers), so the span attrs are set from its totals
+	// rather than by binding a shared counter: clustering-side distance
+	// work stays out of the summarizer's accounting but still shows up in
+	// the trace.
+	computed, pruned := s.ctr.Snapshot()
+	sp.SetInt(trace.AttrDistComputed, int64(computed))
+	sp.SetInt(trace.AttrDistPruned, int64(pruned))
+	sp.SetInt(trace.AttrCount, int64(s.Len()))
 	if sink != nil {
 		sink.Counter(telemetry.MetricOpticsSpaceBuilds).Inc()
 		sink.Counter(telemetry.MetricOpticsSpaceObjects).Add(uint64(s.Len()))

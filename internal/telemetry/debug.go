@@ -6,7 +6,10 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
+
+	"incbubbles/internal/trace"
 )
 
 // DebugMux returns the debug HTTP handler the -debug-addr CLI flags
@@ -19,7 +22,56 @@ import (
 // The handlers read the sink through its own synchronization, so the mux
 // can serve while the instrumented system runs.
 func DebugMux(sink *Sink) *http.ServeMux {
+	return DebugMuxTracer(sink, nil)
+}
+
+// maxCaptureSeconds bounds how long /debug/trace?sec=N will block: a
+// scrape must not pin a handler goroutine indefinitely.
+const maxCaptureSeconds = 60
+
+// DebugMuxTracer is DebugMux plus a span-capture endpoint backed by
+// tracer (nil serves empty traces):
+//
+//	/debug/trace             Chrome trace-event JSON of the retained spans
+//	/debug/trace?sec=N       block N seconds (cap 60), return spans started
+//	                         in that window; cancelling the request stops
+//	                         the wait early and returns what accumulated
+//	/debug/trace?format=flame  plain-text flame summary instead of JSON
+func DebugMuxTracer(sink *Sink, tracer *trace.Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		since := int64(0)
+		haveSince := false
+		if sec, err := strconv.Atoi(r.URL.Query().Get("sec")); err == nil && sec > 0 {
+			if sec > maxCaptureSeconds {
+				sec = maxCaptureSeconds
+			}
+			since = tracer.Now()
+			haveSince = true
+			select {
+			case <-time.After(time.Duration(sec) * time.Second):
+			case <-r.Context().Done():
+				// Return whatever accumulated before the client gave up.
+			}
+		}
+		var recs []trace.Record
+		if haveSince {
+			recs = tracer.SnapshotSince(since)
+		} else {
+			recs = tracer.Snapshot()
+		}
+		var err error
+		if r.URL.Query().Get("format") == "flame" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			err = trace.WriteFlame(w, recs)
+		} else {
+			w.Header().Set("Content-Type", "application/json")
+			err = trace.WriteChrome(w, recs)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		var snap Snapshot
@@ -60,11 +112,16 @@ func DebugMux(sink *Sink) *http.ServeMux {
 // a background goroutine and returns the server plus the bound address
 // (useful when addr requests port 0). Shut it down with srv.Close.
 func ServeDebug(addr string, sink *Sink) (*http.Server, string, error) {
+	return ServeDebugTracer(addr, sink, nil)
+}
+
+// ServeDebugTracer is ServeDebug with /debug/trace backed by tracer.
+func ServeDebugTracer(addr string, sink *Sink, tracer *trace.Tracer) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: DebugMux(sink)}
+	srv := &http.Server{Handler: DebugMuxTracer(sink, tracer)}
 	go func() {
 		// ErrServerClosed after Close/Shutdown is the expected exit.
 		_ = srv.Serve(ln)
@@ -83,7 +140,13 @@ const shutdownGrace = 5 * time.Second
 // channel closes once shutdown has completed, so a CLI can wait for it
 // before exiting.
 func ServeDebugUntil(ctx context.Context, addr string, sink *Sink) (srv *http.Server, bound string, done <-chan struct{}, err error) {
-	srv, bound, err = ServeDebug(addr, sink)
+	return ServeDebugUntilTracer(ctx, addr, sink, nil)
+}
+
+// ServeDebugUntilTracer is ServeDebugUntil with /debug/trace backed by
+// tracer.
+func ServeDebugUntilTracer(ctx context.Context, addr string, sink *Sink, tracer *trace.Tracer) (srv *http.Server, bound string, done <-chan struct{}, err error) {
+	srv, bound, err = ServeDebugTracer(addr, sink, tracer)
 	if err != nil {
 		return nil, "", nil, err
 	}

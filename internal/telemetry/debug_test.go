@@ -1,0 +1,266 @@
+package telemetry_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"incbubbles/internal/telemetry"
+	"incbubbles/internal/trace"
+)
+
+// get performs a request against the mux and returns status, content type
+// and body.
+func get(t *testing.T, mux http.Handler, target string) (int, string, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, target, nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.StatusCode, res.Header.Get("Content-Type"), body
+}
+
+func TestDebugTelemetryEndpoint(t *testing.T) {
+	sink := telemetry.NewSink()
+	sink.Counter("distance.computed").Add(42)
+	h := sink.Metrics.Histogram("batch_seconds", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	mux := telemetry.DebugMux(sink)
+
+	code, ctype, body := get(t, mux, "/debug/telemetry")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("status=%d content-type=%q", code, ctype)
+	}
+	snap, err := telemetry.ParseSnapshot(body)
+	if err != nil {
+		t.Fatalf("unparsable snapshot: %v\n%s", err, body)
+	}
+	if snap.Counters["distance.computed"] != 42 {
+		t.Fatalf("counter missing: %+v", snap.Counters)
+	}
+	hs, ok := snap.Histograms["batch_seconds"]
+	if !ok {
+		t.Fatalf("histogram missing: %+v", snap.Histograms)
+	}
+	// All observations sit in bucket (1,2]; every percentile must land there.
+	for name, p := range map[string]float64{"p50": hs.P50, "p95": hs.P95, "p99": hs.P99} {
+		if p <= 1 || p > 2 {
+			t.Errorf("%s = %g, want in (1,2]", name, p)
+		}
+	}
+}
+
+// TestDebugTelemetryNilSink: an empty snapshot, not a panic.
+func TestDebugTelemetryNilSink(t *testing.T) {
+	mux := telemetry.DebugMux(nil)
+	for _, target := range []string{"/debug/telemetry", "/debug/events", "/debug/trace"} {
+		if code, _, _ := get(t, mux, target); code != http.StatusOK {
+			t.Errorf("%s on nil sink: status %d", target, code)
+		}
+	}
+}
+
+// TestDebugEventsEndpoint drives the ring past a small configured capacity
+// and requires the endpoint to report both the retained window and the
+// exact drop count.
+func TestDebugEventsEndpoint(t *testing.T) {
+	sink := telemetry.NewSinkOptions(telemetry.SinkOptions{EventCapacity: 4})
+	if got := sink.Events.Capacity(); got != 4 {
+		t.Fatalf("configured capacity = %d, want 4", got)
+	}
+	for i := 0; i < 10; i++ {
+		sink.Emit(telemetry.Event{Kind: telemetry.KindBatchApply, Batch: i})
+	}
+	mux := telemetry.DebugMux(sink)
+	code, _, body := get(t, mux, "/debug/events")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var out struct {
+		Total   uint64            `json:"total"`
+		Dropped uint64            `json:"dropped"`
+		Events  []telemetry.Event `json:"events"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("%v\n%s", err, body)
+	}
+	if out.Total != 10 || out.Dropped != 6 || len(out.Events) != 4 {
+		t.Fatalf("total=%d dropped=%d retained=%d, want 10/6/4", out.Total, out.Dropped, len(out.Events))
+	}
+	if out.Events[0].Batch != 6 {
+		t.Fatalf("oldest retained batch = %d, want 6 (drops evict oldest)", out.Events[0].Batch)
+	}
+}
+
+func TestDebugTraceEndpoint(t *testing.T) {
+	tr := trace.New(trace.Options{Capacity: 64})
+	parent := tr.Start("core.batch")
+	child := parent.Start("core.search")
+	child.SetInt("dist_computed", 7)
+	child.End()
+	parent.End()
+
+	mux := telemetry.DebugMuxTracer(telemetry.NewSink(), tr)
+	code, ctype, body := get(t, mux, "/debug/trace")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("status=%d content-type=%q", code, ctype)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &chrome); err != nil {
+		t.Fatalf("invalid chrome trace: %v\n%s", err, body)
+	}
+	if len(chrome.TraceEvents) != 2 {
+		t.Fatalf("got %d trace events, want 2", len(chrome.TraceEvents))
+	}
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event phase %q, want X", ev.Ph)
+		}
+	}
+
+	code, ctype, body = get(t, mux, "/debug/trace?format=flame")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("flame: status=%d content-type=%q", code, ctype)
+	}
+	if !strings.Contains(string(body), "core.search") {
+		t.Fatalf("flame output missing span name:\n%s", body)
+	}
+}
+
+// TestDebugTraceCaptureWindow: ?sec=N returns only spans started inside
+// the window, and a cancelled request returns early with what accumulated.
+func TestDebugTraceCaptureWindow(t *testing.T) {
+	tr := trace.New(trace.Options{Capacity: 64})
+	tr.Start("before.window").End()
+	mux := telemetry.DebugMuxTracer(nil, tr)
+
+	done := make(chan []byte, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		req := httptest.NewRequest(http.MethodGet, "/debug/trace?sec=30", nil).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		done <- rec.Body.Bytes()
+	}()
+	// Give the handler a beat to take its since-stamp, emit a span inside
+	// the window, then cancel rather than sitting out the 30 seconds.
+	time.Sleep(50 * time.Millisecond)
+	tr.Start("inside.window").End()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case body := <-done:
+		s := string(body)
+		if !strings.Contains(s, "inside.window") {
+			t.Fatalf("window span missing:\n%s", s)
+		}
+		if strings.Contains(s, "before.window") {
+			t.Fatalf("pre-window span leaked into capture:\n%s", s)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled capture did not return")
+	}
+}
+
+// TestDebugConcurrentCaptures hammers every endpoint while spans, events
+// and metrics are recorded concurrently; the race detector is the oracle.
+func TestDebugConcurrentCaptures(t *testing.T) {
+	sink := telemetry.NewSinkOptions(telemetry.SinkOptions{EventCapacity: 32})
+	tr := trace.New(trace.Options{Capacity: 128})
+	mux := telemetry.DebugMuxTracer(sink, tr)
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sp := tr.Start("core.batch")
+			sp.Start("core.search").End()
+			sp.End()
+			sink.Emit(telemetry.Event{Kind: telemetry.KindBatchApply, Batch: i})
+			sink.Counter("distance.computed").Inc()
+		}
+	}()
+
+	var readers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			targets := []string{
+				"/debug/telemetry", "/debug/events",
+				"/debug/trace", "/debug/trace?format=flame", "/debug/trace?sec=1",
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+			defer cancel()
+			for _, target := range targets {
+				req := httptest.NewRequest(http.MethodGet, target, nil).WithContext(ctx)
+				rec := httptest.NewRecorder()
+				mux.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("%s: status %d", target, rec.Code)
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}
+
+// TestServeDebugUntilTracer boots the real server on a loopback port,
+// scrapes it over TCP, then cancels and waits for the drain.
+func TestServeDebugUntilTracer(t *testing.T) {
+	sink := telemetry.NewSink()
+	sink.Counter("distance.computed").Add(7)
+	tr := trace.New(trace.Options{Capacity: 16})
+	tr.Start("core.batch").End()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	_, bound, done, err := telemetry.ServeDebugUntilTracer(ctx, "127.0.0.1:0", sink, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Get("http://" + bound + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil || res.StatusCode != http.StatusOK {
+		t.Fatalf("scrape failed: status=%d err=%v", res.StatusCode, err)
+	}
+	if !strings.Contains(string(body), "core.batch") {
+		t.Fatalf("span missing from scrape:\n%s", body)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain after cancel")
+	}
+}

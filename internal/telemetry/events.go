@@ -174,6 +174,10 @@ func (l *EventLog) Events() []Event {
 	return out
 }
 
+// Capacity returns the retention bound the ring was built with. The
+// buffer never resizes, so no lock is needed.
+func (l *EventLog) Capacity() int { return len(l.buf) }
+
 // Total returns how many events were ever appended.
 func (l *EventLog) Total() uint64 {
 	l.mu.Lock()

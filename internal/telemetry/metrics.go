@@ -122,6 +122,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
 	return s
 }
 
@@ -198,12 +201,59 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 }
 
 // HistogramSnapshot is the serializable state of one histogram. Counts has
-// len(Bounds)+1 entries; the final entry is the overflow bucket.
+// len(Bounds)+1 entries; the final entry is the overflow bucket. P50/P95/P99
+// are bucket-interpolated estimates computed at snapshot time (see Quantile);
+// they are derived fields, carried so the debug endpoint and offline report
+// readers need no bucket math of their own.
 type HistogramSnapshot struct {
 	Bounds []float64 `json:"bounds,omitempty"`
 	Counts []uint64  `json:"counts"`
 	Count  uint64    `json:"count"`
 	Sum    float64   `json:"sum"`
+	P50    float64   `json:"p50,omitempty"`
+	P95    float64   `json:"p95,omitempty"`
+	P99    float64   `json:"p99,omitempty"`
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) from the bucket counts
+// with linear interpolation inside the target bucket, the standard
+// fixed-bucket estimator: the first bucket's lower edge is 0, and ranks
+// landing in the overflow bucket clamp to the largest bound (the histogram
+// records nothing above it). An empty histogram reports 0 — never NaN, so
+// snapshots always marshal.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 || len(s.Counts) != len(s.Bounds)+1 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i == len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		if upper < lower {
+			// All-negative bounds: the zero lower edge is above the
+			// bucket; the bound itself is the only defensible estimate.
+			return upper
+		}
+		return lower + (upper-lower)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // Snapshot is a point-in-time copy of a registry, in the JSON shape the

@@ -1,0 +1,89 @@
+package telemetry_test
+
+import (
+	"math"
+	"testing"
+
+	"incbubbles/internal/telemetry"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestQuantileUniform checks the interpolated estimator against an exact
+// uniform distribution: values 1..100 over decade buckets land each
+// decile on its bucket edge.
+func TestQuantileUniform(t *testing.T) {
+	r := telemetry.NewRegistry()
+	bounds := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	h := r.Histogram("u", bounds)
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 50}, {0.95, 95}, {0.99, 99}, {0.10, 10}, {1, 100}, {0, 0},
+	} {
+		if got := s.Quantile(tc.q); !almostEq(got, tc.want) {
+			t.Errorf("q=%.2f: got %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if !almostEq(s.P50, 50) || !almostEq(s.P95, 95) || !almostEq(s.P99, 99) {
+		t.Errorf("snapshot percentiles = %g/%g/%g", s.P50, s.P95, s.P99)
+	}
+}
+
+// TestQuantileEdgeCases: empty histograms report 0 (never NaN), and ranks
+// landing in the overflow bucket clamp to the largest bound.
+func TestQuantileEdgeCases(t *testing.T) {
+	r := telemetry.NewRegistry()
+
+	empty := r.Histogram("empty", []float64{1, 2}).Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty q=%g: got %g, want 0", q, got)
+		}
+	}
+	if empty.P50 != 0 || empty.P95 != 0 || empty.P99 != 0 {
+		t.Errorf("empty snapshot percentiles nonzero: %+v", empty)
+	}
+
+	over := r.Histogram("over", []float64{1, 2})
+	for i := 0; i < 10; i++ {
+		over.Observe(1000) // everything overflows
+	}
+	s := over.Snapshot()
+	if !almostEq(s.P50, 2) || !almostEq(s.P99, 2) {
+		t.Errorf("overflow percentiles = %g/%g, want clamp to 2", s.P50, s.P99)
+	}
+
+	// First bucket interpolates from a zero lower edge.
+	low := r.Histogram("low", []float64{4, 8})
+	for i := 0; i < 4; i++ {
+		low.Observe(1)
+	}
+	if got := low.Snapshot().Quantile(0.5); !almostEq(got, 2) {
+		t.Errorf("first-bucket median = %g, want 2", got)
+	}
+
+	// NaN never escapes even for degenerate parsed snapshots.
+	bad := telemetry.HistogramSnapshot{Counts: []uint64{3}, Count: 3}
+	if got := bad.Quantile(0.5); got != 0 {
+		t.Errorf("boundless snapshot quantile = %g, want 0", got)
+	}
+}
+
+// TestQuantileSkewed pins the interpolation inside an interior bucket.
+func TestQuantileSkewed(t *testing.T) {
+	r := telemetry.NewRegistry()
+	h := r.Histogram("skew", []float64{1, 2, 4})
+	h.Observe(0.5) // bucket (0,1]
+	h.Observe(3)   // bucket (2,4]
+	h.Observe(3)
+	h.Observe(3)
+	s := h.Snapshot()
+	// rank(0.5)=2: first bucket holds cum=1, target bucket (2,4] holds
+	// counts 3 with prev=1 → 2 + 2*(2-1)/3.
+	if want := 2 + 2.0/3; !almostEq(s.P50, want) {
+		t.Errorf("P50 = %g, want %g", s.P50, want)
+	}
+}

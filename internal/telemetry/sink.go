@@ -75,7 +75,21 @@ type Sink struct {
 // NewSink returns a sink with a fresh registry and a default-capacity
 // event log.
 func NewSink() *Sink {
-	return &Sink{Metrics: NewRegistry(), Events: NewEventLog(0)}
+	return NewSinkOptions(SinkOptions{})
+}
+
+// SinkOptions sizes a sink's bounded components.
+type SinkOptions struct {
+	// EventCapacity bounds the event ring: once full, appends evict the
+	// oldest event and EventLog.Dropped counts the eviction. ≤0 selects
+	// DefaultEventCapacity.
+	EventCapacity int
+}
+
+// NewSinkOptions returns a sink with a fresh registry and an event log
+// sized per opts.
+func NewSinkOptions(opts SinkOptions) *Sink {
+	return &Sink{Metrics: NewRegistry(), Events: NewEventLog(opts.EventCapacity)}
 }
 
 // Emit appends e to the event log. Safe on a nil sink.

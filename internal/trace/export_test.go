@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildSample records a deterministic two-batch trace:
+//
+//	batch(size=5) ─ search(dist=7) ─ apply
+//	batch         ─ search
+func buildSample(t *testing.T) []Record {
+	t.Helper()
+	tr := New(Options{Capacity: 32, Clock: fakeClock(100)})
+	b1 := tr.Start("core.batch")
+	b1.SetInt(AttrBatchSize, 5)
+	s1 := b1.Start("core.search")
+	s1.SetInt(AttrDistComputed, 7)
+	s1.End()
+	a1 := b1.Start("core.apply")
+	a1.End()
+	b1.End()
+	b2 := tr.Start("core.batch")
+	s2 := b2.Start("core.search")
+	s2.End()
+	b2.End()
+	return tr.Snapshot()
+}
+
+// TestChromeSchema validates the trace-event JSON against the schema
+// Perfetto requires of "X" complete events: a traceEvents array whose
+// entries carry name/cat/ph/ts/dur/pid/tid, with ph == "X",
+// non-negative microsecond timestamps, and tree-consistent nesting
+// (every child interval inside its parent's).
+func TestChromeSchema(t *testing.T) {
+	recs := buildSample(t)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict decode: unknown structure or wrong field types fail.
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	var got ChromeTrace
+	if err := dec.Decode(&got); err != nil {
+		t.Fatalf("trace JSON does not round-trip the schema: %v", err)
+	}
+	if got.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", got.DisplayTimeUnit)
+	}
+	if len(got.TraceEvents) != len(recs) {
+		t.Fatalf("got %d events, want %d", len(got.TraceEvents), len(recs))
+	}
+	for i, ev := range got.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %d: ph = %q, want complete event \"X\"", i, ev.Ph)
+		}
+		if ev.Name == "" || ev.Cat == "" {
+			t.Fatalf("event %d: empty name/cat: %+v", i, ev)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Fatalf("event %d: negative ts/dur: %+v", i, ev)
+		}
+		if ev.Pid != 1 || ev.Tid != 1 {
+			t.Fatalf("event %d: pid/tid = %d/%d, want 1/1", i, ev.Pid, ev.Tid)
+		}
+		if i > 0 && ev.Ts < got.TraceEvents[i-1].Ts {
+			t.Fatalf("events not sorted by ts at %d", i)
+		}
+	}
+	// The batch event carries its attributes.
+	var batches, withSize int
+	for _, ev := range got.TraceEvents {
+		if ev.Name == "core.batch" {
+			batches++
+			if ev.Args[AttrBatchSize] == 5 {
+				withSize++
+			}
+		}
+	}
+	if batches != 2 || withSize != 1 {
+		t.Fatalf("batch events = %d (with batch_size: %d), want 2/1", batches, withSize)
+	}
+	// Raw-JSON spot check: args must be omitted when empty, present otherwise.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["traceEvents"]; !ok {
+		t.Fatal("missing traceEvents key")
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var got ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if got.TraceEvents == nil {
+		t.Fatal("traceEvents must be [] rather than null")
+	}
+}
+
+func TestChromeMicrosecondConversion(t *testing.T) {
+	recs := []Record{{ID: 1, Name: "x", Start: 2500, Dur: 1500}}
+	evs := ChromeEvents(recs)
+	if evs[0].Ts != 2.5 || evs[0].Dur != 1.5 {
+		t.Fatalf("ts/dur = %v/%v µs, want 2.5/1.5", evs[0].Ts, evs[0].Dur)
+	}
+}
+
+func TestFlameAggregation(t *testing.T) {
+	recs := buildSample(t)
+	rows := Flame(recs)
+	byPath := map[string]FlameRow{}
+	for _, r := range rows {
+		byPath[r.Path] = r
+	}
+	if r := byPath["core.batch"]; r.Spans != 2 || r.Depth != 0 {
+		t.Fatalf("core.batch row = %+v", r)
+	}
+	if r := byPath["core.batch;core.search"]; r.Spans != 2 || r.Depth != 1 || r.DistComputed != 7 {
+		t.Fatalf("search row = %+v", r)
+	}
+	if r := byPath["core.batch;core.apply"]; r.Spans != 1 {
+		t.Fatalf("apply row = %+v", r)
+	}
+	// Sorted by path.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Path < rows[i-1].Path {
+			t.Fatal("flame rows not sorted by path")
+		}
+	}
+}
+
+func TestFlameOrphanRootsAtSelf(t *testing.T) {
+	// Parent 99 is not in the snapshot (evicted): the span roots at its
+	// own name instead of being lost.
+	recs := []Record{{ID: 5, Parent: 99, Name: "core.fsync", Dur: 10}}
+	rows := Flame(recs)
+	if len(rows) != 1 || rows[0].Path != "core.fsync" || rows[0].Depth != 0 {
+		t.Fatalf("orphan row = %+v", rows)
+	}
+}
+
+func TestWriteFlameRendering(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFlame(&buf, buildSample(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"span path", "core.batch", "core.search", "dist.computed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("flame output missing %q:\n%s", want, out)
+		}
+	}
+	// Children indent under parents.
+	if !strings.Contains(out, "  core.search") {
+		t.Fatalf("child span not indented:\n%s", out)
+	}
+}

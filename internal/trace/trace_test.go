@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"context"
+	"testing"
+
+	"incbubbles/internal/vecmath"
+)
+
+// fakeClock returns an injectable deterministic clock advancing by
+// step on every reading.
+func fakeClock(step int64) func() int64 {
+	var now int64
+	return func() int64 {
+		now += step
+		return now
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("root")
+	if sp != nil {
+		t.Fatalf("nil tracer Start = %v, want nil", sp)
+	}
+	child := sp.Start("child")
+	if child != nil {
+		t.Fatalf("nil span Start = %v, want nil", child)
+	}
+	sp.Bind(&vecmath.Counter{})
+	sp.SetInt("k", 1)
+	sp.End()
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("nil tracer Snapshot = %v, want nil", got)
+	}
+	if tr.Now() != 0 || tr.Dropped() != 0 || tr.Capacity() != 0 || tr.Len() != 0 {
+		t.Fatal("nil tracer accessors must return zero values")
+	}
+	tr.Reset() // must not panic
+}
+
+func TestSpanRecording(t *testing.T) {
+	tr := New(Options{Capacity: 16, Clock: fakeClock(10)})
+	root := tr.Start("batch") // start=10
+	root.SetInt(AttrBatchSize, 42)
+	child := root.Start("search") // start=20
+	child.End()                   // end=30, dur=10
+	root.End()                    // end=40, dur=30
+
+	recs := tr.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	// Records commit at End: child first.
+	if recs[0].Name != "search" || recs[1].Name != "batch" {
+		t.Fatalf("record order = %q,%q", recs[0].Name, recs[1].Name)
+	}
+	if recs[0].Parent != recs[1].ID {
+		t.Fatalf("child.Parent = %d, want %d", recs[0].Parent, recs[1].ID)
+	}
+	if recs[1].Parent != 0 {
+		t.Fatalf("root.Parent = %d, want 0", recs[1].Parent)
+	}
+	if recs[0].Start != 20 || recs[0].Dur != 10 {
+		t.Fatalf("child start/dur = %d/%d, want 20/10", recs[0].Start, recs[0].Dur)
+	}
+	if recs[1].Start != 10 || recs[1].Dur != 30 {
+		t.Fatalf("root start/dur = %d/%d, want 10/30", recs[1].Start, recs[1].Dur)
+	}
+	if v, ok := recs[1].Attr(AttrBatchSize); !ok || v != 42 {
+		t.Fatalf("batch_size attr = %d,%v", v, ok)
+	}
+	// Child nests inside the root interval.
+	if recs[0].Start < recs[1].Start || recs[0].Start+recs[0].Dur > recs[1].Start+recs[1].Dur {
+		t.Fatal("child span not contained in parent interval")
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := New(Options{Capacity: 4, Clock: fakeClock(1)})
+	sp := tr.Start("x")
+	sp.End()
+	sp.End()
+	sp.End()
+	if n := tr.Len(); n != 1 {
+		t.Fatalf("Len = %d after repeated End, want 1", n)
+	}
+}
+
+func TestBindRecordsCounterDeltas(t *testing.T) {
+	tr := New(Options{Capacity: 4, Clock: fakeClock(1)})
+	var c vecmath.Counter
+	c.Distance(vecmath.Point{0, 0}, vecmath.Point{1, 1}) // pre-existing work
+	sp := tr.Start("search").Bind(&c)
+	c.Distance(vecmath.Point{0, 0}, vecmath.Point{1, 1})
+	c.Distance(vecmath.Point{0, 0}, vecmath.Point{2, 2})
+	c.PruneN(3)
+	sp.End()
+	rec := tr.Snapshot()[0]
+	if v, _ := rec.Attr(AttrDistComputed); v != 2 {
+		t.Fatalf("dist_computed = %d, want 2 (delta, not absolute)", v)
+	}
+	if v, _ := rec.Attr(AttrDistPruned); v != 3 {
+		t.Fatalf("dist_pruned = %d, want 3", v)
+	}
+}
+
+func TestRingOverflowCountsDrops(t *testing.T) {
+	tr := New(Options{Capacity: 4, Clock: fakeClock(1)})
+	for i := 0; i < 10; i++ {
+		tr.Start("s").End()
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("Len = %d, want capacity 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	// Survivors are the newest records, oldest first.
+	recs := tr.Snapshot()
+	for i := 1; i < len(recs); i++ {
+		if recs[i].ID <= recs[i-1].ID {
+			t.Fatalf("snapshot not oldest-first: IDs %d then %d", recs[i-1].ID, recs[i].ID)
+		}
+	}
+	if recs[len(recs)-1].ID != 10 {
+		t.Fatalf("newest surviving ID = %d, want 10", recs[len(recs)-1].ID)
+	}
+}
+
+func TestSnapshotSince(t *testing.T) {
+	tr := New(Options{Capacity: 16, Clock: fakeClock(10)})
+	tr.Start("old").End()
+	t0 := tr.Now()
+	tr.Start("new").End()
+	recs := tr.SnapshotSince(t0)
+	if len(recs) != 1 || recs[0].Name != "new" {
+		t.Fatalf("SnapshotSince = %+v, want only the post-t0 span", recs)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New(Options{Capacity: 2, Clock: fakeClock(1)})
+	for i := 0; i < 5; i++ {
+		tr.Start("s").End()
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("after Reset: len=%d dropped=%d, want 0/0", tr.Len(), tr.Dropped())
+	}
+	tr.Start("after").End()
+	if recs := tr.Snapshot(); len(recs) != 1 || recs[0].Name != "after" {
+		t.Fatalf("post-Reset snapshot = %+v", recs)
+	}
+}
+
+func TestDefaultClockMonotonic(t *testing.T) {
+	tr := New(Options{Capacity: 4})
+	a := tr.Now()
+	b := tr.Now()
+	if b < a {
+		t.Fatalf("default clock went backwards: %d then %d", a, b)
+	}
+	if tr.Capacity() != 4 {
+		t.Fatalf("Capacity = %d, want 4", tr.Capacity())
+	}
+	if New(Options{}).Capacity() != DefaultCapacity {
+		t.Fatalf("zero Options capacity != DefaultCapacity")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if sp := FromContext(ctx); sp != nil {
+		t.Fatalf("FromContext(empty) = %v", sp)
+	}
+	if got := ContextWith(ctx, nil); got != ctx {
+		t.Fatal("ContextWith(nil span) must return ctx unchanged")
+	}
+	tr := New(Options{Capacity: 4, Clock: fakeClock(1)})
+	sp := tr.Start("root")
+	ctx2 := ContextWith(ctx, sp)
+	if got := FromContext(ctx2); got != sp {
+		t.Fatalf("FromContext = %v, want the stored span", got)
+	}
+	sp.End()
+}
+
+func TestConcurrentSpansAndSnapshots(t *testing.T) {
+	tr := New(Options{Capacity: 64})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				sp := tr.Start("g")
+				sp.SetInt(AttrCount, int64(i))
+				sp.End()
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		tr.Snapshot()
+		tr.Len()
+		tr.Dropped()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if tr.Len() != 64 {
+		t.Fatalf("Len = %d, want full ring", tr.Len())
+	}
+	if tr.Dropped() != 4*200-64 {
+		t.Fatalf("Dropped = %d, want %d", tr.Dropped(), 4*200-64)
+	}
+}
+
+func TestAttrMapKeepsLastValue(t *testing.T) {
+	tr := New(Options{Capacity: 4, Clock: fakeClock(1)})
+	sp := tr.Start("x")
+	sp.SetInt("k", 1)
+	sp.SetInt("k", 2)
+	sp.End()
+	rec := tr.Snapshot()[0]
+	if m := rec.AttrMap(); m["k"] != 2 {
+		t.Fatalf("AttrMap k = %d, want last write 2", m["k"])
+	}
+	if v, ok := rec.Attr("k"); !ok || v != 2 {
+		t.Fatalf("Attr k = %d,%v", v, ok)
+	}
+	if _, ok := rec.Attr("missing"); ok {
+		t.Fatal("Attr(missing) reported ok")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"incbubbles/internal/dataset"
 	"incbubbles/internal/failpoint"
 	"incbubbles/internal/telemetry"
+	"incbubbles/internal/trace"
 )
 
 // Options configures the durability layer.
@@ -40,6 +41,12 @@ type Options struct {
 	// Failpoints threads a fault-injection registry through every I/O
 	// boundary of the layer. Optional; nil evaluates points as disarmed.
 	Failpoints *failpoint.Registry
+	// Tracer records wal.append / wal.fsync / wal.checkpoint spans and
+	// the recovery ladder (internal/trace). When the summarizer carries
+	// the same tracer its batch span rides the context into BeforeApply /
+	// AfterApply, so the WAL spans nest under the batch that caused them.
+	// Optional; nil records nothing.
+	Tracer *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -86,12 +93,13 @@ var ErrPoisoned = errors.New("wal: log poisoned by earlier failure")
 // takes automatic checkpoints. Log is not safe for concurrent use,
 // matching the summarizer's sequential batch model.
 type Log struct {
-	dir  string
-	opts Options
-	dim  int
-	sink *telemetry.Sink
-	fail *failpoint.Registry
-	m    walMetrics
+	dir    string
+	opts   Options
+	dim    int
+	sink   *telemetry.Sink
+	fail   *failpoint.Registry
+	tracer *trace.Tracer
+	m      walMetrics
 
 	f           *os.File
 	segSize     int64
@@ -135,13 +143,24 @@ func newLog(dim int, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: creating %s: %w", opts.Dir, err)
 	}
 	return &Log{
-		dir:  opts.Dir,
-		opts: opts,
-		dim:  dim,
-		sink: opts.Telemetry,
-		fail: opts.Failpoints,
-		m:    newWALMetrics(opts.Telemetry),
+		dir:    opts.Dir,
+		opts:   opts,
+		dim:    dim,
+		sink:   opts.Telemetry,
+		fail:   opts.Failpoints,
+		tracer: opts.Tracer,
+		m:      newWALMetrics(opts.Telemetry),
 	}, nil
+}
+
+// startSpan begins a WAL span: as a child of the batch span riding ctx
+// when the summarizer is traced, else as a root span on the log's own
+// tracer (standalone checkpoints, recovery). Nil-safe on both paths.
+func (l *Log) startSpan(ctx context.Context, name string) *trace.Span {
+	if parent := trace.FromContext(ctx); parent != nil {
+		return parent.Start(name)
+	}
+	return l.tracer.Start(name)
 }
 
 // Dir returns the directory the log persists into.
@@ -181,7 +200,7 @@ func (l *Log) emit(e telemetry.Event) {
 // left bytes behind — a torn write, a short write that could not be
 // rolled back, a failed fsync — poisons the log: the tail state on disk
 // is unknown, so further appends are refused and the caller must Resume.
-func (l *Log) BeforeApply(_ context.Context, ordinal uint64, batch dataset.Batch) error {
+func (l *Log) BeforeApply(ctx context.Context, ordinal uint64, batch dataset.Batch) error {
 	if l.poisoned != nil {
 		return l.poisoned
 	}
@@ -196,11 +215,15 @@ func (l *Log) BeforeApply(_ context.Context, ordinal uint64, batch dataset.Batch
 		l.m.replayed.Inc()
 		return nil
 	}
+	sp := l.startSpan(ctx, "wal.append")
+	defer sp.End()
+	sp.SetInt(trace.AttrOrdinal, int64(ordinal))
 	payload, err := encodePayload(l.dim, ordinal, batch)
 	if err != nil {
 		return err
 	}
 	frame := frameRecord(payload)
+	sp.SetInt(trace.AttrBytes, int64(len(frame)))
 	keep, injected := l.fail.HitWrite(FailAppendWrite, len(frame))
 	var wrote int
 	var werr error
@@ -228,7 +251,11 @@ func (l *Log) BeforeApply(_ context.Context, ordinal uint64, batch dataset.Batch
 		return l.poison(err)
 	}
 	if !l.opts.NoSync {
-		if err := l.f.Sync(); err != nil {
+		fsp := sp.Start("wal.fsync")
+		fsp.SetInt(trace.AttrBytes, int64(len(frame)))
+		err := l.f.Sync()
+		fsp.End()
+		if err != nil {
 			return l.poison(fmt.Errorf("wal: syncing batch %d: %w", ordinal, err))
 		}
 		l.m.syncs.Inc()
@@ -259,7 +286,7 @@ func (l *Log) rollbackAppend() error {
 // mid-mutation it poisons the log — the batch is durable but the
 // in-memory summary is in an unknown intermediate state, so the log (the
 // durable truth) stops advancing until the caller resumes from disk.
-func (l *Log) AfterApply(_ context.Context, s *core.Summarizer, applyErr error) error {
+func (l *Log) AfterApply(ctx context.Context, s *core.Summarizer, applyErr error) error {
 	if applyErr != nil {
 		if !l.replaying {
 			_ = l.poison(fmt.Errorf("apply failed after batch was logged: %w", applyErr))
@@ -271,7 +298,7 @@ func (l *Log) AfterApply(_ context.Context, s *core.Summarizer, applyErr error) 
 	}
 	l.sinceCkpt++
 	if l.sinceCkpt >= l.opts.CheckpointEvery {
-		return l.Checkpoint(s)
+		return l.checkpoint(ctx, s)
 	}
 	return nil
 }
@@ -283,6 +310,12 @@ func (l *Log) AfterApply(_ context.Context, s *core.Summarizer, applyErr error) 
 // reconstruct the state — so the caller may keep applying batches and
 // retry at the next cadence point.
 func (l *Log) Checkpoint(s *core.Summarizer) error {
+	return l.checkpoint(context.Background(), s)
+}
+
+// checkpoint is Checkpoint with the caller's context, so a checkpoint
+// taken by AfterApply's cadence nests its span under the batch span.
+func (l *Log) checkpoint(ctx context.Context, s *core.Summarizer) error {
 	if l.poisoned != nil {
 		return l.poisoned
 	}
@@ -292,12 +325,16 @@ func (l *Log) Checkpoint(s *core.Summarizer) error {
 	if uint64(s.Batches()) != l.nextOrdinal {
 		return fmt.Errorf("wal: summarizer at batch %d but log at %d", s.Batches(), l.nextOrdinal)
 	}
+	sp := l.startSpan(ctx, "wal.checkpoint")
+	defer sp.End()
 	data, err := encodeCheckpoint(s)
 	if err != nil {
 		return err
 	}
 	ordinal := uint64(s.Batches())
-	if err := l.writeCheckpointFile(ordinal, data); err != nil {
+	sp.SetInt(trace.AttrOrdinal, int64(ordinal))
+	sp.SetInt(trace.AttrBytes, int64(len(data)))
+	if err := l.writeCheckpointFile(sp, ordinal, data); err != nil {
 		return fmt.Errorf("wal: checkpoint %d: %w", ordinal, err)
 	}
 	l.sinceCkpt = 0
@@ -313,7 +350,7 @@ func (l *Log) Checkpoint(s *core.Summarizer) error {
 // writeCheckpointFile performs the write-temp → fsync → rename → fsync-dir
 // dance. A leftover temp file from an interrupted attempt is invisible to
 // recovery and overwritten by the next attempt.
-func (l *Log) writeCheckpointFile(ordinal uint64, data []byte) error {
+func (l *Log) writeCheckpointFile(sp *trace.Span, ordinal uint64, data []byte) error {
 	final := filepath.Join(l.dir, ckptName(ordinal))
 	tmp := final + tmpSuffix
 	keep, injected := l.fail.HitWrite(FailCkptWrite, len(data))
@@ -336,9 +373,13 @@ func (l *Log) writeCheckpointFile(ordinal uint64, data []byte) error {
 		_ = f.Close()
 		return err
 	}
-	if err := f.Sync(); err != nil {
+	fsp := sp.Start("wal.fsync")
+	fsp.SetInt(trace.AttrBytes, int64(len(data)))
+	serr := f.Sync()
+	fsp.End()
+	if serr != nil {
 		_ = f.Close()
-		return err
+		return serr
 	}
 	if err := f.Close(); err != nil {
 		return err

@@ -11,6 +11,7 @@ import (
 	"incbubbles/internal/core"
 	"incbubbles/internal/dataset"
 	"incbubbles/internal/telemetry"
+	"incbubbles/internal/trace"
 )
 
 // ErrNoState reports a Resume against a directory with no checkpoint to
@@ -82,6 +83,8 @@ func Resume(coreOpts core.Options, walOpts Options) (*RecoveredState, error) {
 	walOpts = walOpts.withDefaults()
 	sink := walOpts.Telemetry
 	m := newWALMetrics(sink)
+	rsp := walOpts.Tracer.Start("wal.recover")
+	defer rsp.End()
 	ckpts, segs, err := listState(walOpts.Dir)
 	if err != nil {
 		return nil, err
@@ -89,7 +92,10 @@ func Resume(coreOpts core.Options, walOpts Options) (*RecoveredState, error) {
 	if len(ckpts) == 0 {
 		return nil, fmt.Errorf("%w: no checkpoint in %s", ErrNoState, walOpts.Dir)
 	}
+	ssp := rsp.Start("wal.scan")
+	ssp.SetInt(trace.AttrCount, int64(len(segs)))
 	records, err := scanAndRepair(segs, sink, m)
+	ssp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +103,7 @@ func Resume(coreOpts core.Options, walOpts Options) (*RecoveredState, error) {
 	// trusted, fall back.
 	var fails []error
 	for i := len(ckpts) - 1; i >= 0; i-- {
-		st, err := tryRecover(ckpts[i], records, coreOpts, walOpts)
+		st, err := tryRecover(ckpts[i], records, coreOpts, walOpts, rsp)
 		// A record that decodes but cannot be re-applied is WAL damage,
 		// not checkpoint damage: every older checkpoint would replay
 		// through the same record and the whole ladder would drown.
@@ -110,7 +116,7 @@ func Resume(coreOpts core.Options, walOpts Options) (*RecoveredState, error) {
 				err = errors.Join(err, rerr)
 				break
 			}
-			st, err = tryRecover(ckpts[i], records, coreOpts, walOpts)
+			st, err = tryRecover(ckpts[i], records, coreOpts, walOpts, rsp)
 		}
 		if err == nil {
 			return st, nil
@@ -206,7 +212,10 @@ func scanAndRepair(segs []fileRef, sink *telemetry.Sink, m walMetrics) (map[uint
 // tryRecover attempts recovery from one checkpoint file: decode, rebuild
 // the database and summarizer, replay the consecutive WAL suffix, then
 // audit the result. Any failure rejects the checkpoint.
-func tryRecover(ck fileRef, records map[uint64]record, coreOpts core.Options, walOpts Options) (*RecoveredState, error) {
+func tryRecover(ck fileRef, records map[uint64]record, coreOpts core.Options, walOpts Options, rsp *trace.Span) (*RecoveredState, error) {
+	csp := rsp.Start("wal.try_checkpoint")
+	defer csp.End()
+	csp.SetInt(trace.AttrOrdinal, int64(ck.ordinal))
 	data, err := os.ReadFile(ck.path)
 	if err != nil {
 		return nil, err
@@ -236,7 +245,10 @@ func tryRecover(ck fileRef, records map[uint64]record, coreOpts core.Options, wa
 	if err != nil {
 		return nil, err
 	}
+	psp := csp.Start("wal.replay")
 	replayed, err := replay(s, db, cp, records)
+	psp.SetInt(trace.AttrCount, int64(replayed))
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
