@@ -44,10 +44,12 @@ microbench:
 
 # Fuzz smoke: ten seconds per target (Go allows one -fuzz pattern per
 # invocation, hence one line each). Covers the bubble codec, the
-# codec+auditor composition, the CSV reader, and the telemetry auditor,
-# snapshot parser and event codec (DESIGN.md §8).
+# codec+auditor composition, the CSV reader, the telemetry auditor,
+# snapshot parser and event codec (DESIGN.md §8), and the neighbor-index
+# differential machine (DESIGN.md §12).
 FUZZTIME ?= 10s
 audit: vet race
+	$(GO) test ./internal/neighbor -run='^$$' -fuzz='^FuzzNeighborIndex$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/bubble -run='^$$' -fuzz='^FuzzLoad$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/bubble -run='^$$' -fuzz='^FuzzLoadAudit$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadCSV$$' -fuzztime=$(FUZZTIME)

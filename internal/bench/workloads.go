@@ -8,6 +8,7 @@ import (
 	"incbubbles/internal/dataset"
 	"incbubbles/internal/experiments"
 	"incbubbles/internal/extract"
+	"incbubbles/internal/neighbor"
 	"incbubbles/internal/optics"
 	"incbubbles/internal/stats"
 	"incbubbles/internal/synth"
@@ -31,9 +32,19 @@ func workloads() []workload {
 		// maintain: the §4 complex dynamics — appearing and disappearing
 		// clusters drive classify/merge/split maintenance rounds.
 		{name: "maintain", setup: summarizerSetup(synth.Complex, false)},
+		// maintain_fastpair: the same workload under the lazy FastPair
+		// neighbor index. Deterministic summaries are identical to
+		// maintain's by construction; only the distance accounting may
+		// differ, and benchdiff gates it to never exceed the dense twin.
+		{name: "maintain_fastpair", setup: summarizerSetupKind(synth.Complex, false, neighbor.KindFastPair, summarizerScale)},
 		// mergesplit: extreme-appear dynamics at a high update fraction —
 		// a merge/split storm.
 		{name: "mergesplit", setup: summarizerSetup(synth.ExtremeAppear, true)},
+		// mergesplit_bigk / _fastpair: the same storm at large k, where
+		// dense row refreshes are O(k) per reseed and the lazy index's
+		// deferred invalidation pays off — the paper-scale k probe.
+		{name: "mergesplit_bigk", setup: summarizerSetupKind(synth.ExtremeAppear, true, neighbor.KindDense, bigkScale)},
+		{name: "mergesplit_bigk_fastpair", setup: summarizerSetupKind(synth.ExtremeAppear, true, neighbor.KindFastPair, bigkScale)},
 		// wal_append: the durable batch path — WAL framing, append,
 		// fsync, cadence checkpoints, clean close.
 		{name: "wal_append", setup: walAppendSetup},
@@ -64,6 +75,15 @@ func walScale(p Preset) scale {
 		return scale{points: 2500, bubbles: 24, batches: 8, frac: 0.10}
 	}
 	return scale{points: 800, bubbles: 12, batches: 4, frac: 0.10}
+}
+
+// bigkScale sizes the k-scaling probes: few points per bubble, so seed
+// maintenance (not assignment) dominates the distance budget.
+func bigkScale(p Preset) scale {
+	if p == PresetFull {
+		return scale{points: 12288, bubbles: 4096, batches: 2, frac: 0.10}
+	}
+	return scale{points: 3072, bubbles: 256, batches: 2, frac: 0.10}
 }
 
 func opticsScale(p Preset) scale {
@@ -97,12 +117,13 @@ func workloadBatches(kind synth.Kind, sz scale, seed int64) (*dataset.DB, []data
 	return initial, batches, nil
 }
 
-func coreOptions(sz scale, cfg Config, tracer *trace.Tracer) core.Options {
+func coreOptions(sz scale, cfg Config, tracer *trace.Tracer, nk neighbor.Kind) core.Options {
 	return core.Options{
 		NumBubbles:            sz.bubbles,
 		UseTriangleInequality: true,
 		Seed:                  cfg.Seed + 1,
 		Tracer:                tracer,
+		Neighbor:              nk,
 		Config:                core.Config{Workers: 1},
 	}
 }
@@ -110,8 +131,14 @@ func coreOptions(sz scale, cfg Config, tracer *trace.Tracer) core.Options {
 // summarizerSetup builds an in-memory summarizer workload over the given
 // dynamics; storm raises the update fraction to force rebuild storms.
 func summarizerSetup(kind synth.Kind, storm bool) func(Config, string, *trace.Tracer) (func() error, int, error) {
+	return summarizerSetupKind(kind, storm, neighbor.KindDense, summarizerScale)
+}
+
+// summarizerSetupKind is summarizerSetup with an explicit neighbor index
+// kind and workload scale — the FastPair twins and the big-k probes.
+func summarizerSetupKind(kind synth.Kind, storm bool, nk neighbor.Kind, scaleOf func(Preset) scale) func(Config, string, *trace.Tracer) (func() error, int, error) {
 	return func(cfg Config, _ string, tracer *trace.Tracer) (func() error, int, error) {
-		sz := summarizerScale(cfg.Preset)
+		sz := scaleOf(cfg.Preset)
 		if storm {
 			sz.frac = 0.25
 		}
@@ -119,7 +146,7 @@ func summarizerSetup(kind synth.Kind, storm bool) func(Config, string, *trace.Tr
 		if err != nil {
 			return nil, 0, err
 		}
-		s, err := core.New(db, coreOptions(sz, cfg, tracer))
+		s, err := core.New(db, coreOptions(sz, cfg, tracer, nk))
 		if err != nil {
 			return nil, 0, err
 		}
@@ -155,7 +182,7 @@ func walAppendSetup(cfg Config, scratch string, tracer *trace.Tracer) (func() er
 	}
 	// The initial checkpoint is written here, untimed; the measured
 	// section covers appends, fsyncs, cadence checkpoints and the close.
-	s, l, err := wal.New(db, coreOptions(sz, cfg, tracer),
+	s, l, err := wal.New(db, coreOptions(sz, cfg, tracer, neighbor.KindDense),
 		wal.Options{Dir: dir, CheckpointEvery: 2, Tracer: tracer})
 	if err != nil {
 		return nil, 0, err
@@ -189,7 +216,7 @@ func recoverySetup(cfg Config, scratch string, tracer *trace.Tracer) (func() err
 	// so recovery must replay every batch from the initial checkpoint.
 	// The log is abandoned open, exactly as a crash leaves it.
 	walOpts := wal.Options{Dir: dir, CheckpointEvery: len(batches) + 1}
-	s, _, err := wal.New(db, coreOptions(sz, cfg, nil), walOpts)
+	s, _, err := wal.New(db, coreOptions(sz, cfg, nil, neighbor.KindDense), walOpts)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -205,7 +232,7 @@ func recoverySetup(cfg Config, scratch string, tracer *trace.Tracer) (func() err
 	exec := func() error {
 		resumeOpts := walOpts
 		resumeOpts.Tracer = tracer
-		st, err := wal.Resume(coreOptions(sz, cfg, tracer), resumeOpts)
+		st, err := wal.Resume(coreOptions(sz, cfg, tracer, neighbor.KindDense), resumeOpts)
 		if err != nil {
 			return err
 		}

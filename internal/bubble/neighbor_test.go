@@ -1,0 +1,147 @@
+package bubble
+
+import (
+	"math"
+	"testing"
+
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/neighbor"
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+// TestClosestSeedTieBreak pins the latent tie-break hazard: with
+// deliberately equidistant seeds, the search must return the lowest
+// bubble ID under every RNG probe order, every neighbor index kind, and
+// with pruning disabled. Seeds 0 and 1 are both √2 from the query and
+// only 2 apart (non-colinear with the query), so Lemma 1 cannot prune
+// either against the other and the explicit tie adoption decides.
+func TestClosestSeedTieBreak(t *testing.T) {
+	seeds := []vecmath.Point{{0, 0}, {2, 0}, {10, 10}}
+	query := vecmath.Point{1, 1}
+	want := math.Sqrt(2)
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"dense", Options{UseTriangleInequality: true, Neighbor: neighbor.KindDense}},
+		{"fastpair", Options{UseTriangleInequality: true, Neighbor: neighbor.KindFastPair}},
+		{"no-pruning", Options{}},
+	}
+	for _, tc := range cases {
+		for seed := int64(1); seed <= 40; seed++ {
+			opts := tc.opts
+			opts.RNG = stats.NewRNG(seed)
+			s, err := NewSet(2, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range seeds {
+				if _, err := s.AddBubble(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			idx, d, err := s.ClosestSeed(query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if idx != 0 || d != want {
+				t.Fatalf("%s rng=%d: ClosestSeed = bubble %d at %g, want bubble 0 at %g",
+					tc.name, seed, idx, d, want)
+			}
+		}
+	}
+}
+
+// TestSetNeighborKindParity builds the same set under every combination
+// of index kind and worker count and requires bit-identical bubbles —
+// seeds, counts, sufficient statistics — plus the accounting bound:
+// FastPair never computes more distances than the dense oracle.
+func TestSetNeighborKindParity(t *testing.T) {
+	rng := stats.NewRNG(31)
+	db := dataset.MustNew(3)
+	for i := 0; i < 600; i++ {
+		db.Insert(rng.GaussianPoint(vecmath.Point{float64(i % 5), float64(i % 7), 1}, 2), 0)
+	}
+	build := func(kind neighbor.Kind, workers int) (*Set, *vecmath.Counter) {
+		ctr := &vecmath.Counter{}
+		s, err := Build(db, 24, Options{
+			UseTriangleInequality: true,
+			TrackMembers:          true,
+			Counter:               ctr,
+			RNG:                   stats.NewRNG(5),
+			Workers:               workers,
+			Neighbor:              kind,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, ctr
+	}
+	ref, refCtr := build(neighbor.KindDense, 1)
+	for _, kind := range []neighbor.Kind{neighbor.KindDense, neighbor.KindFastPair} {
+		for _, workers := range []int{1, 4} {
+			got, gotCtr := build(kind, workers)
+			if got.Len() != ref.Len() {
+				t.Fatalf("%s/w%d: %d bubbles, want %d", kind, workers, got.Len(), ref.Len())
+			}
+			for i := 0; i < ref.Len(); i++ {
+				rb, gb := ref.Bubble(i), got.Bubble(i)
+				if !pointsEqual(rb.Seed(), gb.Seed()) || !pointsEqual(rb.LS(), gb.LS()) ||
+					rb.N() != gb.N() || rb.SS() != gb.SS() {
+					t.Fatalf("%s/w%d: bubble %d diverged from dense/serial build", kind, workers, i)
+				}
+			}
+			if kind == neighbor.KindFastPair && gotCtr.Computed() > refCtr.Computed() {
+				t.Fatalf("fastpair/w%d computed %d distances, dense computed %d",
+					workers, gotCtr.Computed(), refCtr.Computed())
+			}
+			if got.NeighborKind() != kind {
+				t.Fatalf("NeighborKind() = %q, want %q", got.NeighborKind(), kind)
+			}
+		}
+	}
+}
+
+func pointsEqual(a, b vecmath.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPeekSeedDistance pins the observer contract at the Set level: with
+// pruning disabled there is nothing to peek, dense is always cached, and
+// FastPair reports staleness without computing.
+func TestPeekSeedDistance(t *testing.T) {
+	if _, ok := newTestSet(t, []vecmath.Point{{0, 0}, {1, 0}}, false).PeekSeedDistance(0, 1); ok {
+		t.Error("PeekSeedDistance reported a value with pruning disabled")
+	}
+	s, err := NewSet(2, Options{UseTriangleInequality: true, Neighbor: neighbor.KindFastPair, RNG: stats.NewRNG(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []vecmath.Point{{0, 0}, {3, 4}} {
+		if _, err := s.AddBubble(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Counter().Computed()
+	if _, ok := s.PeekSeedDistance(0, 1); ok {
+		t.Error("fastpair PeekSeedDistance reported a never-computed value")
+	}
+	if s.Counter().Computed() != before {
+		t.Error("PeekSeedDistance computed a distance")
+	}
+	if d := s.SeedDistance(0, 1); d != 5 {
+		t.Fatalf("SeedDistance = %g, want 5", d)
+	}
+	if d, ok := s.PeekSeedDistance(0, 1); !ok || d != 5 {
+		t.Fatalf("PeekSeedDistance = %g, %v after SeedDistance; want 5, true", d, ok)
+	}
+}

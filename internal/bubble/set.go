@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"incbubbles/internal/dataset"
+	"incbubbles/internal/neighbor"
 	"incbubbles/internal/stats"
 	"incbubbles/internal/trace"
 	"incbubbles/internal/vecmath"
@@ -31,6 +32,13 @@ type Options struct {
 	// fan-out. ≤0 selects GOMAXPROCS; 1 forces the serial path. The built
 	// set is bit-identical for every setting.
 	Workers int
+	// Neighbor selects the seed-neighbor index implementation backing
+	// Lemma 1 pruning and merge-candidate queries: neighbor.KindDense
+	// (the default, and the reference oracle) or neighbor.KindFastPair.
+	// Ignored when UseTriangleInequality is false — no index is kept at
+	// all. Every kind yields bit-identical assignments and summaries;
+	// only the distance-computation accounting differs.
+	Neighbor neighbor.Kind
 	// Tracer records Build's seed/search/absorb spans with their
 	// distance-calc deltas (internal/trace). Optional; nil records
 	// nothing. Purely observational — it never perturbs the build.
@@ -38,17 +46,17 @@ type Options struct {
 }
 
 // Set is a collection of data bubbles over one database: the bubbles, the
-// point→bubble ownership map, and the precomputed seed–seed distance
-// matrix that powers triangle-inequality pruning.
+// point→bubble ownership map, and the seed-neighbor index that powers
+// triangle-inequality pruning (nil when pruning is disabled).
 type Set struct {
-	dim      int
-	opts     Options
-	bubbles  []*Bubble
-	owner    map[dataset.PointID]int
-	seedDist [][]float64
-	counter  *vecmath.Counter
-	rng      *stats.RNG
-	scratch  []int // reusable candidate buffer for closestSeed
+	dim     int
+	opts    Options
+	bubbles []*Bubble
+	owner   map[dataset.PointID]int
+	nidx    neighbor.Index
+	counter *vecmath.Counter
+	rng     *stats.RNG
+	scratch []int // reusable candidate buffer for closestSeed
 	// statsOnly marks a set restored from a snapshot that carried no
 	// member IDs: bubble counts are trusted but the ownership map covers
 	// only points assigned after the restore, so it is a subset of — not
@@ -82,6 +90,13 @@ func NewSet(dim int, opts Options) (*Set, error) {
 	if s.rng == nil {
 		s.rng = stats.NewRNG(1)
 	}
+	if opts.UseTriangleInequality {
+		nidx, err := neighbor.New(opts.Neighbor, s.counter)
+		if err != nil {
+			return nil, err
+		}
+		s.nidx = nidx
+	}
 	return s, nil
 }
 
@@ -106,7 +121,8 @@ func (s *Set) Bubble(i int) *Bubble { return s.bubbles[i] }
 func (s *Set) Bubbles() []*Bubble { return s.bubbles }
 
 // AddBubble appends an empty bubble seeded at p and returns its index.
-// The seed–seed distance matrix is extended with counted computations.
+// The seed-neighbor index is extended (the dense kind computes the new
+// row eagerly; fastpair defers until queried).
 func (s *Set) AddBubble(p vecmath.Point) (int, error) {
 	if p.Dim() != s.dim {
 		return 0, fmt.Errorf("bubble: seed dimensionality %d want %d", p.Dim(), s.dim)
@@ -114,14 +130,8 @@ func (s *Set) AddBubble(p vecmath.Point) (int, error) {
 	b := newBubble(s.dim, p, s.opts.TrackMembers)
 	idx := len(s.bubbles)
 	s.bubbles = append(s.bubbles, b)
-	if s.opts.UseTriangleInequality {
-		row := make([]float64, idx+1)
-		for j := 0; j < idx; j++ {
-			d := s.counter.Distance(p, s.bubbles[j].seed)
-			row[j] = d
-			s.seedDist[j] = append(s.seedDist[j], d)
-		}
-		s.seedDist = append(s.seedDist, row)
+	if s.nidx != nil {
+		s.nidx.Add(b.seed)
 	}
 	return idx, nil
 }
@@ -157,29 +167,46 @@ func (s *Set) ResetBubble(i int, p vecmath.Point) error {
 }
 
 func (s *Set) refreshSeedRow(i int) {
-	if !s.opts.UseTriangleInequality {
+	if s.nidx == nil {
 		return
 	}
-	p := s.bubbles[i].seed
-	for j := range s.bubbles {
-		if j == i {
-			s.seedDist[i][i] = 0
-			continue
-		}
-		d := s.counter.Distance(p, s.bubbles[j].seed)
-		s.seedDist[i][j] = d
-		s.seedDist[j][i] = d
-	}
+	s.nidx.Update(i, s.bubbles[i].seed)
 }
 
-// SeedDistance returns the cached distance between the seeds of bubbles i
-// and j (0 when pruning is disabled, since no matrix is kept).
+// SeedDistance returns the distance between the seeds of bubbles i and j
+// (0 when pruning is disabled, since no index is kept). The fastpair
+// index may compute — and count — the value lazily on first use.
 func (s *Set) SeedDistance(i, j int) float64 {
-	if !s.opts.UseTriangleInequality {
+	if s.nidx == nil {
 		return 0
 	}
-	return s.seedDist[i][j]
+	return s.nidx.Distance(i, j)
 }
+
+// PeekSeedDistance returns the currently cached seed distance without
+// ever computing one: ok is false when pruning is disabled or the index
+// holds no current value for the pair. Observers (telemetry audits) use
+// it so inspection never perturbs the Figure 10/11 accounting.
+func (s *Set) PeekSeedDistance(i, j int) (float64, bool) {
+	if s.nidx == nil {
+		return 0, false
+	}
+	return s.nidx.Peek(i, j)
+}
+
+// NeighborKind reports which seed-neighbor index implementation the set
+// runs on (KindDense when pruning is disabled — the flag that matters
+// then is UseTriangleInequality).
+func (s *Set) NeighborKind() neighbor.Kind {
+	if s.nidx == nil {
+		return neighbor.KindDense
+	}
+	return s.nidx.Kind()
+}
+
+// NeighborIndex exposes the underlying index (nil when pruning is
+// disabled) for tests and diagnostics. Callers must not mutate it.
+func (s *Set) NeighborIndex() neighbor.Index { return s.nidx }
 
 // Owner returns the index of the bubble compressing point id.
 func (s *Set) Owner(id dataset.PointID) (int, bool) {
@@ -228,6 +255,8 @@ func (s *Set) searchClosest(p vecmath.Point, excl int, rng *stats.RNG, scratch *
 		return 0, 0, ErrNoBubbles
 	}
 	if !s.opts.UseTriangleInequality {
+		// Ascending scan with a strict < already breaks exact-distance
+		// ties toward the lowest bubble ID.
 		best, bestD := -1, 0.0
 		for i, b := range s.bubbles {
 			if i == excl {
@@ -265,23 +294,42 @@ func (s *Set) searchClosest(p vecmath.Point, excl int, rng *stats.RNG, scratch *
 	minDist := sink.Distance(p, s.bubbles[sc].seed)
 	pruned := 0
 	defer func() { sink.PruneN(pruned) }()
+	// The dense index exposes its rows directly; the prune loop scans the
+	// slice to keep the hot path free of an interface call per candidate.
+	denseIdx, _ := s.nidx.(*neighbor.Dense)
 	for len(cands) > 0 {
 		// Prune everything Lemma 1 rules out with the current candidate.
 		kept := cands[:0]
-		row := s.seedDist[sc]
-		for _, j := range cands {
-			if row[j] >= 2*minDist {
-				pruned++
-				continue
+		if denseIdx != nil {
+			row := denseIdx.Row(sc)
+			for _, j := range cands {
+				if row[j] >= 2*minDist {
+					pruned++
+					continue
+				}
+				kept = append(kept, j)
 			}
-			kept = append(kept, j)
+		} else {
+			for _, j := range cands {
+				if s.nidx.Distance(sc, j) >= 2*minDist {
+					pruned++
+					continue
+				}
+				kept = append(kept, j)
+			}
 		}
 		cands = kept
-		// Probe unpruned seeds until one improves on the candidate.
+		// Probe unpruned seeds until one improves on the candidate. An
+		// exact-distance tie is adopted only from a lower bubble ID, so
+		// the winner among the probed seeds never depends on probe order;
+		// the loop still terminates because the candidate ID strictly
+		// decreases while minDist is unchanged.
 		improved := false
 		for len(cands) > 0 {
 			j := pick()
-			if d := sink.Distance(p, s.bubbles[j].seed); d < minDist {
+			d := sink.Distance(p, s.bubbles[j].seed)
+			//lint:allow floatsafe equidistant seeds resolve to the lowest bubble ID so assignment is probe-order independent
+			if d < minDist || (d == minDist && j < sc) {
 				sc, minDist = j, d
 				improved = true
 				break
@@ -389,21 +437,11 @@ func (s *Set) RemoveBubble(i int) error {
 				}
 			}
 		}
-		if s.opts.UseTriangleInequality {
-			// Move row/column `last` into slot i, then truncate.
-			for j := 0; j <= last; j++ {
-				s.seedDist[j][i] = s.seedDist[j][last]
-				s.seedDist[i][j] = s.seedDist[last][j]
-			}
-			s.seedDist[i][i] = 0
-		}
 	}
 	s.bubbles = s.bubbles[:last]
-	if s.opts.UseTriangleInequality {
-		s.seedDist = s.seedDist[:last]
-		for j := range s.seedDist {
-			s.seedDist[j] = s.seedDist[j][:last]
-		}
+	if s.nidx != nil {
+		// The index mirrors the same swap-remove: last takes slot i.
+		s.nidx.Remove(i)
 	}
 	return nil
 }

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/neighbor"
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+// TestClassifyTieBreakByID pins the merge-candidate ordering contract:
+// bubbles with exactly equal β sort by lowest bubble ID, so donor/over
+// pairing never depends on sort internals. Bubble 2 gets the largest
+// share and bubbles 5 and 7 get exactly equal shares, all over-filled.
+func TestClassifyTieBreakByID(t *testing.T) {
+	rng := stats.NewRNG(13)
+	db := dataset.MustNew(2)
+	for i := 0; i < 140; i++ {
+		db.Insert(rng.UniformPoint(2, 0, 10), 0)
+	}
+	s, err := New(db, Options{NumBubbles: 11, Config: Config{Probability: 0.05}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Redistribute ownership to exact counts: 40 / 30 / 30 on bubbles
+	// 2, 5, 7 and 5 each on the rest.
+	var ids []dataset.PointID
+	for i := 0; i < s.Set().Len(); i++ {
+		got, err := s.Set().TakeMembers(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, got...)
+	}
+	counts := map[int]int{2: 40, 5: 30, 7: 30}
+	for i := 0; i < 11; i++ {
+		if counts[i] == 0 {
+			counts[i] = 5
+		}
+	}
+	next := 0
+	for i := 0; i < 11; i++ {
+		for n := 0; n < counts[i]; n++ {
+			rec, err := db.Get(ids[next])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Set().AssignTo(i, rec.ID, rec.P); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+	}
+	cl := s.Classify()
+	if len(cl.Over) != 3 || cl.Over[0] != 2 || cl.Over[1] != 5 || cl.Over[2] != 7 {
+		t.Fatalf("Over = %v, want [2 5 7]: β-descending with equal-β ties by lowest ID", cl.Over)
+	}
+}
+
+// TestSummarizerNeighborParity runs a maintenance-heavy workload (a dense
+// far cluster forces over-filled classifications, merges and splits)
+// under both index kinds and requires bit-identical summaries plus the
+// accounting bound: FastPair never computes more than dense.
+func TestSummarizerNeighborParity(t *testing.T) {
+	run := func(kind neighbor.Kind) (*Summarizer, *dataset.DB, *vecmath.Counter) {
+		rng := stats.NewRNG(21)
+		db := dataset.MustNew(2)
+		for i := 0; i < 1500; i++ {
+			db.Insert(rng.GaussianPoint(vecmath.Point{20, 20}, 4), 0)
+		}
+		ctr := &vecmath.Counter{}
+		s, err := New(db, Options{NumBubbles: 40, UseTriangleInequality: true, Seed: 9, Counter: ctr, Neighbor: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for batch := 0; batch < 3; batch++ {
+			var b dataset.Batch
+			center := vecmath.Point{float64(300 + 100*batch), 500}
+			for i := 0; i < 400; i++ {
+				b = append(b, dataset.Update{Op: dataset.OpInsert, P: rng.GaussianPoint(center, 1), Label: 1})
+			}
+			applied, err := b.Apply(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.ApplyBatch(applied); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s, db, ctr
+	}
+	ds, ddb, dctr := run(neighbor.KindDense)
+	fs, fdb, fctr := run(neighbor.KindFastPair)
+	if ds.Set().Len() != fs.Set().Len() {
+		t.Fatalf("bubble counts diverged: dense %d, fastpair %d", ds.Set().Len(), fs.Set().Len())
+	}
+	if ddb.Len() != fdb.Len() {
+		t.Fatalf("database sizes diverged: %d vs %d", ddb.Len(), fdb.Len())
+	}
+	for i := 0; i < ds.Set().Len(); i++ {
+		db_, fb := ds.Set().Bubble(i), fs.Set().Bubble(i)
+		if !pointsEq(db_.Seed(), fb.Seed()) || !pointsEq(db_.LS(), fb.LS()) ||
+			db_.N() != fb.N() || db_.SS() != fb.SS() {
+			t.Fatalf("bubble %d diverged between dense and fastpair", i)
+		}
+	}
+	if ds.TotalRebuilt() != fs.TotalRebuilt() {
+		t.Fatalf("TotalRebuilt diverged: dense %d, fastpair %d", ds.TotalRebuilt(), fs.TotalRebuilt())
+	}
+	if fctr.Computed() > dctr.Computed() {
+		t.Fatalf("fastpair computed %d distances, dense %d", fctr.Computed(), dctr.Computed())
+	}
+	t.Logf("distance computations: dense=%d fastpair=%d", dctr.Computed(), fctr.Computed())
+}
+
+func pointsEq(a, b vecmath.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

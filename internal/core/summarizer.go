@@ -21,6 +21,7 @@ import (
 	"incbubbles/internal/bubble"
 	"incbubbles/internal/dataset"
 	"incbubbles/internal/failpoint"
+	"incbubbles/internal/neighbor"
 	"incbubbles/internal/parallel"
 	"incbubbles/internal/stats"
 	"incbubbles/internal/telemetry"
@@ -282,6 +283,11 @@ type Options struct {
 	// UseTriangleInequality enables §3 pruning (default in the paper's
 	// incremental scheme). Recommended true.
 	UseTriangleInequality bool
+	// Neighbor selects the seed-neighbor index implementation backing
+	// Lemma 1 pruning (neighbor.KindDense when empty). Every kind yields
+	// bit-identical summaries and checkpoint fingerprints; only the
+	// distance-computation accounting differs.
+	Neighbor neighbor.Kind
 	// Counter receives distance-computation accounting. Optional.
 	Counter *vecmath.Counter
 	// Seed drives seed selection and probe order. Default 1.
@@ -331,6 +337,7 @@ func New(db *dataset.DB, opts Options) (*Summarizer, error) {
 		Counter:               opts.Counter,
 		RNG:                   rng,
 		Tracer:                opts.Tracer,
+		Neighbor:              opts.Neighbor,
 	})
 	if err != nil {
 		return nil, err
@@ -356,8 +363,9 @@ func Load(db *dataset.DB, snapshot io.Reader, opts Options, batches, totalRebuil
 	}
 	rng := stats.NewRNG(seed)
 	set, err := bubble.Load(snapshot, bubble.Options{
-		Counter: opts.Counter,
-		RNG:     rng,
+		Counter:  opts.Counter,
+		RNG:      rng,
+		Neighbor: opts.Neighbor,
 	})
 	if err != nil {
 		return nil, err
@@ -855,9 +863,25 @@ func (s *Summarizer) Classify() Classification {
 			cl.Classes[i] = Good
 		}
 	}
-	// Most over-filled first; most under-filled (lowest β) first.
-	sort.Slice(cl.Over, func(a, b int) bool { return betas[cl.Over[a]] > betas[cl.Over[b]] })
-	sort.Slice(cl.Under, func(a, b int) bool { return betas[cl.Under[a]] < betas[cl.Under[b]] })
+	// Most over-filled first; most under-filled (lowest β) first. Equal-β
+	// ties fall to the lower bubble ID so merge/split pairing never
+	// depends on sort internals or bubble iteration order.
+	sort.Slice(cl.Over, func(a, b int) bool {
+		ba, bb := betas[cl.Over[a]], betas[cl.Over[b]]
+		//lint:allow floatsafe exact-β ties order by bubble ID for deterministic merge-candidate selection
+		if ba != bb {
+			return ba > bb
+		}
+		return cl.Over[a] < cl.Over[b]
+	})
+	sort.Slice(cl.Under, func(a, b int) bool {
+		ba, bb := betas[cl.Under[a]], betas[cl.Under[b]]
+		//lint:allow floatsafe exact-β ties order by bubble ID for deterministic merge-candidate selection
+		if ba != bb {
+			return ba < bb
+		}
+		return cl.Under[a] < cl.Under[b]
+	})
 	return cl
 }
 
@@ -882,7 +906,14 @@ func (s *Summarizer) rebuild(cl Classification, msp *trace.Span) (rebuilt, fromG
 			goods = append(goods, i)
 		}
 	}
-	sort.Slice(goods, func(a, b int) bool { return cl.Betas[goods[a]] < cl.Betas[goods[b]] })
+	sort.Slice(goods, func(a, b int) bool {
+		ba, bb := cl.Betas[goods[a]], cl.Betas[goods[b]]
+		//lint:allow floatsafe exact-β ties order by bubble ID for deterministic donor selection
+		if ba != bb {
+			return ba < bb
+		}
+		return goods[a] < goods[b]
+	})
 	for _, i := range goods {
 		donors = append(donors, donor{idx: i, good: true})
 	}

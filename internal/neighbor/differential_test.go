@@ -1,0 +1,277 @@
+package neighbor
+
+import (
+	"fmt"
+	"testing"
+
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+// machine drives the dense oracle and FastPair in lockstep with a
+// brute-force mirror of the point set. Every mutation goes to all three;
+// every check cross-validates the implementations against brute force and
+// against each other, and re-asserts the accounting contract: FastPair's
+// cumulative computed-distance count never exceeds dense's at any point
+// in the sequence. Each implementation owns a private counter so the
+// comparison isolates exactly what each one computed; the brute mirror
+// uses a third, throwaway counter.
+type machine struct {
+	dense    *Dense
+	fp       *FastPair
+	denseCtr vecmath.Counter
+	fpCtr    vecmath.Counter
+	bruteCtr vecmath.Counter
+	pts      []vecmath.Point
+}
+
+func newMachine() *machine {
+	m := &machine{}
+	m.dense = NewDense(&m.denseCtr)
+	m.fp = NewFastPair(&m.fpCtr)
+	return m
+}
+
+func (m *machine) len() int { return len(m.pts) }
+
+func (m *machine) add(p vecmath.Point) {
+	m.pts = append(m.pts, p)
+	m.dense.Add(p)
+	m.fp.Add(p)
+}
+
+func (m *machine) update(i int, p vecmath.Point) {
+	m.pts[i] = p
+	m.dense.Update(i, p)
+	m.fp.Update(i, p)
+}
+
+// remove mirrors the swap-remove contract: the last point takes slot i.
+func (m *machine) remove(i int) {
+	last := len(m.pts) - 1
+	m.pts[i] = m.pts[last]
+	m.pts = m.pts[:last]
+	m.dense.Remove(i)
+	m.fp.Remove(i)
+}
+
+func (m *machine) bruteDist(i, j int) float64 {
+	return m.bruteCtr.Distance(m.pts[i], m.pts[j])
+}
+
+// bruteClosest returns the lexicographically smallest (dist, i, j): the
+// row-major scan with a strict < keeps the first occurrence of the
+// minimum, which is exactly that pair.
+func (m *machine) bruteClosest() (Pair, bool) {
+	if len(m.pts) < 2 {
+		return Pair{}, false
+	}
+	best := Pair{I: -1}
+	for i := range m.pts {
+		for j := i + 1; j < len(m.pts); j++ {
+			if d := m.bruteDist(i, j); best.I < 0 || d < best.Dist {
+				best = Pair{I: i, J: j, Dist: d}
+			}
+		}
+	}
+	return best, true
+}
+
+// checkMonotone asserts the accounting theorem: every distance FastPair
+// computes is a (pair, epoch) dense computed earlier, so FastPair's
+// cumulative count is bounded by dense's after every operation.
+func (m *machine) checkMonotone() error {
+	if fp, dn := m.fpCtr.Computed(), m.denseCtr.Computed(); fp > dn {
+		return fmt.Errorf("fastpair computed %d distances, dense only %d", fp, dn)
+	}
+	return nil
+}
+
+func (m *machine) checkClosest() error {
+	want, wok := m.bruteClosest()
+	dp, dok := m.dense.ClosestPair()
+	fp, fok := m.fp.ClosestPair()
+	if dok != wok || fok != wok {
+		return fmt.Errorf("ClosestPair ok: dense=%v fastpair=%v brute=%v", dok, fok, wok)
+	}
+	if wok {
+		if dp != want {
+			return fmt.Errorf("dense ClosestPair %+v, brute force %+v", dp, want)
+		}
+		if fp != want {
+			return fmt.Errorf("fastpair ClosestPair %+v, brute force %+v", fp, want)
+		}
+	}
+	return m.checkMonotone()
+}
+
+func (m *machine) checkWithin(i int, r float64) error {
+	var want []int
+	for j := range m.pts {
+		if j != i && m.bruteDist(i, j) < r {
+			want = append(want, j)
+		}
+	}
+	dn := m.dense.NeighborsWithin(i, r)
+	fp := m.fp.NeighborsWithin(i, r)
+	if !intsEqual(dn, want) {
+		return fmt.Errorf("dense NeighborsWithin(%d, %g) = %v, brute force %v", i, r, dn, want)
+	}
+	if !intsEqual(fp, want) {
+		return fmt.Errorf("fastpair NeighborsWithin(%d, %g) = %v, brute force %v", i, r, fp, want)
+	}
+	return m.checkMonotone()
+}
+
+func (m *machine) checkDistance(i, j int) error {
+	want := m.bruteDist(i, j)
+	if d := m.dense.Distance(i, j); d != want {
+		return fmt.Errorf("dense Distance(%d,%d) = %g, brute force %g", i, j, d, want)
+	}
+	if d := m.fp.Distance(i, j); d != want {
+		return fmt.Errorf("fastpair Distance(%d,%d) = %g, brute force %g", i, j, d, want)
+	}
+	return m.checkMonotone()
+}
+
+// checkAllPairs cross-validates the complete distance tables.
+func (m *machine) checkAllPairs() error {
+	for i := range m.pts {
+		for j := range m.pts {
+			if i == j {
+				continue
+			}
+			if err := m.checkDistance(i, j); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDifferentialRandomWorkloads runs seeded random mutation/query
+// sequences — including the merge→remove→reseed→add churn §4.2 produces —
+// through both implementations in lockstep at k ≥ 64, asserting equal
+// closest pairs, equal NeighborsWithin sets, bit-identical distances, and
+// monotone non-increasing FastPair distance counts relative to dense
+// after every single operation.
+func TestDifferentialRandomWorkloads(t *testing.T) {
+	const dim = 8
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := stats.NewRNG(seed)
+			m := newMachine()
+			for i := 0; i < 80; i++ {
+				m.add(rng.UniformPoint(dim, 0, 10))
+			}
+			step := func(err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			for op := 0; op < 400; op++ {
+				switch roll := rng.Intn(100); {
+				case roll < 35:
+					// The shape of a Figure 2 search: pairwise bound
+					// lookups followed by a range query.
+					i := rng.Intn(m.len())
+					for probe := 0; probe < 4; probe++ {
+						step(m.checkDistance(i, rng.Intn(m.len())))
+					}
+					step(m.checkWithin(i, rng.Uniform(0, 12)))
+				case roll < 50:
+					step(m.checkWithin(rng.Intn(m.len()), rng.Uniform(0, 20)))
+				case roll < 65:
+					m.update(rng.Intn(m.len()), rng.UniformPoint(dim, 0, 10))
+					step(m.checkMonotone())
+				case roll < 75:
+					// §4.2 merge/split churn: the donor reseeds, the merged
+					// bubble is drained and removed, a split adds a bubble.
+					m.update(rng.Intn(m.len()), rng.UniformPoint(dim, 0, 10))
+					if m.len() > 66 {
+						m.remove(rng.Intn(m.len()))
+					}
+					m.add(rng.UniformPoint(dim, 0, 10))
+					step(m.checkMonotone())
+				case roll < 85:
+					if m.len() > 66 {
+						m.remove(rng.Intn(m.len()))
+					} else {
+						m.add(rng.UniformPoint(dim, 0, 10))
+					}
+					step(m.checkMonotone())
+				default:
+					step(m.checkClosest())
+				}
+				if op%25 == 0 {
+					step(m.checkClosest())
+				}
+			}
+			// A burst of invalidations followed by a single narrow query:
+			// dense eagerly recomputes five full rows, FastPair pays for
+			// one pair — the count gap must now be strict, not just
+			// non-increasing.
+			for i := 0; i < 5; i++ {
+				m.update(rng.Intn(m.len()), rng.UniformPoint(dim, 0, 10))
+			}
+			step(m.checkDistance(0, 1))
+			if fp, dn := m.fpCtr.Computed(), m.denseCtr.Computed(); fp >= dn {
+				t.Fatalf("fastpair computed %d distances, want strictly fewer than dense's %d", fp, dn)
+			}
+			step(m.checkAllPairs())
+			step(m.checkClosest())
+		})
+	}
+}
+
+// TestDifferentialQuantizedTies reruns the lockstep workload on a coarse
+// integer lattice where exact distance ties are abundant, so the
+// lowest-index tie-break rules of both implementations are exercised on
+// every query rather than in a handful of constructed cases.
+func TestDifferentialQuantizedTies(t *testing.T) {
+	rng := stats.NewRNG(42)
+	m := newMachine()
+	latticePoint := func() vecmath.Point {
+		return vecmath.Point{float64(rng.Intn(4)), float64(rng.Intn(4)), float64(rng.Intn(4))}
+	}
+	for i := 0; i < 24; i++ {
+		m.add(latticePoint())
+	}
+	for op := 0; op < 300; op++ {
+		switch rng.Intn(4) {
+		case 0:
+			m.update(rng.Intn(m.len()), latticePoint())
+		case 1:
+			if m.len() > 8 {
+				m.remove(rng.Intn(m.len()))
+			} else {
+				m.add(latticePoint())
+			}
+		case 2:
+			m.add(latticePoint())
+		default:
+			if err := m.checkWithin(rng.Intn(m.len()), float64(rng.Intn(5))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.checkClosest(); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+	}
+	if err := m.checkAllPairs(); err != nil {
+		t.Fatal(err)
+	}
+}

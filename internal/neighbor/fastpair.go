@@ -1,0 +1,301 @@
+package neighbor
+
+import (
+	"math"
+	"sync"
+
+	"incbubbles/internal/vecmath"
+)
+
+// fpEntry is one cached pair distance, stamped with the versions both
+// endpoints had when it was computed. An entry is current iff both stamps
+// still match; mutations invalidate by bumping a version, never by
+// touching cache rows.
+type fpEntry struct {
+	d      float64
+	vi, vj uint32
+}
+
+// FastPair is a lazy dynamic closest-pair structure in the conga-line
+// family (Eppstein, cs/9912014), adapted so that its distance accounting
+// is provably a subset of the dense oracle's:
+//
+//   - Mutations compute no distances. Add/Update bump the affected
+//     point's version (invalidating its cached row wholesale) and mark
+//     nearest-neighbor pointers dirty; Remove swap-moves cached entries.
+//   - Queries compute lazily. A stale cache entry is filled — through the
+//     shared counter — on first use and reused until the next
+//     invalidation.
+//   - Nearest-neighbor pointers are repaired only when ClosestPair asks,
+//     by rescanning the dirty rows; Eppstein's "conga" observation lets
+//     each rescan of i also improve the pointers of clean rows for free.
+//
+// Every distance FastPair computes is a (pair, seed-epoch) the eager
+// dense matrix computed at the mutation that created the epoch, so the
+// cumulative computed count never exceeds dense's at any point in time —
+// and is strictly lower whenever an invalidated entry is never queried
+// before its next invalidation, which dominates at large k where Lemma 1
+// pruning leaves most of each row untouched between reseeds.
+//
+// Versions are uint32: a stale stamp could only be mistaken for current
+// after exactly 2³² intervening version bumps, unreachable in any real
+// run (each bubble mutation bumps once).
+//
+// An RWMutex covers the lazy fills so concurrent read-phase searches
+// (phase 1 of the parallel assignment pipeline) stay race-free; each
+// (pair, epoch) is filled and counted exactly once regardless of
+// interleaving, keeping counts deterministic for any worker count.
+type FastPair struct {
+	counter *vecmath.Counter
+
+	mu      sync.RWMutex
+	pts     []vecmath.Point
+	ver     []uint32
+	nextVer uint32
+	cache   [][]fpEntry
+	nn      []int     // nearest-neighbor pointer, trusted iff !dirty
+	nnd     []float64 // distance to nn, trusted iff !dirty
+	dirty   []bool
+	ndirty  int
+}
+
+// NewFastPair returns an empty FastPair index counting through counter.
+func NewFastPair(counter *vecmath.Counter) *FastPair {
+	return &FastPair{counter: counter}
+}
+
+// Kind identifies the implementation.
+func (f *FastPair) Kind() Kind { return KindFastPair }
+
+// Len returns the number of indexed points.
+func (f *FastPair) Len() int { return len(f.pts) }
+
+func (f *FastPair) markDirtyLocked(i int) {
+	if !f.dirty[i] {
+		f.dirty[i] = true
+		f.ndirty++
+	}
+}
+
+// Add appends p. No distances are computed: the new row starts fully
+// stale and the point's neighbor pointer starts dirty.
+func (f *FastPair) Add(p vecmath.Point) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	i := len(f.pts)
+	f.pts = append(f.pts, p)
+	f.nextVer++
+	f.ver = append(f.ver, f.nextVer)
+	for r := range f.cache {
+		f.cache[r] = append(f.cache[r], fpEntry{})
+	}
+	f.cache = append(f.cache, make([]fpEntry, i+1))
+	f.nn = append(f.nn, -1)
+	f.nnd = append(f.nnd, math.Inf(1))
+	f.dirty = append(f.dirty, false)
+	f.markDirtyLocked(i)
+}
+
+// Update repositions point i. Its version bump invalidates every cached
+// entry involving i; rows whose nearest neighbor was i must rescan.
+func (f *FastPair) Update(i int, p vecmath.Point) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pts[i] = p
+	f.nextVer++
+	f.ver[i] = f.nextVer
+	f.markDirtyLocked(i)
+	for j := range f.nn {
+		if j != i && f.nn[j] == i {
+			f.markDirtyLocked(j)
+		}
+	}
+}
+
+// Remove deletes point i with swap-remove semantics (the last point takes
+// slot i), moving cached entries — still valid under their stamps — along
+// with it. Rows that pointed at the removed point go dirty.
+func (f *FastPair) Remove(i int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	last := len(f.pts) - 1
+	for j := 0; j <= last; j++ {
+		if j != i && f.nn[j] == i {
+			f.markDirtyLocked(j)
+		}
+	}
+	if f.dirty[i] {
+		f.ndirty-- // the removed point's own flag leaves with it
+	}
+	if i != last {
+		f.pts[i] = f.pts[last]
+		f.ver[i] = f.ver[last]
+		f.nn[i] = f.nn[last]
+		f.nnd[i] = f.nnd[last]
+		f.dirty[i] = f.dirty[last]
+		for j := 0; j <= last; j++ {
+			f.cache[j][i] = f.cache[j][last]
+			f.cache[i][j] = f.cache[last][j]
+		}
+		f.cache[i][i] = fpEntry{}
+		// Pointers at the moved point follow it; stale pointers at the
+		// removed slot belong to rows already marked dirty above.
+		for j := 0; j < last; j++ {
+			if f.nn[j] == last {
+				f.nn[j] = i
+			}
+		}
+	}
+	f.pts = f.pts[:last]
+	f.ver = f.ver[:last]
+	f.nn = f.nn[:last]
+	f.nnd = f.nnd[:last]
+	f.dirty = f.dirty[:last]
+	f.cache = f.cache[:last]
+	for j := range f.cache {
+		f.cache[j] = f.cache[j][:last]
+	}
+}
+
+// distLocked returns the (i, j) distance, filling the cache through the
+// counter if the entry is stale. Caller holds the write lock.
+func (f *FastPair) distLocked(i, j int) float64 {
+	e := f.cache[i][j]
+	vi, vj := f.ver[i], f.ver[j]
+	if e.vi == vi && e.vj == vj {
+		return e.d
+	}
+	d := f.counter.Distance(f.pts[i], f.pts[j])
+	f.cache[i][j] = fpEntry{d: d, vi: vi, vj: vj}
+	f.cache[j][i] = fpEntry{d: d, vi: vj, vj: vi}
+	return d
+}
+
+// Distance returns the (i, j) distance, computing it through the counter
+// on a cache miss. Double-checked locking keeps concurrent searches
+// race-free while guaranteeing each (pair, epoch) is computed — and
+// counted — exactly once.
+func (f *FastPair) Distance(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	f.mu.RLock()
+	e := f.cache[i][j]
+	current := e.vi == f.ver[i] && e.vj == f.ver[j]
+	f.mu.RUnlock()
+	if current {
+		return e.d
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.distLocked(i, j)
+}
+
+// Peek returns the cached (i, j) distance without computing; ok is false
+// when the entry is stale. Observers use this so inspection never
+// perturbs the distance accounting.
+func (f *FastPair) Peek(i, j int) (float64, bool) {
+	if i == j {
+		return 0, true
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	e := f.cache[i][j]
+	if e.vi == f.ver[i] && e.vj == f.ver[j] {
+		return e.d, true
+	}
+	return 0, false
+}
+
+// resolve repairs every dirty nearest-neighbor pointer by a full row
+// rescan (lazily cached), applying the conga freebie: row i's rescan also
+// offers d(i, j) to every clean row j, which restores the invariant that
+// a clean nn[j] is the lowest-index argmin without rescanning j. Caller
+// holds the write lock.
+func (f *FastPair) resolve() {
+	if f.ndirty == 0 {
+		return
+	}
+	n := len(f.pts)
+	for i := 0; i < n && f.ndirty > 0; i++ {
+		if !f.dirty[i] {
+			continue
+		}
+		best, bestD := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			d := f.distLocked(i, j)
+			if d < bestD {
+				best, bestD = j, d
+			}
+			if f.dirty[j] {
+				continue // j rescans for itself later this pass
+			}
+			//lint:allow floatsafe exact ties adopt the lower index so neighbor pointers are insertion-order independent
+			if d < f.nnd[j] || (d == f.nnd[j] && i < f.nn[j]) {
+				f.nn[j], f.nnd[j] = i, d
+			}
+		}
+		f.nn[i], f.nnd[i] = best, bestD
+		f.dirty[i] = false
+		f.ndirty--
+	}
+}
+
+// ClosestPair resolves dirty pointers, then returns the lexicographically
+// smallest (distance, i, j) — identical to the dense oracle's full-matrix
+// scan. The selection leans only on neighbor distance VALUES, never on
+// which index a pointer happens to name: Remove renumbers indices without
+// touching distances, so a clean row's pointer can name an equal-distance
+// partner that is no longer the lowest index, while every nnd value stays
+// exactly the row minimum.
+func (f *FastPair) ClosestPair() (Pair, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.pts)
+	if n < 2 {
+		return Pair{}, false
+	}
+	f.resolve()
+	// Lowest index participating in a minimum-distance pair: every
+	// participant's row minimum equals the global minimum, so the first
+	// row achieving it (strict <) is exact regardless of tie indices.
+	a, d := -1, 0.0
+	for i := 0; i < n; i++ {
+		if f.nn[i] < 0 {
+			continue
+		}
+		if a < 0 || f.nnd[i] < d {
+			a, d = i, f.nnd[i]
+		}
+	}
+	if a < 0 {
+		return Pair{}, false
+	}
+	// Lowest-index partner, re-derived from row a's values. The partner
+	// always has a higher index than a (a lower one would itself carry
+	// the minimum and have been picked as a), so the pair is (a, b). Any
+	// stale entries filled here are current-epoch pairs the dense oracle
+	// already computed, preserving the accounting bound.
+	for b := 0; b < n; b++ {
+		//lint:allow floatsafe exact-tie partners resolve to the lowest index so results are renumbering-independent
+		if b != a && f.distLocked(a, b) == d {
+			return Pair{I: a, J: b, Dist: d}, true
+		}
+	}
+	return Pair{}, false // unreachable: nn[a] attains d
+}
+
+// NeighborsWithin returns every j != i with d(i, j) < r, ascending,
+// computing stale entries lazily.
+func (f *FastPair) NeighborsWithin(i int, r float64) []int {
+	var out []int
+	for j := range f.pts {
+		if j != i && f.Distance(i, j) < r {
+			out = append(out, j)
+		}
+	}
+	return out
+}

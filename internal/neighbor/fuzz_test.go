@@ -1,0 +1,138 @@
+package neighbor
+
+import (
+	"fmt"
+	"testing"
+
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+// Byte-program opcodes for FuzzNeighborIndex. Each op consumes one opcode
+// byte plus a fixed number of argument bytes; indices are taken modulo
+// the current size and coordinates come from a coarse integer lattice so
+// the fuzzer trips over exact-distance ties constantly.
+const (
+	opAdd = iota
+	opRemove
+	opUpdate
+	opClosest
+	opWithin
+	opDistance
+	numOps
+)
+
+// fuzzPoint decodes a lattice point from three bytes.
+func fuzzPoint(a, b, c byte) vecmath.Point {
+	return vecmath.Point{float64(a % 8), float64(b % 8), float64(c % 8)}
+}
+
+// applyProgram interprets a mutation/query byte program against the
+// lockstep machine, cross-checking every query against brute force and
+// the count monotonicity after every operation.
+func applyProgram(m *machine, data []byte) error {
+	for pc := 0; pc+3 < len(data); pc += 4 {
+		op, a, b, c := data[pc]%numOps, data[pc+1], data[pc+2], data[pc+3]
+		switch op {
+		case opAdd:
+			if m.len() >= 48 {
+				continue // bound the quadratic checks
+			}
+			m.add(fuzzPoint(a, b, c))
+		case opRemove:
+			if m.len() == 0 {
+				continue
+			}
+			m.remove(int(a) % m.len())
+		case opUpdate:
+			if m.len() == 0 {
+				continue
+			}
+			m.update(int(a)%m.len(), fuzzPoint(b, c, a))
+		case opClosest:
+			if err := m.checkClosest(); err != nil {
+				return fmt.Errorf("pc %d: %w", pc, err)
+			}
+		case opWithin:
+			if m.len() == 0 {
+				continue
+			}
+			if err := m.checkWithin(int(a)%m.len(), float64(b%16)/2); err != nil {
+				return fmt.Errorf("pc %d: %w", pc, err)
+			}
+		case opDistance:
+			if m.len() < 2 {
+				continue
+			}
+			i, j := int(a)%m.len(), int(b)%m.len()
+			if i == j {
+				j = (j + 1) % m.len()
+			}
+			if err := m.checkDistance(i, j); err != nil {
+				return fmt.Errorf("pc %d: %w", pc, err)
+			}
+		}
+		if err := m.checkMonotone(); err != nil {
+			return fmt.Errorf("pc %d: %w", pc, err)
+		}
+	}
+	return m.checkClosest()
+}
+
+// churnTrace generates the byte program of a §4.2-shaped maintenance
+// round: grow a population, then repeat merge→remove→reseed→add churn
+// interleaved with the queries a search phase issues. The differential
+// harness replays these deterministically and FuzzNeighborIndex seeds its
+// corpus with them.
+func churnTrace(seed int64, rounds int) []byte {
+	rng := stats.NewRNG(seed)
+	var prog []byte
+	emit := func(op byte, args ...byte) {
+		for len(args) < 3 {
+			args = append(args, byte(rng.Intn(256)))
+		}
+		prog = append(prog, op, args[0], args[1], args[2])
+	}
+	for i := 0; i < 12; i++ {
+		emit(opAdd)
+	}
+	for r := 0; r < rounds; r++ {
+		emit(opUpdate, byte(rng.Intn(256))) // donor reseeds after the merge
+		emit(opRemove, byte(rng.Intn(256))) // merged bubble leaves
+		emit(opAdd)                         // split brings a new seed
+		emit(opUpdate, byte(rng.Intn(256))) // the split half reseeds too
+		for q := 0; q < 3; q++ {
+			emit(byte(opClosest + rng.Intn(3)))
+		}
+	}
+	return prog
+}
+
+// TestChurnTraces replays the generated §4.2 churn programs through the
+// differential interpreter — the deterministic twin of the fuzz target.
+func TestChurnTraces(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		if err := applyProgram(newMachine(), churnTrace(seed, 20)); err != nil {
+			t.Errorf("churn trace seed %d: %v", seed, err)
+		}
+	}
+}
+
+// FuzzNeighborIndex feeds arbitrary mutation/query programs to both
+// implementations with brute-force cross-checking of every query result
+// and the FastPair-never-computes-more accounting invariant.
+func FuzzNeighborIndex(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{opAdd, 1, 2, 3, opAdd, 4, 5, 6, opClosest, 0, 0, 0})
+	for seed := int64(1); seed <= 4; seed++ {
+		f.Add(churnTrace(seed, 6))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return // bound program length; the machine's checks are quadratic
+		}
+		if err := applyProgram(newMachine(), data); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

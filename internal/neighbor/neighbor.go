@@ -1,0 +1,119 @@
+// Package neighbor maintains seed–seed distance information for a bubble
+// set: the lower bounds behind Lemma 1 triangle-inequality pruning and the
+// closest-pair / range queries the §4.2 merge-split maintenance loop asks.
+//
+// Two implementations share one Index interface. Dense is the original
+// eager k×k matrix extracted from bubble.Set — it stays the reference
+// oracle. FastPair is a lazy conga-line structure in the spirit of
+// Eppstein's dynamic closest-pair work (cs/9912014): mutations invalidate
+// instead of recompute, so every distance it evaluates is one Dense
+// evaluated earlier for the same (pair, seed-epoch), and distances for
+// entries that are invalidated again before anyone asks are never paid at
+// all.
+//
+// Contract shared by all implementations:
+//
+//   - Every Euclidean distance is computed through the *vecmath.Counter
+//     supplied at construction, so the paper's Figure 10/11 accounting and
+//     the telemetrysync pinning hold for every index kind.
+//   - Identical call sequences yield bit-identical distances from every
+//     implementation: both evaluate vecmath distance on the same pair of
+//     points, so the float64 results agree bit for bit, and everything
+//     downstream (probe sequences, assignments, fingerprints) follows.
+//   - Ties break deterministically by lowest index: ClosestPair returns
+//     the lexicographically smallest (distance, i, j) with i < j, and
+//     NeighborsWithin returns indices in ascending order.
+//   - Remove uses swap-remove semantics: the last element takes slot i,
+//     mirroring Set.RemoveBubble's index invalidation rules exactly.
+package neighbor
+
+import (
+	"fmt"
+
+	"incbubbles/internal/vecmath"
+)
+
+// Kind selects an Index implementation.
+type Kind string
+
+const (
+	// KindDense is the eager k×k matrix — the reference oracle. The zero
+	// Kind resolves to it.
+	KindDense Kind = "dense"
+	// KindFastPair is the lazy conga-line structure: O(1) invalidation on
+	// mutation, distances recomputed only when queried.
+	KindFastPair Kind = "fastpair"
+)
+
+// ParseKind converts a user-facing string (CLI flag value) to a Kind.
+// The empty string selects KindDense.
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case "", KindDense:
+		return KindDense, nil
+	case KindFastPair:
+		return KindFastPair, nil
+	}
+	return "", fmt.Errorf("neighbor: unknown index kind %q (want dense or fastpair)", s)
+}
+
+// Pair is a closest pair: indices I < J at distance Dist.
+type Pair struct {
+	I, J int
+	Dist float64
+}
+
+// Index maintains pairwise seed distances under insertion, removal and
+// seed movement. Indices are dense: Add assigns index Len(), Remove(i)
+// moves the last element into slot i. Methods with index parameters
+// require them in [0, Len()); the bubble set validates before calling.
+//
+// Distance, Peek and NeighborsWithin may be called concurrently with each
+// other (the read-only phase 1 of the parallel assignment pipeline);
+// Add/Update/Remove/ClosestPair require exclusive access.
+type Index interface {
+	// Kind identifies the implementation.
+	Kind() Kind
+	// Len returns the number of indexed points.
+	Len() int
+	// Add appends p with index Len(). The point is retained by reference
+	// and must not be mutated afterwards (bubble seeds never are — seed
+	// moves replace the slice via Update).
+	Add(p vecmath.Point)
+	// Update repositions point i to p (a reseeded bubble).
+	Update(i int, p vecmath.Point)
+	// Remove deletes point i; the last point takes slot i.
+	Remove(i int)
+	// Distance returns the distance between points i and j, computing it
+	// through the counter if the implementation has no current value
+	// cached. Distance(i, i) is 0.
+	Distance(i, j int) float64
+	// Peek returns the cached distance between i and j without ever
+	// computing: ok is false when no current value is cached. Observers
+	// (telemetry audits) use Peek so inspection never perturbs the
+	// distance accounting.
+	Peek(i, j int) (float64, bool)
+	// ClosestPair returns the globally closest pair, ties broken by the
+	// lexicographically smallest (Dist, I, J). ok is false when Len() < 2.
+	ClosestPair() (Pair, bool)
+	// NeighborsWithin returns, in ascending order, every j != i with
+	// d(i, j) < r (strict, matching the Lemma 1 prune boundary: a seed at
+	// exactly 2·minDist is prunable, hence not a neighbor within).
+	NeighborsWithin(i int, r float64) []int
+}
+
+// New constructs an Index of the given kind around counter. The counter
+// must not be nil: uncounted distances would silently break the Figure
+// 10/11 accounting every caller relies on.
+func New(kind Kind, counter *vecmath.Counter) (Index, error) {
+	if counter == nil {
+		return nil, fmt.Errorf("neighbor: nil counter")
+	}
+	switch kind {
+	case "", KindDense:
+		return NewDense(counter), nil
+	case KindFastPair:
+		return NewFastPair(counter), nil
+	}
+	return nil, fmt.Errorf("neighbor: unknown index kind %q", kind)
+}

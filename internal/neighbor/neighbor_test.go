@@ -1,0 +1,279 @@
+package neighbor
+
+import (
+	"sync"
+	"testing"
+
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+)
+
+func TestParseKind(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kind
+		ok   bool
+	}{
+		{"", KindDense, true},
+		{"dense", KindDense, true},
+		{"fastpair", KindFastPair, true},
+		{"FASTPAIR", "", false},
+		{"kdtree", "", false},
+	}
+	for _, c := range cases {
+		got, err := ParseKind(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseKind(%q) = %q, %v; want %q, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	if _, err := New(Kind("bogus"), &vecmath.Counter{}); err == nil {
+		t.Error("New accepted a bogus kind")
+	}
+	if _, err := New(KindDense, nil); err == nil {
+		t.Error("New accepted a nil counter")
+	}
+	for _, kind := range []Kind{"", KindDense, KindFastPair} {
+		idx, err := New(kind, &vecmath.Counter{})
+		if err != nil {
+			t.Fatalf("New(%q): %v", kind, err)
+		}
+		if kind == KindFastPair && idx.Kind() != KindFastPair {
+			t.Errorf("New(%q).Kind() = %q", kind, idx.Kind())
+		}
+		if kind != KindFastPair && idx.Kind() != KindDense {
+			t.Errorf("New(%q).Kind() = %q", kind, idx.Kind())
+		}
+	}
+}
+
+// TestClosestPairAfterEveryMutation asserts the core property: after
+// every single Add/Update/Remove, both implementations agree with brute
+// force on the closest pair and on the full distance table.
+func TestClosestPairAfterEveryMutation(t *testing.T) {
+	rng := stats.NewRNG(3)
+	m := newMachine()
+	mutate := func() {
+		switch rng.Intn(3) {
+		case 0:
+			m.add(rng.UniformPoint(4, 0, 5))
+		case 1:
+			if m.len() > 0 {
+				m.update(rng.Intn(m.len()), rng.UniformPoint(4, 0, 5))
+			}
+		default:
+			if m.len() > 2 {
+				m.remove(rng.Intn(m.len()))
+			} else {
+				m.add(rng.UniformPoint(4, 0, 5))
+			}
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mutate()
+		if err := m.checkClosest(); err != nil {
+			t.Fatalf("mutation %d: %v", i, err)
+		}
+		if err := m.checkAllPairs(); err != nil {
+			t.Fatalf("mutation %d: %v", i, err)
+		}
+	}
+}
+
+// TestTieBreakEquidistant pins the deterministic tie-break with
+// deliberately equidistant seeds: the four corners of a unit square
+// produce four pairs at distance exactly 1, and both implementations
+// must return the lexicographically smallest.
+func TestTieBreakEquidistant(t *testing.T) {
+	corners := []vecmath.Point{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	for _, kind := range []Kind{KindDense, KindFastPair} {
+		idx, err := New(kind, &vecmath.Counter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range corners {
+			idx.Add(p)
+		}
+		p, ok := idx.ClosestPair()
+		if !ok || p.I != 0 || p.J != 1 || p.Dist != 1 {
+			t.Errorf("%s: ClosestPair = %+v, %v; want {0 1 1}", kind, p, ok)
+		}
+		// Remove corner 0: corner 3 takes slot 0, leaving (1,1), (1,0),
+		// (0,1) — ties at distance 1 remain on pairs (0,1) and (0,2).
+		idx.Remove(0)
+		p, ok = idx.ClosestPair()
+		if !ok || p.I != 0 || p.J != 1 || p.Dist != 1 {
+			t.Errorf("%s after Remove: ClosestPair = %+v, %v; want {0 1 1}", kind, p, ok)
+		}
+	}
+}
+
+// TestTieBreakInsertionOrderIndependent inserts a tie-rich lattice in
+// random orders: whatever the order, dense, FastPair and brute force must
+// name the same pair — the lexicographically smallest under that order's
+// indexing.
+func TestTieBreakInsertionOrderIndependent(t *testing.T) {
+	base := []vecmath.Point{
+		{0, 0}, {1, 0}, {2, 0}, {0, 1}, {1, 1}, {2, 1}, {5, 5}, {6, 5},
+	}
+	rng := stats.NewRNG(9)
+	for trial := 0; trial < 20; trial++ {
+		m := newMachine()
+		for _, i := range rng.Perm(len(base)) {
+			m.add(base[i])
+		}
+		if err := m.checkClosest(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range base {
+			if err := m.checkWithin(i, 1.5); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}
+
+// TestNeighborsWithinStrict pins the boundary semantics: a seed at
+// exactly r is NOT within r (it sits on the Lemma 1 prune boundary).
+func TestNeighborsWithinStrict(t *testing.T) {
+	pts := []vecmath.Point{{0, 0}, {3, 0}, {4, 0}}
+	for _, kind := range []Kind{KindDense, KindFastPair} {
+		idx, err := New(kind, &vecmath.Counter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pts {
+			idx.Add(p)
+		}
+		if got := idx.NeighborsWithin(0, 3); len(got) != 0 {
+			t.Errorf("%s: NeighborsWithin(0, 3) = %v, want empty (strict <)", kind, got)
+		}
+		if got := idx.NeighborsWithin(0, 3.5); len(got) != 1 || got[0] != 1 {
+			t.Errorf("%s: NeighborsWithin(0, 3.5) = %v, want [1]", kind, got)
+		}
+		if got := idx.NeighborsWithin(1, 1.5); len(got) != 1 || got[0] != 2 {
+			t.Errorf("%s: NeighborsWithin(1, 1.5) = %v, want [2]", kind, got)
+		}
+	}
+}
+
+// TestPeekNeverComputes asserts the observer contract: Peek performs no
+// counted computations, reports staleness honestly, and a subsequent
+// Distance re-validates the entry.
+func TestPeekNeverComputes(t *testing.T) {
+	rng := stats.NewRNG(11)
+	var ctr vecmath.Counter
+	fp := NewFastPair(&ctr)
+	dense := NewDense(&vecmath.Counter{})
+	for i := 0; i < 6; i++ {
+		p := rng.UniformPoint(3, 0, 1)
+		fp.Add(p)
+		dense.Add(p)
+	}
+	if ctr.Computed() != 0 {
+		t.Fatalf("FastPair Add computed %d distances, want 0", ctr.Computed())
+	}
+	if _, ok := fp.Peek(0, 1); ok {
+		t.Error("Peek reported a value for a never-computed pair")
+	}
+	if ctr.Computed() != 0 {
+		t.Fatalf("Peek computed %d distances", ctr.Computed())
+	}
+	want := fp.Distance(0, 1)
+	if got, ok := fp.Peek(0, 1); !ok || got != want {
+		t.Errorf("Peek(0,1) = %g, %v after Distance; want %g, true", got, ok, want)
+	}
+	if got, ok := fp.Peek(1, 0); !ok || got != want {
+		t.Errorf("Peek(1,0) = %g, %v; want symmetric %g, true", got, ok, want)
+	}
+	before := ctr.Computed()
+	fp.Update(1, rng.UniformPoint(3, 0, 1))
+	if ctr.Computed() != before {
+		t.Fatalf("Update computed %d distances, want 0", ctr.Computed()-before)
+	}
+	if _, ok := fp.Peek(0, 1); ok {
+		t.Error("Peek reported a value for an invalidated pair")
+	}
+	// The dense index is always fully cached.
+	for i := 0; i < dense.Len(); i++ {
+		for j := 0; j < dense.Len(); j++ {
+			if _, ok := dense.Peek(i, j); !ok {
+				t.Fatalf("dense Peek(%d,%d) not cached", i, j)
+			}
+		}
+	}
+	if d, ok := fp.Peek(2, 2); !ok || d != 0 {
+		t.Errorf("Peek(i,i) = %g, %v; want 0, true", d, ok)
+	}
+}
+
+// TestConcurrentLazyFills races many readers over a fully invalidated
+// FastPair cache (the shape of phase-1 parallel searches) and asserts
+// both race-freedom (under -race) and exactly-once counting: each stale
+// pair is computed precisely once no matter how reads interleave.
+func TestConcurrentLazyFills(t *testing.T) {
+	rng := stats.NewRNG(17)
+	var ctr vecmath.Counter
+	fp := NewFastPair(&ctr)
+	const n = 32
+	pts := make([]vecmath.Point, n)
+	for i := range pts {
+		pts[i] = rng.UniformPoint(6, 0, 1)
+		fp.Add(pts[i])
+	}
+	base := ctr.Computed()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					fp.Distance(i, j)
+					fp.Peek(i, j)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ctr.Computed() - base; got != n*(n-1)/2 {
+		t.Fatalf("concurrent fills computed %d distances, want exactly %d", got, n*(n-1)/2)
+	}
+	check := vecmath.Counter{}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && fp.Distance(i, j) != check.Distance(pts[i], pts[j]) {
+				t.Fatalf("Distance(%d,%d) diverged after concurrent fills", i, j)
+			}
+		}
+	}
+}
+
+// TestRemoveSwapSemantics walks removals against the brute mirror so the
+// swap-remap of rows, columns and neighbor pointers is validated at every
+// size on the way down.
+func TestRemoveSwapSemantics(t *testing.T) {
+	rng := stats.NewRNG(23)
+	m := newMachine()
+	for i := 0; i < 20; i++ {
+		m.add(rng.UniformPoint(3, 0, 4))
+	}
+	for m.len() > 2 {
+		m.remove(rng.Intn(m.len()))
+		if err := m.checkAllPairs(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.checkClosest(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := m.dense.ClosestPair(); !ok {
+		t.Fatal("ClosestPair not ok at len 2")
+	}
+	m.remove(0)
+	if p, ok := m.dense.ClosestPair(); ok {
+		t.Fatalf("dense ClosestPair = %+v at len 1, want ok=false", p)
+	}
+	if p, ok := m.fp.ClosestPair(); ok {
+		t.Fatalf("fastpair ClosestPair = %+v at len 1, want ok=false", p)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"incbubbles/internal/core"
 	"incbubbles/internal/failpoint"
+	"incbubbles/internal/neighbor"
 )
 
 // crashEnv gates the full crash matrix (every failpoint × mode × hit);
@@ -50,15 +51,31 @@ func TestFailpointCoverage(t *testing.T) {
 }
 
 // crashCase is one cell of the matrix: kill the run the nth time the
-// workload reaches a failpoint, in a given mode.
+// workload reaches a failpoint, in a given mode, optionally under the
+// FastPair neighbor index (recovery replay exercised under the new index;
+// the dense-run reference fingerprint stays the comparison target, so the
+// fastpair legs double as cross-implementation determinism checks).
 type crashCase struct {
-	point string
-	mode  failpoint.Mode
-	hit   int
+	point    string
+	mode     failpoint.Mode
+	hit      int
+	fastpair bool
 }
 
 func (c crashCase) name() string {
-	return c.point + "/" + c.mode.String() + "/hit" + string(rune('0'+c.hit))
+	n := c.point + "/" + c.mode.String() + "/hit" + string(rune('0'+c.hit))
+	if c.fastpair {
+		n += "/fastpair"
+	}
+	return n
+}
+
+func (c crashCase) coreOpts() core.Options {
+	opts := coreOpts()
+	if c.fastpair {
+		opts.Neighbor = neighbor.KindFastPair
+	}
+	return opts
 }
 
 func (c crashCase) arm(reg *failpoint.Registry) {
@@ -79,20 +96,26 @@ func (c crashCase) arm(reg *failpoint.Registry) {
 func matrix(full bool) []crashCase {
 	if !full {
 		return []crashCase{
-			{core.FailMaintainRound, failpoint.ModeCrash, 1}, // mid-mutation, logged
-			{FailAppendWrite, failpoint.ModeTorn, 1},         // torn record on disk
-			{FailAppendSync, failpoint.ModeCrash, 1},         // durability unknown
-			{FailCkptRename, failpoint.ModeCrash, 1},         // checkpoint half-installed
+			{point: core.FailMaintainRound, mode: failpoint.ModeCrash, hit: 1},                 // mid-mutation, logged
+			{point: core.FailMaintainRound, mode: failpoint.ModeCrash, hit: 1, fastpair: true}, // same kill under the lazy index
+			{point: FailAppendWrite, mode: failpoint.ModeTorn, hit: 1},                         // torn record on disk
+			{point: FailAppendSync, mode: failpoint.ModeCrash, hit: 1},                         // durability unknown
+			{point: FailCkptRename, mode: failpoint.ModeCrash, hit: 1},                         // checkpoint half-installed
 		}
 	}
 	var cases []crashCase
 	for _, p := range allFailpoints() {
 		for _, hit := range []int{1, 2} {
-			cases = append(cases, crashCase{p, failpoint.ModeCrash, hit})
+			cases = append(cases, crashCase{point: p, mode: failpoint.ModeCrash, hit: hit})
 		}
 	}
+	for _, p := range core.Failpoints() {
+		cases = append(cases, crashCase{point: p, mode: failpoint.ModeCrash, hit: 1, fastpair: true})
+	}
 	for _, p := range []string{FailAppendWrite, FailCkptWrite} {
-		cases = append(cases, crashCase{p, failpoint.ModeTorn, 1}, crashCase{p, failpoint.ModeTorn, 2})
+		cases = append(cases,
+			crashCase{point: p, mode: failpoint.ModeTorn, hit: 1},
+			crashCase{point: p, mode: failpoint.ModeTorn, hit: 2})
 	}
 	return cases
 }
@@ -115,7 +138,7 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 			dir := t.TempDir()
 			db := f.initial.Clone()
 			reg := failpoint.New(7)
-			opts := coreOpts()
+			opts := tc.coreOpts()
 			opts.Failpoints = reg
 			walOpts := walBase
 			walOpts.Dir = dir
@@ -145,7 +168,7 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 				t.Fatalf("armed failpoint %s never killed the run (hits=%d)", tc.point, reg.Hits(tc.point))
 			}
 
-			st, err := Resume(coreOpts(), walBase.withDir(dir))
+			st, err := Resume(tc.coreOpts(), walBase.withDir(dir))
 			if err != nil {
 				t.Fatalf("resume: %v", err)
 			}
