@@ -58,13 +58,16 @@ audit: vet race
 	$(GO) test ./internal/telemetry -run='^$$' -fuzz='^FuzzEventRoundTrip$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wal -run='^$$' -fuzz='^FuzzRecordRoundTrip$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wal -run='^$$' -fuzz='^FuzzSegmentScan$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wal -run='^$$' -fuzz='^FuzzGroupCommit$$' -fuzztime=$(FUZZTIME)
 
 # Full crash-recovery matrix (DESIGN.md §10): kill the workload at every
 # registered failpoint in every mode, resume from disk, and require the
-# final state to be bit-identical to the uninterrupted run. The env var
-# unlocks the full matrix; plain `go test` runs a smoke subset.
+# final state to be bit-identical to the uninterrupted run. The pipelined
+# leg (DESIGN.md §13) replays the same property through the group-commit
+# scheduler. The env var unlocks the full matrices; plain `go test` runs a
+# smoke subset.
 crash:
-	INCBUBBLES_CRASH=1 $(GO) test ./internal/wal -run='^TestCrashRecoveryMatrix$$' -v
+	INCBUBBLES_CRASH=1 $(GO) test ./internal/wal -run='^TestCrashRecoveryMatrix$$|^TestPipelinedCrashRecoveryMatrix$$' -v
 
 # bubblelint is the repo's own analyzer suite (DESIGN.md §9): rawdist,
 # seededrng, floatsafe, telemetrysync, spanend, nopanic. The tree must stay

@@ -41,6 +41,15 @@ type QuickclusterOptions struct {
 	WALDir string
 	// CheckpointEvery is the durable checkpoint cadence (≤0 = wal default).
 	CheckpointEvery int
+	// PipelineDepth ≥ 1 configures the summarizer for staged pipelined
+	// ingestion (DESIGN.md §13) and switches the WAL to group commit.
+	// Results are bit-identical at any depth; quickcluster's one-shot build
+	// applies no batches, so this matters when the WAL directory is later
+	// driven by a streaming ingester sharing the same options.
+	PipelineDepth int
+	// GroupCommitMax bounds how many WAL records share one group fsync
+	// when PipelineDepth is set (≤0 = wal default).
+	GroupCommitMax int
 	// Telemetry optionally receives build/cluster metrics (and is what a
 	// -debug-addr endpoint serves). Instrumentation never changes results.
 	Telemetry *telemetry.Sink
@@ -51,7 +60,7 @@ type QuickclusterOptions struct {
 }
 
 func (opts QuickclusterOptions) coreOptions(numBubbles int, counter *vecmath.Counter) core.Options {
-	return core.Options{
+	co := core.Options{
 		NumBubbles:            numBubbles,
 		UseTriangleInequality: true,
 		Seed:                  opts.Seed,
@@ -61,6 +70,22 @@ func (opts QuickclusterOptions) coreOptions(numBubbles int, counter *vecmath.Cou
 		Neighbor:              opts.Neighbor,
 		Config:                core.Config{Workers: opts.Workers},
 	}
+	if opts.PipelineDepth >= 1 {
+		co.Pipeline = &core.PipelineOptions{Depth: opts.PipelineDepth}
+	}
+	return co
+}
+
+func (opts QuickclusterOptions) walOptions() wal.Options {
+	wo := wal.Options{Dir: opts.WALDir, CheckpointEvery: opts.CheckpointEvery,
+		Telemetry: opts.Telemetry, Tracer: opts.Tracer}
+	if opts.PipelineDepth >= 1 {
+		wo.GroupCommit = opts.GroupCommitMax
+		if wo.GroupCommit <= 0 {
+			wo.GroupCommit = 4 // same default as experiments.Config
+		}
+	}
+	return wo
 }
 
 // RunQuickcluster reads a CSV database from in, summarizes and clusters
@@ -75,8 +100,7 @@ func RunQuickcluster(ctx context.Context, in io.Reader, opts QuickclusterOptions
 	)
 	switch {
 	case opts.WALDir != "" && wal.HasState(opts.WALDir):
-		st, err := wal.Resume(opts.coreOptions(opts.Bubbles, &counter),
-			wal.Options{Dir: opts.WALDir, CheckpointEvery: opts.CheckpointEvery, Telemetry: opts.Telemetry, Tracer: opts.Tracer})
+		st, err := wal.Resume(opts.coreOptions(opts.Bubbles, &counter), opts.walOptions())
 		if err != nil {
 			return err
 		}
@@ -97,8 +121,7 @@ func RunQuickcluster(ctx context.Context, in io.Reader, opts QuickclusterOptions
 		if db.Len() < numBubbles {
 			numBubbles = db.Len()
 		}
-		s, l, err := wal.New(db, opts.coreOptions(numBubbles, &counter),
-			wal.Options{Dir: opts.WALDir, CheckpointEvery: opts.CheckpointEvery, Telemetry: opts.Telemetry, Tracer: opts.Tracer})
+		s, l, err := wal.New(db, opts.coreOptions(numBubbles, &counter), opts.walOptions())
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"incbubbles/internal/bubble"
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/parallel"
+	"incbubbles/internal/stats"
+	"incbubbles/internal/trace"
+	"incbubbles/internal/vecmath"
+)
+
+// PipelineOptions enables the pipelined ingestion path (DESIGN.md §13).
+type PipelineOptions struct {
+	// Depth is the speculative lookahead a scheduler may run: how many
+	// batches beyond the one currently applying may have their phase-1
+	// search in flight against a SearchView. Depth 0 enables only the
+	// pipeline's replay-deterministic per-batch reseeding with no
+	// speculation — the serial oracle the differential harness compares
+	// pipelined runs against.
+	Depth int
+}
+
+// ErrNotPipelined reports ApplyBatchPipelined on a summarizer built
+// without Options.Pipeline.
+var ErrNotPipelined = errors.New("core: summarizer was built without Options.Pipeline")
+
+// Tracer exposes the summarizer's span tracer (nil-safe, possibly a
+// recording no-op) so the pipeline scheduler can attribute its stall time
+// to the same trace the batch spans land in.
+func (s *Summarizer) Tracer() *trace.Tracer { return s.tracer }
+
+// PipelineConfigured returns the pipeline options the summarizer was
+// built with (nil when the pipelined path is disabled).
+func (s *Summarizer) PipelineConfigured() *PipelineOptions { return s.pipeline }
+
+// Speculation is the result of one speculative phase-1 search: the
+// closest-bubble targets of a future batch's insertions, computed against
+// a SearchView, plus everything needed to adopt the result exactly — the
+// view's seed epoch, the probe-stream base the live batch must agree on,
+// and the distance accounting the search performed on the view's private
+// counter. A speculation is immutable once returned.
+type Speculation struct {
+	ordinal int
+	epoch   uint64
+	base    int64
+	targets []int
+	// tallies holds the per-worker distance accounting in worker order;
+	// total is their sum. On acceptance the total merges into the live
+	// counter and the per-worker values feed the workerComputed histogram
+	// — byte-identical bookkeeping to the live search.
+	tallies []vecmath.Tally
+	total   vecmath.Tally
+	seconds float64
+}
+
+// Ordinal returns the batch ordinal the speculation was computed for.
+func (sp *Speculation) Ordinal() int { return sp.ordinal }
+
+// SearchView is a snapshot-isolated clone of the summarizer's search
+// state — seed positions plus the dense seed-distance matrix — against
+// which a scheduler speculates future batches' phase-1 searches while
+// earlier batches are still applying. The view is frozen: apply/maintain
+// on the live summarizer never perturbs it. It is safe for use from one
+// searcher goroutine at a time; the searches themselves fan out over the
+// configured worker pool exactly like the live path.
+type SearchView struct {
+	view     *bubble.Set
+	epoch    uint64
+	seedBase int64
+	workers  int
+	tracer   *trace.Tracer
+}
+
+// NewSearchView clones the current search state. It must be called at a
+// batch boundary (no apply in flight); the returned view then remains
+// valid indefinitely — speculations made against it are simply rejected
+// at apply time once the live seed epoch has moved on.
+func (s *Summarizer) NewSearchView() (*SearchView, error) {
+	if s.pipeline == nil {
+		return nil, ErrNotPipelined
+	}
+	v, err := s.set.SearchView()
+	if err != nil {
+		return nil, err
+	}
+	return &SearchView{
+		view:     v,
+		epoch:    s.set.SeedEpoch(),
+		seedBase: s.seedBase,
+		workers:  s.cfg.Workers,
+		tracer:   s.tracer,
+	}, nil
+}
+
+// Epoch returns the live seed epoch the view was cloned at.
+func (v *SearchView) Epoch() uint64 { return v.epoch }
+
+// Speculate runs the phase-1 closest-seed search of a future batch
+// against the frozen view. The probe streams are derived exactly as the
+// live batch will derive them — rng := SubSeed(seed, ordinal), base :=
+// rng.Int63(), item k probes with SubSeed(base, k) — so an accepted
+// speculation is bit-identical to the search the serial path would have
+// run: same targets, same per-worker computed/pruned tallies. All
+// distance accounting lands on the view's private counter (captured by
+// the core.search.spec span); the live counter is untouched until the
+// speculation is accepted.
+func (v *SearchView) Speculate(ctx context.Context, ordinal int, batch dataset.Batch) (*Speculation, error) {
+	spec := &Speculation{ordinal: ordinal, epoch: v.epoch}
+	inserts := insertIndices(batch)
+	spec.targets = make([]int, len(inserts))
+	if len(inserts) == 0 {
+		return spec, nil
+	}
+	// The live batch draws its base as the first Int63 after reseeding
+	// from SubSeed(seedBase, ordinal); reproduce that draw here.
+	spec.base = stats.NewRNG(stats.SubSeed(v.seedBase, ordinal)).Int63()
+	ssp := v.tracer.Start("core.search.spec").Bind(v.view.Counter())
+	defer ssp.End()
+	ssp.SetInt(trace.AttrOrdinal, int64(ordinal))
+	ssp.SetInt(trace.AttrCount, int64(len(inserts)))
+	start := time.Now()
+	err := parallel.ForEachWorker(ctx, len(inserts), resolveWorkers(v.workers, len(inserts)),
+		func(int) *bubble.Finder { return v.view.NewFinder() },
+		func(f *bubble.Finder, k int) error {
+			u := batch[inserts[k]]
+			t, _, err := f.ClosestSeed(u.P, stats.SubSeed(spec.base, k))
+			if err != nil {
+				return fmt.Errorf("core: speculative insert %d: %w", u.ID, err)
+			}
+			spec.targets[k] = t
+			return nil
+		},
+		func(_ int, f *bubble.Finder) error {
+			t := f.Tally()
+			spec.tallies = append(spec.tallies, t)
+			spec.total.Computed += t.Computed
+			spec.total.Pruned += t.Pruned
+			f.Flush() // folds into the view counter for the span's delta
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	spec.seconds = time.Since(start).Seconds()
+	return spec, nil
+}
+
+// ApplyBatchPipelined is ApplyBatchContext with a speculative phase-1
+// result. If spec is still valid — computed for this ordinal, from a view
+// whose seed epoch matches the live set, with the probe-stream base the
+// live RNG reproduces — its targets are adopted and its distance tallies
+// merge into the live accounting exactly as the live search would have
+// counted them. A stale or mismatched speculation is discarded without a
+// trace on the accounting and the search reruns against live state, which
+// is the serial path verbatim. Either way the batch result is
+// bit-identical to serial execution; the differential harness pins this.
+func (s *Summarizer) ApplyBatchPipelined(ctx context.Context, batch dataset.Batch, spec *Speculation) (BatchStats, error) {
+	if s.pipeline == nil {
+		return BatchStats{}, ErrNotPipelined
+	}
+	return s.applyBatchInternal(ctx, batch, spec)
+}
+
+// resolveSearch produces the phase-1 targets: the live fan-out when no
+// (valid) speculation is supplied, the speculative result otherwise. The
+// RNG discipline is identical on every path — the base is drawn iff the
+// batch has insertions, before acceptance is decided, so the downstream
+// maintenance draws see the same stream regardless of the outcome.
+func (s *Summarizer) resolveSearch(ctx context.Context, batch dataset.Batch, ordinal int, spec *Speculation, bsp *trace.Span) ([]int, error) {
+	if spec == nil {
+		return s.searchInserts(ctx, batch, bsp)
+	}
+	inserts := insertIndices(batch)
+	targets := make([]int, len(inserts))
+	if len(inserts) == 0 {
+		return targets, nil
+	}
+	base := s.rng.Int63()
+	if spec.ordinal == ordinal && spec.base == base &&
+		spec.epoch == s.set.SeedEpoch() && len(spec.targets) == len(inserts) {
+		// Accept: adopt the targets and merge the exact accounting the
+		// speculative search performed — total into the shared counter
+		// (whence syncDistances advances the telemetry by the same
+		// delta), per-worker tallies into the worker histogram, the
+		// measured search time into the phase histogram.
+		s.set.Counter().Add(spec.total.Computed, spec.total.Pruned)
+		for _, t := range spec.tallies {
+			s.observeWorkerTally(t)
+		}
+		if s.sink != nil {
+			s.metrics.searchSeconds.Observe(spec.seconds)
+		}
+		bsp.SetInt(trace.AttrSpecHit, 1)
+		return spec.targets, nil
+	}
+	// Stale: the seeds moved (or the speculation was mislabeled) since
+	// the view was cloned. Discard it — nothing it counted has touched
+	// the live accounting — and rerun phase 1 against live state with
+	// the already-drawn base: the serial path verbatim.
+	bsp.SetInt(trace.AttrSpecHit, 0)
+	return s.searchInsertsBase(ctx, batch, inserts, targets, base, bsp)
+}

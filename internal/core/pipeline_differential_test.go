@@ -1,0 +1,227 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"incbubbles/internal/core"
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/pipeline"
+	"incbubbles/internal/synth"
+	"incbubbles/internal/telemetry"
+	"incbubbles/internal/trace"
+	"incbubbles/internal/wal"
+)
+
+// The lockstep differential harness: every synthetic scenario runs twice
+// — once through the Depth-0 serial oracle (reseed discipline only, no
+// speculation) and once through the real pipelined scheduler — and the
+// two summarizers must agree byte-for-byte after EVERY batch, not just at
+// the end. Distance-computation telemetry must also agree exactly: an
+// accepted speculation must account the same arithmetic the serial
+// search would have done, and a rejected one must leave no trace.
+
+func diffWorkload(t *testing.T, kind synth.Kind, points, batches int) (*dataset.DB, []dataset.Batch) {
+	t.Helper()
+	sc, err := synth.NewScenario(synth.Config{
+		Kind: kind, InitialPoints: points, Batches: batches, Seed: 11,
+	})
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	initial := sc.DB().Clone()
+	bs := make([]dataset.Batch, batches)
+	for i := range bs {
+		if bs[i], err = sc.NextBatch(); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	return initial, bs
+}
+
+func diffOpts(depth, workers int, sink *telemetry.Sink) core.Options {
+	return core.Options{
+		NumBubbles: 10,
+		Seed:       7,
+		Telemetry:  sink,
+		Pipeline:   &core.PipelineOptions{Depth: depth},
+		Config:     core.Config{Workers: workers},
+	}
+}
+
+func distCounters(t *testing.T, sink *telemetry.Sink) (computed, pruned uint64) {
+	t.Helper()
+	snap := sink.Metrics.Snapshot()
+	return snap.Counters[telemetry.MetricDistanceComputed], snap.Counters[telemetry.MetricDistancePruned]
+}
+
+// runDifferential drives one scenario through both twins in lockstep.
+func runDifferential(t *testing.T, kind synth.Kind, depth, workers int) {
+	t.Helper()
+	initial, batches := diffWorkload(t, kind, 300, 5)
+
+	serialSink := telemetry.NewSink()
+	serialDB := initial.Clone()
+	serial, err := core.New(serialDB, diffOpts(0, workers, serialSink))
+	if err != nil {
+		t.Fatalf("serial core.New: %v", err)
+	}
+
+	pipeSink := telemetry.NewSink()
+	tracer := trace.New(trace.Options{})
+	pipeOpts := diffOpts(depth, workers, pipeSink)
+	pipeOpts.Tracer = tracer
+	piped, err := core.New(initial.Clone(), pipeOpts)
+	if err != nil {
+		t.Fatalf("pipelined core.New: %v", err)
+	}
+	sched, err := pipeline.New(piped, nil, pipeline.Config{Replay: true})
+	if err != nil {
+		t.Fatalf("pipeline.New: %v", err)
+	}
+
+	for i, b := range batches {
+		applied, err := b.Replay(serialDB)
+		if err != nil {
+			t.Fatalf("batch %d replay: %v", i, err)
+		}
+		if _, err := serial.ApplyBatchContext(context.Background(), applied); err != nil {
+			t.Fatalf("serial batch %d: %v", i, err)
+		}
+		tk, err := sched.Submit(context.Background(), b)
+		if err != nil {
+			t.Fatalf("batch %d submit: %v", i, err)
+		}
+		if _, err := tk.Wait(context.Background()); err != nil {
+			t.Fatalf("pipelined batch %d: %v", i, err)
+		}
+
+		sfp, err := wal.Fingerprint(serial)
+		if err != nil {
+			t.Fatalf("serial fingerprint %d: %v", i, err)
+		}
+		pfp, err := wal.Fingerprint(piped)
+		if err != nil {
+			t.Fatalf("pipelined fingerprint %d: %v", i, err)
+		}
+		if !bytes.Equal(sfp, pfp) {
+			t.Fatalf("fingerprints diverge after batch %d", i)
+		}
+	}
+	if err := sched.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	sc, sp := distCounters(t, serialSink)
+	pc, pp := distCounters(t, pipeSink)
+	if sc != pc || sp != pp {
+		t.Fatalf("distance telemetry diverges: serial computed=%d pruned=%d, pipelined computed=%d pruned=%d",
+			sc, sp, pc, pp)
+	}
+	c1, p1 := serial.Set().Counter().Snapshot()
+	c2, p2 := piped.Set().Counter().Snapshot()
+	if c1 != c2 || p1 != p2 {
+		t.Fatalf("live counters diverge: serial %d/%d, pipelined %d/%d", c1, p1, c2, p2)
+	}
+
+	// The equality above must not be vacuous: in lockstep the view is
+	// refreshed before each submission, so every speculation must have
+	// been accepted — the pipelined twin really did adopt precomputed
+	// search results rather than quietly re-running the serial path.
+	hits, misses := 0, 0
+	for _, rec := range tracer.Snapshot() {
+		if rec.Name != "core.batch" {
+			continue
+		}
+		switch v, ok := rec.Attr(trace.AttrSpecHit); {
+		case !ok:
+			t.Fatalf("batch span without %s attribute", trace.AttrSpecHit)
+		case v == 1:
+			hits++
+		default:
+			misses++
+		}
+	}
+	if hits != len(batches) || misses != 0 {
+		t.Fatalf("speculation hits=%d misses=%d, want %d/0", hits, misses, len(batches))
+	}
+}
+
+func TestPipelineDifferentialLockstep(t *testing.T) {
+	for _, kind := range synth.Kinds() {
+		for _, depth := range []int{1, 2, 3} {
+			for _, workers := range []int{1, 4} {
+				if testing.Short() && depth == 2 {
+					continue
+				}
+				name := fmt.Sprintf("%s/depth%d/workers%d", kind, depth, workers)
+				t.Run(name, func(t *testing.T) {
+					runDifferential(t, kind, depth, workers)
+				})
+			}
+		}
+	}
+}
+
+// TestPipelineDifferentialStreamed floods the scheduler (submit
+// everything, then wait) so batches genuinely queue at depth, and
+// compares only the final state against the serial oracle.
+func TestPipelineDifferentialStreamed(t *testing.T) {
+	for _, kind := range []synth.Kind{synth.Complex, synth.Gradmove} {
+		t.Run(kind.String(), func(t *testing.T) {
+			initial, batches := diffWorkload(t, kind, 400, 8)
+
+			serialDB := initial.Clone()
+			serial, err := core.New(serialDB, diffOpts(0, 2, nil))
+			if err != nil {
+				t.Fatalf("serial core.New: %v", err)
+			}
+			for i, b := range batches {
+				applied, err := b.Replay(serialDB)
+				if err != nil {
+					t.Fatalf("batch %d replay: %v", i, err)
+				}
+				if _, err := serial.ApplyBatchContext(context.Background(), applied); err != nil {
+					t.Fatalf("serial batch %d: %v", i, err)
+				}
+			}
+
+			piped, err := core.New(initial.Clone(), diffOpts(3, 2, nil))
+			if err != nil {
+				t.Fatalf("pipelined core.New: %v", err)
+			}
+			sched, err := pipeline.New(piped, nil, pipeline.Config{Replay: true})
+			if err != nil {
+				t.Fatalf("pipeline.New: %v", err)
+			}
+			tickets := make([]*pipeline.Ticket, len(batches))
+			for i, b := range batches {
+				if tickets[i], err = sched.Submit(context.Background(), b); err != nil {
+					t.Fatalf("batch %d submit: %v", i, err)
+				}
+			}
+			for i, tk := range tickets {
+				if _, err := tk.Wait(context.Background()); err != nil {
+					t.Fatalf("pipelined batch %d: %v", i, err)
+				}
+			}
+			if err := sched.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+
+			sfp, err := wal.Fingerprint(serial)
+			if err != nil {
+				t.Fatalf("serial fingerprint: %v", err)
+			}
+			pfp, err := wal.Fingerprint(piped)
+			if err != nil {
+				t.Fatalf("pipelined fingerprint: %v", err)
+			}
+			if !bytes.Equal(sfp, pfp) {
+				t.Fatal("streamed pipelined fingerprint differs from serial")
+			}
+		})
+	}
+}

@@ -61,6 +61,36 @@ func (b Batch) Counts() (inserts, deletes int) {
 // ErrDanglingDelete reports a deletion of an ID not present when applied.
 var ErrDanglingDelete = errors.New("dataset: delete of unknown id")
 
+// Replay executes a pre-recorded batch against db without mutating the
+// recorded template: insertions keep their recorded IDs and deletions
+// re-resolve their coordinates from db. It returns the applied copy —
+// the form downstream consumers (the summarizer, WAL replay) expect. An
+// error aborts at the failing update; prior updates remain applied,
+// exactly like Apply.
+func (b Batch) Replay(db *DB) (Batch, error) {
+	out := make(Batch, len(b))
+	copy(out, b)
+	for i := range out {
+		u := &out[i]
+		switch u.Op {
+		case OpInsert:
+			if err := db.InsertWithID(Record{ID: u.ID, P: u.P, Label: u.Label}); err != nil {
+				return nil, fmt.Errorf("update %d: %w", i, err)
+			}
+		case OpDelete:
+			rec, err := db.Delete(u.ID)
+			if err != nil {
+				return nil, fmt.Errorf("update %d: %w: %v", i, ErrDanglingDelete, err)
+			}
+			u.P = rec.P
+			u.Label = rec.Label
+		default:
+			return nil, fmt.Errorf("update %d: unknown op %d", i, u.Op)
+		}
+	}
+	return out, nil
+}
+
 // Apply executes the batch against db in order, filling in assigned IDs for
 // insertions and coordinates for deletions. It returns the same slice for
 // convenience. The batch is applied atomically in the sense that an error

@@ -9,6 +9,7 @@ import (
 
 	"incbubbles/internal/core"
 	"incbubbles/internal/dataset"
+	"incbubbles/internal/pipeline"
 	"incbubbles/internal/synth"
 	"incbubbles/internal/telemetry"
 	"incbubbles/internal/wal"
@@ -52,6 +53,14 @@ func Recovery(ctx context.Context, cfg Config, walDir string, checkpointEvery in
 		Seed:                  cfg.Seed + 1,
 		Config:                core.Config{Workers: cfg.Workers},
 	})
+	if cfg.PipelineDepth > 0 {
+		// Pipelined writer, serial reader: both durable runs ingest through
+		// the scheduler (group commit, async checkpoints), and recovery
+		// still replays through the plain serial path below — the
+		// crash-crossover the pipelined matrix tests, demonstrated here.
+		coreOpts.Pipeline = &core.PipelineOptions{Depth: cfg.PipelineDepth}
+		walOpts.GroupCommit = cfg.GroupCommitMax
+	}
 
 	initial, batches, err := recoveryWorkload(cfg)
 	if err != nil {
@@ -136,28 +145,53 @@ func recoveryWorkload(cfg Config) (*dataset.DB, []dataset.Batch, error) {
 }
 
 // durableRun builds a durable summarizer over db and applies the first
-// upto batches. When upto covers the whole workload the log is closed
-// cleanly and the final fingerprint returned; otherwise the log is
-// abandoned open — the crash simulation.
+// upto batches — serially, or through the pipeline scheduler when the
+// core options carry a pipeline depth. When upto covers the whole
+// workload the log is closed cleanly and the final fingerprint returned;
+// otherwise the log is abandoned open — the crash simulation (the
+// scheduler, if any, is drained first so no goroutine outlives the run).
 func durableRun(ctx context.Context, db *dataset.DB, batches []dataset.Batch, coreOpts core.Options, walOpts wal.Options, upto int) ([]byte, error) {
 	s, l, err := wal.New(db, coreOpts, walOpts)
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < upto; i++ {
-		if err := ctx.Err(); err != nil {
+	if coreOpts.Pipeline != nil && coreOpts.Pipeline.Depth >= 1 {
+		sched, err := pipeline.New(s, l, pipeline.Config{Replay: true})
+		if err != nil {
 			return nil, err
 		}
-		applied, err := Reapply(db, batches[i])
-		if err != nil {
-			return nil, fmt.Errorf("batch %d: %w", i, err)
+		for i := 0; i < upto; i++ {
+			tk, err := sched.Submit(ctx, batches[i])
+			if err != nil {
+				return nil, fmt.Errorf("batch %d: %w", i, err)
+			}
+			if _, err := tk.Wait(ctx); err != nil {
+				return nil, fmt.Errorf("batch %d: %w", i, err)
+			}
 		}
-		if _, err := s.ApplyBatchContext(ctx, applied); err != nil {
-			return nil, fmt.Errorf("batch %d: %w", i, err)
+		if upto < len(batches) {
+			_ = sched.Close() // drain only; the open log IS the crash state
+			return nil, nil
 		}
-	}
-	if upto < len(batches) {
-		return nil, nil // crash: leave the log open and un-checkpointed
+		if err := sched.Close(); err != nil {
+			return nil, err
+		}
+	} else {
+		for i := 0; i < upto; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			applied, err := Reapply(db, batches[i])
+			if err != nil {
+				return nil, fmt.Errorf("batch %d: %w", i, err)
+			}
+			if _, err := s.ApplyBatchContext(ctx, applied); err != nil {
+				return nil, fmt.Errorf("batch %d: %w", i, err)
+			}
+		}
+		if upto < len(batches) {
+			return nil, nil // crash: leave the log open and un-checkpointed
+		}
 	}
 	fp, err := wal.Fingerprint(s)
 	if err != nil {
@@ -170,27 +204,7 @@ func durableRun(ctx context.Context, db *dataset.DB, batches []dataset.Batch, co
 // insert IDs and re-resolving delete coordinates, without mutating the
 // recorded template.
 func Reapply(db *dataset.DB, batch dataset.Batch) (dataset.Batch, error) {
-	out := make(dataset.Batch, len(batch))
-	copy(out, batch)
-	for i := range out {
-		u := &out[i]
-		switch u.Op {
-		case dataset.OpInsert:
-			if err := db.InsertWithID(dataset.Record{ID: u.ID, P: u.P, Label: u.Label}); err != nil {
-				return nil, err
-			}
-		case dataset.OpDelete:
-			rec, err := db.Delete(u.ID)
-			if err != nil {
-				return nil, err
-			}
-			u.P = rec.P
-			u.Label = rec.Label
-		default:
-			return nil, fmt.Errorf("unknown op %v", u.Op)
-		}
-	}
-	return out, nil
+	return batch.Replay(db)
 }
 
 // WriteRecovery renders a RecoveryResult.

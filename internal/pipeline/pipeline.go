@@ -1,0 +1,357 @@
+// Package pipeline schedules the staged ingestion path (DESIGN.md §13):
+// a searcher goroutine speculates batch N+1's phase-1 closest-seed
+// search against a snapshot-isolated view — and, when a WAL in group
+// mode is attached, appends the batch's record to the group-commit queue
+// — while the applier goroutine completes batch N's apply/maintain.
+// Apply order is enforced by construction: tickets flow through a FIFO
+// and a single applier consumes them in submission order, and the core
+// revalidates every speculation against the live seed epoch before
+// adopting it, so results are bit-identical to serial execution (the
+// lockstep differential harness pins this).
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"incbubbles/internal/core"
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/trace"
+	"incbubbles/internal/wal"
+)
+
+// Common errors.
+var (
+	ErrClosed = errors.New("pipeline: scheduler is closed")
+	// ErrStale fails every in-flight ticket behind a cleanly-failed one:
+	// applying them would skip the failed batch. None of them consumed
+	// anything (the failed batch's enqueue wrote nothing, and later
+	// tickets skip the WAL once their ordinal stamps disagree with it),
+	// so the producer resubmits the failed batch and everything after it,
+	// in order.
+	ErrStale = errors.New("pipeline: batch superseded by an earlier failure; resubmit")
+)
+
+// Ticket tracks one submitted batch through the pipeline. Wait blocks
+// until the batch has been applied (or failed); a context cancellation
+// during Wait abandons only the waiting — the batch stays in flight and
+// a later Wait observes its final outcome, which is what makes a
+// cancelled commit retryable rather than lost.
+type Ticket struct {
+	batch   dataset.Batch
+	ordinal int
+	spec    *core.Speculation
+	enqErr  error
+
+	done  chan struct{}
+	stats core.BatchStats
+	err   error
+}
+
+// Batch returns the submitted batch (for resubmission after a clean
+// failure).
+func (t *Ticket) Batch() dataset.Batch { return t.batch }
+
+// Done reports whether the ticket has completed without blocking.
+func (t *Ticket) Done() bool {
+	select {
+	case <-t.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the batch completes and returns its result. If ctx
+// is cancelled first, Wait returns ctx.Err() and the batch REMAINS in
+// flight — call Wait again to pick up the outcome.
+func (t *Ticket) Wait(ctx context.Context) (core.BatchStats, error) {
+	select {
+	case <-t.done:
+		return t.stats, t.err
+	case <-ctx.Done():
+		return core.BatchStats{}, ctx.Err()
+	}
+}
+
+func (t *Ticket) finish(stats core.BatchStats, err error) {
+	t.stats, t.err = stats, err
+	close(t.done)
+}
+
+// Config tunes a Scheduler.
+type Config struct {
+	// Replay makes the applier execute each submitted batch against the
+	// summarizer's database (dataset.Batch.Replay) immediately before
+	// applying it. Producers then submit recorded template batches and
+	// never touch the database themselves, which is what allows batch
+	// N+1's speculation to truly overlap batch N's apply. When false,
+	// submitted batches must already be applied to the database and the
+	// producer must not mutate the database while a ticket is in flight
+	// (stream.Window's single-inflight discipline).
+	Replay bool
+}
+
+// Scheduler runs the two pipeline stages. Submit and Close must be
+// called from one producer goroutine; Wait may be called from anywhere.
+type Scheduler struct {
+	s      *core.Summarizer
+	log    *wal.Log // nil for a non-durable pipeline
+	tracer *trace.Tracer
+	gmax   int
+	replay bool
+
+	submitCh chan *Ticket
+	readyCh  chan *Ticket
+
+	// view is the current speculation snapshot; the applier replaces it
+	// after any batch that moved the seed epoch. nextOrd is the
+	// searcher's ordinal stamp for speculation and enqueue. A stale
+	// stamp is never a correctness problem — the core derives the real
+	// ordinal from its own batch counter, speculation acceptance
+	// requires an exact ordinal match, and the WAL enqueue is guarded by
+	// the log's own watermark — it only costs a rejected speculation.
+	view    atomic.Pointer[core.SearchView]
+	nextOrd atomic.Int64
+
+	mu     sync.Mutex
+	err    error // sticky fatal failure; clean per-ticket failures do not set it
+	closed bool
+
+	searcherDone chan struct{}
+	applierDone  chan struct{}
+}
+
+// New starts a scheduler over a summarizer built with Options.Pipeline
+// (Depth ≥ 1). log is optional; when given it must have group commit
+// enabled — the pipeline's ack barrier is the group fsync.
+func New(s *core.Summarizer, log *wal.Log, cfg Config) (*Scheduler, error) {
+	po := s.PipelineConfigured()
+	if po == nil {
+		return nil, core.ErrNotPipelined
+	}
+	if po.Depth < 1 {
+		return nil, errors.New("pipeline: Options.Pipeline.Depth must be ≥ 1 (0 is the serial oracle)")
+	}
+	if log != nil && log.GroupCommitMax() <= 0 {
+		return nil, errors.New("pipeline: attached WAL must enable group commit (wal.Options.GroupCommit > 0)")
+	}
+	view, err := s.NewSearchView()
+	if err != nil {
+		return nil, err
+	}
+	p := &Scheduler{
+		s:            s,
+		log:          log,
+		tracer:       s.Tracer(),
+		replay:       cfg.Replay,
+		submitCh:     make(chan *Ticket, po.Depth),
+		readyCh:      make(chan *Ticket, po.Depth),
+		searcherDone: make(chan struct{}),
+		applierDone:  make(chan struct{}),
+	}
+	if log != nil {
+		p.gmax = log.GroupCommitMax()
+	}
+	p.view.Store(view)
+	p.nextOrd.Store(int64(s.Batches()))
+	go p.searcher()
+	go p.applier()
+	return p, nil
+}
+
+// Submit enqueues one applied batch. It blocks while the pipeline is at
+// depth (backpressure); ctx aborts only the enqueue attempt. Once Submit
+// returns a Ticket the batch runs to completion regardless of any
+// context — durability acks are never abandoned halfway.
+func (p *Scheduler) Submit(ctx context.Context, batch dataset.Batch) (*Ticket, error) {
+	p.mu.Lock()
+	closed, sticky := p.closed, p.err
+	p.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if sticky != nil {
+		return nil, fmt.Errorf("pipeline: stopped by earlier failure: %w", sticky)
+	}
+	t := &Ticket{batch: batch, done: make(chan struct{})}
+	select {
+	case p.submitCh <- t:
+		return t, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Err returns the sticky fatal error that stopped the pipeline, if any.
+func (p *Scheduler) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+func (p *Scheduler) setFatal(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// Close drains the pipeline — every submitted batch completes — and
+// stops both stages, then waits out any in-flight async checkpoint and
+// surfaces its failure (a checkpoint that dies after the last batch has
+// no later AfterApply to report through). It returns the sticky fatal
+// error first, the checkpoint error otherwise. The attached log is NOT
+// closed (and its enqueued-but-never-acked records are NOT flushed: no
+// ack was released for them, so on a resume they are free to land on
+// either side, exactly like a crash).
+func (p *Scheduler) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return p.err
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.submitCh)
+	<-p.searcherDone
+	<-p.applierDone
+	err := p.Err()
+	if p.log != nil {
+		if aerr := p.log.AsyncBarrier(); aerr != nil && err == nil {
+			err = fmt.Errorf("pipeline: async checkpoint: %w", aerr)
+		}
+	}
+	return err
+}
+
+// searcher is stage 1: in submission order, speculate the batch's
+// phase-1 search against the current view, append its WAL record to the
+// group queue, and flush the queue at every gmax boundary.
+func (p *Scheduler) searcher() {
+	defer close(p.searcherDone)
+	defer close(p.readyCh)
+	for t := range p.submitCh {
+		ord := int(p.nextOrd.Load())
+		t.ordinal = ord
+		p.nextOrd.Store(int64(ord + 1))
+		if p.Err() == nil {
+			if spec, err := p.view.Load().Speculate(context.Background(), ord, t.batch); err == nil {
+				t.spec = spec
+			}
+			// A speculation error is dropped, not fatal: the live
+			// search reproduces (and properly reports) it at apply.
+			if p.log != nil {
+				p.enqueue(t)
+			}
+		}
+		p.readyCh <- t
+	}
+}
+
+// enqueue appends the ticket's record to the group-commit queue and
+// flushes at the gmax boundary. The watermark guard skips the append
+// when the stamp disagrees with the log (after a clean failure rewound
+// ordinals): the applier's BeforeApply then falls back to the serial
+// append-and-sync for that batch, which is always correct.
+func (p *Scheduler) enqueue(t *Ticket) {
+	if uint64(t.ordinal) != p.log.NextAppendOrdinal() {
+		return
+	}
+	if err := p.log.Enqueue(context.Background(), uint64(t.ordinal), t.batch); err != nil {
+		t.enqErr = err
+		return
+	}
+	if p.log.PendingEnqueued() >= p.gmax {
+		if err := p.log.Flush(context.Background()); err != nil {
+			t.enqErr = err
+		}
+	}
+}
+
+// applier is stage 2: in order, apply each batch (adopting its
+// speculation when still valid), refresh the speculation view after any
+// seed movement, and kick off due checkpoints asynchronously at the
+// batch boundary. The core.pipeline.stall span measures how long the
+// applier sat idle waiting for stage 1 — the pipeline's bubble time.
+func (p *Scheduler) applier() {
+	defer close(p.applierDone)
+	for {
+		sp := p.tracer.Start("core.pipeline.stall")
+		t, ok := <-p.readyCh
+		sp.End()
+		if !ok {
+			return
+		}
+		if err := p.Err(); err != nil {
+			t.finish(core.BatchStats{}, fmt.Errorf("pipeline: aborted by earlier failure: %w", err))
+			continue
+		}
+		if t.enqErr != nil {
+			p.failClean(t, fmt.Errorf("pipeline: batch %d not durable: %w", t.ordinal, t.enqErr))
+			continue
+		}
+		if t.ordinal != p.s.Batches() {
+			// Stamped before an earlier ticket failed and rewound the
+			// ordinal clock: applying it would skip the failed batch.
+			p.failClean(t, fmt.Errorf("%w (batch %d, applied %d)", ErrStale, t.ordinal, p.s.Batches()))
+			continue
+		}
+		batch := t.batch
+		if p.replay {
+			var rerr error
+			if batch, rerr = t.batch.Replay(p.s.DB()); rerr != nil {
+				err := fmt.Errorf("pipeline: batch %d replay: %w", t.ordinal, rerr)
+				p.setFatal(err)
+				t.finish(core.BatchStats{}, err)
+				continue
+			}
+		}
+		stats, err := p.s.ApplyBatchPipelined(context.Background(), batch, t.spec)
+		if err != nil {
+			// The database may already carry the batch; only a failure
+			// that provably consumed nothing is retryable.
+			if !p.replay && p.s.Batches() == t.ordinal && (p.log == nil || p.log.Poisoned() == nil) {
+				p.failClean(t, err)
+			} else {
+				p.setFatal(err)
+				t.finish(core.BatchStats{}, err)
+			}
+			continue
+		}
+		if v := p.view.Load(); v.Epoch() != p.s.Set().SeedEpoch() {
+			if nv, verr := p.s.NewSearchView(); verr == nil {
+				p.view.Store(nv)
+			}
+			// on error keep the stale view: speculations against it are
+			// rejected at apply time, which is merely the serial path.
+		}
+		if p.log != nil && p.log.CheckpointDue() {
+			if cerr := p.log.StartAsyncCheckpoint(p.s); cerr != nil {
+				err := fmt.Errorf("pipeline: async checkpoint: %w", cerr)
+				p.setFatal(err)
+				t.finish(stats, err)
+				continue
+			}
+		}
+		t.finish(stats, nil)
+	}
+}
+
+// failClean fails one ticket without stopping the pipeline: the batch
+// consumed nothing (not applied, not durable), so the ordinal stamp
+// rewinds and a resubmission of the same batch can retry. If the log
+// turned out poisoned after all, escalate to fatal — no later batch can
+// commit.
+func (p *Scheduler) failClean(t *Ticket, err error) {
+	if p.log != nil && p.log.Poisoned() != nil {
+		p.setFatal(err)
+	} else {
+		p.nextOrd.Store(int64(p.s.Batches()))
+	}
+	t.finish(core.BatchStats{}, err)
+}

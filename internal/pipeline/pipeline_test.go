@@ -1,0 +1,321 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"incbubbles/internal/core"
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/experiments"
+	"incbubbles/internal/failpoint"
+	"incbubbles/internal/pipeline"
+	"incbubbles/internal/synth"
+	"incbubbles/internal/wal"
+)
+
+// workload is a reproducible update stream over a clonable initial DB.
+type workload struct {
+	initial *dataset.DB
+	batches []dataset.Batch
+}
+
+func makeWorkload(t *testing.T, points, batches int) *workload {
+	t.Helper()
+	sc, err := synth.NewScenario(synth.Config{
+		Kind: synth.Complex, InitialPoints: points, Batches: batches, Seed: 33,
+	})
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	initial := sc.DB().Clone()
+	bs := make([]dataset.Batch, batches)
+	for i := range bs {
+		if bs[i], err = sc.NextBatch(); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	return &workload{initial: initial, batches: bs}
+}
+
+func pipelineOpts(depth int) core.Options {
+	return core.Options{
+		NumBubbles: 12,
+		Seed:       5,
+		Pipeline:   &core.PipelineOptions{Depth: depth},
+	}
+}
+
+// runSerial applies the workload through the Depth-0 serial oracle and
+// returns the state fingerprint.
+func runSerial(t *testing.T, w *workload) []byte {
+	t.Helper()
+	db := w.initial.Clone()
+	s, err := core.New(db, pipelineOpts(0))
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	for i, b := range w.batches {
+		applied, err := experiments.Reapply(db, b)
+		if err != nil {
+			t.Fatalf("batch %d reapply: %v", i, err)
+		}
+		if _, err := s.ApplyBatchContext(context.Background(), applied); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	return fingerprint(t, s)
+}
+
+func fingerprint(t *testing.T, s *core.Summarizer) []byte {
+	t.Helper()
+	fp, err := wal.Fingerprint(s)
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	return fp
+}
+
+func TestSchedulerMatchesSerial(t *testing.T) {
+	w := makeWorkload(t, 600, 8)
+	want := runSerial(t, w)
+
+	s, err := core.New(w.initial.Clone(), pipelineOpts(2))
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	p, err := pipeline.New(s, nil, pipeline.Config{Replay: true})
+	if err != nil {
+		t.Fatalf("pipeline.New: %v", err)
+	}
+	tickets := make([]*pipeline.Ticket, 0, len(w.batches))
+	for i, b := range w.batches {
+		tk, err := p.Submit(context.Background(), b)
+		if err != nil {
+			t.Fatalf("batch %d submit: %v", i, err)
+		}
+		tickets = append(tickets, tk)
+	}
+	for i, tk := range tickets {
+		if _, err := tk.Wait(context.Background()); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got := fingerprint(t, s); !bytes.Equal(got, want) {
+		t.Fatal("pipelined fingerprint differs from serial")
+	}
+	if s.Batches() != len(w.batches) {
+		t.Fatalf("batches=%d want %d", s.Batches(), len(w.batches))
+	}
+}
+
+func TestSchedulerDurableMatchesSerial(t *testing.T) {
+	w := makeWorkload(t, 500, 6)
+
+	serialDB := w.initial.Clone()
+	ss, sl, err := wal.New(serialDB, pipelineOpts(0), wal.Options{Dir: t.TempDir(), CheckpointEvery: 2})
+	if err != nil {
+		t.Fatalf("serial wal.New: %v", err)
+	}
+	for i, b := range w.batches {
+		applied, err := experiments.Reapply(serialDB, b)
+		if err != nil {
+			t.Fatalf("batch %d reapply: %v", i, err)
+		}
+		if _, err := ss.ApplyBatchContext(context.Background(), applied); err != nil {
+			t.Fatalf("serial batch %d: %v", i, err)
+		}
+	}
+	want := fingerprint(t, ss)
+	if err := sl.Close(); err != nil {
+		t.Fatalf("serial close: %v", err)
+	}
+
+	s, l, err := wal.New(w.initial.Clone(), pipelineOpts(2), wal.Options{Dir: t.TempDir(), CheckpointEvery: 2, GroupCommit: 4})
+	if err != nil {
+		t.Fatalf("wal.New: %v", err)
+	}
+	p, err := pipeline.New(s, l, pipeline.Config{Replay: true})
+	if err != nil {
+		t.Fatalf("pipeline.New: %v", err)
+	}
+	for i, b := range w.batches {
+		tk, err := p.Submit(context.Background(), b)
+		if err != nil {
+			t.Fatalf("batch %d submit: %v", i, err)
+		}
+		if _, err := tk.Wait(context.Background()); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("pipeline close: %v", err)
+	}
+	if got := fingerprint(t, s); !bytes.Equal(got, want) {
+		t.Fatal("durable pipelined fingerprint differs from serial")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("log close: %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	w := makeWorkload(t, 200, 1)
+
+	s, err := core.New(w.initial.Clone(), core.Options{NumBubbles: 8, Seed: 5})
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	if _, err := pipeline.New(s, nil, pipeline.Config{}); !errors.Is(err, core.ErrNotPipelined) {
+		t.Fatalf("non-pipelined summarizer: got %v", err)
+	}
+
+	s0, err := core.New(w.initial.Clone(), pipelineOpts(0))
+	if err != nil {
+		t.Fatalf("core.New depth 0: %v", err)
+	}
+	if _, err := pipeline.New(s0, nil, pipeline.Config{}); err == nil {
+		t.Fatal("depth 0 accepted by scheduler")
+	}
+
+	db := w.initial.Clone()
+	s2, l, err := wal.New(db, pipelineOpts(1), wal.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("wal.New: %v", err)
+	}
+	if _, err := pipeline.New(s2, l, pipeline.Config{}); err == nil {
+		t.Fatal("log without group commit accepted")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestWaitCancellationLeavesBatchInFlight(t *testing.T) {
+	w := makeWorkload(t, 300, 2)
+	s, err := core.New(w.initial.Clone(), pipelineOpts(1))
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	p, err := pipeline.New(s, nil, pipeline.Config{Replay: true})
+	if err != nil {
+		t.Fatalf("pipeline.New: %v", err)
+	}
+	tk, err := p.Submit(context.Background(), w.batches[0])
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tk.Wait(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled wait: got %v", err)
+	}
+	// The batch is still in flight; a fresh Wait observes its outcome.
+	if _, err := tk.Wait(context.Background()); err != nil {
+		t.Fatalf("re-wait: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if s.Batches() != 1 {
+		t.Fatalf("batches=%d want 1", s.Batches())
+	}
+}
+
+// TestCleanEnqueueFailureIsRetryable injects a healthy (non-crash) error
+// into the group append: the ticket fails, nothing was applied or made
+// durable, and resubmitting the same batch through the same scheduler
+// succeeds and converges to the serial fingerprint.
+func TestCleanEnqueueFailureIsRetryable(t *testing.T) {
+	w := makeWorkload(t, 400, 4)
+	want := runSerial(t, w)
+
+	fp := failpoint.New(77)
+	s, l, err := wal.New(w.initial.Clone(), pipelineOpts(1),
+		wal.Options{Dir: t.TempDir(), GroupCommit: 2, Failpoints: fp})
+	if err != nil {
+		t.Fatalf("wal.New: %v", err)
+	}
+	p, err := pipeline.New(s, l, pipeline.Config{Replay: true})
+	if err != nil {
+		t.Fatalf("pipeline.New: %v", err)
+	}
+	for i, b := range w.batches {
+		if i == 1 {
+			fp.ArmError(wal.FailGroupAppend, 1, nil)
+		}
+		tk, err := p.Submit(context.Background(), b)
+		if err != nil {
+			t.Fatalf("batch %d submit: %v", i, err)
+		}
+		_, werr := tk.Wait(context.Background())
+		if i == 1 {
+			if !errors.Is(werr, failpoint.ErrInjected) {
+				t.Fatalf("batch 1: got %v, want injected error", werr)
+			}
+			if perr := l.Poisoned(); perr != nil {
+				t.Fatalf("log poisoned by clean failure: %v", perr)
+			}
+			// Retry the identical batch through the same scheduler.
+			tk, err = p.Submit(context.Background(), tk.Batch())
+			if err != nil {
+				t.Fatalf("resubmit: %v", err)
+			}
+			if _, err := tk.Wait(context.Background()); err != nil {
+				t.Fatalf("retry: %v", err)
+			}
+		} else if werr != nil {
+			t.Fatalf("batch %d: %v", i, werr)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got := fingerprint(t, s); !bytes.Equal(got, want) {
+		t.Fatal("fingerprint after retry differs from serial")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("log close: %v", err)
+	}
+}
+
+// TestPoisonedFailureIsFatal arms a crash-mode group sync: the log
+// poisons, the pipeline fail-stops, and later submissions are refused.
+func TestPoisonedFailureIsFatal(t *testing.T) {
+	w := makeWorkload(t, 300, 3)
+	fp := failpoint.New(78)
+	s, l, err := wal.New(w.initial.Clone(), pipelineOpts(1),
+		wal.Options{Dir: t.TempDir(), GroupCommit: 1, Failpoints: fp})
+	if err != nil {
+		t.Fatalf("wal.New: %v", err)
+	}
+	p, err := pipeline.New(s, l, pipeline.Config{Replay: true})
+	if err != nil {
+		t.Fatalf("pipeline.New: %v", err)
+	}
+	fp.ArmCrash(wal.FailGroupSync, 1)
+	tk, err := p.Submit(context.Background(), w.batches[0])
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := tk.Wait(context.Background()); err == nil {
+		t.Fatal("poisoned commit succeeded")
+	}
+	if l.Poisoned() == nil {
+		t.Fatal("log not poisoned")
+	}
+	if p.Err() == nil {
+		t.Fatal("scheduler has no sticky error")
+	}
+	// The next submission must be refused, not silently enqueued.
+	if _, err := p.Submit(context.Background(), w.batches[1]); err == nil {
+		t.Fatal("submit after fatal error accepted")
+	}
+	if err := p.Close(); err == nil {
+		t.Fatal("close returned nil after fatal error")
+	}
+}

@@ -1,0 +1,208 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"incbubbles/internal/core"
+	"incbubbles/internal/failpoint"
+	"incbubbles/internal/stats"
+	"incbubbles/internal/vecmath"
+	"incbubbles/internal/wal"
+)
+
+func pipeStreamCfg(dir string, pipelined bool) Config {
+	cfg := Config{
+		Dim: 2, Capacity: 300, Bubbles: 10, Warmup: 100, FlushEvery: 30, Seed: 4,
+		Durability: &wal.Options{Dir: dir, CheckpointEvery: 3, KeepCheckpoints: 2, GroupCommit: 4},
+	}
+	if pipelined {
+		cfg.Pipeline = &core.PipelineOptions{Depth: 2}
+	}
+	return cfg
+}
+
+// drive feeds n deterministic points through the window, flushing through
+// flush() wherever the auto-flush threshold does not fire.
+func drive(t *testing.T, w *Window, n int, seed int64) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		c := vecmath.Point{float64(i % 3), float64(i % 5)}
+		if err := w.Push(rng.GaussianPoint(c, 2), i%3); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+}
+
+func windowFingerprint(t *testing.T, w *Window) []byte {
+	t.Helper()
+	fp, err := wal.Fingerprint(w.Summarizer())
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	return fp
+}
+
+// TestPipelinedWindowMatchesSerialDurable feeds the identical stream into
+// a serial durable window and a pipelined one; the summaries must be
+// bit-identical (the paper's determinism contract survives the staged
+// scheduler end to end, eviction deletes included).
+func TestPipelinedWindowMatchesSerialDurable(t *testing.T) {
+	serial, err := NewWindow(pipeStreamCfg(t.TempDir(), false))
+	if err != nil {
+		t.Fatalf("serial window: %v", err)
+	}
+	piped, err := NewWindow(pipeStreamCfg(t.TempDir(), true))
+	if err != nil {
+		t.Fatalf("pipelined window: %v", err)
+	}
+	drive(t, serial, 800, 9)
+	drive(t, piped, 800, 9)
+	if _, err := serial.Flush(); err != nil {
+		t.Fatalf("serial flush: %v", err)
+	}
+	if _, err := piped.Flush(); err != nil {
+		t.Fatalf("pipelined flush: %v", err)
+	}
+	if sb, pb := serial.Summarizer().Batches(), piped.Summarizer().Batches(); sb != pb {
+		t.Fatalf("batch counts diverge: serial %d, pipelined %d", sb, pb)
+	}
+	if !bytes.Equal(windowFingerprint(t, serial), windowFingerprint(t, piped)) {
+		t.Fatal("pipelined window fingerprint differs from serial durable window")
+	}
+	if err := serial.Close(); err != nil {
+		t.Fatalf("serial close: %v", err)
+	}
+	if err := piped.Close(); err != nil {
+		t.Fatalf("pipelined close: %v", err)
+	}
+}
+
+// TestFlushContextPipelinedCancelRetryable is the regression test for the
+// cancellation contract: a context cancelled while the batch is
+// mid-group-commit returns the cancellation, keeps the batch counted in
+// Pending (in flight, neither lost nor duplicated), and the next flush
+// observes its completion — converging to the same state as a serial
+// durable window given the identical cancel-then-retry call sequence.
+func TestFlushContextPipelinedCancelRetryable(t *testing.T) {
+	run := func(t *testing.T, pipelined bool) *Window {
+		w, err := NewWindow(pipeStreamCfg(t.TempDir(), pipelined))
+		if err != nil {
+			t.Fatalf("window: %v", err)
+		}
+		drive(t, w, 110, 9) // warm up, leave 10 updates buffered
+		if !w.Ready() || w.Pending() == 0 {
+			t.Fatalf("fixture: ready=%v pending=%d, want buffered updates", w.Ready(), w.Pending())
+		}
+		buffered := w.Pending()
+		// Sampled before the cancelled flush: until that batch is reaped
+		// the summarizer is owned by the scheduler's applier goroutine.
+		before := w.Summarizer().Batches()
+		cancelled, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := w.FlushContext(cancelled); !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled flush: got %v, want context.Canceled", err)
+		}
+		if got := w.Pending(); got != buffered {
+			t.Fatalf("pending after cancelled flush: %d, want %d (batch must stay retryable)", got, buffered)
+		}
+		if _, err := w.FlushContext(context.Background()); err != nil {
+			t.Fatalf("retry flush: %v", err)
+		}
+		if w.Pending() != 0 {
+			t.Fatalf("pending after retry: %d, want 0", w.Pending())
+		}
+		if got := w.Summarizer().Batches(); got != before+1 {
+			t.Fatalf("batch applied %d times, want once", got-before)
+		}
+		drive(t, w, 100, 13)
+		if _, err := w.Flush(); err != nil {
+			t.Fatalf("final flush: %v", err)
+		}
+		return w
+	}
+	serial := run(t, false)
+	piped := run(t, true)
+	if !bytes.Equal(windowFingerprint(t, serial), windowFingerprint(t, piped)) {
+		t.Fatal("cancel-then-retry diverges from serial durable window")
+	}
+	if err := serial.Close(); err != nil {
+		t.Fatalf("serial close: %v", err)
+	}
+	if err := piped.Close(); err != nil {
+		t.Fatalf("pipelined close: %v", err)
+	}
+}
+
+// TestPipelinedWindowCleanWalFailureRefrontsBatch injects a healthy group
+// append error: the flush fails, the batch returns to the front of the
+// pending buffer, and a plain retry completes with the log unpoisoned.
+func TestPipelinedWindowCleanWalFailureRefrontsBatch(t *testing.T) {
+	reg := failpoint.New(31)
+	cfg := pipeStreamCfg(t.TempDir(), true)
+	cfg.Durability.Failpoints = reg
+	w, err := NewWindow(cfg)
+	if err != nil {
+		t.Fatalf("window: %v", err)
+	}
+	drive(t, w, 110, 9)
+	buffered := w.Pending()
+	if buffered == 0 {
+		t.Fatal("fixture: no buffered updates")
+	}
+	reg.ArmError(wal.FailGroupAppend, 1, nil)
+	if _, err := w.FlushContext(context.Background()); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("flush: got %v, want injected error", err)
+	}
+	if w.Log().Poisoned() != nil {
+		t.Fatalf("log poisoned by clean failure: %v", w.Log().Poisoned())
+	}
+	if got := w.Pending(); got != buffered {
+		t.Fatalf("pending after clean failure: %d, want %d", got, buffered)
+	}
+	if _, err := w.FlushContext(context.Background()); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if w.Pending() != 0 {
+		t.Fatalf("pending after retry: %d, want 0", w.Pending())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestPipelinedWindowResume closes a pipelined window mid-stream, resumes
+// it from disk with the same config, and finishes the stream: recovery
+// must reconstruct a pipelined window that keeps absorbing updates.
+func TestPipelinedWindowResume(t *testing.T) {
+	dir := t.TempDir()
+	cfg := pipeStreamCfg(dir, true)
+	w, err := NewWindow(cfg)
+	if err != nil {
+		t.Fatalf("window: %v", err)
+	}
+	drive(t, w, 400, 9)
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	r, err := Resume(cfg)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !r.Ready() || r.sched == nil {
+		t.Fatalf("resumed window not pipelined: ready=%v", r.Ready())
+	}
+	drive(t, r, 200, 13)
+	if _, err := r.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if err := r.Summarizer().Set().CheckInvariants(); err != nil {
+		t.Fatalf("resumed set: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"incbubbles/internal/core"
 	"incbubbles/internal/dataset"
+	"incbubbles/internal/pipeline"
 	"incbubbles/internal/vecmath"
 	"incbubbles/internal/wal"
 )
@@ -48,6 +49,13 @@ type Config struct {
 	// per point; a crash loses at most the un-flushed buffer. Use Resume
 	// to reopen a window from such a directory.
 	Durability *wal.Options
+	// Pipeline, when non-nil, routes flushes through the staged ingestion
+	// scheduler (DESIGN.md §13): speculative phase-1 search against a
+	// snapshot view, and — when combined with Durability — WAL group
+	// commit and async checkpoints. Depth must be at least 1, and a
+	// durable pipelined window requires Durability.GroupCommit ≥ 1. The
+	// summary stays bit-identical to a Depth-0 durable window.
+	Pipeline *core.PipelineOptions
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +96,14 @@ func (c Config) validate() error {
 	if c.Warmup < c.Bubbles {
 		return errors.New("stream: warmup smaller than bubble count")
 	}
+	if c.Pipeline != nil {
+		if c.Pipeline.Depth < 1 {
+			return errors.New("stream: pipelined window needs Pipeline.Depth ≥ 1")
+		}
+		if c.Durability != nil && c.Durability.GroupCommit < 1 {
+			return errors.New("stream: pipelined durability requires Durability.GroupCommit ≥ 1")
+		}
+	}
 	return nil
 }
 
@@ -98,6 +114,8 @@ type Window struct {
 	db       *dataset.DB
 	sum      *core.Summarizer
 	log      *wal.Log
+	sched    *pipeline.Scheduler
+	inflight *pipeline.Ticket
 	fifo     []dataset.PointID
 	head     int // index of the oldest live entry in fifo
 	pending  dataset.Batch
@@ -142,6 +160,13 @@ func (w *Window) Config() Config { return w.cfg }
 // window is full. Maintenance runs automatically every FlushEvery updates
 // once the summary exists.
 func (w *Window) Push(p vecmath.Point, label int) error {
+	// A pipelined flush left in flight by a cancelled context must finish
+	// before the window mutates the database the applier reads from.
+	if w.inflight != nil {
+		if _, err := w.reapInflight(context.Background()); err != nil {
+			return err
+		}
+	}
 	// Evict before inserting so the window never exceeds capacity.
 	if w.db.Len() >= w.cfg.Capacity {
 		if err := w.evictOldest(); err != nil {
@@ -203,7 +228,23 @@ func (w *Window) coreOptions() core.Options {
 		UseTriangleInequality: true,
 		Seed:                  w.cfg.Seed,
 		Config:                w.cfg.Summarizer,
+		Pipeline:              w.cfg.Pipeline,
 	}
+}
+
+// attachScheduler starts the staged ingestion scheduler over a freshly
+// built or resumed summarizer. The window's batches are pre-applied to
+// w.db at Push time, so the scheduler runs in non-replay mode.
+func (w *Window) attachScheduler() error {
+	if w.cfg.Pipeline == nil {
+		return nil
+	}
+	sched, err := pipeline.New(w.sum, w.log, pipeline.Config{})
+	if err != nil {
+		return err
+	}
+	w.sched = sched
+	return nil
 }
 
 func (w *Window) build() error {
@@ -213,14 +254,14 @@ func (w *Window) build() error {
 			return err
 		}
 		w.sum, w.log = sum, log
-		return nil
+		return w.attachScheduler()
 	}
 	sum, err := core.New(w.db, w.coreOptions())
 	if err != nil {
 		return err
 	}
 	w.sum = sum
-	return nil
+	return w.attachScheduler()
 }
 
 // Resume reopens a durable window from cfg.Durability.Dir: the summary
@@ -252,6 +293,9 @@ func Resume(cfg Config) (*Window, error) {
 	w.fifo = w.db.IDs()
 	sort.Slice(w.fifo, func(a, b int) bool { return w.fifo[a] < w.fifo[b] })
 	w.arrived = w.db.Len()
+	if err := w.attachScheduler(); err != nil {
+		return nil, err
+	}
 	return w, nil
 }
 
@@ -281,14 +325,73 @@ func (w *Window) Flush() (core.BatchStats, error) {
 // poisoned log also clears the buffer: the batch is either durably
 // logged (replay re-applies it) or lost with the torn tail, and either
 // way only wal.Resume can continue from here.
+//
+// On a pipelined window the batch travels through the scheduler, and a
+// cancelled context can return while the batch is still mid-group-commit
+// on the applier goroutine. The batch then stays in flight — not lost,
+// not duplicated — and the next flush (or push) waits it out and
+// observes its real outcome before new work is admitted.
 func (w *Window) FlushContext(ctx context.Context) (core.BatchStats, error) {
-	if w.sum == nil || len(w.pending) == 0 {
+	if w.sum == nil {
+		return core.BatchStats{}, nil
+	}
+	if w.sched != nil {
+		return w.flushPipelined(ctx)
+	}
+	if len(w.pending) == 0 {
 		return core.BatchStats{}, nil
 	}
 	before := w.sum.Batches()
 	stats, err := w.sum.ApplyBatchContext(ctx, w.pending)
 	if w.sum.Batches() != before || (w.log != nil && w.log.Poisoned() != nil) {
 		w.pending = w.pending[:0]
+	}
+	return stats, err
+}
+
+func (w *Window) flushPipelined(ctx context.Context) (core.BatchStats, error) {
+	if w.inflight != nil {
+		if stats, err := w.reapInflight(ctx); err != nil {
+			return stats, err
+		}
+	}
+	if len(w.pending) == 0 {
+		return core.BatchStats{}, nil
+	}
+	tk, err := w.sched.Submit(ctx, w.pending)
+	if err != nil {
+		return core.BatchStats{}, err
+	}
+	// Ownership of the buffered updates moves to the ticket; if the wait
+	// below is cancelled they ride along in flight, not in w.pending.
+	w.pending = nil
+	w.inflight = tk
+	return w.reapInflight(ctx)
+}
+
+// reapInflight waits out the in-flight ticket and settles the buffer
+// contract: a context cancellation keeps the ticket in flight for a later
+// retry; a clean scheduler failure (nothing applied, nothing durable)
+// puts the batch back at the front of the pending buffer; a fatal one
+// (poisoned log, sticky scheduler error) drops it, because the batch is
+// either already durable or lost with the log and only wal.Resume can
+// continue.
+func (w *Window) reapInflight(ctx context.Context) (core.BatchStats, error) {
+	stats, err := w.inflight.Wait(ctx)
+	if err != nil && ctx.Err() != nil && !w.inflight.Done() {
+		return stats, err // still in flight; reaped by the next flush or push
+	}
+	tk := w.inflight
+	w.inflight = nil
+	if err == nil {
+		return stats, nil
+	}
+	if w.sched.Err() == nil && (w.log == nil || w.log.Poisoned() == nil) {
+		batch := tk.Batch()
+		merged := make(dataset.Batch, 0, len(batch)+len(w.pending))
+		merged = append(merged, batch...)
+		merged = append(merged, w.pending...)
+		w.pending = merged
 	}
 	return stats, err
 }
@@ -308,22 +411,39 @@ func (w *Window) Checkpoint() error {
 	return w.log.Checkpoint(w.sum)
 }
 
-// Close flushes, takes a final checkpoint when durable, and releases the
-// log. The window must not be used afterwards.
+// Close flushes, drains the ingestion scheduler when pipelined (this is
+// where an async-checkpoint failure with no later batch to report through
+// surfaces), takes a final checkpoint when durable, and releases the log.
+// The window must not be used afterwards.
 func (w *Window) Close() error {
-	if w.log == nil {
-		if w.sum != nil {
-			_, err := w.Flush()
-			return err
-		}
-		return nil
+	var err error
+	if w.sum != nil {
+		_, err = w.Flush()
 	}
-	err := w.Checkpoint()
+	if w.sched != nil {
+		if cerr := w.sched.Close(); err == nil {
+			err = cerr
+		}
+		w.sched = nil
+	}
+	if w.log == nil {
+		return err
+	}
+	if err == nil {
+		err = w.log.Checkpoint(w.sum)
+	}
 	if cerr := w.log.Close(); err == nil {
 		err = cerr
 	}
 	return err
 }
 
-// Pending returns the number of buffered, not-yet-applied updates.
-func (w *Window) Pending() int { return len(w.pending) }
+// Pending returns the number of buffered, not-yet-applied updates,
+// including a batch a cancelled flush left in flight.
+func (w *Window) Pending() int {
+	n := len(w.pending)
+	if w.inflight != nil {
+		n += len(w.inflight.Batch())
+	}
+	return n
+}

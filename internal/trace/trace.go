@@ -54,6 +54,14 @@ const (
 	AttrBubbleB   = "bubble_b"   // second bubble (merge recipient, split sibling)
 	AttrBytes     = "bytes"      // bytes written or fsynced
 	AttrCount     = "count"      // generic cardinality (objects, records, rounds)
+	// AttrSpecHit marks a pipelined batch span: 1 when the speculative
+	// phase-1 result was accepted, 0 when it was stale and the search
+	// reran against live state. Spans of the pipelined path:
+	// core.search.spec (the speculative search, bound to the view's
+	// counter), core.pipeline.stall (scheduler time blocked waiting for a
+	// speculation), wal.group_commit (one shared fsync covering a queue
+	// of appended records).
+	AttrSpecHit = "spec_hit"
 )
 
 // Options configures a Tracer.

@@ -1,0 +1,317 @@
+package wal_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"testing"
+
+	"incbubbles/internal/core"
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/failpoint"
+	"incbubbles/internal/pipeline"
+	"incbubbles/internal/synth"
+	"incbubbles/internal/wal"
+)
+
+// The pipelined legs of the crash matrix: the same kill-resume-compare
+// property as TestCrashRecoveryMatrix, but the dying workload runs
+// through the group-commit pipeline (burst submission, shared fsyncs,
+// async checkpoints), and the kill lands on the five failpoints only
+// reachable in group mode. Recovery is always serial — a crashed
+// pipelined process must be resumable by the plain replay path — and the
+// final state must be bit-identical to an uninterrupted serial run.
+//
+// This file is an external test package: the in-package wal tests cannot
+// import internal/pipeline (import cycle), so the harness drives the
+// exported API only.
+
+const crashEnvExt = "INCBUBBLES_CRASH"
+
+type pipeFixture struct {
+	initial *dataset.DB
+	batches []dataset.Batch
+}
+
+func makePipeFixture(t *testing.T, points, batches int) *pipeFixture {
+	t.Helper()
+	sc, err := synth.NewScenario(synth.Config{
+		Kind: synth.Complex, InitialPoints: points, Batches: batches, Seed: 21,
+	})
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	initial := sc.DB().Clone()
+	bs := make([]dataset.Batch, batches)
+	for i := range bs {
+		if bs[i], err = sc.NextBatch(); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	return &pipeFixture{initial: initial, batches: bs}
+}
+
+func serialCoreOpts() core.Options {
+	return core.Options{NumBubbles: 12, UseTriangleInequality: true, Seed: 5}
+}
+
+func pipedCoreOpts() core.Options {
+	o := serialCoreOpts()
+	o.Pipeline = &core.PipelineOptions{Depth: 2}
+	return o
+}
+
+// serialReference runs the workload through the serial durable path and
+// returns its fingerprint — the target every pipelined crash must
+// converge back to.
+func serialReference(t *testing.T, fx *pipeFixture) []byte {
+	t.Helper()
+	db := fx.initial.Clone()
+	s, l, err := wal.New(db, serialCoreOpts(), wal.Options{Dir: t.TempDir(), CheckpointEvery: 2, KeepCheckpoints: 2})
+	if err != nil {
+		t.Fatalf("wal.New: %v", err)
+	}
+	for i, b := range fx.batches {
+		applied, err := b.Replay(db)
+		if err != nil {
+			t.Fatalf("batch %d replay: %v", i, err)
+		}
+		if _, err := s.ApplyBatchContext(context.Background(), applied); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	fp, err := wal.Fingerprint(s)
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return fp
+}
+
+type pipeCrashCase struct {
+	point string
+	mode  failpoint.Mode
+	hit   int
+}
+
+func (c pipeCrashCase) name() string {
+	return c.point + "/" + c.mode.String() + "/hit" + string(rune('0'+c.hit))
+}
+
+func (c pipeCrashCase) arm(reg *failpoint.Registry) {
+	switch c.mode {
+	case failpoint.ModeCrash:
+		reg.ArmCrash(c.point, c.hit)
+	case failpoint.ModeTorn:
+		reg.ArmTorn(c.point, c.hit)
+	default:
+		reg.ArmError(c.point, c.hit, nil)
+	}
+}
+
+// survivable reports whether the armed fault is absorbed without killing
+// the pipeline: a healthy error on the unsynced group append writes
+// nothing, fails the ticket cleanly, and the producer's resubmission
+// completes the workload with no recovery at all.
+func (c pipeCrashCase) survivable() bool {
+	return c.point == wal.FailGroupAppend && c.mode == failpoint.ModeError
+}
+
+// pipeMatrix enumerates the pipelined cells: every group-mode failpoint
+// under error and crash at its first and second occurrence, plus torn
+// variants for the write-type group append. The smoke subset picks one
+// representative per failure family.
+func pipeMatrix(full bool) []pipeCrashCase {
+	if !full {
+		return []pipeCrashCase{
+			{point: wal.FailGroupAppend, mode: failpoint.ModeTorn, hit: 1},      // torn queued record
+			{point: wal.FailGroupSync, mode: failpoint.ModeCrash, hit: 1},       // shared fsync died
+			{point: wal.FailGroupAck, mode: failpoint.ModeError, hit: 1},        // durable but unacked
+			{point: wal.FailAsyncCkptRename, mode: failpoint.ModeCrash, hit: 1}, // async ckpt half-installed
+		}
+	}
+	var cases []pipeCrashCase
+	for _, p := range wal.GroupFailpoints() {
+		for _, mode := range []failpoint.Mode{failpoint.ModeError, failpoint.ModeCrash} {
+			for _, hit := range []int{1, 2} {
+				cases = append(cases, pipeCrashCase{point: p, mode: mode, hit: hit})
+			}
+		}
+	}
+	for _, hit := range []int{1, 2} {
+		cases = append(cases, pipeCrashCase{point: wal.FailGroupAppend, mode: failpoint.ModeTorn, hit: hit})
+	}
+	return cases
+}
+
+// runPipelinedWorkload drives the whole fixture through a scheduler with
+// burst submission, retrying cleanly-failed batches. It returns died=true
+// the moment the pipeline fail-stops (simulated kill: the caller abandons
+// the log without closing it, exactly as a crash would).
+func runPipelinedWorkload(t *testing.T, fx *pipeFixture, sched *pipeline.Scheduler, l *wal.Log) (died bool) {
+	t.Helper()
+	type inflight struct {
+		idx int
+		tk  *pipeline.Ticket
+	}
+	next, retries := 0, 0
+	var pending []inflight
+	for next < len(fx.batches) || len(pending) > 0 {
+		for next < len(fx.batches) {
+			tk, err := sched.Submit(context.Background(), fx.batches[next])
+			if err != nil {
+				return true
+			}
+			pending = append(pending, inflight{next, tk})
+			next++
+		}
+		for len(pending) > 0 {
+			head := pending[0]
+			if _, err := head.tk.Wait(context.Background()); err == nil {
+				pending = pending[1:]
+				continue
+			}
+			if sched.Err() != nil || l.Poisoned() != nil {
+				return true
+			}
+			// Clean failure: the batch (and everything stamped behind it)
+			// consumed nothing. Drain the stale tickets, then resubmit
+			// from the failed batch in order.
+			for _, st := range pending[1:] {
+				_, _ = st.tk.Wait(context.Background())
+			}
+			pending = nil
+			next = head.idx
+			if retries++; retries > len(fx.batches) {
+				t.Fatal("pipelined workload stuck in retry loop")
+			}
+		}
+	}
+	return false
+}
+
+// TestPipelinedCrashRecoveryMatrix kills the pipelined workload at each
+// group-mode failpoint, resumes serially from whatever the crash left on
+// disk, finishes the workload, and requires bit-identity with the
+// uninterrupted serial run. Cells whose fault is absorbed (survivable)
+// must instead complete in-process and still match.
+func TestPipelinedCrashRecoveryMatrix(t *testing.T) {
+	full := os.Getenv(crashEnvExt) != ""
+	fx := makePipeFixture(t, 400, 8)
+	want := serialReference(t, fx)
+	walBase := wal.Options{CheckpointEvery: 2, KeepCheckpoints: 2, GroupCommit: 4}
+
+	for _, tc := range pipeMatrix(full) {
+		tc := tc
+		t.Run(tc.name(), func(t *testing.T) {
+			dir := t.TempDir()
+			reg := failpoint.New(7)
+			coreO := pipedCoreOpts()
+			coreO.Failpoints = reg
+			walOpts := walBase
+			walOpts.Dir = dir
+			walOpts.Failpoints = reg
+			s, l, err := wal.New(fx.initial.Clone(), coreO, walOpts)
+			if err != nil {
+				t.Fatalf("wal.New: %v", err)
+			}
+			sched, err := pipeline.New(s, l, pipeline.Config{Replay: true})
+			if err != nil {
+				t.Fatalf("pipeline.New: %v", err)
+			}
+			// Arm only after construction so the kill lands in the steady
+			// state (the initial checkpoint is the serial matrix's job).
+			tc.arm(reg)
+
+			died := runPipelinedWorkload(t, fx, sched, l)
+			// Close drains the stages and surfaces an async-checkpoint
+			// failure that had no later batch to report through (e.g. a
+			// rename kill on the run's final checkpoint).
+			closeErr := sched.Close()
+			if !died && closeErr != nil {
+				died = true
+			}
+			if !died {
+				if !tc.survivable() {
+					t.Fatalf("armed failpoint %s never killed the pipeline (hits=%d)", tc.point, reg.Hits(tc.point))
+				}
+				got, err := wal.Fingerprint(s)
+				if err != nil {
+					t.Fatalf("fingerprint: %v", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatal("absorbed-fault run differs from serial reference")
+				}
+				if err := l.Close(); err != nil {
+					t.Fatalf("log close: %v", err)
+				}
+				return
+			}
+			// Simulated kill: the pipeline is drained and quiescent;
+			// abandon the open log exactly as a crash would — no Close,
+			// no final sync.
+
+			resumeOpts := walBase
+			resumeOpts.Dir = dir
+			st, err := wal.Resume(serialCoreOpts(), resumeOpts)
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			if err := st.Summarizer.Set().CheckInvariants(); err != nil {
+				t.Fatalf("recovered set: %v", err)
+			}
+			for i := st.Batches; i < len(fx.batches); i++ {
+				applied, err := fx.batches[i].Replay(st.DB)
+				if err != nil {
+					t.Fatalf("batch %d replay: %v", i, err)
+				}
+				if _, err := st.Summarizer.ApplyBatchContext(context.Background(), applied); err != nil {
+					t.Fatalf("batch %d: %v", i, err)
+				}
+			}
+			got, err := wal.Fingerprint(st.Summarizer)
+			if err != nil {
+				t.Fatalf("fingerprint: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("recovered pipelined run differs from uninterrupted serial run")
+			}
+		})
+	}
+}
+
+// TestGroupFailpointCoverage runs the pipelined workload uninterrupted
+// with a registry attached and verifies every group-mode failpoint is
+// actually evaluated — a point the run never reaches is a point the
+// pipelined matrix silently fails to test.
+func TestGroupFailpointCoverage(t *testing.T) {
+	fx := makePipeFixture(t, 400, 8)
+	reg := failpoint.New(3)
+	coreO := pipedCoreOpts()
+	coreO.Failpoints = reg
+	s, l, err := wal.New(fx.initial.Clone(), coreO,
+		wal.Options{Dir: t.TempDir(), CheckpointEvery: 2, GroupCommit: 4, Failpoints: reg})
+	if err != nil {
+		t.Fatalf("wal.New: %v", err)
+	}
+	sched, err := pipeline.New(s, l, pipeline.Config{Replay: true})
+	if err != nil {
+		t.Fatalf("pipeline.New: %v", err)
+	}
+	if died := runPipelinedWorkload(t, fx, sched, l); died {
+		t.Fatal("uninterrupted pipelined run died")
+	}
+	if err := sched.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("log close: %v", err)
+	}
+	for _, p := range wal.GroupFailpoints() {
+		if reg.Hits(p) == 0 {
+			t.Errorf("group failpoint %s never evaluated by the pipelined workload", p)
+		}
+	}
+}

@@ -24,6 +24,26 @@ const (
 	FailCkptGC = "wal.ckpt.gc"
 )
 
+// Failpoints of the group-commit queue and the async checkpoint
+// (DESIGN.md §13) — only reachable in group mode (Options.GroupCommit >
+// 0), so they are listed separately: the serial crash matrix covers
+// Failpoints(), the pipelined legs additionally cover these.
+const (
+	// FailGroupAppend guards the unsynced segment write of one enqueued
+	// record (write-type: torn mode persists a seeded prefix).
+	FailGroupAppend = "wal.group.append"
+	// FailGroupSync guards the shared fsync covering the pending queue.
+	FailGroupSync = "wal.group.sync"
+	// FailGroupAck guards the ack release after a successful group fsync.
+	FailGroupAck = "wal.group.ack"
+	// FailAsyncCkptEncode guards the synchronous snapshot encode that
+	// starts an async checkpoint.
+	FailAsyncCkptEncode = "wal.async.ckpt.encode"
+	// FailAsyncCkptRename guards the background rename installing an
+	// async checkpoint.
+	FailAsyncCkptRename = "wal.async.ckpt.rename"
+)
+
 // Failpoints returns the names of every failpoint in the WAL and
 // checkpoint paths, for crash-matrix tests that must cover them all.
 func Failpoints() []string {
@@ -35,5 +55,17 @@ func Failpoints() []string {
 		FailCkptRename,
 		FailCkptRotate,
 		FailCkptGC,
+	}
+}
+
+// GroupFailpoints returns the failpoints only reachable in group-commit
+// mode. The pipelined crash matrix must cover every one of these.
+func GroupFailpoints() []string {
+	return []string{
+		FailGroupAppend,
+		FailGroupSync,
+		FailGroupAck,
+		FailAsyncCkptEncode,
+		FailAsyncCkptRename,
 	}
 }

@@ -1,0 +1,126 @@
+package wal
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"incbubbles/internal/core"
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/failpoint"
+	"incbubbles/internal/vecmath"
+)
+
+// FuzzGroupCommit interprets fuzzer bytes as a program of group-commit
+// operations — enqueue, flush, arm a fault at the next append / fsync /
+// ack, crash-abandon — against a real Log, then reads the abandoned
+// segment off disk and checks the ack barrier's contract:
+//
+//   - acked ⇒ durable: every record covered by a successful Flush must
+//     decode from the segment's valid prefix, in ordinal order;
+//   - never-acked ⇒ clean: whatever the interleaving left behind the
+//     acked watermark is either a whole record (recovery may replay it)
+//     or a cleanly detected torn tail (recovery truncates it) — never a
+//     record that decodes to something that was not enqueued.
+func FuzzGroupCommit(f *testing.F) {
+	const (
+		opEnqueue = iota // append the next record to the group queue
+		opFlush          // shared fsync; releases acks on success
+		opArmTorn        // next append tears (seeded prefix persists)
+		opArmErr         // next append fails cleanly (nothing written)
+		opArmSync        // next group fsync dies
+		opArmAck         // next ack release dies after a good fsync
+		opCrash          // abandon the process here
+		opCount
+	)
+	f.Add([]byte{opEnqueue, opFlush})
+	f.Add([]byte{opEnqueue, opEnqueue, opEnqueue, opFlush, opEnqueue, opCrash})
+	f.Add([]byte{opArmTorn, opEnqueue, opCrash})
+	f.Add([]byte{opEnqueue, opArmErr, opEnqueue, opFlush})
+	f.Add([]byte{opArmSync, opEnqueue, opFlush, opEnqueue})
+	f.Add([]byte{opEnqueue, opFlush, opArmAck, opEnqueue, opFlush, opCrash})
+	f.Add([]byte{opEnqueue, opArmTorn, opEnqueue, opEnqueue, opFlush})
+
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) > 64 {
+			program = program[:64]
+		}
+		dir := t.TempDir()
+		reg := failpoint.New(19)
+		db, err := dataset.New(2)
+		if err != nil {
+			t.Fatalf("dataset.New: %v", err)
+		}
+		for i := 0; i < 20; i++ {
+			if _, err := db.Insert(vecmath.Point{float64(i), float64(i % 5)}, dataset.Noise); err != nil {
+				t.Fatalf("seed db: %v", err)
+			}
+		}
+		_, l, err := New(db, core.Options{NumBubbles: 4, Seed: 9},
+			Options{Dir: dir, GroupCommit: 8, Failpoints: reg})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+
+		enqueued := 0 // records accepted by Enqueue
+		acked := 0    // records covered by a successful Flush
+		for _, op := range program {
+			switch int(op) % opCount {
+			case opEnqueue:
+				batch := dataset.Batch{{
+					Op: dataset.OpInsert, ID: dataset.PointID(1000 + enqueued),
+					P: vecmath.Point{float64(enqueued), 2}, Label: dataset.Noise,
+				}}
+				if err := l.Enqueue(context.Background(), uint64(enqueued), batch); err == nil {
+					enqueued++
+				}
+			case opFlush:
+				if err := l.Flush(context.Background()); err == nil {
+					acked = enqueued
+				}
+			case opArmTorn:
+				reg.ArmTorn(FailGroupAppend, 1)
+			case opArmErr:
+				reg.ArmError(FailGroupAppend, 1, nil)
+			case opArmSync:
+				reg.ArmCrash(FailGroupSync, 1)
+			case opArmAck:
+				reg.ArmCrash(FailGroupAck, 1)
+			case opCrash:
+				goto crashed
+			}
+		}
+	crashed:
+		// Abandon without Close: inspect the newest segment as recovery
+		// would find it after the simulated crash.
+		segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+		if err != nil || len(segs) == 0 {
+			t.Fatalf("no segment files: %v", err)
+		}
+		sort.Strings(segs)
+		data, err := os.ReadFile(segs[len(segs)-1])
+		if err != nil {
+			t.Fatalf("read segment: %v", err)
+		}
+		recs, validLen, _ := scanSegment(data)
+		if validLen > len(data) {
+			t.Fatalf("validLen %d beyond segment size %d", validLen, len(data))
+		}
+		if len(recs) < acked {
+			t.Fatalf("acked %d records but only %d decode from the segment", acked, len(recs))
+		}
+		if len(recs) > enqueued {
+			t.Fatalf("segment decodes %d records, only %d were ever enqueued", len(recs), enqueued)
+		}
+		for i, rec := range recs {
+			if rec.ordinal != uint64(i) {
+				t.Fatalf("record %d carries ordinal %d: ack order broken", i, rec.ordinal)
+			}
+			if len(rec.batch) != 1 || rec.batch[0].ID != dataset.PointID(1000+i) {
+				t.Fatalf("record %d decodes to a batch that was never enqueued: %+v", i, rec.batch)
+			}
+		}
+	})
+}

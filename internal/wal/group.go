@@ -1,0 +1,374 @@
+package wal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"incbubbles/internal/core"
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/telemetry"
+	"incbubbles/internal/trace"
+)
+
+// groupState is the group-commit queue plus the async-checkpoint state,
+// embedded in Log and guarded by Log.mu. The queue itself lives on disk:
+// Enqueue appends framed records to the current segment without syncing;
+// the in-memory state only tracks the watermarks.
+//
+// Ordinal watermarks (invariant: nextOrdinal ≤ durableTo ≤ nextAppend):
+//
+//	[0, nextOrdinal)          logged, durable AND applied
+//	[nextOrdinal, durableTo)  durable (acked by a shared fsync), apply pending
+//	[durableTo, nextAppend)   appended, awaiting the group fsync — a crash
+//	                          here may tear or drop them, which is sound
+//	                          because no ack was ever released for them
+//
+// Both watermarks lazily re-sync to nextOrdinal (they trail it when the
+// serial path or recovery advanced the log), so group and serial calls
+// interleave safely on one log.
+type groupState struct {
+	nextAppend uint64 // next ordinal Enqueue must carry
+	durableTo  uint64 // ordinals below this are covered by a shared fsync
+	pendingRecs  int
+	pendingBytes int64
+	// ckptDue marks the checkpoint cadence reached; the scheduler picks
+	// it up at a batch boundary via StartAsyncCheckpoint. rotateDue marks
+	// a completed async checkpoint whose segment rotation is still
+	// pending (rotation needs a drained queue so ordinals stay segmented
+	// correctly).
+	ckptDue   bool
+	rotateDue bool
+	// inflight is non-nil while an async checkpoint writes in the
+	// background; closed on completion. asyncErr stashes its failure
+	// until the next AfterApply / AsyncBarrier surfaces it.
+	inflight chan struct{}
+	asyncErr error
+}
+
+// errGroupDisabled reports a group-queue call on a log whose
+// Options.GroupCommit is zero.
+var errGroupDisabled = errors.New("wal: group commit not enabled (Options.GroupCommit is 0)")
+
+// syncWatermarks re-anchors the queue watermarks after the serial path or
+// recovery advanced nextOrdinal past them.
+func (l *Log) syncWatermarks() {
+	if l.group.nextAppend < l.nextOrdinal {
+		l.group.nextAppend = l.nextOrdinal
+	}
+	if l.group.durableTo < l.nextOrdinal {
+		l.group.durableTo = l.nextOrdinal
+	}
+}
+
+// Enqueue appends the framed record of a future batch to the current
+// segment WITHOUT syncing it. The batch is not durable — and must not be
+// applied — until a Flush (or a BeforeApply reaching it) covers it with
+// the shared group fsync. Ordinals must arrive consecutively; a gap is a
+// scheduler bug and poisons the log. Torn-write and error semantics match
+// the serial append: an injected error with nothing written leaves the
+// log healthy, anything that may have left bytes behind poisons it.
+func (l *Log) Enqueue(ctx context.Context, ordinal uint64, batch dataset.Batch) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.opts.GroupCommit <= 0 {
+		return errGroupDisabled
+	}
+	if l.poisoned != nil {
+		return l.poisoned
+	}
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	if l.replaying {
+		return errors.New("wal: Enqueue during replay")
+	}
+	l.syncWatermarks()
+	if ordinal != l.group.nextAppend {
+		return l.poison(fmt.Errorf("wal: enqueue ordinal %d, expected %d", ordinal, l.group.nextAppend))
+	}
+	if err := l.maybeRotateLocked(); err != nil {
+		return err
+	}
+	sp := l.startSpan(ctx, "wal.append")
+	defer sp.End()
+	sp.SetInt(trace.AttrOrdinal, int64(ordinal))
+	payload, err := encodePayload(l.dim, ordinal, batch)
+	if err != nil {
+		return err
+	}
+	frame := frameRecord(payload)
+	sp.SetInt(trace.AttrBytes, int64(len(frame)))
+	keep, injected := l.fail.HitWrite(FailGroupAppend, len(frame))
+	var wrote int
+	var werr error
+	if keep > 0 {
+		wrote, werr = l.f.Write(frame[:keep])
+	}
+	if injected != nil {
+		if wrote > 0 {
+			_ = l.f.Sync()
+			return l.poison(injected)
+		}
+		return injected // nothing written; log still healthy
+	}
+	if werr != nil {
+		if rerr := l.rollbackAppend(); rerr != nil {
+			return l.poison(fmt.Errorf("wal: enqueue failed (%v) and rollback failed: %w", werr, rerr))
+		}
+		return fmt.Errorf("wal: enqueueing batch %d: %w", ordinal, werr)
+	}
+	l.segSize += int64(len(frame))
+	l.group.nextAppend++
+	l.group.pendingRecs++
+	l.group.pendingBytes += int64(len(frame))
+	l.m.appends.Inc()
+	l.m.appendBytes.Add(uint64(len(frame)))
+	return nil
+}
+
+// Flush covers every pending enqueued record with one shared fsync and
+// releases their acks: after a nil return the records are durable and
+// BeforeApply will consume them without further I/O. A no-op when the
+// queue is empty.
+func (l *Log) Flush(ctx context.Context) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.opts.GroupCommit <= 0 {
+		return errGroupDisabled
+	}
+	if l.poisoned != nil {
+		return l.poisoned
+	}
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	return l.flushLocked(ctx)
+}
+
+// PendingEnqueued returns the number of enqueued records not yet covered
+// by a group fsync.
+func (l *Log) PendingEnqueued() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.group.pendingRecs
+}
+
+// GroupCommitMax reports the configured group-commit queue bound, 0 when
+// group mode is disabled.
+func (l *Log) GroupCommitMax() int { return l.opts.GroupCommit }
+
+// NextAppendOrdinal returns the ordinal the next Enqueue must carry.
+// Schedulers use it as a guard: an enqueue stamp that disagrees with the
+// log (after a failed-and-rewound batch) is skipped rather than poisoning
+// the ordinal sequence, and the batch falls back to the serial append
+// path inside BeforeApply.
+func (l *Log) NextAppendOrdinal() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncWatermarks()
+	return l.group.nextAppend
+}
+
+// flushLocked is the shared group fsync. Failure semantics mirror the
+// serial append fsync: once the sync is attempted and fails — or the ack
+// release fails — the on-disk durability of the pending records is
+// unknown, so the log poisons. (The records themselves were never acked,
+// so recovery is free to land on either side of them.)
+func (l *Log) flushLocked(ctx context.Context) error {
+	if l.group.pendingRecs == 0 {
+		return nil
+	}
+	sp := l.startSpan(ctx, "wal.group_commit")
+	defer sp.End()
+	sp.SetInt(trace.AttrCount, int64(l.group.pendingRecs))
+	sp.SetInt(trace.AttrBytes, l.group.pendingBytes)
+	if err := l.fail.Hit(FailGroupSync); err != nil {
+		return l.poison(err)
+	}
+	if !l.opts.NoSync {
+		fsp := sp.Start("wal.fsync")
+		fsp.SetInt(trace.AttrBytes, l.group.pendingBytes)
+		err := l.f.Sync()
+		fsp.End()
+		if err != nil {
+			return l.poison(fmt.Errorf("wal: group fsync: %w", err))
+		}
+		l.m.syncs.Inc()
+	}
+	if err := l.fail.Hit(FailGroupAck); err != nil {
+		// The records are on stable storage but their acks were never
+		// released; poisoning keeps the ack barrier honest (no batch
+		// applies without its ack) and recovery replays the records.
+		return l.poison(err)
+	}
+	l.group.durableTo = l.group.nextAppend
+	l.group.pendingRecs = 0
+	l.group.pendingBytes = 0
+	return nil
+}
+
+// groupBeforeApply consumes the ack of an enqueued record: already
+// durable — advance; appended but unflushed — flush the group on demand,
+// then advance. Returns handled=false for an ordinal that was never
+// enqueued, which falls back to the caller's serial append path.
+// Called with l.mu held, after the ordinal == nextOrdinal check.
+func (l *Log) groupBeforeApply(ctx context.Context, ordinal uint64) (handled bool, err error) {
+	l.syncWatermarks()
+	if ordinal >= l.group.nextAppend {
+		return false, nil
+	}
+	if ordinal >= l.group.durableTo {
+		if err := l.flushLocked(ctx); err != nil {
+			return true, err
+		}
+	}
+	l.nextOrdinal++
+	return true, nil
+}
+
+// maybeRotateLocked performs the segment rotation a completed async
+// checkpoint deferred. Rotation requires a fully drained queue — every
+// enqueued record applied — so the fresh segment's name (the next
+// ordinal) stays truthful; until then appends keep extending the old
+// segment, which recovery handles like any longer replay suffix.
+func (l *Log) maybeRotateLocked() error {
+	if !l.group.rotateDue || l.group.pendingRecs > 0 || l.group.nextAppend != l.nextOrdinal {
+		return nil
+	}
+	l.group.rotateDue = false
+	if err := l.rotate(); err != nil {
+		return err
+	}
+	return l.gc()
+}
+
+// CheckpointDue reports that the checkpoint cadence has been reached and
+// no async checkpoint is in flight — the scheduler should call
+// StartAsyncCheckpoint at the next batch boundary.
+func (l *Log) CheckpointDue() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.group.ckptDue && l.group.inflight == nil
+}
+
+// StartAsyncCheckpoint captures the summarizer's checkpoint image
+// synchronously — the caller guarantees s is quiescent (a batch
+// boundary on the applier goroutine) — and writes, syncs and installs it
+// on a background goroutine so the ingest path never waits on checkpoint
+// I/O. A failure of the background half is stashed and surfaced by the
+// next AfterApply or AsyncBarrier, mirroring how a synchronous cadence
+// checkpoint failure surfaces; like every checkpoint failure it does not
+// poison the log. No-op when no checkpoint is due or one is in flight.
+func (l *Log) StartAsyncCheckpoint(s *core.Summarizer) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.opts.GroupCommit <= 0 {
+		return errGroupDisabled
+	}
+	if !l.group.ckptDue || l.group.inflight != nil {
+		return nil
+	}
+	if l.poisoned != nil {
+		return l.poisoned
+	}
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	if uint64(s.Batches()) != l.nextOrdinal {
+		return fmt.Errorf("wal: async checkpoint at batch %d but log applied %d", s.Batches(), l.nextOrdinal)
+	}
+	if err := l.fail.Hit(FailAsyncCkptEncode); err != nil {
+		return err
+	}
+	data, err := encodeCheckpoint(s)
+	if err != nil {
+		return err
+	}
+	ordinal := uint64(s.Batches())
+	l.group.ckptDue = false
+	l.sinceCkpt = 0
+	done := make(chan struct{})
+	l.group.inflight = done
+	go l.runAsyncCheckpoint(ordinal, data, done)
+	return nil
+}
+
+// runAsyncCheckpoint is the background half: temp write → fsync → rename
+// → fsync dir, off the apply path. On success the segment rotation is
+// marked due (performed at the next drained Enqueue); on failure the
+// error is stashed and the cadence re-armed so a later boundary retries.
+func (l *Log) runAsyncCheckpoint(ordinal uint64, data []byte, done chan struct{}) {
+	defer close(done)
+	sp := l.tracer.Start("wal.checkpoint")
+	defer sp.End()
+	sp.SetInt(trace.AttrOrdinal, int64(ordinal))
+	sp.SetInt(trace.AttrBytes, int64(len(data)))
+	err := l.writeCheckpointAsync(sp, ordinal, data)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.group.inflight = nil
+	if err != nil {
+		l.group.asyncErr = fmt.Errorf("wal: async checkpoint %d: %w", ordinal, err)
+		l.group.ckptDue = true
+		return
+	}
+	l.group.rotateDue = true
+	l.m.checkpoints.Inc()
+	l.m.checkpointBytes.Add(uint64(len(data)))
+	l.emit(telemetry.Event{Kind: telemetry.KindCheckpoint, Batch: int(ordinal), A: int(ordinal), N: len(data)})
+}
+
+// writeCheckpointAsync is writeCheckpointFile for the background path,
+// with the async rename failpoint instead of the synchronous trio. It
+// touches only its own temp/final files and the directory handle — never
+// the segment file — so it runs without the log mutex.
+func (l *Log) writeCheckpointAsync(sp *trace.Span, ordinal uint64, data []byte) error {
+	final := filepath.Join(l.dir, ckptName(ordinal))
+	tmp := final + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, werr := f.Write(data); werr != nil {
+		_ = f.Close()
+		return werr
+	}
+	fsp := sp.Start("wal.fsync")
+	fsp.SetInt(trace.AttrBytes, int64(len(data)))
+	serr := f.Sync()
+	fsp.End()
+	if serr != nil {
+		_ = f.Close()
+		return serr
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := l.fail.Hit(FailAsyncCkptRename); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return syncDir(l.dir)
+}
+
+// AsyncBarrier waits for an in-flight async checkpoint and returns (and
+// clears) any stashed async-checkpoint failure. Nil when idle.
+func (l *Log) AsyncBarrier() error {
+	l.mu.Lock()
+	done := l.group.inflight
+	l.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.group.asyncErr
+	l.group.asyncErr = nil
+	return err
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"incbubbles/internal/core"
 	"incbubbles/internal/dataset"
@@ -35,6 +36,15 @@ type Options struct {
 	// storage only at checkpoints and Close. Faster, but a crash can lose
 	// the batches since the last sync. Default false: every append syncs.
 	NoSync bool
+	// GroupCommit, when > 0, enables the group-commit queue (DESIGN.md
+	// §13): Enqueue appends records without syncing, Flush (or a
+	// BeforeApply that reaches an unflushed record) covers every pending
+	// record with one shared fsync, and GroupCommit bounds how many
+	// records one fsync may cover. Cadence checkpoints become async —
+	// AfterApply only marks them due; a pipeline scheduler initiates them
+	// off the apply path via StartAsyncCheckpoint. 0 (the default) keeps
+	// the serial per-append fsync discipline.
+	GroupCommit int
 	// Telemetry receives the wal.* metrics and the durability events
 	// (checkpoint, wal-truncate, quarantine, recover). Optional.
 	Telemetry *telemetry.Sink
@@ -90,8 +100,11 @@ var ErrPoisoned = errors.New("wal: log poisoned by earlier failure")
 // Log is the write-ahead log of one Summarizer. It implements
 // core.Durability: BeforeApply appends the batch to the current segment
 // and syncs it before the summarizer mutates anything, and AfterApply
-// takes automatic checkpoints. Log is not safe for concurrent use,
-// matching the summarizer's sequential batch model.
+// takes automatic checkpoints. All public entry points serialize on an
+// internal mutex, so a pipeline scheduler's searcher goroutine may
+// Enqueue/Flush while the applier goroutine runs BeforeApply/AfterApply
+// and an async checkpoint writes in the background; the serial
+// single-goroutine usage pays one uncontended lock per call.
 type Log struct {
 	dir    string
 	opts   Options
@@ -101,6 +114,7 @@ type Log struct {
 	tracer *trace.Tracer
 	m      walMetrics
 
+	mu          sync.Mutex
 	f           *os.File
 	segSize     int64
 	nextOrdinal uint64 // ordinal the next BeforeApply must carry
@@ -108,6 +122,7 @@ type Log struct {
 	replaying   bool
 	poisoned    error
 	closed      bool
+	group       groupState // group-commit queue + async checkpoint (group.go)
 }
 
 // walMetrics holds the layer's metric handles, resolved once.
@@ -167,11 +182,19 @@ func (l *Log) startSpan(ctx context.Context, name string) *trace.Span {
 func (l *Log) Dir() string { return l.dir }
 
 // NextOrdinal returns the batch ordinal the next append must carry.
-func (l *Log) NextOrdinal() uint64 { return l.nextOrdinal }
+func (l *Log) NextOrdinal() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextOrdinal
+}
 
 // Poisoned returns the failure that froze the log, or nil while it is
 // healthy.
-func (l *Log) Poisoned() error { return l.poisoned }
+func (l *Log) Poisoned() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.poisoned
+}
 
 // poison freezes the log after err and returns err. The first poisoning
 // failure is retained; later operations fail with it wrapped in
@@ -201,6 +224,8 @@ func (l *Log) emit(e telemetry.Event) {
 // rolled back, a failed fsync — poisons the log: the tail state on disk
 // is unknown, so further appends are refused and the caller must Resume.
 func (l *Log) BeforeApply(ctx context.Context, ordinal uint64, batch dataset.Batch) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.poisoned != nil {
 		return l.poisoned
 	}
@@ -214,6 +239,16 @@ func (l *Log) BeforeApply(ctx context.Context, ordinal uint64, batch dataset.Bat
 		l.nextOrdinal++
 		l.m.replayed.Inc()
 		return nil
+	}
+	if l.opts.GroupCommit > 0 {
+		// Group mode: the record may already be durable (acked by a
+		// shared fsync), or appended and awaiting one — consume the ack
+		// or flush on demand. Only a record never enqueued falls through
+		// to the serial append-and-sync below (a group of one), which
+		// keeps the core.Durability contract for direct ApplyBatch calls.
+		if handled, err := l.groupBeforeApply(ctx, ordinal); handled {
+			return err
+		}
 	}
 	sp := l.startSpan(ctx, "wal.append")
 	defer sp.End()
@@ -287,6 +322,8 @@ func (l *Log) rollbackAppend() error {
 // in-memory summary is in an unknown intermediate state, so the log (the
 // durable truth) stops advancing until the caller resumes from disk.
 func (l *Log) AfterApply(ctx context.Context, s *core.Summarizer, applyErr error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if applyErr != nil {
 		if !l.replaying {
 			_ = l.poison(fmt.Errorf("apply failed after batch was logged: %w", applyErr))
@@ -294,6 +331,22 @@ func (l *Log) AfterApply(ctx context.Context, s *core.Summarizer, applyErr error
 		return nil // never mask the apply error
 	}
 	if l.replaying || l.poisoned != nil || l.closed {
+		return nil
+	}
+	if l.opts.GroupCommit > 0 {
+		// Group mode: cadence checkpoints run asynchronously, initiated
+		// by the scheduler at a batch boundary (StartAsyncCheckpoint) so
+		// the apply path never stalls on checkpoint encoding or I/O. A
+		// completed async checkpoint's failure surfaces here, exactly
+		// where a synchronous checkpoint failure would have.
+		l.sinceCkpt++
+		if l.sinceCkpt >= l.opts.CheckpointEvery {
+			l.group.ckptDue = true
+		}
+		if err := l.group.asyncErr; err != nil {
+			l.group.asyncErr = nil
+			return err
+		}
 		return nil
 	}
 	l.sinceCkpt++
@@ -310,6 +363,11 @@ func (l *Log) AfterApply(ctx context.Context, s *core.Summarizer, applyErr error
 // reconstruct the state — so the caller may keep applying batches and
 // retry at the next cadence point.
 func (l *Log) Checkpoint(s *core.Summarizer) error {
+	if err := l.AsyncBarrier(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return l.checkpoint(context.Background(), s)
 }
 
@@ -468,21 +526,28 @@ func (l *Log) gc() error {
 }
 
 // Close syncs and closes the current segment. The durable state stays
-// resumable; Close only ends this process's append session.
+// resumable; Close only ends this process's append session. An async
+// checkpoint still in flight is awaited first; its failure is reported
+// but never blocks the close.
 func (l *Log) Close() error {
+	asyncErr := l.AsyncBarrier()
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
-		return nil
+		return asyncErr
 	}
 	l.closed = true
 	if l.f == nil {
-		return nil
+		return asyncErr
 	}
 	// Sync whenever the log is healthy: under NoSync this is the one
 	// place the documented "durable at Close" promise is kept (with
 	// per-append syncs it is a cheap no-op).
-	var err error
+	err := asyncErr
 	if l.poisoned == nil {
-		err = l.f.Sync()
+		if serr := l.f.Sync(); err == nil && serr != nil {
+			err = serr
+		}
 	}
 	if cerr := l.f.Close(); err == nil && cerr != nil {
 		err = cerr

@@ -329,27 +329,7 @@ func replay(s *core.Summarizer, db *dataset.DB, cp *checkpointData, records map[
 // deletions re-resolve the victim's coordinates, and the summarizer then
 // sees the same applied batch it saw in the original run.
 func applyToDB(db *dataset.DB, batch dataset.Batch) (dataset.Batch, error) {
-	out := make(dataset.Batch, len(batch))
-	copy(out, batch)
-	for i := range out {
-		u := &out[i]
-		switch u.Op {
-		case dataset.OpInsert:
-			if err := db.InsertWithID(dataset.Record{ID: u.ID, P: u.P, Label: u.Label}); err != nil {
-				return nil, fmt.Errorf("update %d: %w", i, err)
-			}
-		case dataset.OpDelete:
-			rec, err := db.Delete(u.ID)
-			if err != nil {
-				return nil, fmt.Errorf("update %d: %w", i, err)
-			}
-			u.P = rec.P
-			u.Label = rec.Label
-		default:
-			return nil, fmt.Errorf("update %d: unknown op %v", i, u.Op)
-		}
-	}
-	return out, nil
+	return batch.Replay(db)
 }
 
 // quarantine renames a rejected file aside with quarantineSuffix so an
