@@ -19,6 +19,7 @@ import (
 
 	"incbubbles/internal/core"
 	"incbubbles/internal/dataset"
+	"incbubbles/internal/failpoint"
 	"incbubbles/internal/trace"
 	"incbubbles/internal/wal"
 )
@@ -28,10 +29,12 @@ var (
 	ErrClosed = errors.New("pipeline: scheduler is closed")
 	// ErrStale fails every in-flight ticket behind a cleanly-failed one:
 	// applying them would skip the failed batch. None of them consumed
-	// anything (the failed batch's enqueue wrote nothing, and later
-	// tickets skip the WAL once their ordinal stamps disagree with it),
-	// so the producer resubmits the failed batch and everything after it,
-	// in order.
+	// anything (the failed batch's enqueue wrote nothing, later tickets
+	// skip the WAL once their ordinal stamps disagree with it, and a
+	// ticket not yet stamped when the failure hit is superseded before
+	// it can touch anything), so the producer waits out every
+	// outstanding ticket and then resubmits the failed batch and
+	// everything after it, in order.
 	ErrStale = errors.New("pipeline: batch superseded by an earlier failure; resubmit")
 )
 
@@ -41,19 +44,32 @@ var (
 // a later Wait observes its final outcome, which is what makes a
 // cancelled commit retryable rather than lost.
 type Ticket struct {
-	batch   dataset.Batch
-	ordinal int
-	spec    *core.Speculation
-	enqErr  error
+	batch      dataset.Batch
+	sched      *Scheduler
+	ordinal    int
+	superseded bool // a clean failure intervened before stamping
+	spec       *core.Speculation
+	enqErr     error
 
-	done  chan struct{}
-	stats core.BatchStats
-	err   error
+	done     chan struct{}
+	stats    core.BatchStats
+	applied  bool
+	err      error
+	observed atomic.Bool
 }
 
 // Batch returns the submitted batch (for resubmission after a clean
 // failure).
 func (t *Ticket) Batch() dataset.Batch { return t.batch }
+
+// Applied reports whether the batch was absorbed by the summarizer (its
+// batch counter advanced past the ticket's ordinal). Valid once the
+// ticket is done. A ticket can finish with Applied()==true AND a non-nil
+// error — the batch committed but its trailing async checkpoint failed
+// (wal.ErrCheckpointRetryable) — and such a batch must NOT be
+// resubmitted: it is applied and durable, only the checkpoint will be
+// retried at the next cadence.
+func (t *Ticket) Applied() bool { return t.applied }
 
 // Done reports whether the ticket has completed without blocking.
 func (t *Ticket) Done() bool {
@@ -71,9 +87,20 @@ func (t *Ticket) Done() bool {
 func (t *Ticket) Wait(ctx context.Context) (core.BatchStats, error) {
 	select {
 	case <-t.done:
+		t.observe()
 		return t.stats, t.err
 	case <-ctx.Done():
 		return core.BatchStats{}, ctx.Err()
+	}
+}
+
+// observe retires the ticket's outstanding slot the first time its real
+// outcome is returned to a waiter. A ctx-cancelled Wait does not
+// observe: the producer has not seen the result, so the ticket still
+// gates a stalled stamp clock.
+func (t *Ticket) observe() {
+	if t.observed.CompareAndSwap(false, true) {
+		t.sched.release()
 	}
 }
 
@@ -108,14 +135,31 @@ type Scheduler struct {
 	readyCh  chan *Ticket
 
 	// view is the current speculation snapshot; the applier replaces it
-	// after any batch that moved the seed epoch. nextOrd is the
-	// searcher's ordinal stamp for speculation and enqueue. A stale
-	// stamp is never a correctness problem — the core derives the real
-	// ordinal from its own batch counter, speculation acceptance
-	// requires an exact ordinal match, and the WAL enqueue is guarded by
-	// the log's own watermark — it only costs a rejected speculation.
-	view    atomic.Pointer[core.SearchView]
-	nextOrd atomic.Int64
+	// after any batch that moved the seed epoch.
+	view atomic.Pointer[core.SearchView]
+
+	// ordMu guards the stamp clock. nextOrd is the searcher's ordinal
+	// stamp for speculation and enqueue. A clean failure stalls the
+	// clock, and the stall holds until every outstanding ticket —
+	// counted from Submit entry, including submissions still blocked on
+	// backpressure — has had its outcome observed by a Wait; only then
+	// does nextOrd re-arm at the live batch counter. This is what
+	// upholds the apply-order invariant across a failure: any ticket
+	// the producer submitted before observing the failure (even one
+	// whose Submit call had not yet begun when the failed ticket
+	// finished) must never be stamped with the freed ordinal — it would
+	// pass the applier's ordinal check and be applied (and WAL-logged)
+	// in place of the failed batch. Observation is the barrier because
+	// a producer that has not yet Waited out the failure cannot tell a
+	// resubmission from a continuation: draining every outstanding
+	// ticket is exactly the producer's resubmission contract, so the
+	// first Submit after the stall clears is the failed batch itself.
+	// Tickets reaching the searcher while stalled are marked superseded
+	// and failed with ErrStale.
+	ordMu       sync.Mutex
+	nextOrd     int
+	stalled     bool
+	outstanding int
 
 	mu     sync.Mutex
 	err    error // sticky fatal failure; clean per-ticket failures do not set it
@@ -157,7 +201,7 @@ func New(s *core.Summarizer, log *wal.Log, cfg Config) (*Scheduler, error) {
 		p.gmax = log.GroupCommitMax()
 	}
 	p.view.Store(view)
-	p.nextOrd.Store(int64(s.Batches()))
+	p.nextOrd = s.Batches()
 	go p.searcher()
 	go p.applier()
 	return p, nil
@@ -177,13 +221,34 @@ func (p *Scheduler) Submit(ctx context.Context, batch dataset.Batch) (*Ticket, e
 	if sticky != nil {
 		return nil, fmt.Errorf("pipeline: stopped by earlier failure: %w", sticky)
 	}
-	t := &Ticket{batch: batch, done: make(chan struct{})}
+	t := &Ticket{batch: batch, sched: p, done: make(chan struct{})}
+	p.ordMu.Lock()
+	p.outstanding++
+	p.ordMu.Unlock()
 	select {
 	case p.submitCh <- t:
 		return t, nil
 	case <-ctx.Done():
+		p.release()
 		return nil, ctx.Err()
 	}
+}
+
+// release retires one outstanding ticket and, once every ticket
+// outstanding at a clean failure has been observed, clears the stall
+// and re-arms the stamp clock at the live batch counter. Reading
+// Batches here is race-free: a ticket stays outstanding until a waiter
+// observes its outcome, so outstanding == 0 means the pipeline is
+// empty, the applier idle, and every apply ordered before this release
+// by the observed ticket's done channel and ordMu.
+func (p *Scheduler) release() {
+	p.ordMu.Lock()
+	p.outstanding--
+	if p.stalled && p.outstanding == 0 {
+		p.stalled = false
+		p.nextOrd = p.s.Batches()
+	}
+	p.ordMu.Unlock()
 }
 
 // Err returns the sticky fatal error that stopped the pipeline, if any.
@@ -236,9 +301,22 @@ func (p *Scheduler) searcher() {
 	defer close(p.searcherDone)
 	defer close(p.readyCh)
 	for t := range p.submitCh {
-		ord := int(p.nextOrd.Load())
+		// Stamp atomically with the stall check: while a clean failure
+		// is draining, no ticket may receive the freed ordinal (it
+		// would usurp the failed batch's slot) — and a ticket reaching
+		// the searcher during the stall is by definition one the
+		// producer submitted before observing the failure.
+		p.ordMu.Lock()
+		if p.stalled {
+			t.superseded = true
+			p.ordMu.Unlock()
+			p.readyCh <- t
+			continue
+		}
+		ord := p.nextOrd
 		t.ordinal = ord
-		p.nextOrd.Store(int64(ord + 1))
+		p.nextOrd++
+		p.ordMu.Unlock()
 		if p.Err() == nil {
 			if spec, err := p.view.Load().Speculate(context.Background(), ord, t.batch); err == nil {
 				t.spec = spec
@@ -291,6 +369,15 @@ func (p *Scheduler) applier() {
 			t.finish(core.BatchStats{}, fmt.Errorf("pipeline: aborted by earlier failure: %w", err))
 			continue
 		}
+		if t.superseded {
+			// An earlier ticket failed cleanly before this one was
+			// stamped; it was never speculated, enqueued or stamped, and
+			// applying it would skip the failed batch. The stall is
+			// already active, so this is a plain drain, not a new
+			// failure.
+			t.finish(core.BatchStats{}, fmt.Errorf("%w (superseded before stamping, applied %d)", ErrStale, p.s.Batches()))
+			continue
+		}
 		if t.enqErr != nil {
 			p.failClean(t, fmt.Errorf("pipeline: batch %d not durable: %w", t.ordinal, t.enqErr))
 			continue
@@ -312,28 +399,35 @@ func (p *Scheduler) applier() {
 			}
 		}
 		stats, err := p.s.ApplyBatchPipelined(context.Background(), batch, t.spec)
+		t.applied = p.s.Batches() == t.ordinal+1
 		if err != nil {
-			// The database may already carry the batch; only a failure
-			// that provably consumed nothing is retryable.
-			if !p.replay && p.s.Batches() == t.ordinal && (p.log == nil || p.log.Poisoned() == nil) {
+			switch {
+			case t.applied && errors.Is(err, wal.ErrCheckpointRetryable):
+				// The batch committed (the counter advanced) and only
+				// its trailing async checkpoint failed — non-poisoning,
+				// and the cadence is re-armed (wal.group), exactly the
+				// failure serial mode retries at the next boundary.
+				// Report it on the ticket without stopping the pipeline;
+				// Applied() tells the producer not to resubmit.
+				p.refreshView()
+				t.finish(stats, err)
+			case !p.replay && p.s.Batches() == t.ordinal && (p.log == nil || p.log.Poisoned() == nil):
+				// The database may already carry the batch; only a
+				// failure that provably consumed nothing is retryable.
 				p.failClean(t, err)
-			} else {
+			default:
 				p.setFatal(err)
 				t.finish(core.BatchStats{}, err)
 			}
 			continue
 		}
-		if v := p.view.Load(); v.Epoch() != p.s.Set().SeedEpoch() {
-			if nv, verr := p.s.NewSearchView(); verr == nil {
-				p.view.Store(nv)
-			}
-			// on error keep the stale view: speculations against it are
-			// rejected at apply time, which is merely the serial path.
-		}
+		p.refreshView()
 		if p.log != nil && p.log.CheckpointDue() {
 			if cerr := p.log.StartAsyncCheckpoint(p.s); cerr != nil {
 				err := fmt.Errorf("pipeline: async checkpoint: %w", cerr)
-				p.setFatal(err)
+				if !errors.Is(cerr, wal.ErrCheckpointRetryable) {
+					p.setFatal(err)
+				}
 				t.finish(stats, err)
 				continue
 			}
@@ -342,16 +436,35 @@ func (p *Scheduler) applier() {
 	}
 }
 
+// refreshView replaces the speculation snapshot after a batch that moved
+// the seed epoch. On a snapshot error the stale view is kept:
+// speculations against it are rejected at apply time, which is merely
+// the serial path.
+func (p *Scheduler) refreshView() {
+	if v := p.view.Load(); v.Epoch() != p.s.Set().SeedEpoch() {
+		if nv, verr := p.s.NewSearchView(); verr == nil {
+			p.view.Store(nv)
+		}
+	}
+}
+
 // failClean fails one ticket without stopping the pipeline: the batch
-// consumed nothing (not applied, not durable), so the ordinal stamp
-// rewinds and a resubmission of the same batch can retry. If the log
-// turned out poisoned after all, escalate to fatal — no later batch can
-// commit.
+// consumed nothing (not applied, not durable), so the stamp clock
+// stalls — superseding every ticket submitted before the producer could
+// observe the failure, so none of them can claim the freed slot — and
+// clears only once a waiter has observed every one of them, after which
+// a resubmission of the same batch retries at the rewound ordinal.
+// Escalate to fatal if the log turned out poisoned (no later batch can
+// commit) or the error is a simulated crash — the failpoint convention
+// is fail-stop: the process is dead at that point and must not retry,
+// even when the failed write provably left nothing behind.
 func (p *Scheduler) failClean(t *Ticket, err error) {
-	if p.log != nil && p.log.Poisoned() != nil {
+	if errors.Is(err, failpoint.ErrCrash) || (p.log != nil && p.log.Poisoned() != nil) {
 		p.setFatal(err)
 	} else {
-		p.nextOrd.Store(int64(p.s.Batches()))
+		p.ordMu.Lock()
+		p.stalled = true
+		p.ordMu.Unlock()
 	}
 	t.finish(core.BatchStats{}, err)
 }

@@ -283,6 +283,68 @@ func TestCleanEnqueueFailureIsRetryable(t *testing.T) {
 	}
 }
 
+// TestAsyncCheckpointFailureIsNonFatal arms a healthy error on the async
+// checkpoint encode: the batch it surfaces on is already applied (the
+// counter advanced before AfterApply reported it), so the ticket must
+// finish with Applied()==true and wal.ErrCheckpointRetryable — NOT
+// escalate to the scheduler's sticky fatal error — and the cadence must
+// retry so the run completes bit-identical to serial. Regression test for
+// the applier treating a post-apply checkpoint failure as an apply
+// failure and permanently stopping the pipeline.
+func TestAsyncCheckpointFailureIsNonFatal(t *testing.T) {
+	w := makeWorkload(t, 400, 6)
+	want := runSerial(t, w)
+
+	fp := failpoint.New(13)
+	s, l, err := wal.New(w.initial.Clone(), pipelineOpts(2),
+		wal.Options{Dir: t.TempDir(), CheckpointEvery: 2, GroupCommit: 2, Failpoints: fp})
+	if err != nil {
+		t.Fatalf("wal.New: %v", err)
+	}
+	p, err := pipeline.New(s, l, pipeline.Config{Replay: true})
+	if err != nil {
+		t.Fatalf("pipeline.New: %v", err)
+	}
+	fp.ArmError(wal.FailAsyncCkptEncode, 1, nil)
+	sawCkptErr := false
+	for i, b := range w.batches {
+		tk, err := p.Submit(context.Background(), b)
+		if err != nil {
+			t.Fatalf("batch %d submit: %v", i, err)
+		}
+		if _, werr := tk.Wait(context.Background()); werr != nil {
+			if !errors.Is(werr, wal.ErrCheckpointRetryable) {
+				t.Fatalf("batch %d: got %v, want ErrCheckpointRetryable", i, werr)
+			}
+			if !tk.Applied() {
+				t.Fatalf("batch %d: checkpoint-failed ticket reports not applied", i)
+			}
+			sawCkptErr = true
+		}
+	}
+	if !sawCkptErr {
+		t.Fatal("armed checkpoint failpoint never surfaced on a ticket")
+	}
+	if err := p.Err(); err != nil {
+		t.Fatalf("checkpoint failure escalated to fatal: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if s.Batches() != len(w.batches) {
+		t.Fatalf("batches=%d want %d", s.Batches(), len(w.batches))
+	}
+	if got := fingerprint(t, s); !bytes.Equal(got, want) {
+		t.Fatal("fingerprint after absorbed checkpoint failure differs from serial")
+	}
+	if l.Poisoned() != nil {
+		t.Fatalf("log poisoned by checkpoint failure: %v", l.Poisoned())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("log close: %v", err)
+	}
+}
+
 // TestPoisonedFailureIsFatal arms a crash-mode group sync: the log
 // poisons, the pipeline fail-stops, and later submissions are refused.
 func TestPoisonedFailureIsFatal(t *testing.T) {
@@ -317,5 +379,88 @@ func TestPoisonedFailureIsFatal(t *testing.T) {
 	}
 	if err := p.Close(); err == nil {
 		t.Fatal("close returned nil after fatal error")
+	}
+}
+
+// TestCleanFailureBurstResubmissionStress replays a mid-burst clean
+// failure over and over: every batch is submitted ahead of the failure
+// (several still blocked on backpressure when it lands), batch 1's
+// group append fails with a healthy injected error, and the producer
+// drains every outstanding ticket before resubmitting from the failed
+// batch. Regression test for the stamp clock re-arming while a
+// pre-failure submission was still in flight: such a ticket could be
+// stamped with the freed ordinal, pass the applier's ordinal check, and
+// be applied (and WAL-logged) in place of the failed batch — silently
+// corrupting both the in-memory and the durable state. The window is
+// timing-dependent, hence the rounds.
+func TestCleanFailureBurstResubmissionStress(t *testing.T) {
+	w := makeWorkload(t, 400, 8)
+	want := runSerial(t, w)
+	for round := 0; round < 12; round++ {
+		fp := failpoint.New(7)
+		coreOpts := pipelineOpts(2)
+		coreOpts.Failpoints = fp
+		s, l, err := wal.New(w.initial.Clone(), coreOpts,
+			wal.Options{Dir: t.TempDir(), CheckpointEvery: 2, GroupCommit: 4, Failpoints: fp})
+		if err != nil {
+			t.Fatalf("wal.New: %v", err)
+		}
+		p, err := pipeline.New(s, l, pipeline.Config{Replay: true})
+		if err != nil {
+			t.Fatalf("pipeline.New: %v", err)
+		}
+		fp.ArmError(wal.FailGroupAppend, 2, nil)
+
+		type inflight struct {
+			idx int
+			tk  *pipeline.Ticket
+		}
+		next, retries := 0, 0
+		var pending []inflight
+		for next < len(w.batches) || len(pending) > 0 {
+			for next < len(w.batches) {
+				tk, serr := p.Submit(context.Background(), w.batches[next])
+				if serr != nil {
+					t.Fatalf("round %d: batch %d submit: %v", round, next, serr)
+				}
+				pending = append(pending, inflight{next, tk})
+				next++
+			}
+			for len(pending) > 0 {
+				head := pending[0]
+				if _, werr := head.tk.Wait(context.Background()); werr == nil || head.tk.Applied() {
+					pending = pending[1:]
+					continue
+				}
+				if p.Err() != nil {
+					t.Fatalf("round %d: clean failure escalated to fatal: %v", round, p.Err())
+				}
+				// Drain every outstanding ticket; none of them may have
+				// been applied in the failed batch's place.
+				for _, st := range pending[1:] {
+					if _, serr := st.tk.Wait(context.Background()); serr == nil || st.tk.Applied() {
+						t.Fatalf("round %d: batch %d applied past the cleanly-failed batch %d",
+							round, st.idx, head.idx)
+					}
+				}
+				pending = nil
+				next = head.idx
+				if retries++; retries > len(w.batches) {
+					t.Fatal("stuck in retry loop")
+				}
+			}
+		}
+		if err := p.Close(); err != nil {
+			t.Fatalf("round %d: close: %v", round, err)
+		}
+		if retries == 0 {
+			t.Fatalf("round %d: armed failpoint never caused a clean failure", round)
+		}
+		if got := fingerprint(t, s); !bytes.Equal(got, want) {
+			t.Fatalf("round %d: fingerprint after burst resubmission differs from serial", round)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("round %d: log close: %v", round, err)
+		}
 	}
 }

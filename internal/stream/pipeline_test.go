@@ -137,6 +137,113 @@ func TestFlushContextPipelinedCancelRetryable(t *testing.T) {
 	}
 }
 
+// TestReapSettledTicketAfterCancel pins the reap classification when the
+// in-flight ticket is already settled and the reaping context is
+// cancelled: Ticket.Wait's select may return ctx.Err() even though the
+// done channel is closed, and classifying on that would requeue (and so
+// re-apply) a batch the applier already absorbed. The reap must instead
+// re-read the ticket's own outcome — each round applies exactly once and
+// leaves nothing pending. Several rounds because the faulty select branch
+// was taken randomly.
+func TestReapSettledTicketAfterCancel(t *testing.T) {
+	w, err := NewWindow(pipeStreamCfg(t.TempDir(), true))
+	if err != nil {
+		t.Fatalf("window: %v", err)
+	}
+	drive(t, w, 110, 9) // warm up, leave 10 updates buffered
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for round := 0; round < 6; round++ {
+		if w.Pending() == 0 {
+			t.Fatalf("round %d: fixture lost its buffered updates", round)
+		}
+		before := w.Summarizer().Batches()
+		// Submit by hand so the ticket is provably settled before the
+		// cancelled reap, the window w.inflight discipline intact.
+		tk, err := w.sched.Submit(context.Background(), w.pending)
+		if err != nil {
+			t.Fatalf("round %d submit: %v", round, err)
+		}
+		w.pending = nil
+		w.inflight = tk
+		if _, err := tk.Wait(context.Background()); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if _, err := w.FlushContext(cancelled); err != nil {
+			t.Fatalf("round %d: reaping a settled ticket returned %v", round, err)
+		}
+		if got := w.Summarizer().Batches(); got != before+1 {
+			t.Fatalf("round %d: batch applied %d times, want once", round, got-before)
+		}
+		if w.Pending() != 0 {
+			t.Fatalf("round %d: settled batch requeued, pending=%d", round, w.Pending())
+		}
+		drive(t, w, 10, int64(40+round)) // rebuffer below the auto-flush threshold
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestPipelinedWindowCheckpointFailureDoesNotRequeue drives identical
+// streams through a serial window and a pipelined one whose async
+// checkpoint encode fails once: the flush surfaces the retryable
+// checkpoint error, but the batch it rode on is committed — it must not
+// return to the pending buffer, and the retried cadence must converge to
+// the serial fingerprint.
+func TestPipelinedWindowCheckpointFailureDoesNotRequeue(t *testing.T) {
+	run := func(t *testing.T, pipelined bool) *Window {
+		cfg := pipeStreamCfg(t.TempDir(), pipelined)
+		var reg *failpoint.Registry
+		if pipelined {
+			reg = failpoint.New(11)
+			cfg.Durability.Failpoints = reg
+		}
+		w, err := NewWindow(cfg)
+		if err != nil {
+			t.Fatalf("window: %v", err)
+		}
+		drive(t, w, 110, 9)
+		if pipelined {
+			reg.ArmError(wal.FailAsyncCkptEncode, 1, nil)
+		}
+		sawCkptErr := false
+		for i := 0; i < 6; i++ {
+			drive(t, w, 10, int64(60+i))
+			if _, err := w.FlushContext(context.Background()); err != nil {
+				if !pipelined || !errors.Is(err, wal.ErrCheckpointRetryable) {
+					t.Fatalf("flush %d: %v", i, err)
+				}
+				if got := w.Pending(); got != 0 {
+					t.Fatalf("flush %d: applied batch requeued after checkpoint failure, pending=%d", i, got)
+				}
+				sawCkptErr = true
+			}
+		}
+		if pipelined && !sawCkptErr {
+			t.Fatal("armed checkpoint failpoint never surfaced through FlushContext")
+		}
+		if w.Log().Poisoned() != nil {
+			t.Fatalf("log poisoned by checkpoint failure: %v", w.Log().Poisoned())
+		}
+		return w
+	}
+	serial := run(t, false)
+	piped := run(t, true)
+	if sb, pb := serial.Summarizer().Batches(), piped.Summarizer().Batches(); sb != pb {
+		t.Fatalf("batch counts diverge: serial %d, pipelined %d", sb, pb)
+	}
+	if !bytes.Equal(windowFingerprint(t, serial), windowFingerprint(t, piped)) {
+		t.Fatal("checkpoint-failure run diverges from serial durable window")
+	}
+	if err := serial.Close(); err != nil {
+		t.Fatalf("serial close: %v", err)
+	}
+	if err := piped.Close(); err != nil {
+		t.Fatalf("pipelined close: %v", err)
+	}
+}
+
 // TestPipelinedWindowCleanWalFailureRefrontsBatch injects a healthy group
 // append error: the flush fails, the batch returns to the front of the
 // pending buffer, and a plain retry completes with the log unpoisoned.

@@ -375,18 +375,27 @@ func (w *Window) flushPipelined(ctx context.Context) (core.BatchStats, error) {
 // puts the batch back at the front of the pending buffer; a fatal one
 // (poisoned log, sticky scheduler error) drops it, because the batch is
 // either already durable or lost with the log and only wal.Resume can
-// continue.
+// continue. An applied batch is never requeued, even when its ticket
+// carries an error — that is a trailing checkpoint failure, and the
+// batch counter advancing is the commit signal, same as the serial path.
 func (w *Window) reapInflight(ctx context.Context) (core.BatchStats, error) {
 	stats, err := w.inflight.Wait(ctx)
-	if err != nil && ctx.Err() != nil && !w.inflight.Done() {
-		return stats, err // still in flight; reaped by the next flush or push
+	if err != nil && ctx.Err() != nil {
+		if !w.inflight.Done() {
+			return stats, err // still in flight; reaped by the next flush or push
+		}
+		// Wait's select raced a concurrent completion and returned the
+		// cancellation even though the ticket is settled. Re-read the
+		// real outcome: classifying on ctx.Err() here could requeue a
+		// batch the applier already absorbed — duplicate application.
+		stats, err = w.inflight.Wait(context.Background())
 	}
 	tk := w.inflight
 	w.inflight = nil
 	if err == nil {
 		return stats, nil
 	}
-	if w.sched.Err() == nil && (w.log == nil || w.log.Poisoned() == nil) {
+	if !tk.Applied() && w.sched.Err() == nil && (w.log == nil || w.log.Poisoned() == nil) {
 		batch := tk.Batch()
 		merged := make(dataset.Batch, 0, len(batch)+len(w.pending))
 		merged = append(merged, batch...)

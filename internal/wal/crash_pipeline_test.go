@@ -3,6 +3,7 @@ package wal_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"os"
 	"testing"
 
@@ -114,9 +115,20 @@ func (c pipeCrashCase) arm(reg *failpoint.Registry) {
 // survivable reports whether the armed fault is absorbed without killing
 // the pipeline: a healthy error on the unsynced group append writes
 // nothing, fails the ticket cleanly, and the producer's resubmission
-// completes the workload with no recovery at all.
+// completes the workload with no recovery at all; a healthy error in the
+// async checkpoint is non-poisoning (wal.ErrCheckpointRetryable) — the
+// batch it surfaced on is applied and durable, the cadence re-arms, and
+// a later boundary retries the checkpoint. Crash and torn modes always
+// fail-stop.
 func (c pipeCrashCase) survivable() bool {
-	return c.point == wal.FailGroupAppend && c.mode == failpoint.ModeError
+	if c.mode != failpoint.ModeError {
+		return false
+	}
+	switch c.point {
+	case wal.FailGroupAppend, wal.FailAsyncCkptEncode, wal.FailAsyncCkptRename:
+		return true
+	}
+	return false
 }
 
 // pipeMatrix enumerates the pipelined cells: every group-mode failpoint
@@ -169,7 +181,13 @@ func runPipelinedWorkload(t *testing.T, fx *pipeFixture, sched *pipeline.Schedul
 		}
 		for len(pending) > 0 {
 			head := pending[0]
-			if _, err := head.tk.Wait(context.Background()); err == nil {
+			if _, err := head.tk.Wait(context.Background()); err == nil || head.tk.Applied() {
+				// An applied ticket with an error only reports a trailing
+				// async-checkpoint failure; the batch is committed and
+				// must NOT be resubmitted. A fatal one fail-stops below.
+				if sched.Err() != nil {
+					return true
+				}
 				pending = pending[1:]
 				continue
 			}
@@ -228,14 +246,23 @@ func TestPipelinedCrashRecoveryMatrix(t *testing.T) {
 			died := runPipelinedWorkload(t, fx, sched, l)
 			// Close drains the stages and surfaces an async-checkpoint
 			// failure that had no later batch to report through (e.g. a
-			// rename kill on the run's final checkpoint).
+			// rename kill on the run's final checkpoint). A retryable
+			// checkpoint error surfacing here is not a death: every
+			// batch is applied and durable, only a cadence checkpoint is
+			// missing, which the WAL suffix covers.
 			closeErr := sched.Close()
-			if !died && closeErr != nil {
+			if !died && closeErr != nil && !errors.Is(closeErr, wal.ErrCheckpointRetryable) {
 				died = true
 			}
 			if !died {
-				if !tc.survivable() {
-					t.Fatalf("armed failpoint %s never killed the pipeline (hits=%d)", tc.point, reg.Hits(tc.point))
+				// The arm fires only if the point reaches its hit count;
+				// an async-checkpoint point may fall short when in-flight
+				// checkpoints coalesce past a cadence boundary, making the
+				// cell vacuous for this run's timing (the uninterrupted
+				// run must still match serial).
+				fired := reg.Hits(tc.point) >= tc.hit
+				if fired && !tc.survivable() {
+					t.Fatalf("armed failpoint %s fired but never killed the pipeline (hits=%d)", tc.point, reg.Hits(tc.point))
 				}
 				got, err := wal.Fingerprint(s)
 				if err != nil {
@@ -246,6 +273,9 @@ func TestPipelinedCrashRecoveryMatrix(t *testing.T) {
 				}
 				if err := l.Close(); err != nil {
 					t.Fatalf("log close: %v", err)
+				}
+				if !fired {
+					t.Skipf("failpoint %s evaluated %d times; arm at hit %d never fired", tc.point, reg.Hits(tc.point), tc.hit)
 				}
 				return
 			}

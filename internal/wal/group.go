@@ -9,6 +9,7 @@ import (
 
 	"incbubbles/internal/core"
 	"incbubbles/internal/dataset"
+	"incbubbles/internal/failpoint"
 	"incbubbles/internal/telemetry"
 	"incbubbles/internal/trace"
 )
@@ -30,8 +31,8 @@ import (
 // serial path or recovery advanced the log), so group and serial calls
 // interleave safely on one log.
 type groupState struct {
-	nextAppend uint64 // next ordinal Enqueue must carry
-	durableTo  uint64 // ordinals below this are covered by a shared fsync
+	nextAppend   uint64 // next ordinal Enqueue must carry
+	durableTo    uint64 // ordinals below this are covered by a shared fsync
 	pendingRecs  int
 	pendingBytes int64
 	// ckptDue marks the checkpoint cadence reached; the scheduler picks
@@ -51,6 +52,24 @@ type groupState struct {
 // errGroupDisabled reports a group-queue call on a log whose
 // Options.GroupCommit is zero.
 var errGroupDisabled = errors.New("wal: group commit not enabled (Options.GroupCommit is 0)")
+
+// ErrCheckpointRetryable marks a checkpoint failure that did not poison
+// the log: the previous checkpoint plus the intact WAL still reconstruct
+// the state, the cadence stays armed, and a later batch boundary retries.
+// A pipeline scheduler observing it on an applied batch must keep
+// running — the serial path never stops applying over a failed cadence
+// checkpoint either. A simulated crash (failpoint.ErrCrash) is never
+// tagged: by the failpoint convention the observer must fail-stop.
+var ErrCheckpointRetryable = errors.New("wal: checkpoint failed; retried at next cadence")
+
+// markCheckpointRetryable tags a checkpoint failure with
+// ErrCheckpointRetryable unless the chain carries a simulated crash.
+func markCheckpointRetryable(err error) error {
+	if errors.Is(err, failpoint.ErrCrash) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrCheckpointRetryable, err)
+}
 
 // syncWatermarks re-anchors the queue watermarks after the serial path or
 // recovery advanced nextOrdinal past them.
@@ -281,11 +300,11 @@ func (l *Log) StartAsyncCheckpoint(s *core.Summarizer) error {
 		return fmt.Errorf("wal: async checkpoint at batch %d but log applied %d", s.Batches(), l.nextOrdinal)
 	}
 	if err := l.fail.Hit(FailAsyncCkptEncode); err != nil {
-		return err
+		return markCheckpointRetryable(err)
 	}
 	data, err := encodeCheckpoint(s)
 	if err != nil {
-		return err
+		return markCheckpointRetryable(err)
 	}
 	ordinal := uint64(s.Batches())
 	l.group.ckptDue = false
@@ -312,7 +331,7 @@ func (l *Log) runAsyncCheckpoint(ordinal uint64, data []byte, done chan struct{}
 	defer l.mu.Unlock()
 	l.group.inflight = nil
 	if err != nil {
-		l.group.asyncErr = fmt.Errorf("wal: async checkpoint %d: %w", ordinal, err)
+		l.group.asyncErr = markCheckpointRetryable(fmt.Errorf("wal: async checkpoint %d: %w", ordinal, err))
 		l.group.ckptDue = true
 		return
 	}
