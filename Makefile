@@ -5,13 +5,16 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: build test vet race bench microbench verify-bench audit crash lint modverify staticcheck vuln verify
+.PHONY: build test vet race bench microbench verify-bench audit crash lint lint-test modverify staticcheck vuln verify
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order every run: the suites promise
+# order-independence, so a hidden inter-test dependency should fail fast
+# rather than survive until a flaky day.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -21,7 +24,7 @@ vet:
 # bit-identical results for every worker count, and the -race-gated
 # stress tests only build here.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Pinned benchmark suite (DESIGN.md §11): fixed-seed, fixed-operation
 # workloads whose work-proportional metrics are byte-stable under the
@@ -69,12 +72,21 @@ audit: vet race
 crash:
 	INCBUBBLES_CRASH=1 $(GO) test ./internal/wal -run='^TestCrashRecoveryMatrix$$|^TestPipelinedCrashRecoveryMatrix$$' -v
 
-# bubblelint is the repo's own analyzer suite (DESIGN.md §9): rawdist,
-# seededrng, floatsafe, telemetrysync, spanend, nopanic. The tree must stay
-# clean; suppressions require a //lint:allow directive with a reason.
+# bubblelint is the repo's own analyzer suite (DESIGN.md §9, §14): eleven
+# analyzers — rawdist, seededrng, floatsafe, telemetrysync, spanend,
+# nopanic, plus the callgraph-backed concurrency/hot-path pack (lockorder,
+# atomicfield, hotpathalloc, ctxflow, errsentinel); the callgraph engine
+# itself runs as their shared requirement, twelve passes in all. The tree
+# must stay clean; suppressions require a //lint:allow directive with a
+# reason (//lint:lockcover for deliberate blocking under a mutex).
 lint:
 	$(GO) build -o bin/bubblelint ./cmd/bubblelint
 	./bin/bubblelint ./...
+
+# The analyzer pack's own tests (fixtures + framework + driver) under the
+# race detector: the lint gate is only as trustworthy as its test suite.
+lint-test:
+	$(GO) test -race ./internal/analysis/...
 
 modverify:
 	$(GO) mod verify
@@ -95,4 +107,4 @@ vuln:
 		echo "govulncheck $(GOVULNCHECK_VERSION) not installed; skipping" ; \
 	fi
 
-verify: build vet lint modverify test race audit staticcheck vuln
+verify: build vet lint lint-test modverify test race audit staticcheck vuln

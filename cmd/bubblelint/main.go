@@ -1,6 +1,14 @@
 // Command bubblelint runs the repository's custom static-analysis suite
-// (DESIGN.md §9): rawdist, seededrng, floatsafe, telemetrysync and
-// nopanic.
+// (DESIGN.md §9, §14): rawdist, seededrng, floatsafe, telemetrysync,
+// spanend, nopanic, plus the callgraph-backed concurrency and hot-path
+// pack — lockorder, atomicfield, hotpathalloc, ctxflow, errsentinel. The
+// callgraph engine runs implicitly as their shared requirement.
+//
+// Whole-program checks (the lockorder cycle detector) are authoritative in
+// standalone mode, which analyzes every package in one dependency-ordered
+// run; under -vettool each vet unit sees only its own package plus the
+// facts of its dependency cone, so a cycle closed by a package outside
+// that cone is reported by the standalone run alone.
 //
 // Standalone:
 //

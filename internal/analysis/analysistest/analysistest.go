@@ -41,6 +41,14 @@ import (
 // Run applies a to each fixture package (an import path under
 // testdata/src) and reports mismatches between produced and expected
 // diagnostics through t.
+//
+// Each fixture package is analyzed together with its whole fixture import
+// closure, dependencies first, in a single driver run — exactly how the
+// standalone driver analyzes the repository — so cross-package facts flow
+// and whole-program Finish hooks (the lockorder cycle check, say) see every
+// fixture package involved. want comments are honoured across the entire
+// closure: a diagnostic anchored in a dependency fixture must be declared
+// there.
 func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgpaths ...string) {
 	t.Helper()
 	l := &loader{
@@ -52,28 +60,39 @@ func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgpaths ...strin
 		t.Fatalf("analysistest: %v", err)
 	}
 	for _, path := range pkgpaths {
-		pkg, err := l.load(path)
-		if err != nil {
+		if _, err := l.load(path); err != nil {
 			t.Errorf("analysistest: loading %s: %v", path, err)
 			continue
 		}
-		if len(pkg.typeErrs) > 0 {
-			t.Errorf("analysistest: fixture %s does not type-check: %v", path, pkg.typeErrs[0])
+		var dpkgs []*driver.Package
+		var files []*ast.File
+		bad := false
+		for _, p := range l.closure(path) {
+			pkg := l.pkgs[p]
+			if len(pkg.typeErrs) > 0 {
+				t.Errorf("analysistest: fixture %s does not type-check: %v", p, pkg.typeErrs[0])
+				bad = true
+				break
+			}
+			dpkgs = append(dpkgs, &driver.Package{
+				Path:      p,
+				Name:      pkg.types.Name(),
+				Fset:      l.fset,
+				Syntax:    pkg.files,
+				Types:     pkg.types,
+				TypesInfo: pkg.info,
+			})
+			files = append(files, pkg.files...)
+		}
+		if bad {
 			continue
 		}
-		diags, err := driver.Run([]*driver.Package{{
-			Path:      path,
-			Name:      pkg.types.Name(),
-			Fset:      l.fset,
-			Syntax:    pkg.files,
-			Types:     pkg.types,
-			TypesInfo: pkg.info,
-		}}, []*framework.Analyzer{a})
+		diags, err := driver.Run(dpkgs, []*framework.Analyzer{a})
 		if err != nil {
 			t.Errorf("analysistest: running %s on %s: %v", a.Name, path, err)
 			continue
 		}
-		check(t, l.fset, pkg.files, diags)
+		check(t, l.fset, files, diags)
 	}
 }
 
@@ -148,6 +167,7 @@ type fixturePkg struct {
 	types    *types.Package
 	info     *types.Info
 	typeErrs []error
+	deps     []string // fixture packages this one imports, in import order
 }
 
 // loader loads fixture packages from testdata/src with memoization,
@@ -247,12 +267,33 @@ func (l *loader) load(path string) (*fixturePkg, error) {
 			if len(dep.typeErrs) > 0 {
 				return nil, fmt.Errorf("fixture dependency %s: %v", p, dep.typeErrs[0])
 			}
+			pkg.deps = append(pkg.deps, p)
 			return dep.types, nil
 		}
 		return l.imp.Import(p)
 	}))
 	l.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// closure returns path's fixture import closure in dependency
+// (post-order) order, path last. All packages must already be loaded.
+func (l *loader) closure(path string) []string {
+	var out []string
+	seen := map[string]bool{}
+	var visit func(p string)
+	visit = func(p string) {
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		for _, d := range l.pkgs[p].deps {
+			visit(d)
+		}
+		out = append(out, p)
+	}
+	visit(path)
+	return out
 }
 
 // importerFunc adapts a function to types.Importer.

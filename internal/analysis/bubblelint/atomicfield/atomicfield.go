@@ -1,0 +1,207 @@
+// Package atomicfield enforces the all-or-nothing rule of sync/atomic
+// (DESIGN.md §14): a struct field accessed through the atomic functions
+// anywhere in the program may never be read or written plainly anywhere
+// else. A single plain access — even a "harmless" read — races with the
+// atomic writers on every platform without a total store order, and the
+// race detector only catches it when a test happens to interleave the two.
+//
+// The analyzer records every `atomic.Xxx(&s.field)` argument as an atomic
+// use (exported as a fact, so uses in one package condemn plain accesses
+// in its importers) and every other selector access to the same field as a
+// plain access; the Finish hook reports the plain ones. Typed atomics
+// (atomic.Uint64 and friends) make the invariant structural and need no
+// analysis — this check exists for the pointer-argument style, and its
+// practical fix is usually "migrate the field to the typed API".
+//
+// //lint:allow atomicfield suppresses a deliberate plain access, e.g. a
+// single-goroutine snapshot in a constructor before the value is shared.
+package atomicfield
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"incbubbles/internal/analysis/framework"
+)
+
+// AtomicUse marks a field key as atomically accessed somewhere.
+type AtomicUse struct {
+	// At is the first atomic use site, as file:line for the diagnostic.
+	At string
+}
+
+// AFact marks AtomicUse as a framework.Fact.
+func (*AtomicUse) AFact() {}
+
+// access is one plain field access observed in this run.
+type access struct {
+	key string
+	pos token.Pos
+}
+
+// state accumulates the whole-run access records for Finish.
+type state struct {
+	atomic map[string]string // field key -> first atomic site (file:line)
+	plain  []access
+}
+
+// Analyzer is the atomicfield check.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicfield",
+	Doc: "a field accessed via sync/atomic anywhere must never be accessed " +
+		"plainly elsewhere (DESIGN.md §14)",
+	FactTypes: []framework.Fact{(*AtomicUse)(nil)},
+}
+
+// Run/Finish attach in init: their bodies reference Analyzer as the
+// program-state key, which would otherwise be an initialization cycle.
+func init() {
+	Analyzer.Run = run
+	Analyzer.Finish = finish
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	st := stateOf(pass.Prog)
+	// First pass: find atomic call arguments and remember the exact &expr
+	// nodes so the plain-access sweep can skip them.
+	atomicArgs := map[ast.Expr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				key := fieldKeyOfSelector(pass.TypesInfo, sel)
+				if key == "" {
+					continue
+				}
+				atomicArgs[sel] = true
+				site := pass.Fset.Position(arg.Pos()).String()
+				if _, ok := st.atomic[key]; !ok {
+					st.atomic[key] = site
+					pass.ExportKeyedFact(key, &AtomicUse{At: site})
+				}
+			}
+			return true
+		})
+	}
+	// Second pass: every other selector access to a struct field is plain.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArgs[sel] {
+				return true
+			}
+			key := fieldKeyOfSelector(pass.TypesInfo, sel)
+			if key == "" {
+				return true
+			}
+			st.plain = append(st.plain, access{key: key, pos: sel.Pos()})
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func stateOf(prog *framework.Program) *state {
+	if prog == nil {
+		return &state{atomic: map[string]string{}}
+	}
+	return prog.State(Analyzer, func() interface{} {
+		return &state{atomic: map[string]string{}}
+	}).(*state)
+}
+
+// finish reports every plain access to a field with an atomic use — in
+// this run's packages or imported through facts.
+func finish(prog *framework.Program) []framework.Diagnostic {
+	st := stateOf(prog)
+	atomicAt := map[string]string{}
+	for _, of := range prog.AllFactsOf(&AtomicUse{}) {
+		atomicAt[of.Key] = of.Fact.(*AtomicUse).At
+	}
+	for k, at := range st.atomic {
+		atomicAt[k] = at
+	}
+	var diags []framework.Diagnostic
+	for _, a := range st.plain {
+		at, ok := atomicAt[a.key]
+		if !ok {
+			continue
+		}
+		diags = append(diags, framework.Diagnostic{
+			Pos: a.pos,
+			Message: fmt.Sprintf("plain access to %s, which is accessed atomically at %s: mixing atomic and plain access races — use sync/atomic for every access (or migrate the field to a typed atomic)",
+				a.key, at),
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+// isAtomicCall reports whether call invokes a package-level function of
+// sync/atomic (the pointer-argument API).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// fieldKeyOfSelector keys sel when it is a plain struct-field selection on
+// a named type; "" otherwise. Fields of the sync/atomic typed wrappers are
+// excluded (their methods select internal fields).
+func fieldKeyOfSelector(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	t := s.Recv()
+	var owner types.Type
+	var field *types.Var
+	for _, i := range s.Index() {
+		st := structUnder(t)
+		if st == nil || i >= st.NumFields() {
+			return ""
+		}
+		owner = t
+		field = st.Field(i)
+		t = field.Type()
+	}
+	if owner == nil || field == nil {
+		return ""
+	}
+	key := framework.FieldKey(owner, field)
+	if strings.HasPrefix(key, "sync/atomic.") {
+		return ""
+	}
+	return key
+}
+
+// structUnder strips one pointer and returns t's underlying struct.
+func structUnder(t types.Type) *types.Struct {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}

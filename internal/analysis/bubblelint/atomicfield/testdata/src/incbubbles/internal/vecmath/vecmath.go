@@ -1,0 +1,45 @@
+// Package vecmath exercises the atomicfield analyzer on the distance
+// counter shape: fields written through sync/atomic from concurrent
+// searches. Any plain access to such a field races with the atomic ones,
+// no matter how innocent the read looks.
+package vecmath
+
+import "sync/atomic"
+
+// Counter tallies distance computations from many goroutines.
+type Counter struct {
+	computed uint64
+	pruned   uint64
+	label    string
+}
+
+// Add counts n computations; concurrent-safe.
+func (c *Counter) Add(n uint64) { atomic.AddUint64(&c.computed, n) }
+
+// Prune counts one pruned candidate; concurrent-safe.
+func (c *Counter) Prune() { atomic.AddUint64(&c.pruned, 1) }
+
+// Computed reads the tally the one correct way.
+func (c *Counter) Computed() uint64 { return atomic.LoadUint64(&c.computed) }
+
+// Snapshot reads both tallies plainly — the race the analyzer exists for.
+func (c *Counter) Snapshot() (uint64, uint64) {
+	return c.computed, c.pruned // want `plain access to .*\(Counter\)\.computed, which is accessed atomically` `plain access to .*\(Counter\)\.pruned, which is accessed atomically`
+}
+
+// Label is only ever accessed plainly: not flagged.
+func (c *Counter) Label() string { return c.label }
+
+// reset documents a measured exception: it runs strictly before any
+// goroutine is spawned. The directive must suppress the finding.
+func (c *Counter) reset() {
+	//lint:allow atomicfield runs before the fan-out starts, no concurrent access exists yet
+	c.computed = 0
+}
+
+// Tally is plain-field scratch merged serially: no atomic access anywhere,
+// so none of its accesses are flagged.
+type Tally struct{ Computed uint64 }
+
+// Bump is a plain increment on the plain-only type.
+func (t *Tally) Bump() { t.Computed++ }

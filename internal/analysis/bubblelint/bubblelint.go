@@ -5,7 +5,12 @@
 package bubblelint
 
 import (
+	"incbubbles/internal/analysis/bubblelint/atomicfield"
+	"incbubbles/internal/analysis/bubblelint/ctxflow"
+	"incbubbles/internal/analysis/bubblelint/errsentinel"
 	"incbubbles/internal/analysis/bubblelint/floatsafe"
+	"incbubbles/internal/analysis/bubblelint/hotpathalloc"
+	"incbubbles/internal/analysis/bubblelint/lockorder"
 	"incbubbles/internal/analysis/bubblelint/nopanic"
 	"incbubbles/internal/analysis/bubblelint/rawdist"
 	"incbubbles/internal/analysis/bubblelint/seededrng"
@@ -14,7 +19,9 @@ import (
 	"incbubbles/internal/analysis/framework"
 )
 
-// Suite returns the full analyzer suite in reporting order.
+// Suite returns the full analyzer suite in reporting order. The callgraph
+// engine is not listed: it reports nothing itself and runs automatically
+// as a requirement of the analyzers that consume its facts.
 func Suite() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		rawdist.Analyzer,
@@ -23,5 +30,10 @@ func Suite() []*framework.Analyzer {
 		telemetrysync.Analyzer,
 		spanend.Analyzer,
 		nopanic.Analyzer,
+		lockorder.Analyzer,
+		atomicfield.Analyzer,
+		hotpathalloc.Analyzer,
+		ctxflow.Analyzer,
+		errsentinel.Analyzer,
 	}
 }

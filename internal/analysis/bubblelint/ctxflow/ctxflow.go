@@ -1,0 +1,197 @@
+// Package ctxflow enforces context propagation discipline (DESIGN.md §14)
+// on every function that receives a context.Context:
+//
+//  1. a ctx-accepting callee must get the caller's ctx (or one derived
+//     from it), never a fresh context.Background() or context.TODO() —
+//     minting a root context inside a ctx-receiving function severs the
+//     cancellation chain, which is how "cancelled" ingest batches kept
+//     running to completion before the pipelined path threaded ctx
+//     end-to-end;
+//  2. a known-blocking callee that cannot accept a ctx (a bare
+//     WaitGroup.Wait, time.Sleep, an un-parameterized channel wait
+//     reached through the call graph) must not be called — the caller
+//     would block unresponsively inside an operation its own contract
+//     promises is cancellable.
+//
+// Direct channel operations in the function body are deliberately not
+// flagged: `select { case <-ch: case <-ctx.Done(): }` is the idiom the
+// rule pushes toward, and flagging every receive would punish exactly the
+// code doing it right. Three more exemptions keep the findings honest:
+// blocking chains that pass through a ctx-accepting callee (the wait is
+// governed by whatever ctx that callee got — MayBlock.CtxGoverned);
+// methods named Close (the io.Closer contract flushes and blocks, and Go
+// offers no cancellable Close); and file-system blocking (fsync —
+// likewise not cancellable).
+//
+// A deliberate violation — e.g. draining settled tickets with a fresh
+// Background() after shutdown — carries //lint:allow ctxflow and a
+// reason.
+package ctxflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"incbubbles/internal/analysis/framework"
+	"incbubbles/internal/analysis/framework/callgraph"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxflow",
+	Doc: "a function receiving a context.Context must pass it to every " +
+		"ctx-accepting callee and must not call blocking callees that cannot " +
+		"honor it (DESIGN.md §14)",
+	Requires: []*framework.Analyzer{callgraph.Analyzer},
+	Run:      run,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	cg, _ := pass.ResultOf[callgraph.Analyzer].(*callgraph.Result)
+	if cg == nil {
+		return nil, fmt.Errorf("ctxflow: missing callgraph result")
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !hasCtxParam(pass.TypesInfo, fd) {
+				continue
+			}
+			checkFunc(pass, cg, fd)
+		}
+	}
+	return nil, nil
+}
+
+// hasCtxParam reports whether fd declares a context.Context parameter.
+func hasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	obj, _ := info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func checkFunc(pass *framework.Pass, cg *callgraph.Result, fd *ast.FuncDecl) {
+	fnName := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Conversions and builtins are not calls.
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+				return true
+			}
+		}
+		sig := signatureOf(pass.TypesInfo, call)
+		if sig == nil {
+			return true
+		}
+		if idx := ctxParamIndex(sig); idx >= 0 {
+			// Rule 1: the ctx argument must not be a fresh root context.
+			if idx < len(call.Args) && isFreshContext(pass.TypesInfo, call.Args[idx]) {
+				pass.Reportf(call.Args[idx].Pos(), "%s receives a ctx but passes a fresh %s to %s, severing the cancellation chain — pass the caller's ctx (or one derived from it)",
+					fnName, freshName(pass.TypesInfo, call.Args[idx]), calleeLabel(pass.TypesInfo, call))
+			}
+			return true
+		}
+		// Rule 2: a ctx-less callee must not block on cancellable-class
+		// primitives.
+		cl := cg.ResolveCallExpr(call)
+		if cl.Callee == nil || cl.Callee.Name() == "Close" {
+			return true
+		}
+		if b := cg.CalleeBlock(cl); b != nil && b.Kind != "fsync" && !b.CtxGoverned {
+			msg := fmt.Sprintf("%s receives a ctx but calls %s, which may block (%s", fnName, calleeLabel(pass.TypesInfo, call), b.Kind)
+			if b.Via != "" {
+				msg += " via " + b.Via
+			}
+			msg += ") and cannot honor the ctx — use a ctx-accepting variant or select against ctx.Done()"
+			pass.Reportf(call.Pos(), "%s", msg)
+		}
+		return true
+	})
+}
+
+// signatureOf returns the call's function signature, nil when unknown.
+func signatureOf(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// ctxParamIndex returns the index of the first context.Context parameter,
+// or -1.
+func ctxParamIndex(sig *types.Signature) int {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// isFreshContext reports whether arg is context.Background() or
+// context.TODO().
+func isFreshContext(info *types.Info, arg ast.Expr) bool {
+	return freshName(info, arg) != ""
+}
+
+// freshName returns "context.Background()" / "context.TODO()" when arg is
+// one, else "".
+func freshName(info *types.Info, arg ast.Expr) string {
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return "context." + fn.Name() + "()"
+	}
+	return ""
+}
+
+// calleeLabel names the callee for diagnostics.
+func calleeLabel(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return types.ExprString(fun)
+	}
+	return "the callee"
+}

@@ -1,0 +1,92 @@
+// Package stream exercises the ctxflow analyzer: ctx-receiving functions
+// that sever the cancellation chain (fresh root contexts, ctx-less
+// blocking callees) next to every exemption the check grants — ctx-governed
+// chains, Close methods, fsync-class durability barriers, and documented
+// //lint:allow exceptions. The allow case distills the real settled-ticket
+// re-read on the repository's streaming window.
+package stream
+
+import (
+	"context"
+	"os"
+	"time"
+)
+
+// Window is the fixture's stand-in for the streaming summarizer.
+type Window struct {
+	done chan struct{}
+	file *os.File
+}
+
+// step accepts a ctx: callers holding one must thread theirs through.
+func step(ctx context.Context) error { return ctx.Err() }
+
+// Sever passes a fresh root context to a ctx-accepting callee.
+func Sever(ctx context.Context) error {
+	return step(context.Background()) // want `Sever receives a ctx but passes a fresh context\.Background\(\) to step, severing the cancellation chain`
+}
+
+// SeverTODO is the same violation spelled context.TODO.
+func SeverTODO(ctx context.Context) error {
+	return step(context.TODO()) // want `passes a fresh context\.TODO\(\)`
+}
+
+// Threaded passes the caller's ctx: the correct form.
+func Threaded(ctx context.Context) error {
+	return step(ctx)
+}
+
+// wait blocks on the window's channel with no way to observe a ctx.
+func (w *Window) wait() {
+	<-w.done
+}
+
+// Drain receives a ctx but calls the ctx-less blocking wait.
+func (w *Window) Drain(ctx context.Context) {
+	w.wait() // want `Drain receives a ctx but calls .*wait, which may block \(chan`
+}
+
+// Backoff receives a ctx but sleeps uncancellably.
+func Backoff(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want `Backoff receives a ctx but calls .*Sleep, which may block \(sleep\)`
+}
+
+// waitCtx blocks, but takes a ctx itself: chains through it are
+// ctx-governed and exempt.
+func (w *Window) waitCtx(ctx context.Context) {
+	select {
+	case <-w.done:
+	case <-ctx.Done():
+	}
+}
+
+// Governed delegates to the ctx-accepting blocker: not flagged.
+func (w *Window) Governed(ctx context.Context) {
+	w.waitCtx(ctx)
+}
+
+// Close blocks draining the channel; io.Closer's contract has no ctx, so
+// calls to Close are exempt.
+func (w *Window) Close() error {
+	<-w.done
+	return nil
+}
+
+// Shutdown calls the blocking Close: not flagged.
+func (w *Window) Shutdown(ctx context.Context) error {
+	return w.Close()
+}
+
+// Persist calls the fsync-class durability barrier: deliberately
+// uncancellable, exempt.
+func (w *Window) Persist(ctx context.Context) error {
+	return w.file.Sync()
+}
+
+// Reread documents the settled-ticket pattern: the outcome already exists,
+// so the cancelled ctx must not be observed. The directive must suppress
+// the finding.
+func (w *Window) Reread(ctx context.Context) error {
+	//lint:allow ctxflow settled re-read returns immediately, the cancelled ctx must not poison it
+	return step(context.Background())
+}

@@ -1,0 +1,12 @@
+package errsentinel_test
+
+import (
+	"testing"
+
+	"incbubbles/internal/analysis/analysistest"
+	"incbubbles/internal/analysis/bubblelint/errsentinel"
+)
+
+func TestErrsentinel(t *testing.T) {
+	analysistest.Run(t, "testdata", errsentinel.Analyzer, "incbubbles/internal/pipeline")
+}

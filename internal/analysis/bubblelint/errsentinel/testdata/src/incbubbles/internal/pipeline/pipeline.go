@@ -1,0 +1,68 @@
+// Package pipeline exercises the errsentinel analyzer: identity
+// comparisons against package-level sentinel errors, in the ==/!= and
+// switch-case forms the check recognizes, next to the errors.Is and
+// nil-comparison forms it must leave alone. The == case distills the real
+// violation fixed in the repository's failure taxonomy (a wrapped
+// ErrPoisoned no longer matched the identity test).
+package pipeline
+
+import "errors"
+
+// ErrPoisoned mirrors the scheduler's permanent-failure sentinel.
+var ErrPoisoned = errors.New("pipeline: scheduler poisoned")
+
+// ErrStale mirrors the settled-ticket sentinel.
+var ErrStale = errors.New("pipeline: ticket stale")
+
+// identity is the direct violation in both polarities.
+func identity(err error) (bool, bool) {
+	poisoned := err == ErrPoisoned // want `sentinel error ErrPoisoned compared with ==`
+	fresh := err != ErrStale       // want `sentinel error ErrStale compared with !=`
+	return poisoned, fresh
+}
+
+// switched is the same violation as a switch over err.
+func switched(err error) string {
+	switch err {
+	case ErrPoisoned: // want `switch case compares sentinel error ErrPoisoned by identity`
+		return "poisoned"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+// wrapped is the correct form: errors.Is survives %w wrapping.
+func wrapped(err error) bool {
+	return errors.Is(err, ErrPoisoned) || errors.Is(err, ErrStale)
+}
+
+// nilChecks compare against nil, not a sentinel: not flagged.
+func nilChecks(err error) bool {
+	return err == nil || err != nil
+}
+
+// notSentinel compares two plain error values: not flagged.
+func notSentinel(a, b error) bool {
+	return a == b
+}
+
+// matchErr implements the errors.Is protocol; identity comparison against
+// a sentinel inside its Is method is the one place it belongs and stays
+// exempt.
+type matchErr struct{ code int }
+
+func (e *matchErr) Error() string { return "match" }
+
+// Is implements the errors.Is protocol: the sentinel comparisons below
+// must not be flagged.
+func (e *matchErr) Is(target error) bool {
+	return target == ErrPoisoned || target == ErrStale
+}
+
+// allowed documents a measured exception: comparing before any wrapping
+// can occur. The directive must suppress the finding.
+func allowed(err error) bool {
+	//lint:allow errsentinel err comes straight from the map probe above and is never wrapped
+	return err == ErrStale
+}

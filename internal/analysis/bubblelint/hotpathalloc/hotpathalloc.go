@@ -1,0 +1,77 @@
+// Package hotpathalloc is the standing allocation gate for the paper's
+// update path (ROADMAP item 2, DESIGN.md §14): a function annotated
+// //lint:hotpath must be provably free of heap allocation, transitively
+// through everything it calls. The distance kernels and closest-seed
+// search run millions of times per ingest batch; a single allocation in
+// that loop shows up directly as GC pressure in the sustained-throughput
+// benchmarks, and historically has crept in through innocuous-looking
+// refactors (a growing append, a closure capture, an interface box).
+//
+// The proof obligation is conservative by construction — the callgraph
+// engine treats anything it cannot resolve (function values, unmodeled
+// external packages, unresolved interfaces) as allocating — so passing
+// the gate is a real guarantee within the analyzer's model. Escapes:
+//
+//   - allocations on pure panic paths (arguments to panic(...)) are
+//     exempt — a function that only allocates while dying is still
+//     allocation-free on every completing path;
+//   - a measured-and-accepted site carries //lint:allow hotpathalloc with
+//     a reason; the callgraph engine excludes such sites at fact level,
+//     so the acceptance propagates to callers instead of re-flagging.
+package hotpathalloc
+
+import (
+	"fmt"
+	"go/ast"
+
+	"incbubbles/internal/analysis/framework"
+	"incbubbles/internal/analysis/framework/callgraph"
+)
+
+// Analyzer is the hotpathalloc check.
+var Analyzer = &framework.Analyzer{
+	Name: "hotpathalloc",
+	Doc: "functions annotated //lint:hotpath must be transitively free of heap " +
+		"allocation (DESIGN.md §14, ROADMAP item 2)",
+	Requires: []*framework.Analyzer{callgraph.Analyzer},
+	Run:      run,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	cg, _ := pass.ResultOf[callgraph.Analyzer].(*callgraph.Result)
+	if cg == nil {
+		return nil, fmt.Errorf("hotpathalloc: missing callgraph result")
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fi := cg.Decls[fd]
+			if fi == nil || !fi.Hotpath {
+				continue
+			}
+			for _, site := range fi.Allocs {
+				pass.Reportf(site.Pos, "heap allocation (%s) in //lint:hotpath function %s — hot-path code must not allocate; restructure, or accept with //lint:allow hotpathalloc <reason>",
+					site.Reason, fd.Name.Name)
+			}
+			for i := range fi.Calls {
+				call := &fi.Calls[i]
+				a := cg.CalleeAlloc(call)
+				if a == nil {
+					continue
+				}
+				msg := fmt.Sprintf("call may allocate (%s", a.Reason)
+				if a.Via != "" {
+					msg += " via " + a.Via
+				} else if call.Key != "" {
+					msg += " in " + call.Key
+				}
+				msg += fmt.Sprintf(") in //lint:hotpath function %s", fd.Name.Name)
+				pass.Reportf(call.Pos, "%s — hot-path code must not allocate; restructure, or accept with //lint:allow hotpathalloc <reason>", msg)
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"incbubbles/internal/analysis/analysistest"
+	"incbubbles/internal/analysis/bubblelint/hotpathalloc"
+)
+
+func TestHotpathalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "incbubbles/internal/vecmath")
+}

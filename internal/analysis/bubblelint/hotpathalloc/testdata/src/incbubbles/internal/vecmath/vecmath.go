@@ -1,0 +1,97 @@
+// Package vecmath exercises the hotpathalloc analyzer: //lint:hotpath
+// functions in the shapes the collector recognizes — clean kernels, every
+// direct allocation form, transitive allocation through callees, and the
+// //lint:allow acceptance that must propagate to annotated callers.
+package vecmath
+
+import "fmt"
+
+// Point is a point in d-dimensional Euclidean space.
+type Point []float64
+
+// SquaredDistance is the allocation-free kernel: nothing to report.
+//
+//lint:hotpath
+func SquaredDistance(p, q Point) float64 {
+	var s float64
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return s
+}
+
+// Scaled allocates its result directly.
+//
+//lint:hotpath
+func Scaled(p Point, k float64) Point {
+	out := make(Point, len(p)) // want `heap allocation \(make\) in //lint:hotpath function Scaled`
+	for i := range p {
+		out[i] = k * p[i]
+	}
+	return out
+}
+
+// Extend may grow the destination slice.
+//
+//lint:hotpath
+func Extend(xs []float64, v float64) []float64 {
+	return append(xs, v) // want `heap allocation \(append may grow the slice\) in //lint:hotpath function Extend`
+}
+
+// Thunk captures k in a closure.
+//
+//lint:hotpath
+func Thunk(k float64) func(float64) float64 {
+	return func(x float64) float64 { return k * x } // want `heap allocation \(function literal \(closure\)\) in //lint:hotpath function Thunk`
+}
+
+// Describe boxes its slice argument into fmt's variadic interface
+// parameter, and fmt itself is an unmodeled external.
+//
+//lint:hotpath
+func Describe(p Point) string {
+	return fmt.Sprint(p) // want `interface boxing of argument` `call into unmodeled external function`
+}
+
+// grow is not annotated, so its allocation is a fact, not a finding — the
+// finding lands on the annotated caller below.
+func grow(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Buffer allocates transitively through grow.
+//
+//lint:hotpath
+func Buffer(n int) []float64 {
+	return grow(n) // want `call may allocate \(make in incbubbles/internal/vecmath\.grow\)`
+}
+
+// scratch documents a measured, amortized allocation: the //lint:allow
+// keeps the site out of the function's may-allocate fact.
+func scratch(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		//lint:allow hotpathalloc grows once to the high-water mark, then reused by every call
+		*buf = make([]float64, 0, n)
+	}
+	return (*buf)[:n]
+}
+
+// Reuse calls the accepted allocator: acceptance propagates, nothing to
+// report here.
+//
+//lint:hotpath
+func Reuse(buf *[]float64, n int) []float64 {
+	return scratch(buf, n)
+}
+
+// observer takes an interface; passing a pointer-shaped value does not box.
+func observer(v interface{}) {}
+
+// Observe passes a pointer to an interface parameter: pointer-shaped
+// values fit the interface word, no allocation, nothing to report.
+//
+//lint:hotpath
+func Observe(p *Point) {
+	observer(p)
+}

@@ -1,0 +1,359 @@
+// Package lockorder builds the global mutex acquisition-order graph and
+// enforces two deadlock invariants over it (DESIGN.md §14):
+//
+//  1. the graph must be acyclic: if one code path acquires lock A while
+//     holding B and another acquires B while holding A, the two paths can
+//     deadlock under the right interleaving even if neither ever has in a
+//     test run. Edges come from the intra-function dataflow walk (lock
+//     held at an acquisition site → acquired lock) and from the call
+//     graph (lock held at a call site → every lock the callee may
+//     acquire, transitively across packages via AcquiresLocks facts);
+//  2. no known-blocking operation — a channel send/receive, a select
+//     without default, WaitGroup/Cond.Wait, time.Sleep, fsync, or a call
+//     chain reaching one — may happen while holding a lock, unless the
+//     lock's field declaration documents the coverage with
+//     "//lint:lockcover blocking <reason>" (e.g. the WAL mutex held
+//     across fsync by design to serialize the log file).
+//
+// Re-acquiring a lock already held on the same path (directly or through
+// a callee) is reported immediately: sync.Mutex is not reentrant, so that
+// is self-deadlock, the cycle of length one.
+//
+// The lock state is may-hold (see the dataflow package), so a lock
+// acquired on any branch into a statement counts as held there; paths the
+// analyzer cannot see (function values, unresolved interfaces) contribute
+// no edges, keeping findings concrete. Cycle detection runs in the Finish
+// hook over every package analyzed in the run: the standalone driver sees
+// the whole repository, while `go vet -vettool` degrades to the current
+// package plus its dependency cone (edges imported as LockEdges facts).
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"incbubbles/internal/analysis/framework"
+	"incbubbles/internal/analysis/framework/callgraph"
+	"incbubbles/internal/analysis/framework/dataflow"
+)
+
+// LockEdges records the acquisition-order edges a function contributes:
+// "From→To" means To was acquired (directly or via a callee) while From
+// was held. Exported as a fact so vet's per-package processes can rebuild
+// the dependency cone's graph.
+type LockEdges struct {
+	Edges []string // "from\x00to"
+}
+
+// AFact marks LockEdges as a framework.Fact.
+func (*LockEdges) AFact() {}
+
+// edgeInfo anchors one graph edge at the acquisition site that first
+// produced it in this run.
+type edgeInfo struct {
+	pos token.Pos
+	fn  string
+}
+
+// state is the whole-run lock graph.
+type state struct {
+	edges map[[2]string]edgeInfo
+}
+
+// Analyzer is the lockorder check.
+var Analyzer = &framework.Analyzer{
+	Name: "lockorder",
+	Doc: "mutex acquisition order must form an acyclic graph, and no lock may be " +
+		"held across a blocking operation unless //lint:lockcover documents it (DESIGN.md §14)",
+	Requires:  []*framework.Analyzer{callgraph.Analyzer},
+	FactTypes: []framework.Fact{(*LockEdges)(nil)},
+}
+
+// Run/Finish attach in init: their bodies reference Analyzer as the
+// program-state key, which would otherwise be an initialization cycle.
+func init() {
+	Analyzer.Run = run
+	Analyzer.Finish = finish
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	cg, _ := pass.ResultOf[callgraph.Analyzer].(*callgraph.Result)
+	if cg == nil {
+		return nil, fmt.Errorf("lockorder: missing callgraph result")
+	}
+	st := stateOf(pass.Prog)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, cg, st, fd)
+		}
+	}
+	return nil, nil
+}
+
+func stateOf(prog *framework.Program) *state {
+	if prog == nil {
+		return &state{edges: map[[2]string]edgeInfo{}}
+	}
+	return prog.State(Analyzer, func() interface{} {
+		return &state{edges: map[[2]string]edgeInfo{}}
+	}).(*state)
+}
+
+// stableLock reports whether key names a lock that exists across
+// functions — a struct field or package-level mutex. Function-local and
+// unnameable mutexes cannot participate in cross-path ordering cycles.
+func stableLock(key string) bool {
+	return key != "" && !strings.HasPrefix(key, "local:") && !strings.HasPrefix(key, "expr:")
+}
+
+func checkFunc(pass *framework.Pass, cg *callgraph.Result, st *state, fd *ast.FuncDecl) {
+	fnObj := pass.TypesInfo.Defs[fd.Name]
+	fnKey := framework.ObjectKey(fnObj)
+	fnName := fd.Name.Name
+	edges := map[[2]string]bool{}
+
+	addEdge := func(from, to string, pos token.Pos) {
+		if !stableLock(from) || !stableLock(to) || from == to {
+			return
+		}
+		e := [2]string{from, to}
+		edges[e] = true
+		if _, ok := st.edges[e]; !ok {
+			st.edges[e] = edgeInfo{pos: pos, fn: fnName}
+		}
+	}
+
+	reportBlocked := func(pos token.Pos, held dataflow.Held, what string) {
+		keys := held.Keys()
+		sort.Strings(keys)
+		for _, h := range keys {
+			if !stableLock(h) {
+				continue
+			}
+			if _, covered := cg.CoverReason(h); covered {
+				continue
+			}
+			pass.Reportf(pos, "%s while holding %s (acquired at %s); blocking under a lock stalls every contender — document deliberate coverage with //lint:lockcover blocking <reason> on the mutex field",
+				what, h, pass.Fset.Position(held[h]))
+		}
+	}
+
+	var walkBody func(body *ast.BlockStmt)
+	hooks := dataflow.Hooks{
+		Classify: func(call *ast.CallExpr) (string, dataflow.Op) {
+			return callgraph.LockOp(pass, fnKey, call)
+		},
+		OnAcquire: func(call *ast.CallExpr, key string, held dataflow.Held) {
+			if _, already := held[key]; already {
+				pass.Reportf(call.Pos(), "%s re-acquires %s already held on this path (acquired at %s): sync mutexes are not reentrant, this self-deadlocks",
+					fnName, key, pass.Fset.Position(held[key]))
+				return
+			}
+			for h := range held {
+				addEdge(h, key, call.Pos())
+			}
+		},
+		OnCall: func(call *ast.CallExpr, held dataflow.Held) {
+			if len(held) == 0 {
+				return
+			}
+			cl := cg.ResolveCallExpr(call)
+			for _, acq := range cg.CalleeAcquires(cl) {
+				if _, already := held[acq]; already && stableLock(acq) {
+					pass.Reportf(call.Pos(), "call to %s may re-acquire %s already held on this path (acquired at %s): sync mutexes are not reentrant, this self-deadlocks",
+						calleeName(cl), acq, pass.Fset.Position(held[acq]))
+					continue
+				}
+				for h := range held {
+					addEdge(h, acq, call.Pos())
+				}
+			}
+			if b := cg.CalleeBlock(cl); b != nil {
+				what := fmt.Sprintf("call to %s may block (%s", calleeName(cl), b.Kind)
+				if b.Via != "" {
+					what += " via " + b.Via
+				}
+				what += ")"
+				reportBlocked(call.Pos(), held, what)
+			}
+		},
+		OnBlock: func(n ast.Node, held dataflow.Held) {
+			if len(held) == 0 {
+				return
+			}
+			what := "channel operation may block"
+			if _, ok := n.(*ast.SelectStmt); ok {
+				what = "select without default may block"
+			}
+			reportBlocked(n.Pos(), held, what)
+		},
+		OnFuncLit: func(lit *ast.FuncLit) {
+			// The literal runs with its own lock path (another goroutine,
+			// or at exit); analyze it with a fresh held set.
+			walkBody(lit.Body)
+		},
+	}
+	walkBody = func(body *ast.BlockStmt) { dataflow.Walk(body, hooks) }
+	walkBody(fd.Body)
+
+	if len(edges) > 0 && fnKey != "" {
+		out := make([]string, 0, len(edges))
+		for e := range edges {
+			out = append(out, e[0]+"\x00"+e[1])
+		}
+		sort.Strings(out)
+		pass.ExportKeyedFact(fnKey, &LockEdges{Edges: out})
+	}
+}
+
+func calleeName(cl *callgraph.Call) string {
+	if cl.Key != "" {
+		return cl.Key
+	}
+	if cl.Callee != nil {
+		return cl.Callee.Name()
+	}
+	return "function value"
+}
+
+// finish detects cycles over the merged graph: this run's edges plus every
+// LockEdges fact (for -vettool mode, where dependency packages contribute
+// through facts only). Only cycles containing at least one edge observed
+// in this run are reported — anchored at that edge — so each vet process
+// reports the cycles its own package closes, exactly once.
+func finish(prog *framework.Program) []framework.Diagnostic {
+	st := stateOf(prog)
+	graph := map[string]map[string]bool{}
+	addG := func(from, to string) {
+		if graph[from] == nil {
+			graph[from] = map[string]bool{}
+		}
+		graph[from][to] = true
+	}
+	for e := range st.edges {
+		addG(e[0], e[1])
+	}
+	// Merge fact edges. A temporary pass-less program read is not available
+	// here; go through the fact enumeration API on Program directly.
+	for _, of := range prog.AllFactsOf(&LockEdges{}) {
+		le := of.Fact.(*LockEdges)
+		for _, e := range le.Edges {
+			if i := strings.IndexByte(e, 0); i >= 0 {
+				addG(e[:i], e[i+1:])
+			}
+		}
+	}
+
+	comp := scc(graph)
+	var diags []framework.Diagnostic
+	for _, members := range comp {
+		if len(members) < 2 {
+			continue
+		}
+		inSCC := map[string]bool{}
+		for _, m := range members {
+			inSCC[m] = true
+		}
+		// Anchor at the lexically first local edge inside the cycle.
+		var anchor edgeInfo
+		var anchorEdge [2]string
+		for e, info := range st.edges {
+			if !inSCC[e[0]] || !inSCC[e[1]] {
+				continue
+			}
+			if anchor.pos == token.NoPos || info.pos < anchor.pos {
+				anchor = info
+				anchorEdge = e
+			}
+		}
+		if anchor.pos == token.NoPos {
+			continue // cycle lives entirely in dependency facts; their own vet run reports it
+		}
+		sort.Strings(members)
+		diags = append(diags, framework.Diagnostic{
+			Pos: anchor.pos,
+			Message: fmt.Sprintf("lock acquisition order cycle among {%s}: %s acquires %s while holding %s here, but another path orders them the other way — fix by acquiring these locks in one global order",
+				strings.Join(members, ", "), anchor.fn, anchorEdge[1], anchorEdge[0]),
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+// scc returns the strongly connected components of graph (Tarjan,
+// iterative enough for lock graphs: recursion depth is bounded by the
+// number of distinct locks).
+func scc(graph map[string]map[string]bool) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var comps [][]string
+	next := 0
+
+	nodes := make([]string, 0, len(graph))
+	seen := map[string]bool{}
+	for from, tos := range graph {
+		if !seen[from] {
+			seen[from] = true
+			nodes = append(nodes, from)
+		}
+		for to := range tos {
+			if !seen[to] {
+				seen[to] = true
+				nodes = append(nodes, to)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		tos := make([]string, 0, len(graph[v]))
+		for to := range graph[v] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, w := range tos {
+			if _, visited := index[w]; !visited {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for _, v := range nodes {
+		if _, visited := index[v]; !visited {
+			strongconnect(v)
+		}
+	}
+	return comps
+}

@@ -1,0 +1,67 @@
+// Package pipeline is the root of the lockorder cycle fixture: it orders
+// telemetry's lock before wal's, closing the cycle wal.AppendTraced opens
+// the other way around — an ordering conflict no single package exhibits.
+// It also carries the intra-package cases: blocking under a held lock,
+// non-reentrant re-acquisition (direct and through a callee), and the
+// //lint:allow escape hatch.
+package pipeline
+
+import (
+	"sync"
+
+	"incbubbles/internal/telemetry"
+	"incbubbles/internal/wal"
+)
+
+// Flush acquires wal's lock while holding telemetry's: the
+// telemetry-before-wal half of the cycle.
+func Flush() {
+	telemetry.Mu.Lock()
+	defer telemetry.Mu.Unlock()
+	wal.Append() // want `lock acquisition order cycle among \{incbubbles/internal/telemetry\.Mu, incbubbles/internal/wal\.Mu\}`
+}
+
+// Scheduler carries the intra-package lock cases.
+type Scheduler struct {
+	mu   sync.Mutex
+	done chan struct{}
+}
+
+// BlockedWait receives from a channel while holding the scheduler lock:
+// every contender stalls behind the wait.
+func (s *Scheduler) BlockedWait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.done // want `while holding .*\(Scheduler\)\.mu`
+}
+
+// ReAcquire locks the scheduler mutex twice on one path.
+func (s *Scheduler) ReAcquire() {
+	s.mu.Lock()
+	s.mu.Lock() // want `re-acquires .*\(Scheduler\)\.mu already held on this path`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// locked acquires the scheduler lock on its own.
+func (s *Scheduler) locked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// ReAcquireVia re-acquires through a callee: visible only with the
+// callee's acquires-locks summary.
+func (s *Scheduler) ReAcquireVia() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.locked() // want `call to .*locked may re-acquire .*\(Scheduler\)\.mu already held`
+}
+
+// AllowedWait documents a deliberate wait under the lock. The directive
+// must suppress the finding.
+func (s *Scheduler) AllowedWait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:allow lockorder the done channel is always closed before AllowedWait can be reached
+	<-s.done
+}

@@ -1,0 +1,15 @@
+// Package telemetry is the dependency leaf of the lockorder cycle
+// fixture: it owns one package-level mutex and an exported recorder that
+// acquires it, exporting an acquires-locks fact its importers consume.
+package telemetry
+
+import "sync"
+
+// Mu guards the recorder.
+var Mu sync.Mutex
+
+// Record acquires the telemetry lock on its own.
+func Record() {
+	Mu.Lock()
+	defer Mu.Unlock()
+}

@@ -1,0 +1,45 @@
+// Package wal is the middle package of the lockorder cycle fixture: it
+// orders its own lock before telemetry's (AppendTraced), which is
+// consistent on its own — the conflicting order lives in the pipeline
+// fixture package, so only a whole-program view can see the cycle. It also
+// carries the //lint:lockcover case: a mutex documented to cover fsync.
+package wal
+
+import (
+	"os"
+	"sync"
+
+	"incbubbles/internal/telemetry"
+)
+
+// Mu guards the log tail.
+var Mu sync.Mutex
+
+// Append acquires only the wal lock.
+func Append() {
+	Mu.Lock()
+	defer Mu.Unlock()
+}
+
+// AppendTraced acquires telemetry's lock while holding wal's: the
+// wal-before-telemetry half of the cycle.
+func AppendTraced() {
+	Mu.Lock()
+	defer Mu.Unlock()
+	telemetry.Record()
+}
+
+// Log carries a mutex documented to cover its fsync: blocking under it is
+// deliberate and must not be reported.
+type Log struct {
+	//lint:lockcover blocking the log mutex deliberately covers fsync; group commit amortizes the wait
+	mu   sync.Mutex
+	file *os.File
+}
+
+// Sync fsyncs under the covered mutex: not flagged.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.file.Sync()
+}

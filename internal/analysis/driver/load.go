@@ -10,6 +10,7 @@ package driver
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -44,6 +45,7 @@ type listedPackage struct {
 	Name       string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	DepOnly    bool
 	Incomplete bool
@@ -66,7 +68,7 @@ func goList(dir string, patterns []string) ([]listedPackage, error) {
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listedPackage
-		if err := dec.Decode(&p); err == io.EOF {
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("go list: decoding output: %v", err)
@@ -130,7 +132,10 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		}
 		roots = append(roots, p)
 	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+	// Dependency (topological) order with an alphabetical tie-break: a
+	// package is loaded — and analyzed — only after every root it imports,
+	// so cross-package analyzer facts flow callee-package-first.
+	roots = topoSort(roots)
 
 	fset := token.NewFileSet()
 	imp := ExportImporter(fset, exports)
@@ -159,6 +164,36 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		out = append(out, pkg)
 	}
 	return out, nil
+}
+
+// topoSort orders roots so every package follows the roots it imports
+// (import cycles cannot occur in valid Go). Ties — packages with no
+// dependency relation — break alphabetically, keeping output stable.
+func topoSort(roots []listedPackage) []listedPackage {
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+	byPath := make(map[string]*listedPackage, len(roots))
+	for i := range roots {
+		byPath[roots[i].ImportPath] = &roots[i]
+	}
+	visited := make(map[string]bool, len(roots))
+	out := make([]listedPackage, 0, len(roots))
+	var visit func(p *listedPackage)
+	visit = func(p *listedPackage) {
+		if visited[p.ImportPath] {
+			return
+		}
+		visited[p.ImportPath] = true
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, *p)
+	}
+	for i := range roots {
+		visit(&roots[i])
+	}
+	return out
 }
 
 // Check type-checks one package's files, collecting soft errors instead of

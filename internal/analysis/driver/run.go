@@ -20,27 +20,56 @@ type Diagnostic struct {
 }
 
 // Run applies every analyzer to every package and returns the surviving
-// diagnostics: //lint:allow-suppressed findings are dropped, malformed
-// allow directives are reported as bubblelint's own findings, and the
-// result is sorted by position for stable output.
+// diagnostics. It creates a fresh fact store for the run; callers that
+// need to seed or persist facts (the unitchecker) use RunProgram.
 func Run(pkgs []*Package, analyzers []*framework.Analyzer) ([]Diagnostic, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	return RunProgram(framework.NewProgram(pkgs[0].Fset), pkgs, analyzers)
+}
+
+// RunProgram applies every analyzer — expanded transitively through
+// Requires and ordered so requirements run first — to every package, in
+// the order given (the loader supplies dependency order, so facts flow
+// callee-package-first), then invokes each analyzer's Finish hook for
+// whole-program diagnostics. //lint:allow-suppressed findings are dropped,
+// malformed allow directives are reported as bubblelint's own findings,
+// and the result is sorted by position for stable output.
+func RunProgram(prog *framework.Program, pkgs []*Package, analyzers []*framework.Analyzer) ([]Diagnostic, error) {
+	expanded, err := expand(analyzers)
+	if err != nil {
+		return nil, err
+	}
 	var out []Diagnostic
+	byFile := map[string]*Package{} // filename -> package, for Finish attribution
+	sups := map[*Package]*framework.Suppressor{}
 	for _, pkg := range pkgs {
 		if pkg.Types == nil {
 			return nil, fmt.Errorf("%s: package did not type-check", pkg.Path)
 		}
 		sup := framework.NewSuppressor(pkg.Fset, pkg.Syntax)
+		sups[pkg] = sup
+		for _, f := range pkg.Syntax {
+			byFile[pkg.Fset.Position(f.Pos()).Filename] = pkg
+		}
 		for _, bad := range sup.Malformed() {
 			out = append(out, diag(pkg, "bubblelint", bad.Pos,
 				"malformed //lint:allow directive: want \"//lint:allow <analyzer>[,<analyzer>] <reason>\""))
 		}
-		for _, a := range analyzers {
+		results := map[*framework.Analyzer]interface{}{}
+		for _, a := range expanded {
 			pass := &framework.Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Prog:      prog,
+				ResultOf:  map[*framework.Analyzer]interface{}{},
+			}
+			for _, req := range a.Requires {
+				pass.ResultOf[req] = results[req]
 			}
 			name := a.Name
 			pass.Report = func(d framework.Diagnostic) {
@@ -49,9 +78,34 @@ func Run(pkgs []*Package, analyzers []*framework.Analyzer) ([]Diagnostic, error)
 				}
 				out = append(out, diag(pkg, name, d.Pos, d.Message))
 			}
-			if _, err := a.Run(pass); err != nil {
+			res, err := a.Run(pass)
+			if err != nil {
 				return nil, fmt.Errorf("%s: analyzer %s: %v", pkg.Path, a.Name, err)
 			}
+			results[a] = res
+		}
+	}
+	for _, a := range expanded {
+		if a.Finish == nil {
+			continue
+		}
+		for _, d := range a.Finish(prog) {
+			pkg := byFile[prog.Fset.Position(d.Pos).Filename]
+			if pkg == nil {
+				// Anchored outside the analyzed packages (should not
+				// happen); keep it visible rather than dropping it.
+				out = append(out, Diagnostic{
+					Analyzer: a.Name,
+					Posn:     prog.Fset.Position(d.Pos),
+					Position: prog.Fset.Position(d.Pos).String(),
+					Message:  d.Message,
+				})
+				continue
+			}
+			if sups[pkg].Suppressed(a.Name, d.Pos) {
+				continue
+			}
+			out = append(out, diag(pkg, a.Name, d.Pos, d.Message))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -68,6 +122,41 @@ func Run(pkgs []*Package, analyzers []*framework.Analyzer) ([]Diagnostic, error)
 		return a.Analyzer < b.Analyzer
 	})
 	return out, nil
+}
+
+// expand returns analyzers plus their transitive requirements in
+// topological order (requirements before dependents), rejecting cycles.
+func expand(analyzers []*framework.Analyzer) ([]*framework.Analyzer, error) {
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := map[*framework.Analyzer]int{}
+	var order []*framework.Analyzer
+	var visit func(a *framework.Analyzer) error
+	visit = func(a *framework.Analyzer) error {
+		switch state[a] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("analyzer requirement cycle through %s", a.Name)
+		}
+		state[a] = visiting
+		for _, req := range a.Requires {
+			if err := visit(req); err != nil {
+				return err
+			}
+		}
+		state[a] = done
+		order = append(order, a)
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := visit(a); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
 }
 
 func diag(pkg *Package, analyzer string, pos token.Pos, msg string) Diagnostic {

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
@@ -10,6 +11,9 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
 
 	"incbubbles/internal/analysis/framework"
@@ -26,6 +30,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -47,17 +52,32 @@ func RunUnitchecker(cfgFile string, analyzers []*framework.Analyzer, asJSON bool
 		return 1
 	}
 	// The vet cache requires the facts output to exist even when nothing
-	// is analyzed. The suite exchanges no facts, so the file is empty.
+	// is analyzed; write it empty up front so the skip paths below leave a
+	// valid (fact-free) file, then overwrite with the real store after a
+	// full analysis.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
 	}
-	// Skip test variants ("pkg [pkg.test]", "pkg_test [pkg.test]") and
-	// fact-only requests: bubblelint guards production code; tests exercise
-	// uncounted and randomized behaviour deliberately.
-	if cfg.VetxOnly || strings.Contains(cfg.ID, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+	// Skip test variants ("pkg [pkg.test]", "pkg_test [pkg.test]"):
+	// bubblelint guards production code; tests exercise uncounted and
+	// randomized behaviour deliberately. Fact-only requests (VetxOnly —
+	// how go vet asks for a dependency's contribution to the fact chain)
+	// are NOT skipped: the callgraph facts of every dependency must be
+	// real or dependents misclassify its functions as unmodeled externals.
+	// Only the diagnostics are suppressed for such units, below.
+	if strings.Contains(cfg.ID, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0
+	}
+	// Standard-library units (go vet offers the whole dependency graph)
+	// are left unanalyzed on purpose, exactly like the standalone driver,
+	// which loads only the module's packages: the callgraph's curated
+	// external models under-approximate stdlib blocking (DESIGN.md §14),
+	// whereas analyzing runtime/os/io from source would tag every
+	// fmt.Fprintln as a channel block through the pipe implementation.
+	if underGoroot(cfg.GoFiles) {
 		return 0
 	}
 
@@ -105,12 +125,42 @@ func RunUnitchecker(cfgFile string, analyzers []*framework.Analyzer, asJSON bool
 		Types:     tpkg,
 		TypesInfo: info,
 	}
-	diags, err := Run([]*Package{pkg}, analyzers)
+	// Facts cross vet's per-package process boundary through the .vetx
+	// files: seed the program with every dependency's exported facts, run,
+	// then serialize the merged store (imported + own) so transitive
+	// dependents see the whole chain. Analyzer Finish hooks still run per
+	// process, so whole-program checks degrade to "current package plus
+	// its dependency cone" under -vettool; the standalone driver remains
+	// the authoritative global view (DESIGN.md §14).
+	framework.RegisterFactTypes(analyzers)
+	prog := framework.NewProgram(fset)
+	for _, vetx := range sortedValues(cfg.PackageVetx) {
+		data, err := os.ReadFile(vetx)
+		if err != nil || len(data) == 0 {
+			continue // fact-free dependency (stdlib, or an older tool)
+		}
+		if err := prog.DecodeFacts(bytes.NewReader(data)); err != nil {
+			fmt.Fprintf(stderr, "bubblelint: reading facts %s: %v\n", vetx, err)
+			return 1
+		}
+	}
+	diags, err := RunProgram(prog, []*Package{pkg}, analyzers)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	if len(diags) == 0 {
+	if cfg.VetxOutput != "" {
+		var buf bytes.Buffer
+		if err := prog.EncodeFacts(&buf); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, buf.Bytes(), 0o666); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
 		return 0
 	}
 	if asJSON {
@@ -122,6 +172,39 @@ func RunUnitchecker(cfgFile string, analyzers []*framework.Analyzer, asJSON bool
 	}
 	WriteText(stderr, diags)
 	return 2
+}
+
+// underGoroot reports whether every source file of the unit lives under
+// the toolchain's GOROOT — i.e. the unit is a standard-library package.
+// The vettool is built by the same toolchain that invokes it, so the
+// embedded GOROOT is the one whose sources `go vet` hands us.
+func underGoroot(files []string) bool {
+	root := runtime.GOROOT()
+	if root == "" || len(files) == 0 {
+		return false
+	}
+	prefix := filepath.Clean(root) + string(filepath.Separator)
+	for _, f := range files {
+		if !strings.HasPrefix(filepath.Clean(f), prefix) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedValues returns m's values ordered by key, for deterministic fact
+// loading.
+func sortedValues(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
 }
 
 // mappedImporter applies the vet config's ImportMap (vendoring and version

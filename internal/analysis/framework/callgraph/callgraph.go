@@ -1,0 +1,414 @@
+// Package callgraph is the shared fact engine of the concurrency and
+// hot-path analyzers (DESIGN.md §14). It runs once per package — before
+// every analyzer that Requires it — and produces two things:
+//
+//   - a per-package Result: one FuncInfo per function declaration, with
+//     the function's direct calls, heap-allocation sites, blocking sites
+//     and lock acquisitions, plus the transitive may-block / may-allocate
+//     / acquires-locks summaries computed by an intra-package fixpoint;
+//   - cross-package Facts (MayBlock, MayAlloc, AcquiresLocks, LockCover,
+//     Analyzed) exported under stable object keys, so a pass over an
+//     importing package sees the summaries of every dependency without
+//     re-analyzing it. The driver analyzes packages in dependency order,
+//     which makes the callee-first computation exact for the whole
+//     program.
+//
+// Two suppression-adjacent directives are parsed here because they change
+// the facts themselves rather than one diagnostic:
+//
+//	//lint:hotpath
+//	    on a function declaration's doc comment marks it as a hot-path
+//	    function the hotpathalloc analyzer must prove transitively
+//	    allocation-free;
+//	//lint:lockcover blocking <reason>
+//	    on a mutex field declaration documents that the lock deliberately
+//	    covers blocking calls (e.g. a WAL mutex held across fsync by
+//	    design), which exempts it from lockorder's blocking-under-lock
+//	    check.
+//
+// Approximations, chosen to keep the engine sound for this repository and
+// honest about its limits: calls through interfaces are resolved
+// closed-world against the named types of the packages analyzed so far
+// (exact here, since implementations precede their users in dependency
+// order); calls through plain function values are "unknown"; a package
+// without an Analyzed marker fact is external, judged by a small stdlib
+// model (math, sync/atomic and mutex operations are allocation-free;
+// time.Sleep, WaitGroup.Wait, Cond.Wait and File.Sync block) and
+// otherwise unknown.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"incbubbles/internal/analysis/framework"
+)
+
+// MayBlock marks a function that can block the calling goroutine: a
+// channel operation, a select without default, or a call chain reaching
+// one (or a modeled stdlib blocker).
+type MayBlock struct {
+	// Kind is the blocking primitive: "chan", "select", "wait", "sleep"
+	// or "fsync".
+	Kind string
+	// Via names the call chain ("a.f → b.g") when the block is indirect.
+	Via string
+	// CtxGoverned is set when the chain to the blocking site passes
+	// through a callee that accepts a context.Context: the wait is
+	// governed by whatever ctx that callee was given, so ctxflow does not
+	// flag it (lockorder still does — a cancellable wait under a lock
+	// stalls contenders all the same).
+	CtxGoverned bool
+}
+
+// AFact marks MayBlock as a framework.Fact.
+func (*MayBlock) AFact() {}
+
+// MayAlloc marks a function that can allocate on the heap.
+type MayAlloc struct {
+	// Reason is the allocating construct ("append may grow", "closure",
+	// "interface boxing", ...).
+	Reason string
+	// Via names the call chain when the allocation is indirect.
+	Via string
+}
+
+// AFact marks MayAlloc as a framework.Fact.
+func (*MayAlloc) AFact() {}
+
+// AcquiresLocks lists the locks a function may acquire, directly or
+// through callees, as stable lock keys.
+type AcquiresLocks struct {
+	Locks []string
+}
+
+// AFact marks AcquiresLocks as a framework.Fact.
+func (*AcquiresLocks) AFact() {}
+
+// LockCover records a //lint:lockcover directive on a mutex field: the
+// lock is documented to cover blocking calls.
+type LockCover struct {
+	Reason string
+}
+
+// AFact marks LockCover as a framework.Fact.
+func (*LockCover) AFact() {}
+
+// Analyzed marks a package (key "pkg:<importpath>") as having been
+// analyzed by callgraph. For functions of an Analyzed package, the absence
+// of a MayBlock/MayAlloc fact positively means "cannot"; for anything else
+// it means "unknown".
+type Analyzed struct{}
+
+// AFact marks Analyzed as a framework.Fact.
+func (*Analyzed) AFact() {}
+
+// Call is one call site inside a function.
+type Call struct {
+	Pos token.Pos
+	// Callee is the static callee — a concrete function, or the abstract
+	// method for an interface call. Nil for calls through function values.
+	Callee *types.Func
+	// Key is framework.ObjectKey(Callee) ("" when unavailable).
+	Key string
+	// Iface marks a dynamic call through an interface method.
+	Iface bool
+	// IfaceType is the interface type for Iface calls.
+	IfaceType *types.Interface
+	// InGo marks a call that runs on a spawned goroutine, not the
+	// caller's: it contributes allocations but not blocking.
+	InGo bool
+}
+
+// AllocSite is one direct heap-allocation construct.
+type AllocSite struct {
+	Pos    token.Pos
+	Reason string
+}
+
+// BlockSite is one direct blocking construct.
+type BlockSite struct {
+	Pos  token.Pos
+	Kind string
+}
+
+// FuncInfo is the summary of one function declaration.
+type FuncInfo struct {
+	Key  string
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+	// Hotpath is set by a //lint:hotpath directive on the declaration.
+	Hotpath bool
+
+	Calls       []Call
+	Allocs      []AllocSite
+	Blocks      []BlockSite
+	DirectLocks []string
+
+	// Transitive summaries, valid after the package fixpoint. Nil/empty
+	// means provably free of the behaviour within the closed world.
+	Block    *MayBlock
+	Alloc    *MayAlloc
+	Acquires []string
+}
+
+// Result is the per-package output delivered through Pass.ResultOf.
+type Result struct {
+	pass *framework.Pass
+	// Funcs maps stable object keys to the package's function summaries.
+	Funcs map[string]*FuncInfo
+	// Decls indexes Funcs by declaration node.
+	Decls map[*ast.FuncDecl]*FuncInfo
+	// LockCovers maps covered lock keys to the documented reason (this
+	// package's //lint:lockcover directives; use CoverReason for the
+	// cross-package view).
+	LockCovers map[string]string
+
+	// universe caches the closed world of named types used for
+	// interface-call resolution: this package's own types plus those of
+	// every analyzed package in its import closure. Built lazily because
+	// the import walk is only needed when an interface call occurs.
+	//
+	// Types must come from this pass's type universe (the package's own
+	// source check plus the shared export-data importer), never from
+	// another root's source check: a named type has one identity per
+	// incarnation, and types.Implements compares named types by identity,
+	// so a *types.Named captured while analyzing the defining package from
+	// source never matches the export-data incarnation a downstream
+	// package's interface refers to.
+	universe      []*types.Named
+	universeBuilt bool
+}
+
+// Analyzer computes the package call graph and exports the cross-package
+// facts every dependent analyzer consumes.
+var Analyzer = &framework.Analyzer{
+	Name: "callgraph",
+	Doc: "package call graph with transitive may-block / may-allocate / " +
+		"acquires-locks facts; parses //lint:hotpath and //lint:lockcover",
+	FactTypes: []framework.Fact{
+		(*MayBlock)(nil), (*MayAlloc)(nil), (*AcquiresLocks)(nil),
+		(*LockCover)(nil), (*Analyzed)(nil),
+	},
+}
+
+// Run is attached in init: run's body references Analyzer (as the State
+// key), which would otherwise be an initialization cycle.
+func init() { Analyzer.Run = run }
+
+func run(pass *framework.Pass) (interface{}, error) {
+	r := &Result{
+		pass:       pass,
+		Funcs:      map[string]*FuncInfo{},
+		Decls:      map[*ast.FuncDecl]*FuncInfo{},
+		LockCovers: map[string]string{},
+	}
+	parseLockCovers(pass, r)
+
+	// hotpathalloc's //lint:allow directives are honoured at fact level:
+	// an allowed allocation site is "measured and accepted", so it must
+	// not propagate a may-allocate fact to the function's callers.
+	sup := framework.NewSuppressor(pass.Fset, pass.Files)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			fi := &FuncInfo{
+				Key:     framework.ObjectKey(obj),
+				Decl:    fd,
+				Obj:     obj,
+				Hotpath: hasHotpathDirective(fd),
+			}
+			c := &collector{pass: pass, fi: fi, sup: sup, fnKey: fi.Key}
+			c.stmt(fd.Body)
+			if fi.Key != "" {
+				r.Funcs[fi.Key] = fi
+			}
+			r.Decls[fd] = fi
+		}
+	}
+
+	r.fixpoint()
+	r.exportFacts()
+	return r, nil
+}
+
+// typeUniverse returns the closed world of named types for interface-call
+// resolution: the current package's own types plus the types of every
+// analyzed package (Analyzed fact present) reachable through its imports.
+func (r *Result) typeUniverse() []*types.Named {
+	if r.universeBuilt {
+		return r.universe
+	}
+	r.universeBuilt = true
+	seen := map[string]bool{}
+	var visit func(pkg *types.Package, root bool)
+	visit = func(pkg *types.Package, root bool) {
+		if pkg == nil || seen[pkg.Path()] {
+			return
+		}
+		seen[pkg.Path()] = true
+		if root || r.pass.ImportKeyedFact("pkg:"+pkg.Path(), &Analyzed{}) {
+			registerNamedTypes(r, pkg)
+		}
+		for _, imp := range pkg.Imports() {
+			visit(imp, false)
+		}
+	}
+	visit(r.pass.Pkg, true)
+	return r.universe
+}
+
+// registerNamedTypes adds the package's named non-interface types to the
+// closed world used for interface-call resolution.
+func registerNamedTypes(r *Result, pkg *types.Package) {
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		r.universe = append(r.universe, named)
+	}
+}
+
+// hasHotpathDirective reports whether fd's doc comment carries
+// //lint:hotpath.
+func hasHotpathDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//lint:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+// parseLockCovers matches //lint:lockcover directives to the mutex field
+// declarations they annotate (same line, trailing-comment form, or the
+// line directly above) and reports malformed ones.
+func parseLockCovers(pass *framework.Pass, r *Result) {
+	type directive struct {
+		reason string
+		pos    token.Pos
+		used   bool
+	}
+	const prefix = "//lint:lockcover"
+	byLine := map[int]*directive{}
+	var all []*directive
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				rest := strings.Fields(strings.TrimPrefix(c.Text, prefix))
+				d := &directive{pos: c.Pos()}
+				if len(rest) < 2 || rest[0] != "blocking" {
+					pass.Reportf(c.Pos(), "malformed //lint:lockcover directive: want \"//lint:lockcover blocking <reason>\"")
+					continue
+				}
+				d.reason = strings.Join(rest[1:], " ")
+				line := pass.Fset.Position(c.Pos()).Line
+				byLine[line] = d
+				byLine[line+1] = d
+				all = append(all, d)
+			}
+		}
+	}
+	if len(all) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				t := pass.TypesInfo.TypeOf(field.Type)
+				if !isMutexType(t) {
+					continue
+				}
+				line := pass.Fset.Position(field.Pos()).Line
+				d := byLine[line]
+				if d == nil {
+					continue
+				}
+				for _, name := range field.Names {
+					fv, _ := pass.TypesInfo.Defs[name].(*types.Var)
+					if fv == nil {
+						continue
+					}
+					key := fieldKeyOf(pass, fv)
+					if key == "" {
+						continue
+					}
+					d.used = true
+					r.LockCovers[key] = d.reason
+					pass.ExportKeyedFact(key, &LockCover{Reason: d.reason})
+				}
+			}
+			return true
+		})
+	}
+	for _, d := range all {
+		if !d.used {
+			pass.Reportf(d.pos, "//lint:lockcover directive does not annotate a sync.Mutex/sync.RWMutex field declaration")
+		}
+	}
+}
+
+// fieldKeyOf derives the stable key of a struct field by locating its
+// owning named type in the package scope.
+func fieldKeyOf(pass *framework.Pass, fv *types.Var) string {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == fv {
+				return framework.FieldKey(tn.Type(), fv)
+			}
+		}
+	}
+	return ""
+}
+
+// isMutexType reports whether t (pointer-stripped) is sync.Mutex or
+// sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	name := named.Obj().Name()
+	return named.Obj().Pkg().Path() == "sync" && (name == "Mutex" || name == "RWMutex")
+}

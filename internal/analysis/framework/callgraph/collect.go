@@ -1,0 +1,456 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"incbubbles/internal/analysis/framework"
+	"incbubbles/internal/analysis/framework/dataflow"
+)
+
+// collector walks one function body and records its direct calls,
+// heap-allocation sites, blocking sites and lock acquisitions. It is a
+// structured recursion rather than ast.Inspect because three contexts
+// change how a node counts:
+//
+//   - inside a `go`-launched function literal (goDepth > 0): calls are
+//     recorded as InGo and blocking sites are dropped — they happen on the
+//     spawned goroutine, not the caller's — while allocations still count
+//     (the caller triggered them);
+//   - inside panic(...) arguments (panicDepth > 0): allocations and calls
+//     are exempt — a function that only allocates while already dying
+//     (e.g. fmt.Sprintf feeding a dimension-mismatch panic) is still
+//     allocation-free on every completing path;
+//   - inside a select's comm clauses: the individual channel operations
+//     are part of the select, not independent blocking sites.
+type collector struct {
+	pass  *framework.Pass
+	fi    *FuncInfo
+	sup   *framework.Suppressor
+	fnKey string
+
+	goDepth    int
+	panicDepth int
+}
+
+// alloc records a direct allocation site unless it is panic-exempt or
+// carries a //lint:allow hotpathalloc directive (an accepted allocation
+// must not propagate a may-allocate fact to callers).
+func (c *collector) alloc(pos token.Pos, reason string) {
+	if c.panicDepth > 0 {
+		return
+	}
+	if c.sup != nil && c.sup.Suppressed("hotpathalloc", pos) {
+		return
+	}
+	c.fi.Allocs = append(c.fi.Allocs, AllocSite{Pos: pos, Reason: reason})
+}
+
+// block records a direct blocking site; sites on spawned goroutines do not
+// block the caller.
+func (c *collector) block(pos token.Pos, kind string) {
+	if c.goDepth > 0 {
+		return
+	}
+	c.fi.Blocks = append(c.fi.Blocks, BlockSite{Pos: pos, Kind: kind})
+}
+
+func (c *collector) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			c.stmt(st)
+		}
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.SendStmt:
+		c.expr(s.Chan)
+		c.expr(s.Value)
+		c.block(s.Pos(), "chan")
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.expr(e)
+		}
+		for _, e := range s.Lhs {
+			if ix, ok := e.(*ast.IndexExpr); ok {
+				if t := c.pass.TypesInfo.TypeOf(ix.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						c.alloc(e.Pos(), "map assignment may grow the map")
+					}
+				}
+			}
+			c.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						c.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		c.expr(s.X)
+	case *ast.GoStmt:
+		c.alloc(s.Pos(), "goroutine launch")
+		// Argument expressions evaluate synchronously on the caller.
+		for _, a := range s.Call.Args {
+			c.expr(a)
+		}
+		c.goDepth++
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.stmt(lit.Body)
+		} else {
+			c.callExpr(s.Call, true)
+		}
+		c.goDepth--
+	case *ast.DeferStmt:
+		// Deferred calls run on this goroutine at exit: normal attribution.
+		c.callExpr(s.Call, false)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.expr(e)
+		}
+	case *ast.IfStmt:
+		c.stmt(s.Init)
+		c.expr(s.Cond)
+		c.stmt(s.Body)
+		c.stmt(s.Else)
+	case *ast.ForStmt:
+		c.stmt(s.Init)
+		c.expr(s.Cond)
+		c.stmt(s.Post)
+		c.stmt(s.Body)
+	case *ast.RangeStmt:
+		c.expr(s.X)
+		c.stmt(s.Body)
+	case *ast.SwitchStmt:
+		c.stmt(s.Init)
+		c.expr(s.Tag)
+		c.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		c.stmt(s.Init)
+		c.stmt(s.Assign)
+		c.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			c.expr(e)
+		}
+		for _, st := range s.Body {
+			c.stmt(st)
+		}
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			c.block(s.Pos(), "select")
+		}
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			c.commStmt(cc.Comm)
+			for _, st := range cc.Body {
+				c.stmt(st)
+			}
+		}
+	case *ast.CommClause:
+		// Reached only through SelectStmt above.
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+// commStmt walks a select comm statement's sub-expressions without counting
+// its channel operation as an independent blocking site.
+func (c *collector) commStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			c.expr(u.X)
+			return
+		}
+		c.expr(s.X)
+	case *ast.SendStmt:
+		c.expr(s.Chan)
+		c.expr(s.Value)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				c.expr(u.X)
+				continue
+			}
+			c.expr(e)
+		}
+		for _, e := range s.Lhs {
+			c.expr(e)
+		}
+	}
+}
+
+func (c *collector) expr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		c.callExpr(e, false)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if cl, ok := e.X.(*ast.CompositeLit); ok {
+				c.alloc(e.Pos(), "address of composite literal")
+				for _, el := range cl.Elts {
+					c.expr(el)
+				}
+				return
+			}
+		}
+		c.expr(e.X)
+		if e.Op == token.ARROW {
+			c.block(e.Pos(), "chan")
+		}
+	case *ast.FuncLit:
+		c.alloc(e.Pos(), "function literal (closure)")
+		// The literal's run context is unknowable (callback, defer, handler
+		// goroutine): its allocations attribute to the enclosing function —
+		// creating the closure is the enclosing function's doing, and
+		// hotpathalloc must stay conservative — but its blocking and lock
+		// acquisitions do not (same treatment as a `go` body; lockorder
+		// walks literal bodies itself with a fresh lock state).
+		c.goDepth++
+		c.stmt(e.Body)
+		c.goDepth--
+	case *ast.CompositeLit:
+		if t := c.pass.TypesInfo.TypeOf(e); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Map:
+				c.alloc(e.Pos(), "map literal")
+			case *types.Slice:
+				c.alloc(e.Pos(), "slice literal")
+			}
+		}
+		for _, el := range e.Elts {
+			c.expr(el)
+		}
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			if tv, ok := c.pass.TypesInfo.Types[e]; ok && tv.Value == nil {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					c.alloc(e.Pos(), "string concatenation")
+				}
+			}
+		}
+		c.expr(e.X)
+		c.expr(e.Y)
+	case *ast.ParenExpr:
+		c.expr(e.X)
+	case *ast.SelectorExpr:
+		c.expr(e.X)
+	case *ast.IndexExpr:
+		c.expr(e.X)
+		c.expr(e.Index)
+	case *ast.IndexListExpr:
+		c.expr(e.X)
+		for _, i := range e.Indices {
+			c.expr(i)
+		}
+	case *ast.SliceExpr:
+		c.expr(e.X)
+		c.expr(e.Low)
+		c.expr(e.High)
+		c.expr(e.Max)
+	case *ast.TypeAssertExpr:
+		c.expr(e.X)
+	case *ast.StarExpr:
+		c.expr(e.X)
+	case *ast.KeyValueExpr:
+		c.expr(e.Key)
+		c.expr(e.Value)
+	case *ast.Ellipsis:
+		c.expr(e.Elt)
+	}
+}
+
+// callExpr handles a call: conversions and builtins first (they are not
+// calls), then callee resolution, boxing detection, and lock bookkeeping.
+func (c *collector) callExpr(call *ast.CallExpr, inGo bool) {
+	info := c.pass.TypesInfo
+
+	// Type conversion T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		for _, a := range call.Args {
+			c.expr(a)
+		}
+		if len(call.Args) == 1 {
+			c.convAlloc(call, tv.Type)
+		}
+		return
+	}
+
+	// Builtin.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				c.alloc(call.Pos(), "append may grow the slice")
+			case "make":
+				c.alloc(call.Pos(), "make")
+			case "new":
+				c.alloc(call.Pos(), "new")
+			case "print", "println":
+				c.alloc(call.Pos(), "print builtin")
+			case "panic":
+				c.panicDepth++
+				for _, a := range call.Args {
+					c.expr(a)
+				}
+				c.panicDepth--
+				return
+			}
+			for _, a := range call.Args {
+				c.expr(a)
+			}
+			return
+		}
+	}
+
+	c.expr(call.Fun)
+	for _, a := range call.Args {
+		c.expr(a)
+	}
+	if c.panicDepth > 0 {
+		return
+	}
+	c.checkBoxing(call)
+
+	inGo = inGo || c.goDepth > 0
+
+	// Lock operations: record the acquisition for the AcquiresLocks fact
+	// and otherwise treat the call like any other (the sync mutex methods
+	// are modeled allocation-free and non-blocking downstream).
+	if key, op := LockOp(c.pass, c.fnKey, call); op == dataflow.OpAcquire && key != "" && !inGo {
+		c.fi.DirectLocks = append(c.fi.DirectLocks, key)
+	}
+
+	cl := resolveCallee(info, call)
+	cl.InGo = inGo
+	c.fi.Calls = append(c.fi.Calls, cl)
+}
+
+// convAlloc flags conversions that allocate: concrete-to-interface, and
+// string ⇄ byte/rune slice.
+func (c *collector) convAlloc(call *ast.CallExpr, target types.Type) {
+	argT := c.pass.TypesInfo.TypeOf(call.Args[0])
+	if argT == nil {
+		return
+	}
+	if isInterfaceType(target) {
+		if !isInterfaceType(argT) && !isUntypedNil(argT) && !isPointerShaped(argT) {
+			c.alloc(call.Pos(), "conversion to interface")
+		}
+		return
+	}
+	tu, au := target.Underlying(), argT.Underlying()
+	if isString(tu) && isByteOrRuneSlice(au) {
+		c.alloc(call.Pos(), "byte/rune slice to string conversion")
+	} else if isByteOrRuneSlice(tu) && isString(au) {
+		c.alloc(call.Pos(), "string to byte/rune slice conversion")
+	}
+}
+
+// checkBoxing flags arguments whose static type is concrete passed to
+// interface-typed parameters: the value is boxed on the heap (modulo small
+// runtime optimizations we conservatively ignore).
+func (c *collector) checkBoxing(call *ast.CallExpr) {
+	t := c.pass.TypesInfo.TypeOf(call.Fun)
+	if t == nil {
+		return
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !isInterfaceType(pt) {
+			continue
+		}
+		at := c.pass.TypesInfo.TypeOf(arg)
+		if at == nil || isInterfaceType(at) || isUntypedNil(at) || isPointerShaped(at) {
+			continue
+		}
+		c.alloc(arg.Pos(), "interface boxing of argument")
+	}
+}
+
+// isPointerShaped reports whether a value of type t fits the interface
+// data word directly: pointers, channels, maps, funcs and unsafe.Pointer
+// convert to interface without a heap allocation.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func isInterfaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

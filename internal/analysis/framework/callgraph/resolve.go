@@ -1,0 +1,606 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"incbubbles/internal/analysis/framework"
+	"incbubbles/internal/analysis/framework/dataflow"
+)
+
+// LockOp classifies call as a lock acquisition or release on a
+// sync.Mutex/sync.RWMutex and resolves the lock's stable key. fnKey names
+// the enclosing function, used to scope keys of function-local mutexes.
+// Read locks share the write lock's key: RLock-while-holding interacts
+// with writers exactly like Lock for ordering purposes, and Go's RWMutex
+// forbids recursive read locking under writer contention anyway.
+func LockOp(pass *framework.Pass, fnKey string, call *ast.CallExpr) (string, dataflow.Op) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", dataflow.OpNone
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", dataflow.OpNone
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil || !isMutexType(sig.Recv().Type()) {
+		return "", dataflow.OpNone
+	}
+	var op dataflow.Op
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		op = dataflow.OpAcquire
+	case "Unlock", "RUnlock":
+		op = dataflow.OpRelease
+	default:
+		return "", dataflow.OpNone
+	}
+	return lockKey(pass, fnKey, sel), op
+}
+
+// lockKey resolves the identity of the mutex a Lock/Unlock selector
+// operates on. Field mutexes key as "pkg.(Type).field" (embedded mutexes
+// as the embedded field), package-level mutexes as "pkg.Name", and
+// function-local mutexes as "local:<fnKey>:<name>". Receivers the resolver
+// cannot name (map/slice elements, function results) key by source
+// position — unique within the run, never matching across functions,
+// which soundly prevents both false cycle edges and false merging.
+func lockKey(pass *framework.Pass, fnKey string, sel *ast.SelectorExpr) string {
+	// Promoted method on an embedded mutex: s.Lock() where the struct
+	// embeds sync.Mutex. The selection's index path walks the embedding.
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && len(s.Index()) > 1 {
+		if key := fieldPathKey(s.Recv(), s.Index()[:len(s.Index())-1]); key != "" {
+			return key
+		}
+	}
+	return lockExprKey(pass, fnKey, sel.X)
+}
+
+// lockExprKey names the mutex-valued expression e.
+func lockExprKey(pass *framework.Pass, fnKey string, e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.StarExpr:
+			e = x.X
+			continue
+		case *ast.UnaryExpr:
+			if x.Op.String() == "&" {
+				e = x.X
+				continue
+			}
+		}
+		break
+	}
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if fs, ok := pass.TypesInfo.Selections[e]; ok && fs.Kind() == types.FieldVal {
+			if key := fieldPathKey(fs.Recv(), fs.Index()); key != "" {
+				return key
+			}
+		}
+		// Qualified package-level mutex: pkg.Mu.
+		if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok {
+			if key := framework.ObjectKey(v); key != "" {
+				return key
+			}
+		}
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if key := framework.ObjectKey(v); key != "" {
+				return key
+			}
+			return "local:" + fnKey + ":" + v.Name()
+		}
+	}
+	return "expr:" + pass.Fset.Position(e.Pos()).String()
+}
+
+// fieldPathKey walks a selection index path (all field steps) from recv and
+// keys the final field against its immediate owner type.
+func fieldPathKey(recv types.Type, index []int) string {
+	t := recv
+	var owner types.Type
+	var field *types.Var
+	for _, i := range index {
+		st := structUnder(t)
+		if st == nil || i >= st.NumFields() {
+			return ""
+		}
+		owner = t
+		field = st.Field(i)
+		t = field.Type()
+	}
+	if owner == nil || field == nil {
+		return ""
+	}
+	return framework.FieldKey(owner, field)
+}
+
+// structUnder strips pointers and returns t's underlying struct, if any.
+func structUnder(t types.Type) *types.Struct {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+// stdBlockKind models the standard-library calls that block the calling
+// goroutine. Mutex Lock/RLock are deliberately absent: lockorder treats
+// acquisition ordering separately, and flagging every nested lock as
+// "blocking under lock" would drown the real findings.
+func stdBlockKind(fn *types.Func) (string, bool) {
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	recv := recvName(fn)
+	switch {
+	case path == "time" && name == "Sleep":
+		return "sleep", true
+	case path == "sync" && recv == "WaitGroup" && name == "Wait":
+		return "wait", true
+	case path == "sync" && recv == "Cond" && name == "Wait":
+		return "wait", true
+	case path == "os" && recv == "File" && name == "Sync":
+		return "fsync", true
+	}
+	return "", false
+}
+
+// allocSafeExternal models the external functions known not to allocate.
+// Everything external and not listed is assumed to allocate — hotpathalloc
+// is a proof gate, so unknown must mean unsafe.
+func allocSafeExternal(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch path {
+	case "math", "math/bits", "sync/atomic":
+		return true
+	case "sync":
+		switch recvName(fn) {
+		case "Mutex", "RWMutex", "WaitGroup", "Cond":
+			return true
+		}
+	case "errors":
+		return name == "Is"
+	case "math/rand":
+		// The draw methods mutate in-place state; only the constructors
+		// and slice-returning helpers (New, NewSource, Perm) allocate.
+		switch name {
+		case "Seed", "Int", "Intn", "Int31", "Int31n", "Int63", "Int63n",
+			"Uint32", "Uint64", "Float32", "Float64",
+			"ExpFloat64", "NormFloat64", "Shuffle":
+			return true
+		}
+	case "time":
+		switch recvName(fn) {
+		case "Duration", "Time":
+			return true
+		}
+		return name == "Sleep" || name == "Now" || name == "Since"
+	case "sort":
+		return name == "SearchInts" || name == "SearchFloat64s"
+	}
+	return false
+}
+
+// recvName returns the name of fn's receiver type, or "".
+func recvName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	name, _ := recvTypeNameOf(sig.Recv().Type())
+	return name
+}
+
+func recvTypeNameOf(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name(), true
+	}
+	return "", false
+}
+
+// fixpoint computes each function's transitive Block/Alloc/Acquires
+// summaries over the package's call graph, iterating until stable so
+// intra-package call chains of any depth (and cycles) converge.
+func (r *Result) fixpoint() {
+	keys := make([]string, 0, len(r.Funcs))
+	for k := range r.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for changed := true; changed; {
+		changed = false
+		for _, k := range keys {
+			fi := r.Funcs[k]
+			if fi.Block == nil {
+				if b := r.blockOf(fi); b != nil {
+					fi.Block = b
+					changed = true
+				}
+			}
+			if fi.Alloc == nil {
+				if a := r.allocOf(fi); a != nil {
+					fi.Alloc = a
+					changed = true
+				}
+			}
+			if acq := r.acquiresOf(fi); len(acq) > len(fi.Acquires) {
+				fi.Acquires = acq
+				changed = true
+			}
+		}
+	}
+}
+
+func (r *Result) blockOf(fi *FuncInfo) *MayBlock {
+	if len(fi.Blocks) > 0 {
+		return &MayBlock{Kind: fi.Blocks[0].Kind}
+	}
+	for i := range fi.Calls {
+		call := &fi.Calls[i]
+		if call.InGo {
+			continue
+		}
+		if b := r.CalleeBlock(call); b != nil {
+			return &MayBlock{
+				Kind:        b.Kind,
+				Via:         via(call.Key, b.Via),
+				CtxGoverned: b.CtxGoverned || calleeAcceptsCtx(call.Callee),
+			}
+		}
+	}
+	return nil
+}
+
+// calleeAcceptsCtx reports whether fn declares a context.Context
+// parameter.
+func calleeAcceptsCtx(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Result) allocOf(fi *FuncInfo) *MayAlloc {
+	if len(fi.Allocs) > 0 {
+		return &MayAlloc{Reason: fi.Allocs[0].Reason}
+	}
+	for i := range fi.Calls {
+		call := &fi.Calls[i]
+		if a := r.CalleeAlloc(call); a != nil {
+			return &MayAlloc{Reason: a.Reason, Via: via(call.Key, a.Via)}
+		}
+	}
+	return nil
+}
+
+func (r *Result) acquiresOf(fi *FuncInfo) []string {
+	set := map[string]bool{}
+	for _, k := range fi.DirectLocks {
+		set[k] = true
+	}
+	for i := range fi.Calls {
+		call := &fi.Calls[i]
+		if call.InGo {
+			continue
+		}
+		for _, k := range r.CalleeAcquires(call) {
+			set[k] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CalleeBlock reports whether call's callee may block the caller. Unknown
+// callees — function values, unresolved interfaces — report nil: MayBlock
+// under-approximates, keeping lockorder's blocking-under-lock check free
+// of speculative findings (the known-blocking model covers this
+// repository's primitives).
+func (r *Result) CalleeBlock(call *Call) *MayBlock {
+	if call.Iface {
+		for _, key := range r.implKeys(call) {
+			if b := r.blockByKey(key); b != nil {
+				return &MayBlock{Kind: b.Kind, Via: via(key, b.Via), CtxGoverned: b.CtxGoverned}
+			}
+		}
+		return nil
+	}
+	if call.Callee == nil {
+		return nil
+	}
+	if b := r.blockByKey(call.Key); b != nil {
+		return b
+	}
+	if kind, ok := stdBlockKind(call.Callee); ok {
+		return &MayBlock{Kind: kind}
+	}
+	return nil
+}
+
+// CalleeAlloc reports whether call's callee may allocate. The polarity is
+// the opposite of CalleeBlock: hotpathalloc must *prove* freedom from
+// allocation, so anything unknown — function values, unresolved
+// interfaces, unmodeled external packages — counts as allocating.
+func (r *Result) CalleeAlloc(call *Call) *MayAlloc {
+	if call.Iface {
+		impls := r.implKeys(call)
+		if len(impls) == 0 {
+			return &MayAlloc{Reason: "call through unresolved interface"}
+		}
+		for _, key := range impls {
+			if a := r.allocByKey(key); a != nil {
+				return &MayAlloc{Reason: a.Reason, Via: via(key, a.Via)}
+			}
+			if !r.knownKey(key) {
+				return &MayAlloc{Reason: "call through unresolved interface"}
+			}
+		}
+		return nil
+	}
+	if call.Callee == nil {
+		return &MayAlloc{Reason: "call through function value"}
+	}
+	if a := r.allocByKey(call.Key); a != nil {
+		return a
+	}
+	if r.knownKey(call.Key) {
+		return nil
+	}
+	if allocSafeExternal(call.Callee) {
+		return nil
+	}
+	return &MayAlloc{Reason: "call into unmodeled external function"}
+}
+
+// CalleeAcquires returns the locks call's callee may acquire (unknown
+// callees: none — same under-approximation as CalleeBlock).
+func (r *Result) CalleeAcquires(call *Call) []string {
+	if call.Iface {
+		var out []string
+		for _, key := range r.implKeys(call) {
+			out = append(out, r.acquiresByKey(key)...)
+		}
+		return out
+	}
+	if call.Callee == nil {
+		return nil
+	}
+	return r.acquiresByKey(call.Key)
+}
+
+// CoverReason returns the //lint:lockcover reason documented for a lock
+// key, in this package or any dependency, and whether one exists.
+func (r *Result) CoverReason(lockKey string) (string, bool) {
+	if reason, ok := r.LockCovers[lockKey]; ok {
+		return reason, true
+	}
+	var f LockCover
+	if r.pass.ImportKeyedFact(lockKey, &f) {
+		return f.Reason, true
+	}
+	return "", false
+}
+
+// blockByKey consults this package's summaries, then imported facts.
+func (r *Result) blockByKey(key string) *MayBlock {
+	if fi, ok := r.Funcs[key]; ok {
+		return fi.Block
+	}
+	var f MayBlock
+	if r.pass.ImportKeyedFact(key, &f) {
+		return &f
+	}
+	return nil
+}
+
+func (r *Result) allocByKey(key string) *MayAlloc {
+	if fi, ok := r.Funcs[key]; ok {
+		return fi.Alloc
+	}
+	var f MayAlloc
+	if r.pass.ImportKeyedFact(key, &f) {
+		return &f
+	}
+	return nil
+}
+
+func (r *Result) acquiresByKey(key string) []string {
+	if fi, ok := r.Funcs[key]; ok {
+		return fi.Acquires
+	}
+	var f AcquiresLocks
+	if r.pass.ImportKeyedFact(key, &f) {
+		return f.Locks
+	}
+	return nil
+}
+
+// knownKey reports whether key names a function in an analyzed package —
+// for which the absence of a MayAlloc/MayBlock fact positively means the
+// behaviour cannot happen.
+func (r *Result) knownKey(key string) bool {
+	if key == "" {
+		return false
+	}
+	if _, ok := r.Funcs[key]; ok {
+		return true
+	}
+	if r.pass.Pkg != nil && r.pass.Pkg.Path() == pkgOfKey(key) {
+		// Same package but no body collected (declared without body, or
+		// assembly): unknown.
+		return false
+	}
+	var f Analyzed
+	return r.pass.ImportKeyedFact("pkg:"+pkgOfKey(key), &f)
+}
+
+// pkgOfKey extracts the package path from a stable object key.
+func pkgOfKey(key string) string {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '/' {
+			// Everything before the last slash is directories; the package
+			// path ends at the first dot after it.
+			for j := i; j < len(key); j++ {
+				if key[j] == '.' {
+					return key[:j]
+				}
+			}
+			return key
+		}
+	}
+	// No slash (stdlib top-level like "time.Sleep"): path ends at the
+	// first dot.
+	for j := 0; j < len(key); j++ {
+		if key[j] == '.' {
+			return key[:j]
+		}
+	}
+	return key
+}
+
+// resolveCallee classifies a call expression's callee: static function,
+// interface method, or unknown (function value / conversion / builtin —
+// Callee stays nil).
+func resolveCallee(info *types.Info, call *ast.CallExpr) Call {
+	cl := Call{Pos: call.Pos()}
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			cl.Callee = fn
+			cl.Key = framework.ObjectKey(fn)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			fn, _ := sel.Obj().(*types.Func)
+			if fn != nil {
+				cl.Callee = fn
+				cl.Key = framework.ObjectKey(fn)
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+						cl.Iface = true
+						cl.IfaceType = iface
+					}
+				}
+			}
+		} else if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			// Qualified call pkg.Func.
+			cl.Callee = fn
+			cl.Key = framework.ObjectKey(fn)
+		}
+	}
+	return cl
+}
+
+// ResolveCallExpr classifies call the way the collector does — static
+// function, interface method, or unknown — for analyzers that walk
+// function bodies themselves (lockorder, ctxflow) and then consult
+// CalleeBlock/CalleeAlloc/CalleeAcquires.
+func (r *Result) ResolveCallExpr(call *ast.CallExpr) *Call {
+	cl := resolveCallee(r.pass.TypesInfo, call)
+	return &cl
+}
+
+// implKeys resolves an interface-method call closed-world: the method keys
+// of every analyzed named type implementing the interface.
+func (r *Result) implKeys(call *Call) []string {
+	if call.IfaceType == nil || call.Callee == nil {
+		return nil
+	}
+	name := call.Callee.Name()
+	var out []string
+	seen := map[string]bool{}
+	for _, named := range r.typeUniverse() {
+		if named.TypeParams().Len() > 0 {
+			continue
+		}
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, call.IfaceType) && !types.Implements(ptr, call.IfaceType) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, call.Callee.Pkg(), name)
+		m, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		key := framework.ObjectKey(m)
+		if key != "" && !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// exportFacts publishes the package's summaries plus the Analyzed marker.
+func (r *Result) exportFacts() {
+	keys := make([]string, 0, len(r.Funcs))
+	for k := range r.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fi := r.Funcs[k]
+		if fi.Block != nil {
+			b := *fi.Block
+			r.pass.ExportKeyedFact(k, &b)
+		}
+		if fi.Alloc != nil {
+			a := *fi.Alloc
+			r.pass.ExportKeyedFact(k, &a)
+		}
+		if len(fi.Acquires) > 0 {
+			r.pass.ExportKeyedFact(k, &AcquiresLocks{Locks: append([]string(nil), fi.Acquires...)})
+		}
+	}
+	if r.pass.Pkg != nil {
+		r.pass.ExportKeyedFact("pkg:"+r.pass.Pkg.Path(), &Analyzed{})
+	}
+}
+
+// via prepends a call-chain step to an existing chain description.
+func via(step, rest string) string {
+	if step == "" {
+		return rest
+	}
+	if rest == "" {
+		return step
+	}
+	return step + " → " + rest
+}

@@ -1,0 +1,393 @@
+// Package dataflow provides the small intra-function dataflow engine the
+// concurrency analyzers share: a forward walk over a function body's
+// CFG-ish AST structure threading a may-hold lock set (DESIGN.md §14).
+//
+// The lattice element is a set of lock keys, each tagged with the position
+// where it was first acquired on the current path. Branches (if / switch /
+// select) fork a clone per arm and join by union — "may hold" — so a lock
+// acquired on any path into a statement counts as held there. That is the
+// right polarity for the checks built on top: a blocking call that happens
+// while a lock *might* be held is worth a diagnostic (with //lint:allow or
+// //lint:lockcover as the escape hatch), whereas must-hold would silently
+// miss real schedules. Deferred unlocks release at function exit, not at
+// the defer statement, so the lock stays held for the remainder of the
+// walk — exactly the runtime behaviour.
+//
+// The walker is approximate by design: loops are walked once (lock
+// operations in loop bodies are almost always balanced per iteration),
+// gotos are ignored, and dead code after return is still visited with the
+// pre-return state. Function literals are not descended into — they run on
+// another goroutine (go), at exit (defer), or at an unknowable later time,
+// so the enclosing path's lock state does not apply; the OnFuncLit hook
+// lets callers analyze them separately with a fresh state.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Held is the may-hold lock set: lock key → position of the acquisition
+// that introduced it on the current path.
+type Held map[string]token.Pos
+
+// Clone returns an independent copy of h.
+func (h Held) Clone() Held {
+	out := make(Held, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// Keys returns the held lock keys in unspecified order.
+func (h Held) Keys() []string {
+	out := make([]string, 0, len(h))
+	for k := range h {
+		out = append(out, k)
+	}
+	return out
+}
+
+// merge unions src into dst, keeping dst's position on collision (the
+// earlier path's acquisition).
+func merge(dst, src Held) {
+	for k, v := range src {
+		if _, ok := dst[k]; !ok {
+			dst[k] = v
+		}
+	}
+}
+
+// Op classifies the effect of a call on the lock set.
+type Op int
+
+const (
+	// OpNone is a call with no lock effect.
+	OpNone Op = iota
+	// OpAcquire adds the lock to the held set (Lock, RLock, TryLock).
+	OpAcquire
+	// OpRelease removes the lock from the held set (Unlock, RUnlock).
+	OpRelease
+)
+
+// Hooks are the walker's callbacks. Any hook may be nil.
+type Hooks struct {
+	// Classify resolves a call expression's lock effect. A non-empty key
+	// with OpAcquire/OpRelease updates the held set; everything else
+	// reaches OnCall.
+	Classify func(call *ast.CallExpr) (key string, op Op)
+	// OnAcquire fires when a lock is acquired, with the set held *before*
+	// the acquisition — the caller derives ordering edges from it.
+	OnAcquire func(call *ast.CallExpr, key string, held Held)
+	// OnCall fires for every call expression that is not a lock operation,
+	// with the current held set. Calls launched with `go` do not fire: the
+	// callee runs without the caller's locks.
+	OnCall func(call *ast.CallExpr, held Held)
+	// OnBlock fires for blocking channel constructs — a receive or send
+	// outside select, or a select with no default clause — with the
+	// current held set. Channel operations inside a select's comm clauses
+	// never fire individually; the select itself is the blocking point.
+	OnBlock func(n ast.Node, held Held)
+	// OnFuncLit fires for each function literal encountered; the walker
+	// does not descend into its body.
+	OnFuncLit func(lit *ast.FuncLit)
+}
+
+// Walk runs the forward walk over body with an empty initial held set.
+func Walk(body *ast.BlockStmt, hooks Hooks) {
+	if body == nil {
+		return
+	}
+	w := &walker{hooks: hooks}
+	w.block(body, Held{})
+}
+
+type walker struct {
+	hooks Hooks
+}
+
+// block walks stmts sequentially, returning the out-state.
+func (w *walker) block(b *ast.BlockStmt, held Held) Held {
+	for _, s := range b.List {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *walker) stmt(s ast.Stmt, held Held) Held {
+	switch s := s.(type) {
+	case nil:
+		return held
+	case *ast.BlockStmt:
+		return w.block(s, held)
+	case *ast.ExprStmt:
+		w.expr(s.X, held)
+		return held
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+		return held
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+		return held
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+		return held
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+		if w.hooks.OnBlock != nil {
+			w.hooks.OnBlock(s, held)
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+		return held
+	case *ast.IfStmt:
+		held = w.stmt(s.Init, held)
+		w.expr(s.Cond, held)
+		thenOut := w.block(s.Body, held.Clone())
+		elseOut := held
+		if s.Else != nil {
+			elseOut = w.stmt(s.Else, held.Clone())
+		}
+		merge(thenOut, elseOut)
+		return thenOut
+	case *ast.ForStmt:
+		held = w.stmt(s.Init, held)
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		bodyOut := w.block(s.Body, held.Clone())
+		bodyOut = w.stmt(s.Post, bodyOut)
+		merge(bodyOut, held) // zero iterations
+		return bodyOut
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		bodyOut := w.block(s.Body, held.Clone())
+		merge(bodyOut, held)
+		return bodyOut
+	case *ast.SwitchStmt:
+		held = w.stmt(s.Init, held)
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		return w.caseBodies(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		held = w.stmt(s.Init, held)
+		w.stmt(s.Assign, held)
+		return w.caseBodies(s.Body, held)
+	case *ast.SelectStmt:
+		if !hasDefault(s) && w.hooks.OnBlock != nil {
+			w.hooks.OnBlock(s, held)
+		}
+		out := held.Clone()
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			arm := held.Clone()
+			// The comm statement's channel operation is part of the
+			// select, not an independent blocking site; only walk the
+			// nested expressions for calls.
+			if cc.Comm != nil {
+				w.commExprs(cc.Comm, arm)
+			}
+			for _, b := range cc.Body {
+				arm = w.stmt(b, arm)
+			}
+			merge(out, arm)
+		}
+		return out
+	case *ast.CaseClause:
+		// Reached only through caseBodies.
+		return held
+	case *ast.DeferStmt:
+		// A deferred unlock releases at exit, after the remainder of the
+		// body: the lock stays held for the rest of the walk. A deferred
+		// plain call runs at exit with whatever is still held; treating
+		// the defer site's held set as its context is the conservative
+		// approximation.
+		if key, op := w.classify(s.Call); op != OpNone && key != "" {
+			return held
+		}
+		w.expr(s.Call, held)
+		return held
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the caller's locks; walk
+		// only the argument expressions (evaluated synchronously).
+		for _, e := range s.Call.Args {
+			w.expr(e, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			if w.hooks.OnFuncLit != nil {
+				w.hooks.OnFuncLit(lit)
+			}
+		} else {
+			w.expr(s.Call.Fun, held)
+		}
+		return held
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+		return held
+	default:
+		return held
+	}
+}
+
+// caseBodies walks each clause of a switch body from a clone of the
+// in-state and joins by union.
+func (w *walker) caseBodies(body *ast.BlockStmt, held Held) Held {
+	out := held.Clone() // no case taken (expression switches may fall through all)
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		arm := held.Clone()
+		for _, e := range cc.List {
+			w.expr(e, arm)
+		}
+		for _, b := range cc.Body {
+			arm = w.stmt(b, arm)
+		}
+		merge(out, arm)
+	}
+	return out
+}
+
+// commExprs walks the expressions of a select comm statement without
+// treating its channel operation as an independent blocking site.
+func (w *walker) commExprs(s ast.Stmt, held Held) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			w.expr(u.X, held)
+			return
+		}
+		w.expr(s.X, held)
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				w.expr(u.X, held)
+				continue
+			}
+			w.expr(e, held)
+		}
+	}
+}
+
+// expr walks an expression, firing hooks and applying lock transfers for
+// the call expressions inside it.
+func (w *walker) expr(e ast.Expr, held Held) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		// Arguments evaluate before the call.
+		for _, a := range e.Args {
+			w.expr(a, held)
+		}
+		if lit, ok := e.Fun.(*ast.FuncLit); ok {
+			// Immediately-invoked literal: the body does run on this
+			// path, but without loss for this repository's code we treat
+			// it like any other literal (fresh analysis by the caller).
+			if w.hooks.OnFuncLit != nil {
+				w.hooks.OnFuncLit(lit)
+			}
+		} else {
+			w.expr(e.Fun, held)
+		}
+		key, op := w.classify(e)
+		switch {
+		case op == OpAcquire && key != "":
+			if w.hooks.OnAcquire != nil {
+				w.hooks.OnAcquire(e, key, held)
+			}
+			if _, ok := held[key]; !ok {
+				held[key] = e.Pos()
+			}
+		case op == OpRelease && key != "":
+			delete(held, key)
+		default:
+			if w.hooks.OnCall != nil {
+				w.hooks.OnCall(e, held)
+			}
+		}
+	case *ast.UnaryExpr:
+		w.expr(e.X, held)
+		if e.Op == token.ARROW && w.hooks.OnBlock != nil {
+			w.hooks.OnBlock(e, held)
+		}
+	case *ast.FuncLit:
+		if w.hooks.OnFuncLit != nil {
+			w.hooks.OnFuncLit(e)
+		}
+	case *ast.BinaryExpr:
+		w.expr(e.X, held)
+		w.expr(e.Y, held)
+	case *ast.ParenExpr:
+		w.expr(e.X, held)
+	case *ast.SelectorExpr:
+		w.expr(e.X, held)
+	case *ast.IndexExpr:
+		w.expr(e.X, held)
+		w.expr(e.Index, held)
+	case *ast.IndexListExpr:
+		w.expr(e.X, held)
+		for _, i := range e.Indices {
+			w.expr(i, held)
+		}
+	case *ast.SliceExpr:
+		w.expr(e.X, held)
+		w.expr(e.Low, held)
+		w.expr(e.High, held)
+		w.expr(e.Max, held)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, held)
+	case *ast.StarExpr:
+		w.expr(e.X, held)
+	case *ast.KeyValueExpr:
+		w.expr(e.Key, held)
+		w.expr(e.Value, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, held)
+		}
+	}
+}
+
+func (w *walker) classify(call *ast.CallExpr) (string, Op) {
+	if w.hooks.Classify == nil {
+		return "", OpNone
+	}
+	return w.hooks.Classify(call)
+}
+
+// hasDefault reports whether a select statement has a default clause.
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -26,9 +26,27 @@ type Analyzer struct {
 	Doc string
 
 	// Run applies the analyzer to a package. It returns an analyzer-specific
-	// result (unused by this driver, kept for upstream compatibility) or an
-	// error that aborts the run.
+	// result — delivered to dependent analyzers through Pass.ResultOf — or
+	// an error that aborts the run.
 	Run func(*Pass) (interface{}, error)
+
+	// Requires lists analyzers that must run on each package before this
+	// one; their Run results are available in Pass.ResultOf. The driver
+	// expands requirements transitively and rejects cycles.
+	Requires []*Analyzer
+
+	// FactTypes declares the Fact types this analyzer exports, one zero
+	// value per type. Declared types are gob-registered so the unitchecker
+	// driver can serialize them across per-package vet processes.
+	FactTypes []Fact
+
+	// Finish, when non-nil, runs once after every package of the run has
+	// been analyzed. It returns diagnostics computed from the global view
+	// (Program.State, the fact store) that no single package could decide —
+	// e.g. a lock-order cycle whose edges span packages. Returned
+	// diagnostics pass through the same //lint:allow suppression as
+	// per-package ones.
+	Finish func(*Program) []Diagnostic
 }
 
 // Pass provides one analyzer run with a single type-checked package.
@@ -45,6 +63,12 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one diagnostic. The driver installs it.
 	Report func(Diagnostic)
+	// Prog is the shared whole-run state: the fact store and per-analyzer
+	// global scratch. Nil in contexts that run a single pass in isolation.
+	Prog *Program
+	// ResultOf holds the Run results of the analyzers listed in Requires,
+	// for the current package.
+	ResultOf map[*Analyzer]interface{}
 }
 
 // Diagnostic is one finding, anchored to a position in Fset.

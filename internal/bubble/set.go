@@ -304,6 +304,7 @@ type distSink interface {
 // reads the seed positions and the seed distance matrix, so any number of
 // searches with distinct (rng, scratch, sink) triples may run concurrently;
 // that is the read-only phase 1 of the parallel assignment pipeline.
+//lint:hotpath
 func (s *Set) searchClosest(p vecmath.Point, excl int, rng *stats.RNG, scratch *[]int, sink distSink) (int, float64, error) {
 	n := len(s.bubbles)
 	if n == 0 || (n == 1 && excl == 0) {
@@ -330,25 +331,20 @@ func (s *Set) searchClosest(p vecmath.Point, excl int, rng *stats.RNG, scratch *
 	// pruned, then a random unpruned seed is probed, updating the candidate
 	// when closer, until no candidates remain.
 	if cap(*scratch) < n {
+		//lint:allow hotpathalloc candidate scratch grows to the bubble count once, then is reused by every search
 		*scratch = make([]int, 0, n)
 	}
 	cands := (*scratch)[:0]
 	for i := range s.bubbles {
 		if i != excl {
+			//lint:allow hotpathalloc appends into the preallocated scratch, whose capacity is at least n by the check above
 			cands = append(cands, i)
 		}
 	}
-	pick := func() int {
-		k := rng.Intn(len(cands))
-		idx := cands[k]
-		cands[k] = cands[len(cands)-1]
-		cands = cands[:len(cands)-1]
-		return idx
-	}
-	sc := pick()
+	var sc int
+	sc, cands = pickCand(rng, cands)
 	minDist := sink.Distance(p, s.bubbles[sc].seed)
 	pruned := 0
-	defer func() { sink.PruneN(pruned) }()
 	// The dense index exposes its rows directly; the prune loop scans the
 	// slice to keep the hot path free of an interface call per candidate.
 	denseIdx, _ := s.nidx.(*neighbor.Dense)
@@ -362,6 +358,7 @@ func (s *Set) searchClosest(p vecmath.Point, excl int, rng *stats.RNG, scratch *
 					pruned++
 					continue
 				}
+				//lint:allow hotpathalloc kept filters cands in place over the same backing array and never outgrows it
 				kept = append(kept, j)
 			}
 		} else {
@@ -370,6 +367,7 @@ func (s *Set) searchClosest(p vecmath.Point, excl int, rng *stats.RNG, scratch *
 					pruned++
 					continue
 				}
+				//lint:allow hotpathalloc kept filters cands in place over the same backing array and never outgrows it
 				kept = append(kept, j)
 			}
 		}
@@ -381,7 +379,8 @@ func (s *Set) searchClosest(p vecmath.Point, excl int, rng *stats.RNG, scratch *
 		// decreases while minDist is unchanged.
 		improved := false
 		for len(cands) > 0 {
-			j := pick()
+			var j int
+			j, cands = pickCand(rng, cands)
 			d := sink.Distance(p, s.bubbles[j].seed)
 			//lint:allow floatsafe equidistant seeds resolve to the lowest bubble ID so assignment is probe-order independent
 			if d < minDist || (d == minDist && j < sc) {
@@ -394,7 +393,19 @@ func (s *Set) searchClosest(p vecmath.Point, excl int, rng *stats.RNG, scratch *
 			break
 		}
 	}
+	sink.PruneN(pruned)
 	return sc, minDist, nil
+}
+
+// pickCand removes and returns a uniformly random element of cands,
+// swapping the last element into its place. A named function rather than a
+// closure inside searchClosest so the hot path allocates nothing.
+//lint:hotpath
+func pickCand(rng *stats.RNG, cands []int) (int, []int) {
+	k := rng.Intn(len(cands))
+	idx := cands[k]
+	cands[k] = cands[len(cands)-1]
+	return idx, cands[:len(cands)-1]
 }
 
 // AssignClosest finds the closest bubble for point p, absorbs the point

@@ -3,6 +3,7 @@ package dataset
 import (
 	"bufio"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -62,7 +63,7 @@ func ReadCSV(r io.Reader) (*DB, error) {
 	}
 	for line := 2; ; line++ {
 		row, err := cr.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -104,6 +104,10 @@ func Recovery(ctx context.Context, cfg Config, walDir string, checkpointEvery in
 	if err != nil {
 		return nil, err
 	}
+	// The checkpoint barrier drains pending async appends and is bounded
+	// by the WAL flush; a checkpoint must not be abandoned halfway or the
+	// experiment's recovered state would not match the fingerprint.
+	//lint:allow ctxflow checkpoint durability barrier is deliberately not cancellable mid-write
 	if err := st.Log.Checkpoint(st.Summarizer); err != nil {
 		return nil, err
 	}

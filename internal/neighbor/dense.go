@@ -93,20 +93,24 @@ func (d *Dense) Remove(i int) {
 }
 
 // Distance returns the always-current cached entry.
+//lint:hotpath
 func (d *Dense) Distance(i, j int) float64 { return d.dist[i][j] }
 
 // Peek returns the cached entry; dense entries are always current.
+//lint:hotpath
 func (d *Dense) Peek(i, j int) (float64, bool) { return d.dist[i][j], true }
 
 // Row exposes the distance row of point i as a read-only slice. It is
 // the fast path for the Figure 2 prune loop: the hot search scans the
 // row directly instead of paying an interface call per candidate. Only
 // valid until the next mutation.
+//lint:hotpath
 func (d *Dense) Row(i int) []float64 { return d.dist[i] }
 
 // ClosestPair scans the cached matrix for the lexicographically smallest
 // (distance, i, j): ascending (i, j) iteration with a strict < keeps the
 // first — lowest-index — occurrence of the minimum.
+//lint:hotpath
 func (d *Dense) ClosestPair() (Pair, bool) {
 	n := len(d.pts)
 	if n < 2 {

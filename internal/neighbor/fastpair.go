@@ -175,6 +175,7 @@ func (f *FastPair) distLocked(i, j int) float64 {
 // on a cache miss. Double-checked locking keeps concurrent searches
 // race-free while guaranteeing each (pair, epoch) is computed — and
 // counted — exactly once.
+//lint:hotpath
 func (f *FastPair) Distance(i, j int) float64 {
 	if i == j {
 		return 0
@@ -194,6 +195,7 @@ func (f *FastPair) Distance(i, j int) float64 {
 // Peek returns the cached (i, j) distance without computing; ok is false
 // when the entry is stale. Observers use this so inspection never
 // perturbs the distance accounting.
+//lint:hotpath
 func (f *FastPair) Peek(i, j int) (float64, bool) {
 	if i == j {
 		return 0, true
@@ -251,6 +253,7 @@ func (f *FastPair) resolve() {
 // touching distances, so a clean row's pointer can name an equal-distance
 // partner that is no longer the lowest index, while every nnd value stays
 // exactly the row minimum.
+//lint:hotpath
 func (f *FastPair) ClosestPair() (Pair, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -131,6 +131,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 		next <- i
 	}
 	close(next)
+	//lint:allow ctxflow workers observe ctx and drain promptly after cancellation; Wait only joins already-stopping goroutines
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
@@ -216,6 +217,7 @@ func ForEachWorker[S any](ctx context.Context, n, workers int, setup func(w int)
 			}
 		}(w, lo, hi)
 	}
+	//lint:allow ctxflow workers check ctx.Err() per item and drain promptly after cancellation; Wait only joins already-stopping goroutines
 	wg.Wait()
 	// Chunk w covers lower indices than chunk w+1, so the first per-worker
 	// error in worker order is the lowest-indexed failing item.

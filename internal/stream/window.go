@@ -388,6 +388,7 @@ func (w *Window) reapInflight(ctx context.Context) (core.BatchStats, error) {
 		// cancellation even though the ticket is settled. Re-read the
 		// real outcome: classifying on ctx.Err() here could requeue a
 		// batch the applier already absorbed — duplicate application.
+		//lint:allow ctxflow settled-ticket re-read must not observe the cancelled ctx: the outcome already exists and returns immediately
 		stats, err = w.inflight.Wait(context.Background())
 	}
 	tk := w.inflight

@@ -154,6 +154,9 @@ func ServeDebugUntilTracer(ctx context.Context, addr string, sink *Sink, tracer 
 	go func() {
 		defer close(ch)
 		<-ctx.Done()
+		// The parent ctx is already cancelled here; deriving the drain
+		// deadline from it would skip the grace period entirely.
+		//lint:allow ctxflow shutdown grace must outlive the cancelled parent ctx by design
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -114,6 +114,12 @@ type Log struct {
 	tracer *trace.Tracer
 	m      walMetrics
 
+	// mu serializes the log file: appends, rotation, fsync and checkpoint
+	// writes all happen under it, so a crash can never observe a torn
+	// interleaving of two records. Holding it across fsync is the design,
+	// not an accident — group commit (group.go) amortizes exactly this
+	// wait across the batched waiters.
+	//lint:lockcover blocking the log mutex deliberately covers fsync/rotate; group commit amortizes the wait (DESIGN.md §13)
 	mu          sync.Mutex
 	f           *os.File
 	segSize     int64
