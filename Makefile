@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: build test vet race bench microbench verify-bench audit crash lint lint-test modverify staticcheck vuln verify
+.PHONY: build test vet race bench microbench verify-bench audit crash serve-test lint lint-test modverify staticcheck vuln verify
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,15 @@ audit: vet race
 # smoke subset.
 crash:
 	INCBUBBLES_CRASH=1 $(GO) test ./internal/wal -run='^TestCrashRecoveryMatrix$$|^TestPipelinedCrashRecoveryMatrix$$' -v
+
+# Service-level verification for bubbled (DESIGN.md §15): the httptest
+# suite plus the full chaos matrix — kill the server mid-ingest across
+# tenants at every armed failpoint, restart over the same root, re-drive
+# the unacked suffixes, and require every tenant's recovered state to be
+# bit-identical to an unkilled oracle. Plain `go test` runs the smoke
+# subset of the matrix.
+serve-test:
+	INCBUBBLES_CRASH=1 $(GO) test -race ./internal/server ./internal/retry -v
 
 # bubblelint is the repo's own analyzer suite (DESIGN.md §9, §14): eleven
 # analyzers — rawdist, seededrng, floatsafe, telemetrysync, spanend,

@@ -36,6 +36,8 @@ var deterministic = []string{
 	"internal/synth",
 	"internal/wal",
 	"internal/failpoint",
+	"internal/retry",
+	"internal/server",
 }
 
 // clockToInt are the time.Time methods that turn the wall clock into an

@@ -1,0 +1,144 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"incbubbles/internal/server"
+)
+
+// TestRunBubbledServeIngestDrainResume drives the whole command loop:
+// serve on an ephemeral port, create a tenant over HTTP, ingest a
+// batch, cancel the ctx (what SIGTERM does in cmd/bubbled), and then
+// rerun over the same root to prove the drain checkpointed state that a
+// restart resumes.
+func TestRunBubbledServeIngestDrainResume(t *testing.T) {
+	root := t.TempDir()
+	run := func(ctx context.Context, stderr io.Writer) (<-chan error, string) {
+		ready := make(chan net.Addr, 1)
+		done := make(chan error, 1)
+		go func() {
+			done <- RunBubbled(ctx, BubbledOptions{
+				Addr:         "127.0.0.1:0",
+				Root:         root,
+				Seed:         7,
+				Defaults:     server.TenantConfig{CheckpointEvery: 2},
+				DrainTimeout: 10 * time.Second,
+				OnReady:      func(a net.Addr) { ready <- a },
+			}, stderr)
+		}()
+		select {
+		case a := <-ready:
+			return done, "http://" + a.String()
+		case err := <-done:
+			t.Fatalf("server exited before ready: %v", err)
+			return nil, ""
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var stderr bytes.Buffer
+	done, base := run(ctx, &stderr)
+
+	boot := make([][]float64, 8)
+	for i := range boot {
+		boot[i] = []float64{float64(i), float64(i % 2)}
+	}
+	cfg, _ := json.Marshal(map[string]any{"dim": 2, "bubbles": 4, "bootstrap": boot})
+	req, _ := http.NewRequest(http.MethodPut, base+"/tenants/demo", bytes.NewReader(cfg))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create tenant: status %d", resp.StatusCode)
+	}
+
+	batch := `{"updates":[{"op":"insert","p":[0.5,0.5],"label":1},{"op":"insert","p":[3.5,0.5],"label":1}]}`
+	resp, err = http.Post(base+"/tenants/demo/batches", "application/json", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", resp.StatusCode, raw)
+	}
+	var ack struct {
+		Ordinal uint64  `json:"ordinal"`
+		FirstID *uint64 `json:"first_id"`
+	}
+	if err := json.Unmarshal(raw, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Ordinal != 0 || ack.FirstID == nil || *ack.FirstID != 8 {
+		t.Fatalf("unexpected ingest ack: %s", raw)
+	}
+
+	cancel() // SIGTERM
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"serving on", "draining", "drained; exiting"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Fatalf("stderr missing %q:\n%s", want, stderr.String())
+		}
+	}
+
+	// Restart over the same root: the tenant resumes with its batch.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var stderr2 bytes.Buffer
+	done2, base2 := run(ctx2, &stderr2)
+	resp, err = http.Get(base2 + "/tenants/demo/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Applied uint64 `json:"applied"`
+		Points  int    `json:"points"`
+		Resumed bool   `json:"resumed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !st.Resumed || st.Applied != 1 || st.Points != 10 {
+		t.Fatalf("resumed status: %+v", st)
+	}
+	if !strings.Contains(stderr2.String(), "resumed tenant demo (1 batches, 10 points)") {
+		t.Fatalf("restart stderr missing resume line:\n%s", stderr2.String())
+	}
+	cancel2()
+	if err := <-done2; err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+}
+
+func TestRunBubbledRequiresRoot(t *testing.T) {
+	err := RunBubbled(context.Background(), BubbledOptions{Addr: "127.0.0.1:0"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "root") {
+		t.Fatalf("want root-required error, got %v", err)
+	}
+}
+
+func TestRunBubbledBadListenAddr(t *testing.T) {
+	err := RunBubbled(context.Background(), BubbledOptions{
+		Addr: "127.0.0.1:-1", Root: t.TempDir(),
+	}, io.Discard)
+	if err == nil {
+		t.Fatal("want listen error")
+	}
+	_ = fmt.Sprint(err)
+}

@@ -36,6 +36,13 @@ var ErrCrash = errors.New("failpoint: simulated crash")
 // without an explicit error value.
 var ErrInjected = errors.New("failpoint: injected error")
 
+// ErrNoSpace simulates ENOSPC: the device ran out of space mid-write.
+// Unlike ErrCrash the process survives to observe the error, so the
+// component must follow its documented disk-full semantics (the WAL
+// poisons its append path fail-stop but keeps checkpoint failures
+// retryable).
+var ErrNoSpace = errors.New("failpoint: simulated ENOSPC (no space left on device)")
+
 // Mode selects what an armed failpoint does when it fires.
 type Mode uint8
 
@@ -116,6 +123,18 @@ func (r *Registry) ArmCrash(point string, hit int) {
 // disarm.
 func (r *Registry) ArmTorn(point string, hit int) {
 	r.armMode(point, hit, ModeTorn, ErrCrash)
+}
+
+// ArmTornError makes a write-type point persist a seeded prefix of the
+// buffer and then return err (ErrNoSpace when nil) on its hit-th
+// evaluation from now (hit ≥ 1), then disarm. This is the disk-full
+// shape: the write stops partway, but — unlike ArmTorn — the process
+// lives to observe the error and must degrade rather than die.
+func (r *Registry) ArmTornError(point string, hit int, err error) {
+	if err == nil {
+		err = ErrNoSpace
+	}
+	r.armMode(point, hit, ModeTorn, err)
 }
 
 func (r *Registry) armMode(point string, hit int, mode Mode, err error) {

@@ -1,0 +1,261 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestSchedulePinned pins the exact seeded-jitter schedule: these
+// literal durations are the contract. If this test fails, retrying
+// runs (and any crash harness replaying them) are no longer
+// reproducible across builds — fix the regression, do not re-pin
+// casually.
+func TestSchedulePinned(t *testing.T) {
+	p := Policy{
+		MaxAttempts: 6,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    80 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0.5,
+		Seed:        42,
+	}
+	want := []time.Duration{
+		8730283,  // 8.730283ms
+		11320009, // 11.320009ms
+		44163754, // 44.163754ms
+		56705496, // 56.705496ms
+		43505476, // 43.505476ms
+	}
+	if got := p.Schedule(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("schedule = %v, want %v", got, want)
+	}
+	// Deterministic: a second computation is identical.
+	if got := p.Schedule(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("second schedule = %v, want %v", got, want)
+	}
+}
+
+// TestSchedulePinnedDefaults pins the schedule of a policy relying on
+// the default backoff shape (10ms base, 2x growth, 1s cap).
+func TestSchedulePinnedDefaults(t *testing.T) {
+	p := Policy{MaxAttempts: 4, Seed: 7, Jitter: 0.25}
+	want := []time.Duration{
+		12094460, // 12.09446ms
+		17315071, // 17.315071ms
+		34827751, // 34.827751ms
+	}
+	if got := p.Schedule(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("schedule = %v, want %v", got, want)
+	}
+}
+
+func TestScheduleNoJitterIsExponentialCapped(t *testing.T) {
+	p := Policy{
+		MaxAttempts: 6,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    80 * time.Millisecond,
+		Multiplier:  2,
+	}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond,
+	}
+	if got := p.Schedule(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("schedule = %v, want %v", got, want)
+	}
+}
+
+func TestScheduleSeedChangesJitter(t *testing.T) {
+	a := Policy{MaxAttempts: 3, Jitter: 0.5, Seed: 1}.Schedule()
+	b := Policy{MaxAttempts: 3, Jitter: 0.5, Seed: 2}.Schedule()
+	if reflect.DeepEqual(a, b) {
+		t.Fatalf("different seeds produced identical schedules %v", a)
+	}
+}
+
+func TestScheduleDisabled(t *testing.T) {
+	if got := (Policy{}).Schedule(); got != nil {
+		t.Fatalf("zero policy schedule = %v, want nil", got)
+	}
+	if got := (Policy{MaxAttempts: 1}).Schedule(); got != nil {
+		t.Fatalf("single-attempt schedule = %v, want nil", got)
+	}
+}
+
+// TestDoMatchesSchedule proves Do sleeps exactly the delays Schedule
+// promises, draw-for-draw, and that the per-attempt callback sees
+// every failure with the right Last flag.
+func TestDoMatchesSchedule(t *testing.T) {
+	p := Policy{
+		MaxAttempts: 6,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    80 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0.5,
+		Seed:        42,
+	}
+	var slept []time.Duration
+	var attempts []Attempt
+	p.Sleep = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	p.OnAttempt = func(a Attempt) { attempts = append(attempts, a) }
+	opErr := errors.New("boom")
+	calls := 0
+	err := Do(context.Background(), p, func(context.Context) error {
+		calls++
+		return opErr
+	})
+	if !errors.Is(err, opErr) {
+		t.Fatalf("Do = %v, want %v", err, opErr)
+	}
+	if calls != 6 {
+		t.Fatalf("op ran %d times, want 6", calls)
+	}
+	if want := p.Schedule(); !reflect.DeepEqual(slept, want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	if len(attempts) != 6 {
+		t.Fatalf("callback saw %d attempts, want 6", len(attempts))
+	}
+	for i, a := range attempts {
+		if a.N != i+1 || !errors.Is(a.Err, opErr) {
+			t.Fatalf("attempt %d = %+v", i, a)
+		}
+		if last := i == len(attempts)-1; a.Last != last {
+			t.Fatalf("attempt %d Last = %v, want %v", i, a.Last, last)
+		}
+		if a.Last && a.Delay != 0 {
+			t.Fatalf("final attempt carries delay %v", a.Delay)
+		}
+		if !a.Last && a.Delay != slept[i] {
+			t.Fatalf("attempt %d delay %v, slept %v", i, a.Delay, slept[i])
+		}
+	}
+}
+
+func TestDoFirstTrySuccessSleepsNever(t *testing.T) {
+	p := Policy{MaxAttempts: 5}
+	p.Sleep = func(context.Context, time.Duration) error {
+		t.Fatal("slept on immediate success")
+		return nil
+	}
+	calls := 0
+	if err := Do(context.Background(), p, func(context.Context) error {
+		calls++
+		return nil
+	}); err != nil {
+		t.Fatalf("Do = %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("op ran %d times, want 1", calls)
+	}
+}
+
+func TestDoRecoversAfterTransientFailures(t *testing.T) {
+	p := Policy{MaxAttempts: 5}
+	p.Sleep = func(context.Context, time.Duration) error { return nil }
+	calls := 0
+	err := Do(context.Background(), p, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("transient %d", calls)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+// TestDoNonRetryable proves the classifier fail-stops immediately: a
+// non-retryable error surfaces as-is after a single attempt, with the
+// callback still observing it.
+func TestDoNonRetryable(t *testing.T) {
+	fatal := errors.New("poisoned")
+	p := Policy{
+		MaxAttempts: 5,
+		Retryable:   func(err error) bool { return !errors.Is(err, fatal) },
+	}
+	p.Sleep = func(context.Context, time.Duration) error {
+		t.Fatal("slept before a non-retryable error")
+		return nil
+	}
+	var seen []Attempt
+	p.OnAttempt = func(a Attempt) { seen = append(seen, a) }
+	calls := 0
+	err := Do(context.Background(), p, func(context.Context) error {
+		calls++
+		return fatal
+	})
+	if !errors.Is(err, fatal) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want %v after 1", err, calls, fatal)
+	}
+	if len(seen) != 1 || !seen[0].Last || seen[0].Delay != 0 {
+		t.Fatalf("callback saw %+v", seen)
+	}
+}
+
+func TestDoZeroPolicySingleAttempt(t *testing.T) {
+	opErr := errors.New("boom")
+	calls := 0
+	err := Do(context.Background(), Policy{}, func(context.Context) error {
+		calls++
+		return opErr
+	})
+	if !errors.Is(err, opErr) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want %v after 1", err, calls, opErr)
+	}
+}
+
+func TestDoCancelledContextNeverRunsOp(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Do(ctx, Policy{MaxAttempts: 3}, func(context.Context) error {
+		t.Fatal("op ran under a cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+}
+
+// TestDoCancelDuringBackoff exercises the real timer sleep: the
+// context expires mid-backoff and the returned error matches both the
+// context error and the operation's last error.
+func TestDoCancelDuringBackoff(t *testing.T) {
+	opErr := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Hour}
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(ctx, p, func(context.Context) error {
+			calls++
+			cancel() // expire the context before the backoff sleep
+			return opErr
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Do = %v, want context.Canceled", err)
+		}
+		if !errors.Is(err, opErr) {
+			t.Fatalf("Do = %v, want to match the last op error too", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+	if calls != 1 {
+		t.Fatalf("op ran %d times, want 1", calls)
+	}
+}

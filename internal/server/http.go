@@ -1,0 +1,411 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"incbubbles/internal/approx"
+	"incbubbles/internal/dataset"
+	"incbubbles/internal/optics"
+	"incbubbles/internal/vecmath"
+)
+
+// Machine-readable reason codes carried in error responses, so clients
+// branch on reason strings instead of parsing error prose.
+const (
+	ReasonQueueFull      = "queue_full"
+	ReasonReadOnly       = "read_only"
+	ReasonDraining       = "draining"
+	ReasonDeadline       = "deadline"
+	ReasonBadRequest     = "bad_request"
+	ReasonUnknownTenant  = "unknown_tenant"
+	ReasonTenantExists   = "tenant_exists"
+	ReasonConfigMismatch = "config_mismatch"
+	ReasonIngestFailed   = "ingest_failed"
+)
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason"`
+	Cause  string `json:"cause,omitempty"`
+}
+
+// updateJSON is one wire-format update. Inserts carry p (and an
+// optional label); deletes carry id.
+type updateJSON struct {
+	Op    string    `json:"op"`
+	ID    *uint64   `json:"id,omitempty"`
+	P     []float64 `json:"p,omitempty"`
+	Label int       `json:"label,omitempty"`
+}
+
+type ingestBody struct {
+	Updates []updateJSON `json:"updates"`
+}
+
+type ingestReply struct {
+	Ordinal  int `json:"ordinal"`
+	Applied  int `json:"applied"`
+	Inserted int `json:"inserted"`
+	Deleted  int `json:"deleted"`
+	Rebuilt  int `json:"rebuilt"`
+	Rounds   int `json:"rounds"`
+	// FirstID is the server-assigned ID of the batch's first insert;
+	// the remaining inserts follow consecutively in batch order. Clients
+	// reference these IDs in later deletes.
+	FirstID *uint64 `json:"first_id,omitempty"`
+	Warning string  `json:"warning,omitempty"`
+}
+
+type rangeCountBody struct {
+	Lo      []float64 `json:"lo"`
+	Hi      []float64 `json:"hi"`
+	Samples int       `json:"samples,omitempty"`
+	Seed    int64     `json:"seed,omitempty"`
+}
+
+// plotEntry is one reachability-plot bar. OPTICS marks undefined
+// reachability and core distances with +Inf, which JSON cannot carry;
+// they travel as -1.
+type plotEntry struct {
+	Obj    int     `json:"obj"`
+	ID     uint64  `json:"id"`
+	Reach  float64 `json:"reach"`
+	Core   float64 `json:"core"`
+	Weight int     `json:"weight"`
+}
+
+// finiteOrNeg1 maps OPTICS' undefined (+Inf or NaN) distances onto -1.
+func finiteOrNeg1(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return -1
+	}
+	return v
+}
+
+type plotReply struct {
+	Applied     int         `json:"applied"`
+	MinPts      int         `json:"min_pts"`
+	TotalWeight int         `json:"total_weight"`
+	Order       []plotEntry `json:"order"`
+}
+
+// Handler returns the bubbled HTTP API:
+//
+//	GET  /healthz
+//	GET  /tenants
+//	PUT  /tenants/{tenant}
+//	GET  /tenants/{tenant}/status
+//	POST /tenants/{tenant}/batches
+//	GET  /tenants/{tenant}/approx/count
+//	GET  /tenants/{tenant}/approx/mean
+//	GET  /tenants/{tenant}/approx/variance
+//	POST /tenants/{tenant}/approx/rangecount
+//	GET  /tenants/{tenant}/approx/histogram
+//	GET  /tenants/{tenant}/plot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /tenants", s.handleListTenants)
+	mux.HandleFunc("PUT /tenants/{tenant}", s.handleCreateTenant)
+	mux.HandleFunc("GET /tenants/{tenant}/status", s.withTenant(s.handleStatus))
+	mux.HandleFunc("POST /tenants/{tenant}/batches", s.withTenant(s.handleIngest))
+	mux.HandleFunc("GET /tenants/{tenant}/approx/count", s.withTenant(s.handleApproxCount))
+	mux.HandleFunc("GET /tenants/{tenant}/approx/mean", s.withTenant(s.handleApproxMean))
+	mux.HandleFunc("GET /tenants/{tenant}/approx/variance", s.withTenant(s.handleApproxVariance))
+	mux.HandleFunc("POST /tenants/{tenant}/approx/rangecount", s.withTenant(s.handleRangeCount))
+	mux.HandleFunc("GET /tenants/{tenant}/approx/histogram", s.withTenant(s.handleHistogram))
+	mux.HandleFunc("GET /tenants/{tenant}/plot", s.withTenant(s.handlePlot))
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, reason string, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error(), Reason: reason})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": s.Draining()})
+}
+
+func (s *Server) handleListTenants(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": s.TenantStatuses()})
+}
+
+func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	var cfg TenantConfig
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
+			writeError(w, http.StatusBadRequest, ReasonBadRequest, fmt.Errorf("server: bad tenant config: %w", err))
+			return
+		}
+	}
+	st, err := s.CreateTenant(name, cfg)
+	switch {
+	case errors.Is(err, ErrTenantExists):
+		writeJSON(w, http.StatusOK, st) // idempotent re-create
+	case errors.Is(err, ErrBadTenantName), errors.Is(err, ErrConfigMismatch), errors.Is(err, ErrBadBootstrap):
+		reason := ReasonBadRequest
+		if errors.Is(err, ErrConfigMismatch) {
+			reason = ReasonConfigMismatch
+		}
+		writeError(w, http.StatusBadRequest, reason, err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, ReasonDraining, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, ReasonBadRequest, err)
+	default:
+		writeJSON(w, http.StatusCreated, st)
+	}
+}
+
+// withTenant resolves the {tenant} path segment.
+func (s *Server) withTenant(fn func(http.ResponseWriter, *http.Request, *tenant)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, err := s.Tenant(r.PathValue("tenant"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, ReasonUnknownTenant, err)
+			return
+		}
+		fn(w, r, t)
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request, t *tenant) {
+	writeJSON(w, http.StatusOK, t.status())
+}
+
+// handleIngest admits one batch and waits for its durability ack. The
+// admission path never blocks: a full queue is 429 + Retry-After, a
+// degraded tenant or a draining server is 503 with the machine-readable
+// reason. The request deadline rides the context into the worker (and,
+// for serial tenants, through ApplyBatchContext).
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *tenant) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, ReasonDraining, ErrDraining)
+		return
+	}
+	var body ingestBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, ReasonBadRequest, fmt.Errorf("server: bad ingest body: %w", err))
+		return
+	}
+	batch, err := decodeBatch(body.Updates, t.cfg.Dim)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ReasonBadRequest, err)
+		return
+	}
+	req, err := t.Admit(r.Context(), batch)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, ReasonQueueFull, err)
+		return
+	case errors.Is(err, ErrReadOnly):
+		s.writeReadOnly(w, t, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, ReasonDraining, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, ReasonIngestFailed, err)
+		return
+	}
+	select {
+	case res := <-req.done:
+		s.writeIngestResult(w, t, res)
+	case <-r.Context().Done():
+		// The client's deadline expired while the batch was queued or in
+		// flight. The batch stays all-or-nothing: the worker either skips
+		// it (not yet started) or completes it fully; /status reports the
+		// applied count either way.
+		writeError(w, http.StatusGatewayTimeout, ReasonDeadline, r.Context().Err())
+	}
+}
+
+func (s *Server) writeIngestResult(w http.ResponseWriter, t *tenant, res ingestResult) {
+	if res.err != nil {
+		switch {
+		case errors.Is(res.err, ErrBadBatch):
+			writeError(w, http.StatusBadRequest, ReasonBadRequest, res.err)
+		case errors.Is(res.err, ErrReadOnly):
+			s.writeReadOnly(w, t, res.err)
+		case errors.Is(res.err, context.Canceled), errors.Is(res.err, context.DeadlineExceeded):
+			// The deadline fired before the worker started the batch:
+			// nothing was applied (the all-or-nothing "nothing" side).
+			writeError(w, http.StatusGatewayTimeout, ReasonDeadline, res.err)
+		default:
+			writeError(w, http.StatusInternalServerError, ReasonIngestFailed, res.err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestReply{
+		Ordinal:  res.ordinal,
+		Applied:  res.ordinal + 1,
+		Inserted: res.stats.Inserted,
+		Deleted:  res.stats.Deleted,
+		Rebuilt:  res.stats.Rebuilt,
+		Rounds:   res.stats.Rounds,
+		FirstID:  res.firstID,
+		Warning:  res.warning,
+	})
+}
+
+func (s *Server) writeReadOnly(w http.ResponseWriter, t *tenant, err error) {
+	body := errorBody{Error: err.Error(), Reason: ReasonReadOnly}
+	if d := t.degrade.Load(); d != nil {
+		body.Cause = d.Cause
+	}
+	writeJSON(w, http.StatusServiceUnavailable, body)
+}
+
+// decodeBatch converts wire updates into a template batch.
+func decodeBatch(ups []updateJSON, dim int) (dataset.Batch, error) {
+	if len(ups) == 0 {
+		return nil, errors.New("server: empty batch")
+	}
+	batch := make(dataset.Batch, 0, len(ups))
+	for i, u := range ups {
+		switch u.Op {
+		case "insert":
+			if len(u.P) != dim {
+				return nil, fmt.Errorf("server: update %d: point has %d dims, tenant has %d", i, len(u.P), dim)
+			}
+			batch = append(batch, dataset.Update{Op: dataset.OpInsert, P: vecmath.Point(u.P), Label: u.Label})
+		case "delete":
+			if u.ID == nil {
+				return nil, fmt.Errorf("server: update %d: delete needs id", i)
+			}
+			batch = append(batch, dataset.Update{Op: dataset.OpDelete, ID: dataset.PointID(*u.ID)})
+		default:
+			return nil, fmt.Errorf("server: update %d: unknown op %q", i, u.Op)
+		}
+	}
+	return batch, nil
+}
+
+// --- read endpoints (snapshot-isolated) --------------------------------
+
+func (s *Server) handleApproxCount(w http.ResponseWriter, _ *http.Request, t *tenant) {
+	rs := t.snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{"applied": rs.applied, "count": approx.Count(rs.set)})
+}
+
+func (s *Server) handleApproxMean(w http.ResponseWriter, _ *http.Request, t *tenant) {
+	rs := t.snapshot()
+	mean, err := approx.Mean(rs.set)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, ReasonBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"applied": rs.applied, "mean": []float64(mean)})
+}
+
+func (s *Server) handleApproxVariance(w http.ResponseWriter, _ *http.Request, t *tenant) {
+	rs := t.snapshot()
+	v, err := approx.TotalVariance(rs.set)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, ReasonBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"applied": rs.applied, "total_variance": v})
+}
+
+func (s *Server) handleRangeCount(w http.ResponseWriter, r *http.Request, t *tenant) {
+	var body rangeCountBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, ReasonBadRequest, err)
+		return
+	}
+	rs := t.snapshot()
+	samples := body.Samples
+	if samples <= 0 {
+		samples = 1024
+	}
+	seed := body.Seed
+	if seed == 0 {
+		seed = t.seed
+	}
+	est, err := approx.RangeCount(rs.set, approx.Box{Lo: vecmath.Point(body.Lo), Hi: vecmath.Point(body.Hi)}, samples, seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ReasonBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"applied": rs.applied, "estimate": est})
+}
+
+func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request, t *tenant) {
+	q := r.URL.Query()
+	axis, _ := strconv.Atoi(q.Get("axis"))
+	bins, _ := strconv.Atoi(q.Get("bins"))
+	lo, _ := strconv.ParseFloat(q.Get("lo"), 64)
+	hi, _ := strconv.ParseFloat(q.Get("hi"), 64)
+	samples, _ := strconv.Atoi(q.Get("samples"))
+	if bins <= 0 {
+		bins = 16
+	}
+	if samples <= 0 {
+		samples = 1024
+	}
+	seed, _ := strconv.ParseInt(q.Get("seed"), 10, 64)
+	if seed == 0 {
+		seed = t.seed
+	}
+	rs := t.snapshot()
+	hist, err := approx.AxisHistogram(rs.set, axis, bins, lo, hi, samples, seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ReasonBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"applied": rs.applied, "bins": hist})
+}
+
+// handlePlot runs OPTICS over the snapshot and returns the bubble-level
+// reachability ordering. Snapshot isolation means a plot during heavy
+// ingest (or on a poisoned tenant) serves the last published summary.
+func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request, t *tenant) {
+	q := r.URL.Query()
+	minPts, _ := strconv.Atoi(q.Get("minpts"))
+	if minPts <= 0 {
+		minPts = 5
+	}
+	eps := math.Inf(1)
+	if v := q.Get("eps"); v != "" {
+		if p, err := strconv.ParseFloat(v, 64); err == nil && p > 0 {
+			eps = p
+		}
+	}
+	rs := t.snapshot()
+	space, err := optics.NewBubbleSpace(rs.set)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, ReasonBadRequest, err)
+		return
+	}
+	res, err := optics.Run(space, optics.Params{Eps: eps, MinPts: minPts})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, ReasonBadRequest, err)
+		return
+	}
+	reply := plotReply{Applied: rs.applied, MinPts: minPts, TotalWeight: res.TotalWeight()}
+	for _, e := range res.Order {
+		reply.Order = append(reply.Order, plotEntry{
+			Obj: e.Obj, ID: e.ID,
+			Reach:  finiteOrNeg1(e.Reach),
+			Core:   finiteOrNeg1(e.Core),
+			Weight: e.Weight,
+		})
+	}
+	writeJSON(w, http.StatusOK, reply)
+}

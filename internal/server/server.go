@@ -1,0 +1,330 @@
+// Package server implements bubbled, the long-running multi-tenant
+// summarization service (DESIGN.md §15). Each tenant is a fully
+// independent fault domain: its own core.Summarizer, WAL directory,
+// seed, pipeline scheduler, and telemetry/trace namespace, fed through
+// a bounded ingest queue by a single worker goroutine. Admission
+// control (429 on overflow), a per-tenant degradation ladder (a
+// poisoned WAL flips that tenant alone into read-only mode), and
+// graceful drain (stop admissions, flush pipelines, final checkpoints)
+// keep one tenant's faults from ever touching another's determinism
+// guarantees.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incbubbles/internal/failpoint"
+	"incbubbles/internal/retry"
+)
+
+// Common errors. Handlers map them onto status codes and machine-
+// readable reason strings (http.go).
+var (
+	ErrTenantExists   = errors.New("server: tenant already exists")
+	ErrUnknownTenant  = errors.New("server: unknown tenant")
+	ErrDraining       = errors.New("server: draining, admissions stopped")
+	ErrQueueFull      = errors.New("server: ingest queue full")
+	ErrReadOnly       = errors.New("server: tenant is read-only")
+	ErrBadTenantName  = errors.New("server: tenant name must match [A-Za-z0-9_-]{1,64}")
+	ErrConfigMismatch = errors.New("server: tenant config mismatch")
+	ErrBadBootstrap   = errors.New("server: bootstrap must supply at least as many points as bubbles")
+	ErrBadBatch       = errors.New("server: bad batch")
+)
+
+var tenantNameRE = regexp.MustCompile(`^[A-Za-z0-9_-]{1,64}$`)
+
+// Options configures a Server.
+type Options struct {
+	// Root is the directory holding one subdirectory per tenant (the
+	// tenant's config file and WAL). Required; created if missing.
+	Root string
+	// Seed is the base seed tenant seeds derive from when a tenant is
+	// created without an explicit one. It must be stable across process
+	// restarts: a tenant's derived seed must match the WAL it resumes.
+	Seed int64
+	// Defaults fills unset fields of every TenantConfig.
+	Defaults TenantConfig
+	// Failpoints optionally threads one fault-injection registry through
+	// every tenant's core and WAL layers (the service-level chaos
+	// harness arms it). Production runs leave it nil.
+	Failpoints *failpoint.Registry
+	// DrainTimeout bounds Drain when the caller's context has no
+	// deadline (≤0 selects 30s).
+	DrainTimeout time.Duration
+}
+
+// TenantConfig parameterises one tenant. The zero value of each field
+// selects the server-wide default (Options.Defaults), then a built-in.
+type TenantConfig struct {
+	// Dim is the point dimensionality. Required on first creation;
+	// validated against the resumed state on reopen.
+	Dim int `json:"dim"`
+	// Bubbles is the compression rate (core.Options.NumBubbles).
+	Bubbles int `json:"bubbles"`
+	// Seed overrides the derived per-tenant seed when non-zero.
+	Seed int64 `json:"seed,omitempty"`
+	// QueueDepth bounds the ingest queue; admission returns 429 beyond
+	// it (≤0 selects 16).
+	QueueDepth int `json:"queue_depth,omitempty"`
+	// PipelineDepth ≥ 1 runs ingestion through the staged pipeline with
+	// WAL group commit (DESIGN.md §13); 0 is the serial path, which
+	// propagates each request's deadline through ApplyBatchContext.
+	PipelineDepth int `json:"pipeline_depth,omitempty"`
+	// CheckpointEvery / KeepCheckpoints / GroupCommit tune the WAL
+	// (wal.Options; ≤0 selects that layer's defaults).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	KeepCheckpoints int `json:"keep_checkpoints,omitempty"`
+	GroupCommit     int `json:"group_commit,omitempty"`
+	// RetryAttempts bounds the seeded-backoff redrive of group-commit
+	// clean failures and the WAL's in-place checkpoint retries
+	// (internal/retry; ≤0 selects 3, 1 disables).
+	RetryAttempts int `json:"retry_attempts,omitempty"`
+	// Bootstrap is the initial point set the first bubble build runs
+	// over. Creating a fresh tenant requires at least Bubbles points (the
+	// build cannot seed more bubbles than it has points); the bootstrap
+	// lands in the initial checkpoint, so it is not a batch and never
+	// counts toward the applied ordinal. Ignored when the tenant resumes
+	// from durable state, and never persisted to the config file.
+	Bootstrap [][]float64 `json:"bootstrap,omitempty"`
+
+	// testGate, when non-nil (in-package tests only — unexported, so it
+	// never travels over the wire or to disk), paces the tenant worker:
+	// one receive per admitted request before processing. It makes
+	// queue-overflow and mid-flight cancellation timing deterministic.
+	testGate chan struct{}
+}
+
+// withDefaults overlays c on d and fills built-ins.
+func (c TenantConfig) withDefaults(d TenantConfig) TenantConfig {
+	if c.Dim <= 0 {
+		c.Dim = d.Dim
+	}
+	if c.Bubbles <= 0 {
+		c.Bubbles = d.Bubbles
+	}
+	if c.Bubbles <= 0 {
+		c.Bubbles = 16
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = d.QueueDepth
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = d.PipelineDepth
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = d.CheckpointEvery
+	}
+	if c.KeepCheckpoints <= 0 {
+		c.KeepCheckpoints = d.KeepCheckpoints
+	}
+	if c.GroupCommit <= 0 {
+		c.GroupCommit = d.GroupCommit
+	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = d.RetryAttempts
+	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = 3
+	}
+	return c
+}
+
+// retryPolicy is the tenant's backoff policy for retryable ingest
+// faults. The classifier is supplied at the call site (tenant.go): only
+// group-commit clean failures — provably nothing consumed — retry.
+func (c TenantConfig) retryPolicy(seed int64) retry.Policy {
+	return retry.Policy{MaxAttempts: c.RetryAttempts, Seed: seed}
+}
+
+// deriveSeed gives a tenant a stable seed from the server base seed and
+// its name, so a restarted server resumes each WAL under the seed that
+// wrote it without persisting anything beyond the tenant config.
+func deriveSeed(base int64, name string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	s := int64(h.Sum64()) ^ base
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// Server hosts the tenants. All methods are safe for concurrent use.
+type Server struct {
+	opts Options
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+
+	draining atomic.Bool
+	//lint:lockcover blocking Drain deliberately holds drainMu while tenants flush so concurrent Drain calls wait for the first to finish
+	drainMu sync.Mutex // serializes Drain
+	drained bool
+}
+
+// New opens a server over Options.Root, resuming every tenant whose
+// config file is already present (a restart is a New over the same
+// root).
+func New(opts Options) (*Server, error) {
+	if opts.Root == "" {
+		return nil, errors.New("server: Options.Root is required")
+	}
+	if err := os.MkdirAll(opts.Root, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Server{opts: opts, tenants: make(map[string]*tenant)}
+	entries, err := os.ReadDir(opts.Root)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !tenantNameRE.MatchString(e.Name()) {
+			continue
+		}
+		cfg, err := loadTenantConfig(filepath.Join(opts.Root, e.Name()))
+		if errors.Is(err, os.ErrNotExist) {
+			continue // not a tenant directory
+		}
+		if err != nil {
+			return nil, fmt.Errorf("server: tenant %s: %w", e.Name(), err)
+		}
+		if _, err := s.openTenant(e.Name(), cfg); err != nil {
+			return nil, fmt.Errorf("server: tenant %s: %w", e.Name(), err)
+		}
+	}
+	return s, nil
+}
+
+// CreateTenant creates (or, when its directory already holds durable
+// state, resumes) a tenant. Creating is idempotent for an identical
+// config; a conflicting config for a live tenant is ErrConfigMismatch.
+func (s *Server) CreateTenant(name string, cfg TenantConfig) (*TenantStatus, error) {
+	if !tenantNameRE.MatchString(name) {
+		return nil, ErrBadTenantName
+	}
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	s.mu.RLock()
+	existing := s.tenants[name]
+	s.mu.RUnlock()
+	if existing != nil {
+		want := cfg.withDefaults(s.opts.Defaults)
+		have := existing.cfg
+		if want.Dim != 0 && want.Dim != have.Dim {
+			return nil, fmt.Errorf("%w: dim %d, tenant has %d", ErrConfigMismatch, want.Dim, have.Dim)
+		}
+		st := existing.status()
+		return &st, ErrTenantExists
+	}
+	return s.openTenant(name, cfg)
+}
+
+func (s *Server) openTenant(name string, cfg TenantConfig) (*TenantStatus, error) {
+	cfg = cfg.withDefaults(s.opts.Defaults)
+	if cfg.Dim <= 0 {
+		return nil, errors.New("server: tenant config needs dim > 0")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = deriveSeed(s.opts.Seed, name)
+	}
+	t, err := newTenant(name, filepath.Join(s.opts.Root, name), cfg, seed, s.opts.Failpoints)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.tenants[name] != nil || s.draining.Load() {
+		s.mu.Unlock()
+		t.abandon()
+		if s.draining.Load() {
+			return nil, ErrDraining
+		}
+		return nil, ErrTenantExists
+	}
+	s.tenants[name] = t
+	s.mu.Unlock()
+	t.start()
+	st := t.status()
+	return &st, nil
+}
+
+// Tenant returns the named tenant.
+func (s *Server) Tenant(name string) (*tenant, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.tenants[name]
+	if t == nil {
+		return nil, ErrUnknownTenant
+	}
+	return t, nil
+}
+
+// TenantStatuses lists every tenant's status, name-sorted.
+func (s *Server) TenantStatuses() []TenantStatus {
+	s.mu.RLock()
+	out := make([]TenantStatus, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		out = append(out, t.status())
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Draining reports whether admissions have been stopped.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully stops the server: admissions stop (new ingests and
+// tenant creations are refused), every tenant's queue is closed and its
+// worker drains the in-flight batches, pipelines flush, each healthy
+// tenant writes a final checkpoint, and logs close. Read endpoints keep
+// serving from the last published snapshots throughout and after. Drain
+// is idempotent; it returns the first per-tenant finalization error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.drained {
+		return nil
+	}
+	s.drained = true
+	s.draining.Store(true)
+	if _, ok := ctx.Deadline(); !ok {
+		d := s.opts.DrainTimeout
+		if d <= 0 {
+			d = 30 * time.Second
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	s.mu.RLock()
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	s.mu.RUnlock()
+	for _, t := range ts {
+		t.closeQueue()
+	}
+	var first error
+	for _, t := range ts {
+		if err := t.awaitDrained(ctx); err != nil && first == nil {
+			first = fmt.Errorf("tenant %s: %w", t.name, err)
+		}
+	}
+	return first
+}

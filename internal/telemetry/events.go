@@ -46,6 +46,10 @@ const (
 	// KindRecover is one completed recovery: A=batch ordinal restored from
 	// the chosen checkpoint, N=batches replayed from the WAL suffix.
 	KindRecover
+	// KindRetry is one retryable fault re-attempted in place by a
+	// seeded backoff policy (internal/retry): A=attempt number that
+	// failed, N=backoff nanoseconds before the next attempt.
+	KindRetry
 
 	numKinds
 )
@@ -75,6 +79,8 @@ func (k Kind) String() string {
 		return "quarantine"
 	case KindRecover:
 		return "recover"
+	case KindRetry:
+		return "retry"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

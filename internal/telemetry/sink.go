@@ -50,6 +50,19 @@ const (
 	MetricWALCheckpointBytes = "wal.checkpoint_bytes"
 	MetricWALQuarantined     = "wal.quarantined"
 	MetricWALReplayedBatches = "wal.replayed_batches"
+	// MetricWALCheckpointRetries counts checkpoint write attempts that
+	// failed retryably and were re-tried in place by the configured
+	// backoff policy (Options.CheckpointRetry).
+	MetricWALCheckpointRetries = "wal.checkpoint_retries"
+
+	// Serving layer (internal/server): per-tenant ingest accounting and
+	// the fault-tolerance machinery around it (DESIGN.md §15).
+	MetricServerIngested        = "server.batches_ingested"
+	MetricServerIngestRetries   = "server.ingest_retries"
+	MetricServerQueueRejected   = "server.queue_rejected"
+	MetricServerDegraded        = "server.tenant_degraded"
+	MetricServerSnapshotErrors  = "server.snapshot_errors"
+	MetricServerCancelledBefore = "server.cancelled_before_apply"
 )
 
 // SecondsBounds is the shared bucket layout for phase-timing histograms:

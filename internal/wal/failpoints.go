@@ -22,6 +22,23 @@ const (
 	// FailCkptGC guards the garbage collection of superseded checkpoints
 	// and fully-covered segments.
 	FailCkptGC = "wal.ckpt.gc"
+	// FailAppendNoSpace guards the record append (serial BeforeApply and
+	// group Enqueue) with disk-full semantics (write-type; arm with
+	// ArmTornError for a partial frame). An append that fails with
+	// failpoint.ErrNoSpace poisons the log fail-stop even when nothing
+	// was written: a full device cannot accept the record, retrying in
+	// place would spin, and a real ENOSPC may leave an undetectable
+	// partial frame — the operator frees space and Resumes.
+	FailAppendNoSpace = "wal.append.nospace"
+	// FailCheckpointNoSpace guards the checkpoint temp-file write (both
+	// the synchronous and the async path) with disk-full semantics
+	// (write-type). A fired point is retryable and never poisons: the
+	// torn temp file is invisible to recovery, the previous checkpoint
+	// plus the intact WAL still reconstruct the state, and no acked
+	// batch is lost. ENOSPC on the rename is simulated by arming the
+	// existing rename points with failpoint.ErrNoSpace — same retryable
+	// outcome.
+	FailCheckpointNoSpace = "wal.ckpt.nospace"
 )
 
 // Failpoints of the group-commit queue and the async checkpoint
@@ -55,6 +72,8 @@ func Failpoints() []string {
 		FailCkptRename,
 		FailCkptRotate,
 		FailCkptGC,
+		FailAppendNoSpace,
+		FailCheckpointNoSpace,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"incbubbles/internal/core"
 	"incbubbles/internal/dataset"
 	"incbubbles/internal/failpoint"
+	"incbubbles/internal/retry"
 	"incbubbles/internal/telemetry"
 	"incbubbles/internal/trace"
 )
@@ -121,6 +122,9 @@ func (l *Log) Enqueue(ctx context.Context, ordinal uint64, batch dataset.Batch) 
 	frame := frameRecord(payload)
 	sp.SetInt(trace.AttrBytes, int64(len(frame)))
 	keep, injected := l.fail.HitWrite(FailGroupAppend, len(frame))
+	if injected == nil {
+		keep, injected = l.fail.HitWrite(FailAppendNoSpace, keep)
+	}
 	var wrote int
 	var werr error
 	if keep > 0 {
@@ -129,6 +133,11 @@ func (l *Log) Enqueue(ctx context.Context, ordinal uint64, batch dataset.Batch) 
 	if injected != nil {
 		if wrote > 0 {
 			_ = l.f.Sync()
+			return l.poison(injected)
+		}
+		if errors.Is(injected, failpoint.ErrNoSpace) {
+			// Disk full is fail-stop even with nothing written: see
+			// FailAppendNoSpace.
 			return l.poison(injected)
 		}
 		return injected // nothing written; log still healthy
@@ -316,16 +325,26 @@ func (l *Log) StartAsyncCheckpoint(s *core.Summarizer) error {
 }
 
 // runAsyncCheckpoint is the background half: temp write → fsync → rename
-// → fsync dir, off the apply path. On success the segment rotation is
-// marked due (performed at the next drained Enqueue); on failure the
-// error is stashed and the cadence re-armed so a later boundary retries.
+// → fsync dir, off the apply path, with failed attempts re-tried in
+// place under Options.CheckpointRetry (the same bounded seeded-backoff
+// engine the synchronous path uses). Only once attempts are exhausted
+// does the old discipline take over as the outer fallback: the error is
+// stashed and the cadence re-armed so a later batch boundary starts a
+// fresh checkpoint. On success the segment rotation is marked due
+// (performed at the next drained Enqueue).
 func (l *Log) runAsyncCheckpoint(ordinal uint64, data []byte, done chan struct{}) {
 	defer close(done)
 	sp := l.tracer.Start("wal.checkpoint")
 	defer sp.End()
 	sp.SetInt(trace.AttrOrdinal, int64(ordinal))
 	sp.SetInt(trace.AttrBytes, int64(len(data)))
-	err := l.writeCheckpointAsync(sp, ordinal, data)
+	// The background goroutine has no request context by design: an
+	// async checkpoint must not be abandoned mid-write by an ingest
+	// deadline (AsyncBarrier bounds how long anyone waits on it).
+	//lint:allow ctxflow async checkpoint retry is deliberately not cancellable by request contexts
+	err := retry.Do(context.Background(), l.checkpointRetryPolicy(), func(context.Context) error {
+		return l.writeCheckpointAsync(sp, ordinal, data)
+	})
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -352,9 +371,20 @@ func (l *Log) writeCheckpointAsync(sp *trace.Span, ordinal uint64, data []byte) 
 	if err != nil {
 		return err
 	}
-	if _, werr := f.Write(data); werr != nil {
+	keep, injected := l.fail.HitWrite(FailCheckpointNoSpace, len(data))
+	if keep > 0 {
+		if _, werr := f.Write(data[:keep]); werr != nil {
+			_ = f.Close()
+			return werr
+		}
+	}
+	if injected != nil {
+		// Disk-full on the temp write: persist the partial temp file the
+		// way a real ENOSPC would (it stays invisible to recovery) and
+		// surface the retryable failure.
+		_ = f.Sync()
 		_ = f.Close()
-		return werr
+		return injected
 	}
 	fsp := sp.Start("wal.fsync")
 	fsp.SetInt(trace.AttrBytes, int64(len(data)))

@@ -15,6 +15,7 @@ import (
 	"incbubbles/internal/core"
 	"incbubbles/internal/dataset"
 	"incbubbles/internal/failpoint"
+	"incbubbles/internal/retry"
 	"incbubbles/internal/telemetry"
 	"incbubbles/internal/trace"
 )
@@ -45,6 +46,17 @@ type Options struct {
 	// off the apply path via StartAsyncCheckpoint. 0 (the default) keeps
 	// the serial per-append fsync discipline.
 	GroupCommit int
+	// CheckpointRetry bounds in-place retries of a failed checkpoint
+	// file write (internal/retry seeded-jitter backoff). The zero value
+	// performs a single attempt — exactly the historical behaviour — and
+	// a failed checkpoint always stays retryable at the next cadence
+	// point regardless, so this policy only shortens the window in which
+	// the WAL replay suffix grows. The policy's tuning fields
+	// (MaxAttempts, delays, Multiplier, Jitter, Seed) and its Sleep seam
+	// are honoured; its Retryable classifier and OnAttempt callback are
+	// owned by the log (a simulated crash is never retried — fail-stop —
+	// and retries are counted into wal.checkpoint_retries).
+	CheckpointRetry retry.Policy
 	// Telemetry receives the wal.* metrics and the durability events
 	// (checkpoint, wal-truncate, quarantine, recover). Optional.
 	Telemetry *telemetry.Sink
@@ -141,6 +153,7 @@ type walMetrics struct {
 	checkpointBytes *telemetry.Counter
 	quarantined     *telemetry.Counter
 	replayed        *telemetry.Counter
+	ckptRetries     *telemetry.Counter
 }
 
 func newWALMetrics(sink *telemetry.Sink) walMetrics {
@@ -153,6 +166,7 @@ func newWALMetrics(sink *telemetry.Sink) walMetrics {
 		checkpointBytes: sink.Counter(telemetry.MetricWALCheckpointBytes),
 		quarantined:     sink.Counter(telemetry.MetricWALQuarantined),
 		replayed:        sink.Counter(telemetry.MetricWALReplayedBatches),
+		ckptRetries:     sink.Counter(telemetry.MetricWALCheckpointRetries),
 	}
 }
 
@@ -207,7 +221,7 @@ func (l *Log) Poisoned() error {
 // ErrPoisoned.
 func (l *Log) poison(err error) error {
 	if l.poisoned == nil {
-		l.poisoned = fmt.Errorf("%w: %v", ErrPoisoned, err)
+		l.poisoned = fmt.Errorf("%w: %w", ErrPoisoned, err)
 	}
 	return err
 }
@@ -266,6 +280,9 @@ func (l *Log) BeforeApply(ctx context.Context, ordinal uint64, batch dataset.Bat
 	frame := frameRecord(payload)
 	sp.SetInt(trace.AttrBytes, int64(len(frame)))
 	keep, injected := l.fail.HitWrite(FailAppendWrite, len(frame))
+	if injected == nil {
+		keep, injected = l.fail.HitWrite(FailAppendNoSpace, keep)
+	}
 	var wrote int
 	var werr error
 	if keep > 0 {
@@ -276,6 +293,11 @@ func (l *Log) BeforeApply(ctx context.Context, ordinal uint64, batch dataset.Bat
 			// A torn write: persist the partial frame the way a power
 			// loss would, then freeze.
 			_ = l.f.Sync()
+			return l.poison(injected)
+		}
+		if errors.Is(injected, failpoint.ErrNoSpace) {
+			// Disk full is fail-stop even with nothing written: see
+			// FailAppendNoSpace.
 			return l.poison(injected)
 		}
 		return injected // nothing written; log still healthy
@@ -398,7 +420,9 @@ func (l *Log) checkpoint(ctx context.Context, s *core.Summarizer) error {
 	ordinal := uint64(s.Batches())
 	sp.SetInt(trace.AttrOrdinal, int64(ordinal))
 	sp.SetInt(trace.AttrBytes, int64(len(data)))
-	if err := l.writeCheckpointFile(sp, ordinal, data); err != nil {
+	if err := l.retryCheckpointWrite(ctx, func() error {
+		return l.writeCheckpointFile(sp, ordinal, data)
+	}); err != nil {
 		return fmt.Errorf("wal: checkpoint %d: %w", ordinal, err)
 	}
 	l.sinceCkpt = 0
@@ -411,6 +435,34 @@ func (l *Log) checkpoint(ctx context.Context, s *core.Summarizer) error {
 	return l.gc()
 }
 
+// retryCheckpointWrite runs one checkpoint file-write attempt under the
+// configured CheckpointRetry policy. This replaces the layer's ad-hoc
+// single-shot discipline with bounded in-place attempts: the zero
+// policy still performs exactly one, and the cadence re-arm (serial:
+// sinceCkpt keeps counting; group: ckptDue re-set on failure) remains
+// the outer fallback once attempts are exhausted. The classifier is
+// owned here and never retries a simulated crash — by the failpoint
+// convention the process is dead at that instant — while everything
+// else (ENOSPC on the temp write, a failed rename) is retryable
+// because a failed attempt leaves only an invisible temp file behind.
+func (l *Log) retryCheckpointWrite(ctx context.Context, op func() error) error {
+	return retry.Do(ctx, l.checkpointRetryPolicy(), func(context.Context) error { return op() })
+}
+
+// checkpointRetryPolicy resolves the caller's CheckpointRetry tuning
+// with the log-owned classifier and telemetry callback.
+func (l *Log) checkpointRetryPolicy() retry.Policy {
+	p := l.opts.CheckpointRetry
+	p.Retryable = func(err error) bool { return !errors.Is(err, failpoint.ErrCrash) }
+	p.OnAttempt = func(a retry.Attempt) {
+		if !a.Last {
+			l.m.ckptRetries.Inc()
+			l.emit(telemetry.Event{Kind: telemetry.KindRetry, A: a.N, N: int(a.Delay)})
+		}
+	}
+	return p
+}
+
 // writeCheckpointFile performs the write-temp → fsync → rename → fsync-dir
 // dance. A leftover temp file from an interrupted attempt is invisible to
 // recovery and overwritten by the next attempt.
@@ -418,6 +470,9 @@ func (l *Log) writeCheckpointFile(sp *trace.Span, ordinal uint64, data []byte) e
 	final := filepath.Join(l.dir, ckptName(ordinal))
 	tmp := final + tmpSuffix
 	keep, injected := l.fail.HitWrite(FailCkptWrite, len(data))
+	if injected == nil {
+		keep, injected = l.fail.HitWrite(FailCheckpointNoSpace, keep)
+	}
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err

@@ -1,0 +1,133 @@
+package wal_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"incbubbles/internal/failpoint"
+	"incbubbles/internal/pipeline"
+	"incbubbles/internal/retry"
+	"incbubbles/internal/telemetry"
+	"incbubbles/internal/wal"
+)
+
+// TestAsyncCheckpointRetryAbsorbsFault proves the retry engine replaced
+// the ad-hoc re-arm in the pipelined path: a single injected failure on
+// the async checkpoint rename is re-attempted in place under
+// Options.CheckpointRetry, so no wal.ErrCheckpointRetryable ever
+// surfaces on a ticket, the retry is counted, and the final state still
+// matches the serial reference bit-for-bit.
+func TestAsyncCheckpointRetryAbsorbsFault(t *testing.T) {
+	fx := makePipeFixture(t, 400, 8)
+	want := serialReference(t, fx)
+
+	dir := t.TempDir()
+	reg := failpoint.New(7)
+	sink := telemetry.NewSink()
+	coreO := pipedCoreOpts()
+	coreO.Failpoints = reg
+	walOpts := wal.Options{
+		Dir: dir, CheckpointEvery: 2, KeepCheckpoints: 2, GroupCommit: 4,
+		Failpoints: reg, Telemetry: sink,
+		CheckpointRetry: retry.Policy{
+			MaxAttempts: 3,
+			Seed:        11,
+			Sleep:       func(context.Context, time.Duration) error { return nil },
+		},
+	}
+	s, l, err := wal.New(fx.initial.Clone(), coreO, walOpts)
+	if err != nil {
+		t.Fatalf("wal.New: %v", err)
+	}
+	sched, err := pipeline.New(s, l, pipeline.Config{Replay: true})
+	if err != nil {
+		t.Fatalf("pipeline.New: %v", err)
+	}
+	reg.ArmError(wal.FailAsyncCkptRename, 1, nil)
+
+	if died := runPipelinedWorkload(t, fx, sched, l); died {
+		t.Fatal("retried async checkpoint killed the pipeline")
+	}
+	if err := sched.Close(); err != nil {
+		t.Fatalf("close surfaced %v despite retry policy", err)
+	}
+	if reg.Hits(wal.FailAsyncCkptRename) < 2 {
+		t.Fatalf("async rename evaluated %d times, want a retry", reg.Hits(wal.FailAsyncCkptRename))
+	}
+	if got := sink.Metrics.Counter(telemetry.MetricWALCheckpointRetries).Value(); got != 1 {
+		t.Fatalf("wal.checkpoint_retries = %d, want 1", got)
+	}
+	got, err := wal.Fingerprint(s)
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("retried pipelined run differs from serial reference")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("log close: %v", err)
+	}
+}
+
+// TestGroupAppendNoSpacePoisons pins the disk-full semantics on the
+// group-commit append path: a torn ENOSPC on an enqueued record
+// fail-stops the tenant's log (poisoned, ingest refused) and serial
+// recovery converges back to the oracle.
+func TestGroupAppendNoSpacePoisons(t *testing.T) {
+	fx := makePipeFixture(t, 400, 8)
+	want := serialReference(t, fx)
+
+	dir := t.TempDir()
+	reg := failpoint.New(7)
+	coreO := pipedCoreOpts()
+	coreO.Failpoints = reg
+	walOpts := wal.Options{
+		Dir: dir, CheckpointEvery: 2, KeepCheckpoints: 2, GroupCommit: 4,
+		Failpoints: reg,
+	}
+	s, l, err := wal.New(fx.initial.Clone(), coreO, walOpts)
+	if err != nil {
+		t.Fatalf("wal.New: %v", err)
+	}
+	sched, err := pipeline.New(s, l, pipeline.Config{Replay: true})
+	if err != nil {
+		t.Fatalf("pipeline.New: %v", err)
+	}
+	reg.ArmTornError(wal.FailAppendNoSpace, 1, nil)
+
+	died := runPipelinedWorkload(t, fx, sched, l)
+	_ = sched.Close()
+	if !died {
+		t.Fatal("group append ENOSPC never killed the pipeline")
+	}
+	if perr := l.Poisoned(); perr == nil || !errors.Is(perr, wal.ErrPoisoned) {
+		t.Fatalf("group append ENOSPC did not poison the log (poisoned=%v)", perr)
+	}
+	if !errors.Is(l.Poisoned(), failpoint.ErrNoSpace) {
+		t.Fatalf("poison cause = %v, want ENOSPC", l.Poisoned())
+	}
+
+	st, err := wal.Resume(serialCoreOpts(), wal.Options{Dir: dir, CheckpointEvery: 2, KeepCheckpoints: 2})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	for i := st.Batches; i < len(fx.batches); i++ {
+		applied, err := fx.batches[i].Replay(st.DB)
+		if err != nil {
+			t.Fatalf("batch %d replay: %v", i, err)
+		}
+		if _, err := st.Summarizer.ApplyBatchContext(context.Background(), applied); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	got, err := wal.Fingerprint(st.Summarizer)
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("recovered run differs from serial reference")
+	}
+}
