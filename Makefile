@@ -77,15 +77,19 @@ crash:
 # tenants at every armed failpoint, restart over the same root, re-drive
 # the unacked suffixes, and require every tenant's recovered state to be
 # bit-identical to an unkilled oracle. Plain `go test` runs the smoke
-# subset of the matrix.
+# subset of the matrix. The second line is the metrics-scrape smoke
+# (DESIGN.md §16): /metrics under concurrent multi-tenant ingest must
+# parse cleanly and its counters must equal the internal accounting
+# exactly.
 serve-test:
 	INCBUBBLES_CRASH=1 $(GO) test -race ./internal/server ./internal/retry -v
+	$(GO) test -race ./internal/server -run 'TestMetrics|TestReadyz|TestTenantTrace|TestDebugPprof' -count=1
 
-# bubblelint is the repo's own analyzer suite (DESIGN.md §9, §14): eleven
-# analyzers — rawdist, seededrng, floatsafe, telemetrysync, spanend,
-# nopanic, plus the callgraph-backed concurrency/hot-path pack (lockorder,
-# atomicfield, hotpathalloc, ctxflow, errsentinel); the callgraph engine
-# itself runs as their shared requirement, twelve passes in all. The tree
+# bubblelint is the repo's own analyzer suite (DESIGN.md §9, §14): twelve
+# analyzers — rawdist, seededrng, floatsafe, telemetrysync, metriccatalog,
+# spanend, nopanic, plus the callgraph-backed concurrency/hot-path pack
+# (lockorder, atomicfield, hotpathalloc, ctxflow, errsentinel); the
+# callgraph engine runs as their shared requirement, thirteen passes. The tree
 # must stay clean; suppressions require a //lint:allow directive with a
 # reason (//lint:lockcover for deliberate blocking under a mutex).
 lint:

@@ -38,6 +38,8 @@ func main() {
 		groupMax  = flag.Int("group-commit", 4, "default records per shared WAL fsync (pipelined tenants)")
 		retries   = flag.Int("retry-attempts", 3, "default bounded attempts for retryable ingest/checkpoint faults")
 		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+		debug     = flag.Bool("debug", false, "mount /debug/pprof/* on the serving mux (do not expose publicly)")
+		logJSON   = flag.Bool("log-json", true, "emit one JSON log line per request and lifecycle event on stderr")
 	)
 	flag.Parse()
 	if *root == "" {
@@ -60,6 +62,8 @@ func main() {
 			RetryAttempts:   *retries,
 		},
 		DrainTimeout: *drainTO,
+		Debug:        *debug,
+		LogJSON:      *logJSON,
 	}, os.Stderr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bubbled: %v\n", err)

@@ -11,6 +11,7 @@ import (
 	"incbubbles/internal/analysis/bubblelint/floatsafe"
 	"incbubbles/internal/analysis/bubblelint/hotpathalloc"
 	"incbubbles/internal/analysis/bubblelint/lockorder"
+	"incbubbles/internal/analysis/bubblelint/metriccatalog"
 	"incbubbles/internal/analysis/bubblelint/nopanic"
 	"incbubbles/internal/analysis/bubblelint/rawdist"
 	"incbubbles/internal/analysis/bubblelint/seededrng"
@@ -28,6 +29,7 @@ func Suite() []*framework.Analyzer {
 		seededrng.Analyzer,
 		floatsafe.Analyzer,
 		telemetrysync.Analyzer,
+		metriccatalog.Analyzer,
 		spanend.Analyzer,
 		nopanic.Analyzer,
 		lockorder.Analyzer,

@@ -1,0 +1,96 @@
+// Package metriccatalog pins the observability layer's single-source-of-
+// truth rule (DESIGN.md §16): every metric series resolved against the
+// telemetry registry — Sink/Registry Counter/Gauge/Histogram lookups and
+// the scrape-time PromWriter sample injections — must name its metric with
+// a constant declared in internal/telemetry's Metric* catalog block. A
+// string literal (or a locally built name) mints a series the catalog,
+// the /metrics help text, the DESIGN.md table and the dashboards don't
+// know about, and typos silently fork a family into two.
+package metriccatalog
+
+import (
+	"go/ast"
+	"go/types"
+
+	"incbubbles/internal/analysis/bubblelint/lintutil"
+	"incbubbles/internal/analysis/framework"
+)
+
+// Analyzer is the metriccatalog check.
+var Analyzer = &framework.Analyzer{
+	Name: "metriccatalog",
+	Doc: "metric names must come from the internal/telemetry Metric* catalog " +
+		"constants (one name source for registries, scrapes, docs and dashboards)",
+	Run: run,
+}
+
+// monitored lists the (receiver type, method) pairs whose first argument
+// is a metric name.
+var monitored = []struct{ typ, method string }{
+	{"Sink", "Counter"},
+	{"Sink", "Gauge"},
+	{"Sink", "Histogram"},
+	{"Registry", "Counter"},
+	{"Registry", "Gauge"},
+	{"Registry", "Histogram"},
+	{"PromWriter", "AddCounterSample"},
+	{"PromWriter", "AddGaugeSample"},
+	{"PromWriter", "AddHistogramSample"},
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	// The catalog's own package is exempt: the registry plumbing passes
+	// names through generically, and the catalog constants live there.
+	if lintutil.PathWithin(pass.Pkg.Path(), "internal/telemetry") {
+		return nil, nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		method := sel.Sel.Name
+		matched := false
+		for _, m := range monitored {
+			if m.method == method && lintutil.IsMethodOn(pass.TypesInfo, call, "internal/telemetry", m.typ, method) {
+				matched = true
+				break
+			}
+		}
+		if !matched || len(call.Args) == 0 {
+			return true
+		}
+		if isCatalogConst(pass.TypesInfo, call.Args[0]) {
+			return true
+		}
+		pass.Reportf(call.Args[0].Pos(),
+			"metric name %s is not a telemetry catalog constant; declare it in the internal/telemetry Metric* const block so every series has one name source",
+			lintutil.ExprString(call.Args[0]))
+		return true
+	})
+	return nil, nil
+}
+
+// isCatalogConst reports whether e resolves to a named constant declared
+// in the telemetry package — a catalog entry, whether referenced directly
+// (telemetry.MetricX) or through a dot-import/alias identifier.
+func isCatalogConst(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil {
+		return false
+	}
+	return lintutil.PathWithin(c.Pkg().Path(), "internal/telemetry")
+}

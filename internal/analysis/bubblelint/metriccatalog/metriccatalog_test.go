@@ -1,0 +1,12 @@
+package metriccatalog_test
+
+import (
+	"testing"
+
+	"incbubbles/internal/analysis/analysistest"
+	"incbubbles/internal/analysis/bubblelint/metriccatalog"
+)
+
+func TestMetriccatalog(t *testing.T) {
+	analysistest.Run(t, "testdata", metriccatalog.Analyzer, "incbubbles/internal/server")
+}

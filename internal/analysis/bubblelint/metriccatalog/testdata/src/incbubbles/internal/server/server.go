@@ -1,0 +1,46 @@
+// Package server exercises the metriccatalog analyzer: every metric name
+// reaching the telemetry registry or the exposition writer must be a
+// catalog constant from internal/telemetry.
+package server
+
+import (
+	"incbubbles/internal/telemetry"
+)
+
+// localMetric is a constant, but declared outside the catalog package:
+// still a second name source, still flagged.
+const localMetric = "server.local_series"
+
+// catalogNames is the sanctioned shape: every lookup cites the catalog.
+func catalogNames(sink *telemetry.Sink) {
+	sink.Counter(telemetry.MetricServerIngested).Inc()
+	sink.Gauge(telemetry.MetricServerQueueDepth).Set(3)
+	sink.Histogram(telemetry.MetricServerHTTP429, nil).Observe(0.5)
+}
+
+// literalNames mint series the catalog does not know about: flagged on
+// the sink, the raw registry, and the exposition writer alike.
+func literalNames(sink *telemetry.Sink, reg *telemetry.Registry, pw *telemetry.PromWriter) {
+	sink.Counter("server.rogue_counter").Inc()      // want `not a telemetry catalog constant`
+	sink.Gauge("server.rogue_gauge").Set(1)         // want `not a telemetry catalog constant`
+	sink.Histogram("server.rogue_hist", nil)        // want `not a telemetry catalog constant`
+	reg.Counter("server.rogue_registry").Inc()      // want `not a telemetry catalog constant`
+	pw.AddCounterSample("server.rogue_sample", 1)   // want `not a telemetry catalog constant`
+	pw.AddGaugeSample(localMetric, 2)               // want `not a telemetry catalog constant`
+	pw.AddHistogramSample("server.rogue", nil, nil) // want `not a telemetry catalog constant`
+	sink.Counter("server." + "concatenated").Inc()  // want `not a telemetry catalog constant`
+	name := "server.variable_series"                //
+	sink.Counter(name).Inc()                        // want `not a telemetry catalog constant`
+}
+
+// catalogSamples through the writer are fine.
+func catalogSamples(pw *telemetry.PromWriter) {
+	pw.AddCounterSample(telemetry.MetricServerIngested, 1, telemetry.Label{Name: "tenant", Value: "a"})
+	pw.AddGaugeSample(telemetry.MetricServerQueueDepth, 0)
+}
+
+// Suppression with a reason is honoured.
+func allowed(sink *telemetry.Sink) {
+	//lint:allow metriccatalog fixture documents a deliberate out-of-catalog probe series
+	sink.Counter("server.suppressed_series").Inc()
+}

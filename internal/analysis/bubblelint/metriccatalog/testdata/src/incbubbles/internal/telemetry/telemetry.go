@@ -1,0 +1,80 @@
+// Package telemetry stubs the registry surface the metriccatalog fixtures
+// need, matching the real package by trailing path segments.
+package telemetry
+
+// Catalog constants mirror the real Metric* block.
+const (
+	MetricServerIngested   = "server.ingested"
+	MetricServerQueueDepth = "server.queue_depth"
+	MetricServerHTTP429    = "server.http_429"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct{ v uint64 }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Gauge is a setable float64 metric.
+type Gauge struct{ v float64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct{ n uint64 }
+
+// Observe records one sample.
+func (h *Histogram) Observe(float64) {}
+
+// Registry resolves named metric handles.
+type Registry struct{ counters map[string]*Counter }
+
+// Counter returns the named counter handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r.counters == nil {
+		r.counters = map[string]*Counter{}
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge handle.
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+// Histogram returns the named histogram handle.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram { return &Histogram{} }
+
+// Sink bundles the registry with the event log.
+type Sink struct{ Metrics *Registry }
+
+// Counter resolves a counter through the sink.
+func (s *Sink) Counter(name string) *Counter { return s.Metrics.Counter(name) }
+
+// Gauge resolves a gauge through the sink.
+func (s *Sink) Gauge(name string) *Gauge { return s.Metrics.Gauge(name) }
+
+// Histogram resolves a histogram through the sink.
+func (s *Sink) Histogram(name string, bounds []float64) *Histogram {
+	return s.Metrics.Histogram(name, bounds)
+}
+
+// Label is one exposition label pair.
+type Label struct{ Name, Value string }
+
+// PromWriter folds samples into exposition families.
+type PromWriter struct{}
+
+// AddCounterSample injects one counter sample.
+func (w *PromWriter) AddCounterSample(name string, v uint64, labels ...Label) {}
+
+// AddGaugeSample injects one gauge sample.
+func (w *PromWriter) AddGaugeSample(name string, v float64, labels ...Label) {}
+
+// AddHistogramSample injects one histogram sample.
+func (w *PromWriter) AddHistogramSample(name string, bounds []float64, counts []uint64, labels ...Label) {
+}

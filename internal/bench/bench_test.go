@@ -25,7 +25,8 @@ func TestReportShape(t *testing.T) {
 	want := []string{"assign", "assign_traced", "assign_pipelined",
 		"maintain", "maintain_fastpair",
 		"mergesplit", "mergesplit_bigk", "mergesplit_bigk_fastpair",
-		"wal_append", "wal_group_commit", "recovery", "optics"}
+		"wal_append", "wal_group_commit", "recovery", "optics",
+		"serve_ingest", "serve_ingest_traced"}
 	if len(rep.Benchmarks) != len(want) {
 		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(want))
 	}
@@ -61,6 +62,16 @@ func TestReportShape(t *testing.T) {
 	}
 	if !hasPhase(rep, "recovery", "wal.replay") {
 		t.Fatal("recovery: no replay span")
+	}
+	// The serving probes must record the request root span and show the
+	// core work parenting under it — the end-to-end tracing claim.
+	for _, name := range []string{"serve_ingest", "serve_ingest_traced"} {
+		if !hasPhase(rep, name, "server.ingest") {
+			t.Fatalf("%s: no server.ingest spans; request tracing not exercised", name)
+		}
+		if !hasPhase(rep, name, "core.batch") {
+			t.Fatalf("%s: no core.batch spans under the served requests", name)
+		}
 	}
 }
 
@@ -302,6 +313,54 @@ func TestDiffGatesGroupCommitFsyncs(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("group-commit fsync violation not flagged: %v", regs)
+	}
+}
+
+// TestDiffGatesTracedOverhead forges a full-preset report where the traced
+// serving probe exceeds its untraced twin by more than the 5% budget: the
+// in-report gate must flag it. The same excess at the short preset must
+// pass — subsecond smoke runs are too noisy to gate wall clock on.
+func TestDiffGatesTracedOverhead(t *testing.T) {
+	base := runShort(t)
+	slow := *base
+	slow.Benchmarks = append([]Result(nil), base.Benchmarks...)
+	var plain float64
+	for _, b := range slow.Benchmarks {
+		if b.Name == "serve_ingest" {
+			plain = b.NsPerOp
+		}
+	}
+	for i := range slow.Benchmarks {
+		if slow.Benchmarks[i].Name == "serve_ingest_traced" {
+			slow.Benchmarks[i].NsPerOp = plain * 1.10
+		}
+	}
+	regs, _, err := Diff(base, &slow, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range regs {
+		if r.Metric == "ns_per_op_vs_untraced" {
+			t.Fatalf("short-preset report gated on wall clock: %v", r)
+		}
+	}
+
+	fullBase := *base
+	fullBase.Preset = string(PresetFull)
+	fullSlow := slow
+	fullSlow.Preset = string(PresetFull)
+	regs, _, err = Diff(&fullBase, &fullSlow, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range regs {
+		if r.Benchmark == "serve_ingest_traced" && r.Metric == "ns_per_op_vs_untraced" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("traced overhead violation not flagged: %v", regs)
 	}
 }
 

@@ -65,6 +65,20 @@ var fsyncPairs = map[string]string{
 	"wal_group_commit": "wal_append",
 }
 
+// tracedPairs maps each tracing-overhead probe to its untraced twin: the
+// request-tracing path exists to be left on in production, so the traced
+// workload's wall clock must stay within tracedOverheadLimit of the
+// untraced one. Wall clock is too noisy to gate at the short (CI smoke)
+// preset's subsecond scale, so this gate applies only to full-preset
+// reports — the scale the committed baseline pins.
+var tracedPairs = map[string]string{
+	"serve_ingest_traced": "serve_ingest",
+}
+
+// tracedOverheadLimit is the allowed relative wall-clock cost of request
+// tracing over the untraced serving path.
+const tracedOverheadLimit = 0.05
+
 // fsyncsPerOp counts the report's "wal.fsync" phase spans per operation.
 func fsyncsPerOp(r Result) float64 {
 	for _, p := range r.Phases {
@@ -149,6 +163,24 @@ func Diff(base, cur *Report, opts DiffOptions) ([]Regression, []string, error) {
 		if g, s := fsyncsPerOp(groupRes), fsyncsPerOp(serialRes); g > s {
 			regs = append(regs, Regression{Benchmark: gp, Metric: "wal_fsync_per_op_vs_serial",
 				Base: s, Current: g, Limit: s})
+		}
+	}
+	if cur.Preset == string(PresetFull) {
+		tps := make([]string, 0, len(tracedPairs))
+		for tp := range tracedPairs {
+			tps = append(tps, tp)
+		}
+		sort.Strings(tps)
+		for _, tp := range tps {
+			tracedRes, okTraced := curByName[tp]
+			plainRes, okPlain := curByName[tracedPairs[tp]]
+			if !okTraced || !okPlain || plainRes.NsPerOp <= 0 {
+				continue
+			}
+			if limit := plainRes.NsPerOp * (1 + tracedOverheadLimit); tracedRes.NsPerOp > limit {
+				regs = append(regs, Regression{Benchmark: tp, Metric: "ns_per_op_vs_untraced",
+					Base: plainRes.NsPerOp, Current: tracedRes.NsPerOp, Limit: limit})
+			}
 		}
 	}
 	var extra []string

@@ -1,7 +1,12 @@
 package bench
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 
 	"incbubbles/internal/bubble"
@@ -12,6 +17,7 @@ import (
 	"incbubbles/internal/neighbor"
 	"incbubbles/internal/optics"
 	"incbubbles/internal/pipeline"
+	"incbubbles/internal/server"
 	"incbubbles/internal/stats"
 	"incbubbles/internal/synth"
 	"incbubbles/internal/trace"
@@ -70,6 +76,17 @@ func workloads() []workload {
 		// optics: bubble-space construction plus OPTICS extraction over a
 		// static summary — the clustering consumer.
 		{name: "optics", setup: opticsSetup},
+		// serve_ingest: the full bubbled request path — mux routing, the
+		// instrumentation middleware, admission queue, serial worker, WAL —
+		// driven in-process through httptest with tracing disabled: the
+		// production-default server cost per ingested update.
+		{name: "serve_ingest", setup: serveIngestSetup},
+		// serve_ingest_traced: the same requests with every tenant span
+		// ring enabled and a server.ingest root span per request — the
+		// request-tracing overhead probe, gated <5% over its untraced twin
+		// by benchdiff (full preset). Deterministic metrics are identical
+		// to serve_ingest's by construction.
+		{name: "serve_ingest_traced", traceTimed: true, setup: serveIngestSetup},
 	}
 }
 
@@ -354,6 +371,91 @@ func recoverySetup(cfg Config, scratch string, tracer *trace.Tracer) (func() err
 		return st.Log.Close()
 	}
 	return exec, len(batches), nil
+}
+
+// serveScale sizes the serving-path probe: enough updates that the
+// per-request fixed costs (mux, middleware, queue handoff) are measured
+// against real summarization work, small enough to keep the suite quick.
+func serveScale(p Preset) scale {
+	if p == PresetFull {
+		return scale{points: 1500, bubbles: 32, batches: 8, frac: 0.10}
+	}
+	return scale{points: 500, bubbles: 16, batches: 4, frac: 0.10}
+}
+
+// serveIngestSetup builds a one-tenant bubbled server over a scratch root
+// and returns an exec that POSTs pre-marshalled insert batches through the
+// real handler stack, then drains. Insert-only traffic keeps the wire
+// bodies independent of server-assigned IDs, so the same bodies replay
+// bit-identically every rep. The tenant runs the serial path with the
+// checkpoint cadence pushed past the workload, so the measured section is
+// requests plus the drain-time final checkpoint — both deterministic.
+func serveIngestSetup(cfg Config, scratch string, tracer *trace.Tracer) (func() error, int, error) {
+	sz := serveScale(cfg.Preset)
+	const dim = 8
+	rng := stats.NewRNG(cfg.Seed + 11)
+	randPoint := func() []float64 {
+		p := make([]float64, dim)
+		for i := range p {
+			p[i] = rng.Normal(0, 1)
+		}
+		return p
+	}
+	bootstrap := make([][]float64, sz.points)
+	for i := range bootstrap {
+		bootstrap[i] = randPoint()
+	}
+	perBatch := int(float64(sz.points) * sz.frac)
+	bodies := make([][]byte, sz.batches)
+	ops := 0
+	for b := range bodies {
+		ups := make([]map[string]any, perBatch)
+		for i := range ups {
+			ups[i] = map[string]any{"op": "insert", "p": randPoint()}
+		}
+		body, err := json.Marshal(map[string]any{"updates": ups})
+		if err != nil {
+			return nil, 0, err
+		}
+		bodies[b] = body
+		ops += perBatch
+	}
+	root, err := os.MkdirTemp(scratch, "serve-")
+	if err != nil {
+		return nil, 0, err
+	}
+	sopts := server.Options{Root: root, Seed: cfg.Seed, Tracer: tracer}
+	if tracer == nil {
+		sopts.TraceCapacity = -1 // the untraced baseline the probe compares against
+	}
+	srv, err := server.New(sopts)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Tenant creation (bootstrap build, initial checkpoint) is setup, not
+	// measured: the instrumented rep snapshots spans from exec onward.
+	_, err = srv.CreateTenant("bench", server.TenantConfig{
+		Dim:             dim,
+		Bubbles:         sz.bubbles,
+		CheckpointEvery: sz.batches + 1,
+		Bootstrap:       bootstrap,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	handler := srv.Handler()
+	exec := func() error {
+		for _, body := range bodies {
+			req := httptest.NewRequest(http.MethodPost, "/tenants/bench/batches", bytes.NewReader(body))
+			rr := httptest.NewRecorder()
+			handler.ServeHTTP(rr, req)
+			if rr.Code != http.StatusOK {
+				return fmt.Errorf("serve_ingest: status %d: %s", rr.Code, rr.Body.String())
+			}
+		}
+		return srv.Drain(context.Background())
+	}
+	return exec, ops, nil
 }
 
 func opticsSetup(cfg Config, _ string, tracer *trace.Tracer) (func() error, int, error) {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"time"
@@ -23,6 +24,12 @@ type BubbledOptions struct {
 	Defaults server.TenantConfig
 	// DrainTimeout bounds the graceful drain once ctx is cancelled.
 	DrainTimeout time.Duration
+	// Debug mounts /debug/pprof/* on the serving mux (-debug flag).
+	Debug bool
+	// LogJSON emits one JSON log line per request and lifecycle event on
+	// stderr (log/slog). Off keeps the human-readable startup/drain
+	// banner only.
+	LogJSON bool
 
 	// OnReady, when non-nil, receives the bound listen address once the
 	// server is accepting requests (tests bind ":0" and need the port).
@@ -41,12 +48,17 @@ func RunBubbled(ctx context.Context, opts BubbledOptions, stderr io.Writer) erro
 	if opts.Root == "" {
 		return errors.New("bubbled: root directory is required")
 	}
-	srv, err := server.New(server.Options{
+	sopts := server.Options{
 		Root:         opts.Root,
 		Seed:         opts.Seed,
 		Defaults:     opts.Defaults,
 		DrainTimeout: opts.DrainTimeout,
-	})
+		Debug:        opts.Debug,
+	}
+	if opts.LogJSON {
+		sopts.Logger = slog.New(slog.NewJSONHandler(stderr, nil))
+	}
+	srv, err := server.New(sopts)
 	if err != nil {
 		return err
 	}

@@ -578,7 +578,7 @@ func (s *Summarizer) applyBatchInternal(ctx context.Context, batch dataset.Batch
 	}
 	s.curBatch = ordinal
 	defer func() { s.curBatch = -1 }()
-	bsp := s.tracer.Start("core.batch")
+	bsp := s.startBatchSpan(ctx)
 	defer bsp.End()
 	bsp.SetInt(trace.AttrOrdinal, int64(ordinal))
 	bsp.SetInt(trace.AttrBatchSize, int64(len(batch)))
@@ -611,6 +611,18 @@ func (s *Summarizer) applyBatchInternal(ctx context.Context, batch dataset.Batch
 		}
 	}
 	return bs, applyErr
+}
+
+// startBatchSpan opens the core.batch span. When the caller's context
+// already carries a span (the serving layer's server.ingest root), the
+// batch parents under it so a whole request traces as one tree;
+// otherwise core.batch stays a root span, as in the library-embedded
+// paths.
+func (s *Summarizer) startBatchSpan(ctx context.Context) *trace.Span {
+	if parent := trace.FromContext(ctx); parent != nil {
+		return parent.Start("core.batch")
+	}
+	return s.tracer.Start("core.batch")
 }
 
 // applyAndMaintain is the mutating half of a batch: phase-2 statistic

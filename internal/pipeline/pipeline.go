@@ -50,6 +50,14 @@ type Ticket struct {
 	superseded bool // a clean failure intervened before stamping
 	spec       *core.Speculation
 	enqErr     error
+	// sp is the request-scoped span captured from Submit's context (nil
+	// when the producer is not traced). The searcher and applier carry it
+	// in the contexts they pass down so the batch's core/WAL spans parent
+	// under the serving layer's server.ingest root. Starting children on
+	// it from those goroutines is race-free: child starts read only the
+	// span's immutable identity, and the producer keeps the span open
+	// until the ticket's outcome is observed.
+	sp *trace.Span
 
 	done     chan struct{}
 	stats    core.BatchStats
@@ -107,6 +115,17 @@ func (t *Ticket) observe() {
 func (t *Ticket) finish(stats core.BatchStats, err error) {
 	t.stats, t.err = stats, err
 	close(t.done)
+}
+
+// ctx returns a fresh background context carrying the ticket's request
+// span, if any. The pipeline stages deliberately run detached from the
+// producer's cancellable context (a submitted batch always runs to
+// completion), but the trace parentage still rides along.
+func (t *Ticket) ctx() context.Context {
+	if t.sp == nil {
+		return context.Background()
+	}
+	return trace.ContextWith(context.Background(), t.sp)
 }
 
 // Config tunes a Scheduler.
@@ -221,7 +240,7 @@ func (p *Scheduler) Submit(ctx context.Context, batch dataset.Batch) (*Ticket, e
 	if sticky != nil {
 		return nil, fmt.Errorf("pipeline: stopped by earlier failure: %w", sticky)
 	}
-	t := &Ticket{batch: batch, sched: p, done: make(chan struct{})}
+	t := &Ticket{batch: batch, sched: p, done: make(chan struct{}), sp: trace.FromContext(ctx)}
 	p.ordMu.Lock()
 	p.outstanding++
 	p.ordMu.Unlock()
@@ -318,7 +337,7 @@ func (p *Scheduler) searcher() {
 		p.nextOrd++
 		p.ordMu.Unlock()
 		if p.Err() == nil {
-			if spec, err := p.view.Load().Speculate(context.Background(), ord, t.batch); err == nil {
+			if spec, err := p.view.Load().Speculate(t.ctx(), ord, t.batch); err == nil {
 				t.spec = spec
 			}
 			// A speculation error is dropped, not fatal: the live
@@ -340,12 +359,12 @@ func (p *Scheduler) enqueue(t *Ticket) {
 	if uint64(t.ordinal) != p.log.NextAppendOrdinal() {
 		return
 	}
-	if err := p.log.Enqueue(context.Background(), uint64(t.ordinal), t.batch); err != nil {
+	if err := p.log.Enqueue(t.ctx(), uint64(t.ordinal), t.batch); err != nil {
 		t.enqErr = err
 		return
 	}
 	if p.log.PendingEnqueued() >= p.gmax {
-		if err := p.log.Flush(context.Background()); err != nil {
+		if err := p.log.Flush(t.ctx()); err != nil {
 			t.enqErr = err
 		}
 	}
@@ -398,7 +417,7 @@ func (p *Scheduler) applier() {
 				continue
 			}
 		}
-		stats, err := p.s.ApplyBatchPipelined(context.Background(), batch, t.spec)
+		stats, err := p.s.ApplyBatchPipelined(t.ctx(), batch, t.spec)
 		t.applied = p.s.Batches() == t.ordinal+1
 		if err != nil {
 			switch {

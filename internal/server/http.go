@@ -5,13 +5,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"incbubbles/internal/approx"
 	"incbubbles/internal/dataset"
 	"incbubbles/internal/optics"
+	"incbubbles/internal/trace"
 	"incbubbles/internal/vecmath"
 )
 
@@ -99,6 +103,8 @@ type plotReply struct {
 // Handler returns the bubbled HTTP API:
 //
 //	GET  /healthz
+//	GET  /readyz
+//	GET  /metrics
 //	GET  /tenants
 //	PUT  /tenants/{tenant}
 //	GET  /tenants/{tenant}/status
@@ -109,20 +115,114 @@ type plotReply struct {
 //	POST /tenants/{tenant}/approx/rangecount
 //	GET  /tenants/{tenant}/approx/histogram
 //	GET  /tenants/{tenant}/plot
+//	GET  /tenants/{tenant}/debug/trace
+//	GET  /debug/pprof/*          (only with Options.Debug)
+//
+// Every route is wrapped by the instrumentation middleware: a minted
+// request ID (echoed in X-Request-Id), one structured log line, and —
+// for tenant-routed requests — the tenant's HTTP counters and latency
+// histogram. Health and scrape endpoints log at Debug so a tight scrape
+// loop does not flood the request log.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /tenants", s.handleListTenants)
-	mux.HandleFunc("PUT /tenants/{tenant}", s.handleCreateTenant)
-	mux.HandleFunc("GET /tenants/{tenant}/status", s.withTenant(s.handleStatus))
-	mux.HandleFunc("POST /tenants/{tenant}/batches", s.withTenant(s.handleIngest))
-	mux.HandleFunc("GET /tenants/{tenant}/approx/count", s.withTenant(s.handleApproxCount))
-	mux.HandleFunc("GET /tenants/{tenant}/approx/mean", s.withTenant(s.handleApproxMean))
-	mux.HandleFunc("GET /tenants/{tenant}/approx/variance", s.withTenant(s.handleApproxVariance))
-	mux.HandleFunc("POST /tenants/{tenant}/approx/rangecount", s.withTenant(s.handleRangeCount))
-	mux.HandleFunc("GET /tenants/{tenant}/approx/histogram", s.withTenant(s.handleHistogram))
-	mux.HandleFunc("GET /tenants/{tenant}/plot", s.withTenant(s.handlePlot))
+	handle := func(pattern, route string, lvl slog.Level, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(route, lvl, h))
+	}
+	handle("GET /healthz", "healthz", slog.LevelDebug, s.handleHealthz)
+	handle("GET /readyz", "readyz", slog.LevelDebug, s.handleReadyz)
+	handle("GET /metrics", "metrics", slog.LevelDebug, s.handleMetrics)
+	handle("GET /tenants", "list_tenants", slog.LevelInfo, s.handleListTenants)
+	handle("PUT /tenants/{tenant}", "create_tenant", slog.LevelInfo, s.handleCreateTenant)
+	handle("GET /tenants/{tenant}/status", "status", slog.LevelInfo, s.withTenant(s.handleStatus))
+	handle("POST /tenants/{tenant}/batches", "ingest", slog.LevelInfo, s.withTenant(s.handleIngest))
+	handle("GET /tenants/{tenant}/approx/count", "approx_count", slog.LevelInfo, s.withTenant(s.handleApproxCount))
+	handle("GET /tenants/{tenant}/approx/mean", "approx_mean", slog.LevelInfo, s.withTenant(s.handleApproxMean))
+	handle("GET /tenants/{tenant}/approx/variance", "approx_variance", slog.LevelInfo, s.withTenant(s.handleApproxVariance))
+	handle("POST /tenants/{tenant}/approx/rangecount", "approx_rangecount", slog.LevelInfo, s.withTenant(s.handleRangeCount))
+	handle("GET /tenants/{tenant}/approx/histogram", "approx_histogram", slog.LevelInfo, s.withTenant(s.handleHistogram))
+	handle("GET /tenants/{tenant}/plot", "plot", slog.LevelInfo, s.withTenant(s.handlePlot))
+	handle("GET /tenants/{tenant}/debug/trace", "debug_trace", slog.LevelDebug, s.withTenant(s.handleTenantTrace))
+	if s.opts.Debug {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// reqInfo is the per-request observability record the middleware shares
+// with handlers through the request context. A handler (ingest) fills
+// queueWait in; the middleware reads it back for the log line. One
+// goroutine touches it at a time — the handler runs inside the
+// middleware call.
+type reqInfo struct {
+	id        uint64
+	queueWait time.Duration
+	hasWait   bool
+}
+
+type reqInfoKey struct{}
+
+// requestInfo returns the middleware's record for this request, nil on
+// an uninstrumented path (direct handler tests).
+func requestInfo(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+// statusWriter captures the response status for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one route: request ID, status capture, per-tenant
+// HTTP metrics, one structured log line.
+func (s *Server) instrument(route string, lvl slog.Level, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := s.nextReqID.Add(1)
+		ri := &reqInfo{id: id}
+		r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw.Header().Set("X-Request-Id", fmt.Sprintf("req-%d", id))
+		start := time.Now()
+		h(sw, r)
+		elapsed := time.Since(start)
+
+		tenantName := r.PathValue("tenant")
+		if tenantName != "" {
+			if t, err := s.Tenant(tenantName); err == nil {
+				t.metrics.httpRequests.Inc()
+				t.metrics.httpSeconds.Observe(elapsed.Seconds())
+				switch sw.status {
+				case http.StatusTooManyRequests:
+					t.metrics.http429.Inc()
+				case http.StatusServiceUnavailable:
+					t.metrics.http503.Inc()
+				}
+			}
+		}
+		attrs := []any{
+			"request_id", id,
+			"route", route,
+			"status", sw.status,
+			"latency_ms", float64(elapsed) / float64(time.Millisecond),
+		}
+		if tenantName != "" {
+			attrs = append(attrs, "tenant", tenantName)
+		}
+		if ri.hasWait {
+			attrs = append(attrs, "queue_wait_ms", float64(ri.queueWait)/float64(time.Millisecond))
+		}
+		s.logger.Log(r.Context(), lvl, "request", attrs...)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -137,6 +237,18 @@ func writeError(w http.ResponseWriter, status int, reason string, err error) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": s.Draining()})
+}
+
+// handleReadyz is the drain-aware readiness probe: 200 while admitting,
+// 503 once draining so load balancers stop routing new work here while
+// in-flight batches finish. Liveness (/healthz) stays 200 throughout —
+// a draining process is healthy, just not accepting.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": ReasonDraining})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }
 
 func (s *Server) handleListTenants(w http.ResponseWriter, _ *http.Request) {
@@ -191,7 +303,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request, t *tenant)
 // admission path never blocks: a full queue is 429 + Retry-After, a
 // degraded tenant or a draining server is 503 with the machine-readable
 // reason. The request deadline rides the context into the worker (and,
-// for serial tenants, through ApplyBatchContext).
+// for serial tenants, through ApplyBatchContext). The same context
+// carries the request's server.ingest root span, so the core and WAL
+// spans of the batch parent under it — one trace tree per request.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *tenant) {
 	if s.Draining() {
 		writeError(w, http.StatusServiceUnavailable, ReasonDraining, ErrDraining)
@@ -207,7 +321,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *tenant)
 		writeError(w, http.StatusBadRequest, ReasonBadRequest, err)
 		return
 	}
-	req, err := t.Admit(r.Context(), batch)
+	sp := t.tracer.Start("server.ingest")
+	defer sp.End()
+	sp.SetInt(trace.AttrBatchSize, int64(len(batch)))
+	ri := requestInfo(r.Context())
+	if ri != nil {
+		sp.SetInt(trace.AttrRequestID, int64(ri.id))
+	}
+	ctx := trace.ContextWith(r.Context(), sp)
+	req, err := t.Admit(ctx, batch)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -225,6 +347,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *tenant)
 	}
 	select {
 	case res := <-req.done:
+		sp.SetInt(trace.AttrQueueWait, int64(res.queueWait))
+		if ri != nil {
+			ri.queueWait, ri.hasWait = res.queueWait, true
+		}
 		s.writeIngestResult(w, t, res)
 	case <-r.Context().Done():
 		// The client's deadline expired while the batch was queued or in

@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -25,6 +27,7 @@ import (
 
 	"incbubbles/internal/failpoint"
 	"incbubbles/internal/retry"
+	"incbubbles/internal/trace"
 )
 
 // Common errors. Handlers map them onto status codes and machine-
@@ -61,6 +64,24 @@ type Options struct {
 	// DrainTimeout bounds Drain when the caller's context has no
 	// deadline (≤0 selects 30s).
 	DrainTimeout time.Duration
+	// Logger receives one structured line per tenant-routed request and
+	// per lifecycle event (tenant opened/resumed, degraded, drain,
+	// final checkpoint). Nil discards — the serving path never branches
+	// on "is logging enabled".
+	Logger *slog.Logger
+	// Debug mounts the /debug/pprof/* handlers on the server mux
+	// (cmd/bubbled's -debug flag). Off by default: profiling endpoints
+	// are not for unauthenticated production exposure.
+	Debug bool
+	// TraceCapacity sizes each tenant's bounded span ring (0 selects
+	// trace.DefaultCapacity, <0 disables tracing entirely — the bench
+	// harness measures the untraced baseline that way).
+	TraceCapacity int
+	// Tracer, when non-nil, is shared by every tenant instead of a
+	// per-tenant ring. Benchmarks inject a pre-sized tracer here;
+	// production leaves it nil so /tenants/{t}/debug/trace stays
+	// per-tenant.
+	Tracer *trace.Tracer
 }
 
 // TenantConfig parameterises one tenant. The zero value of each field
@@ -164,15 +185,26 @@ func deriveSeed(base int64, name string) int64 {
 
 // Server hosts the tenants. All methods are safe for concurrent use.
 type Server struct {
-	opts Options
+	opts   Options
+	logger *slog.Logger
 
 	mu      sync.RWMutex
 	tenants map[string]*tenant
+
+	// nextReqID mints the per-request IDs the HTTP layer stamps onto
+	// logs, trace spans and the X-Request-Id header.
+	nextReqID atomic.Uint64
 
 	draining atomic.Bool
 	//lint:lockcover blocking Drain deliberately holds drainMu while tenants flush so concurrent Drain calls wait for the first to finish
 	drainMu sync.Mutex // serializes Drain
 	drained bool
+}
+
+// discardLogger satisfies every slog call without output (go1.22 has no
+// slog.DiscardHandler yet).
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
 // New opens a server over Options.Root, resuming every tenant whose
@@ -185,7 +217,10 @@ func New(opts Options) (*Server, error) {
 	if err := os.MkdirAll(opts.Root, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Server{opts: opts, tenants: make(map[string]*tenant)}
+	if opts.Logger == nil {
+		opts.Logger = discardLogger()
+	}
+	s := &Server{opts: opts, logger: opts.Logger, tenants: make(map[string]*tenant)}
 	entries, err := os.ReadDir(opts.Root)
 	if err != nil {
 		return nil, err
@@ -242,7 +277,7 @@ func (s *Server) openTenant(name string, cfg TenantConfig) (*TenantStatus, error
 	if seed == 0 {
 		seed = deriveSeed(s.opts.Seed, name)
 	}
-	t, err := newTenant(name, filepath.Join(s.opts.Root, name), cfg, seed, s.opts.Failpoints)
+	t, err := newTenant(name, filepath.Join(s.opts.Root, name), cfg, seed, s.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -259,6 +294,10 @@ func (s *Server) openTenant(name string, cfg TenantConfig) (*TenantStatus, error
 	s.mu.Unlock()
 	t.start()
 	st := t.status()
+	s.logger.Info("tenant open",
+		"tenant", name, "resumed", st.Resumed,
+		"applied", st.Applied, "points", st.Points,
+		"pipeline_depth", st.Pipeline)
 	return &st, nil
 }
 
@@ -317,6 +356,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		ts = append(ts, t)
 	}
 	s.mu.RUnlock()
+	s.logger.Info("drain start", "tenants", len(ts))
 	for _, t := range ts {
 		t.closeQueue()
 	}
@@ -325,6 +365,11 @@ func (s *Server) Drain(ctx context.Context) error {
 		if err := t.awaitDrained(ctx); err != nil && first == nil {
 			first = fmt.Errorf("tenant %s: %w", t.name, err)
 		}
+	}
+	if first != nil {
+		s.logger.Warn("drain done", "error", first.Error())
+	} else {
+		s.logger.Info("drain done")
 	}
 	return first
 }

@@ -14,6 +14,7 @@ import (
 	"incbubbles/internal/dataset"
 	"incbubbles/internal/failpoint"
 	"incbubbles/internal/stats"
+	"incbubbles/internal/telemetry"
 	"incbubbles/internal/vecmath"
 	"incbubbles/internal/wal"
 )
@@ -424,7 +425,7 @@ func TestDeadlineCancellation(t *testing.T) {
 	if res.err == nil {
 		t.Fatal("cancelled ingest reported success")
 	}
-	if tn.sink.Counter("server.cancelled_before_apply").Value() != 1 {
+	if tn.sink.Counter(telemetry.MetricServerCancelledBefore).Value() != 1 {
 		t.Fatalf("cancellation not accounted: %v", res.err)
 	}
 

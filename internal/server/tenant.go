@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"incbubbles/internal/bubble"
 	"incbubbles/internal/core"
@@ -36,17 +38,25 @@ type ingestReq struct {
 	ctx   context.Context
 	batch dataset.Batch
 	done  chan ingestResult
+
+	// admitted is stamped by Admit; the worker measures the queue wait
+	// against it at dequeue and carries it into the reply so the HTTP
+	// layer can log it and stamp it on the request's trace span.
+	admitted time.Time
+	wait     time.Duration
 }
 
 type ingestResult struct {
-	ordinal int
-	stats   core.BatchStats
-	firstID *uint64 // first server-assigned insert ID, nil if no inserts
-	warning string  // non-fatal trailing error (retryable checkpoint)
-	err     error
+	ordinal   int
+	stats     core.BatchStats
+	firstID   *uint64 // first server-assigned insert ID, nil if no inserts
+	warning   string  // non-fatal trailing error (retryable checkpoint)
+	err       error
+	queueWait time.Duration
 }
 
 func (r *ingestReq) reply(res ingestResult) {
+	res.queueWait = r.wait
 	r.done <- res
 }
 
@@ -85,6 +95,35 @@ type TenantStatus struct {
 	QueueLen int    `json:"queue_len"`
 	QueueCap int    `json:"queue_cap"`
 	Pipeline int    `json:"pipeline_depth"`
+	// LastCheckpointAgeSeconds is the age of the tenant's newest durable
+	// checkpoint, -1 before the first one completes in this process.
+	LastCheckpointAgeSeconds float64 `json:"last_checkpoint_age_seconds"`
+}
+
+// tenantMetrics holds the serving layer's per-tenant metric handles,
+// resolved once at construction so every family is present in the
+// registry (and therefore in a /metrics scrape) from the tenant's first
+// breath, not only after its first observation.
+type tenantMetrics struct {
+	queueDepth   *telemetry.Gauge
+	queueWait    *telemetry.Histogram
+	applySeconds *telemetry.Histogram
+	httpRequests *telemetry.Counter
+	httpSeconds  *telemetry.Histogram
+	http429      *telemetry.Counter
+	http503      *telemetry.Counter
+}
+
+func newTenantMetrics(sink *telemetry.Sink) tenantMetrics {
+	return tenantMetrics{
+		queueDepth:   sink.Gauge(telemetry.MetricServerQueueDepth),
+		queueWait:    sink.Histogram(telemetry.MetricServerQueueWaitSeconds, telemetry.SecondsBounds()),
+		applySeconds: sink.Histogram(telemetry.MetricServerApplySeconds, telemetry.SecondsBounds()),
+		httpRequests: sink.Counter(telemetry.MetricServerHTTPRequests),
+		httpSeconds:  sink.Histogram(telemetry.MetricServerHTTPSeconds, telemetry.SecondsBounds()),
+		http429:      sink.Counter(telemetry.MetricServerHTTP429),
+		http503:      sink.Counter(telemetry.MetricServerHTTP503),
+	}
 }
 
 type tenant struct {
@@ -94,8 +133,10 @@ type tenant struct {
 	seed    int64
 	resumed bool
 
-	sink   *telemetry.Sink
-	tracer *trace.Tracer
+	sink    *telemetry.Sink
+	tracer  *trace.Tracer
+	logger  *slog.Logger
+	metrics tenantMetrics
 
 	// Worker-owned (only the worker goroutine touches these after
 	// start(); readers go through read).
@@ -139,9 +180,23 @@ func (t *tenant) await() {
 	}
 }
 
+// dequeued samples the observability series the worker owns, right as it
+// picks a request off the queue: the request's admission wait and the
+// queue depth left behind it. Worker-side sampling keeps the hot HTTP
+// path free of histogram work and needs no extra synchronization — the
+// single worker is the only writer.
+func (t *tenant) dequeued(req *ingestReq) {
+	req.wait = time.Since(req.admitted)
+	t.metrics.queueWait.Observe(req.wait.Seconds())
+	t.metrics.queueDepth.Set(float64(len(t.queue)))
+}
+
 // newTenant opens (or resumes) the tenant's durable state. The worker
 // is not started yet — start() does, after the server registers it.
-func newTenant(name, dir string, cfg TenantConfig, seed int64, fp *failpoint.Registry) (*tenant, error) {
+// opts carries the server-wide observability wiring (logger, tracing,
+// failpoints); the tenant-specific knobs come from cfg.
+func newTenant(name, dir string, cfg TenantConfig, seed int64, opts Options) (*tenant, error) {
+	fp := opts.Failpoints
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -164,16 +219,26 @@ func newTenant(name, dir string, cfg TenantConfig, seed int64, fp *failpoint.Reg
 		return nil, err
 	}
 
+	tracer := opts.Tracer
+	if tracer == nil && opts.TraceCapacity >= 0 {
+		tracer = trace.New(trace.Options{Capacity: opts.TraceCapacity})
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = discardLogger()
+	}
 	t := &tenant{
 		name:   name,
 		dir:    dir,
 		cfg:    cfg,
 		seed:   seed,
 		sink:   telemetry.NewSink(),
-		tracer: trace.New(trace.Options{}),
+		tracer: tracer,
+		logger: logger.With("tenant", name),
 		queue:  make(chan *ingestReq, cfg.QueueDepth),
 		gate:   cfg.testGate,
 	}
+	t.metrics = newTenantMetrics(t.sink)
 	coreOpts := core.Options{
 		NumBubbles:            cfg.Bubbles,
 		UseTriangleInequality: true,
@@ -284,7 +349,7 @@ func (t *tenant) Admit(ctx context.Context, batch dataset.Batch) (*ingestReq, er
 	if d := t.degrade.Load(); d != nil {
 		return nil, fmt.Errorf("%w: %s", ErrReadOnly, d.Reason)
 	}
-	req := &ingestReq{ctx: ctx, batch: batch, done: make(chan ingestResult, 1)}
+	req := &ingestReq{ctx: ctx, batch: batch, done: make(chan ingestResult, 1), admitted: time.Now()}
 	t.admitMu.RLock()
 	defer t.admitMu.RUnlock()
 	if t.queueClosed {
@@ -328,12 +393,13 @@ func (t *tenant) awaitDrained(ctx context.Context) error {
 func (t *tenant) status() TenantStatus {
 	rs := t.read.Load()
 	st := TenantStatus{
-		Name:     t.name,
-		Seed:     t.seed,
-		Resumed:  t.resumed,
-		QueueLen: len(t.queue),
-		QueueCap: cap(t.queue),
-		Pipeline: t.cfg.PipelineDepth,
+		Name:                     t.name,
+		Seed:                     t.seed,
+		Resumed:                  t.resumed,
+		QueueLen:                 len(t.queue),
+		QueueCap:                 cap(t.queue),
+		Pipeline:                 t.cfg.PipelineDepth,
+		LastCheckpointAgeSeconds: t.checkpointAge(),
 	}
 	if rs != nil {
 		st.Applied = rs.applied
@@ -347,6 +413,16 @@ func (t *tenant) status() TenantStatus {
 		st.Cause = d.Cause
 	}
 	return st
+}
+
+// checkpointAge reports seconds since the tenant's last durable
+// checkpoint, -1 before the first one completes in this process.
+func (t *tenant) checkpointAge() float64 {
+	n := t.log.LastCheckpointNanos()
+	if n == 0 {
+		return -1
+	}
+	return time.Since(time.Unix(0, n)).Seconds()
 }
 
 // snapshot returns the current read state (never nil once the tenant
@@ -405,6 +481,7 @@ func (t *tenant) rejectRemaining() {
 func (t *tenant) setDegraded(reason string, cause error) {
 	if t.degrade.CompareAndSwap(nil, &degraded{Reason: reason, Cause: cause.Error()}) {
 		t.sink.Counter(telemetry.MetricServerDegraded).Inc()
+		t.logger.Warn("tenant degraded", "reason", reason, "cause", cause.Error())
 	}
 }
 
@@ -486,6 +563,7 @@ func firstInsertID(batch dataset.Batch) *uint64 {
 // again if the summarizer provably consumed nothing.
 func (t *tenant) runSerial() {
 	for req := range t.queue {
+		t.dequeued(req)
 		t.await()
 		if err := req.ctx.Err(); err != nil {
 			t.sink.Counter(telemetry.MetricServerCancelledBefore).Inc()
@@ -498,6 +576,7 @@ func (t *tenant) runSerial() {
 			req.reply(ingestResult{err: err})
 			continue
 		}
+		applyStart := time.Now()
 		applied, err := req.batch.Replay(t.db)
 		if err != nil {
 			// Unreachable after prepare validated the batch; a failure here
@@ -519,6 +598,7 @@ func (t *tenant) runSerial() {
 			if err != nil {
 				res.warning = err.Error()
 			}
+			t.metrics.applySeconds.Observe(time.Since(applyStart).Seconds())
 			t.sink.Counter(telemetry.MetricServerIngested).Inc()
 			t.publish()
 			req.reply(res)
@@ -576,8 +656,9 @@ func undoBatch(db *dataset.DB, applied dataset.Batch) {
 // --- pipelined ingestion ----------------------------------------------
 
 type inflightTicket struct {
-	req *ingestReq
-	tk  *pipeline.Ticket
+	req     *ingestReq
+	tk      *pipeline.Ticket
+	started time.Time // submit time; apply latency is observed at head ack
 }
 
 // runPipelined keeps a window of up to PipelineDepth batches in flight
@@ -610,6 +691,7 @@ func (t *tenant) runPipelined() {
 			if req == nil {
 				break
 			}
+			t.dequeued(req)
 			t.await()
 			if err := req.ctx.Err(); err != nil {
 				t.sink.Counter(telemetry.MetricServerCancelledBefore).Inc()
@@ -621,6 +703,7 @@ func (t *tenant) runPipelined() {
 				req.reply(ingestResult{err: err})
 				continue
 			}
+			submitted := time.Now()
 			tk, err := t.sched.Submit(req.ctx, req.batch)
 			if err != nil {
 				if t.checkFatal(err) {
@@ -635,7 +718,7 @@ func (t *tenant) runPipelined() {
 				req.reply(ingestResult{err: err})
 				continue
 			}
-			inflight = append(inflight, inflightTicket{req: req, tk: tk})
+			inflight = append(inflight, inflightTicket{req: req, tk: tk, started: submitted})
 		}
 		if len(inflight) == 0 {
 			continue
@@ -650,6 +733,7 @@ func (t *tenant) runPipelined() {
 			if err != nil {
 				res.warning = err.Error()
 			}
+			t.metrics.applySeconds.Observe(time.Since(head.started).Seconds())
 			t.sink.Counter(telemetry.MetricServerIngested).Inc()
 			t.publish()
 			head.req.reply(res)
@@ -803,5 +887,6 @@ func (t *tenant) finalize() error {
 		_ = t.log.Close()
 		return fmt.Errorf("server: final checkpoint: %w", err)
 	}
+	t.logger.Info("final checkpoint", "applied", t.sum.Batches())
 	return t.log.Close()
 }

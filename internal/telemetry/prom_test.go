@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPromRoundTrip renders a registry snapshot and parses it back,
+// checking every family kind survives: exact counter values, gauge
+// text, histogram bucket rows with +Inf/_sum/_count, HELP/TYPE lines.
+func TestPromRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MetricDistanceComputed).Add(1234567890123)
+	reg.Gauge(MetricServerQueueDepth).Set(3.5)
+	h := reg.Histogram(MetricServerQueueWaitSeconds, SecondsBounds())
+	h.Observe(0.002)
+	h.Observe(0.2)
+	h.Observe(50) // overflow
+
+	w := NewPromWriter()
+	w.AddSnapshot(reg.Snapshot(), Label{Name: "tenant", Value: "alpha"})
+	var b strings.Builder
+	if _, err := w.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse back: %v\nexposition:\n%s", err, b.String())
+	}
+
+	ctr := fams["distance_computed"]
+	if ctr == nil || ctr.Type != "counter" {
+		t.Fatalf("distance_computed family missing or mistyped: %+v", ctr)
+	}
+	if ctr.Help == "" {
+		t.Fatal("distance_computed has no HELP text")
+	}
+	if len(ctr.Points) != 1 || ctr.Points[0].Raw != "1234567890123" {
+		t.Fatalf("counter did not round-trip exactly: %+v", ctr.Points)
+	}
+	if ctr.Points[0].Labels["tenant"] != "alpha" {
+		t.Fatalf("tenant label lost: %+v", ctr.Points[0].Labels)
+	}
+
+	g := fams["server_queue_depth"]
+	if g == nil || g.Type != "gauge" || len(g.Points) != 1 || g.Points[0].Raw != "3.5" {
+		t.Fatalf("gauge family wrong: %+v", g)
+	}
+
+	hist := fams["server_queue_wait_seconds"]
+	if hist == nil || hist.Type != "histogram" {
+		t.Fatalf("histogram family missing or mistyped: %+v", hist)
+	}
+	assertHistogramShape(t, hist, "alpha", 3)
+}
+
+// assertHistogramShape checks one tenant's series within a parsed
+// histogram family: cumulative monotone buckets ending in +Inf == count,
+// plus matching _count.
+func assertHistogramShape(t *testing.T, f *PromFamily, tenant string, wantCount uint64) {
+	t.Helper()
+	var buckets []PromPoint
+	var count *PromPoint
+	var sum *PromPoint
+	for i, p := range f.Points {
+		if p.Labels["tenant"] != tenant {
+			continue
+		}
+		switch p.Suffix {
+		case "_bucket":
+			buckets = append(buckets, p)
+		case "_count":
+			count = &f.Points[i]
+		case "_sum":
+			sum = &f.Points[i]
+		}
+	}
+	if len(buckets) == 0 || count == nil || sum == nil {
+		t.Fatalf("%s: incomplete histogram series for tenant %s", f.Name, tenant)
+	}
+	var prev uint64
+	sawInf := false
+	for _, b := range buckets {
+		le, ok := b.Labels["le"]
+		if !ok {
+			t.Fatalf("%s: bucket without le label", f.Name)
+		}
+		cum := mustUint(t, b.Raw)
+		if cum < prev {
+			t.Fatalf("%s: bucket counts not monotone at le=%s: %d < %d", f.Name, le, cum, prev)
+		}
+		prev = cum
+		if le == "+Inf" {
+			sawInf = true
+			if cum != wantCount {
+				t.Fatalf("%s: +Inf bucket %d, want %d", f.Name, cum, wantCount)
+			}
+		}
+	}
+	if !sawInf {
+		t.Fatalf("%s: no +Inf bucket", f.Name)
+	}
+	if got := mustUint(t, count.Raw); got != wantCount {
+		t.Fatalf("%s: _count %d, want %d", f.Name, got, wantCount)
+	}
+}
+
+func mustUint(t *testing.T, raw string) uint64 {
+	t.Helper()
+	var v uint64
+	for _, c := range raw {
+		if c < '0' || c > '9' {
+			t.Fatalf("value %q is not an exact uint", raw)
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	return v
+}
+
+// TestPromLabelEscaping round-trips a label value containing every
+// character the format escapes.
+func TestPromLabelEscaping(t *testing.T) {
+	evil := "a\\b\"c\nd"
+	w := NewPromWriter()
+	w.AddCounterSample(MetricServerHTTPRequests, 7, Label{Name: "tenant", Value: evil})
+	var b strings.Builder
+	if _, err := w.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, b.String())
+	}
+	f := fams["server_http_requests"]
+	if f == nil || len(f.Points) != 1 {
+		t.Fatalf("family missing: %+v", f)
+	}
+	if got := f.Points[0].Labels["tenant"]; got != evil {
+		t.Fatalf("label escaping lost data: %q != %q", got, evil)
+	}
+}
+
+// TestPromTypeConflict pins the sticky error: one family added as two
+// types must fail the whole scrape rather than emit a corrupt page.
+func TestPromTypeConflict(t *testing.T) {
+	w := NewPromWriter()
+	w.AddCounterSample("x.y", 1)
+	w.AddGaugeSample("x.y", 2)
+	var b strings.Builder
+	if _, err := w.WriteTo(&b); err == nil {
+		t.Fatal("want type-conflict error")
+	}
+	if b.Len() != 0 {
+		t.Fatalf("conflicting writer emitted output: %q", b.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"server.queue_depth": "server_queue_depth",
+		"distance.computed":  "distance_computed",
+		"9lives":             "_9lives",
+		"a-b c":              "a_b_c",
+		"ok:name_1":          "ok:name_1",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPromMultiTenantFold pins that the same metric from two snapshots
+// folds into one family with one row per tenant, emitted under a single
+// TYPE header.
+func TestPromMultiTenantFold(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter(MetricServerIngested).Add(3)
+	b.Counter(MetricServerIngested).Add(5)
+	w := NewPromWriter()
+	w.AddSnapshot(a.Snapshot(), Label{Name: "tenant", Value: "a"})
+	w.AddSnapshot(b.Snapshot(), Label{Name: "tenant", Value: "b"})
+	var out strings.Builder
+	if _, err := w.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if strings.Count(text, "# TYPE server_batches_ingested counter") != 1 {
+		t.Fatalf("want exactly one TYPE line:\n%s", text)
+	}
+	fams, err := ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fams["server_batches_ingested"]
+	if f == nil || len(f.Points) != 2 {
+		t.Fatalf("want 2 rows, got %+v", f)
+	}
+	var total uint64
+	for _, p := range f.Points {
+		total += mustUint(t, p.Raw)
+	}
+	if total != 8 {
+		t.Fatalf("rows sum to %d, want 8", total)
+	}
+}

@@ -55,6 +55,14 @@ const (
 	// backoff policy (Options.CheckpointRetry).
 	MetricWALCheckpointRetries = "wal.checkpoint_retries"
 
+	// WAL latency histograms (SecondsBounds buckets): each fsync the
+	// layer issues, each shared group-commit flush, and each whole
+	// checkpoint write (encode + temp write + fsync + rename), sync or
+	// async alike.
+	MetricWALFsyncSeconds       = "wal.fsync_seconds"
+	MetricWALGroupCommitSeconds = "wal.group_commit_seconds"
+	MetricWALCheckpointSeconds  = "wal.checkpoint_seconds"
+
 	// Serving layer (internal/server): per-tenant ingest accounting and
 	// the fault-tolerance machinery around it (DESIGN.md §15).
 	MetricServerIngested        = "server.batches_ingested"
@@ -63,6 +71,29 @@ const (
 	MetricServerDegraded        = "server.tenant_degraded"
 	MetricServerSnapshotErrors  = "server.snapshot_errors"
 	MetricServerCancelledBefore = "server.cancelled_before_apply"
+
+	// Serving-layer observability series (DESIGN.md §16). The worker
+	// samples queue depth and admission waits itself at each dequeue;
+	// apply latency covers worker pickup to durability ack; the HTTP
+	// counters/histogram are per tenant-routed request, with the 429/503
+	// backpressure outcomes broken out.
+	MetricServerQueueDepth       = "server.queue_depth"
+	MetricServerQueueWaitSeconds = "server.queue_wait_seconds"
+	MetricServerApplySeconds     = "server.apply_seconds"
+	MetricServerHTTPRequests     = "server.http_requests"
+	MetricServerHTTPSeconds      = "server.http_request_seconds"
+	MetricServerHTTP429          = "server.http_429"
+	MetricServerHTTP503          = "server.http_503"
+
+	// Scrape-synthesized series: not resolved through a Sink but written
+	// directly by the /metrics exposition from live component state (the
+	// degradation ladder, the WAL's checkpoint clock, the bounded-ring
+	// drop counters). Declared here so every exported series still comes
+	// from this one catalog block (the metriccatalog analyzer pins that).
+	MetricServerLadderState   = "server.ladder_state"
+	MetricServerCheckpointAge = "server.last_checkpoint_age_seconds"
+	MetricEventsDropped       = "telemetry.events_dropped"
+	MetricTraceSpansDropped   = "trace.spans_dropped"
 )
 
 // SecondsBounds is the shared bucket layout for phase-timing histograms:

@@ -54,6 +54,12 @@ const (
 	AttrBubbleB   = "bubble_b"   // second bubble (merge recipient, split sibling)
 	AttrBytes     = "bytes"      // bytes written or fsynced
 	AttrCount     = "count"      // generic cardinality (objects, records, rounds)
+	// AttrRequestID and AttrQueueWait decorate the server.ingest root
+	// span the serving layer starts per ingest request: the minted
+	// request ID and the nanoseconds the batch sat in the tenant's
+	// bounded queue before its worker picked it up.
+	AttrRequestID = "request_id"
+	AttrQueueWait = "queue_wait_ns"
 	// AttrSpecHit marks a pipelined batch span: 1 when the speculative
 	// phase-1 result was accepted, 0 when it was stale and the search
 	// reran against live state. Spans of the pipelined path:

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"incbubbles/internal/core"
 	"incbubbles/internal/dataset"
@@ -219,7 +220,11 @@ func (l *Log) flushLocked(ctx context.Context) error {
 	if !l.opts.NoSync {
 		fsp := sp.Start("wal.fsync")
 		fsp.SetInt(trace.AttrBytes, l.group.pendingBytes)
+		syncStart := time.Now()
 		err := l.f.Sync()
+		elapsed := time.Since(syncStart).Seconds()
+		l.m.fsyncSeconds.Observe(elapsed)
+		l.m.groupCommitSeconds.Observe(elapsed)
 		fsp.End()
 		if err != nil {
 			return l.poison(fmt.Errorf("wal: group fsync: %w", err))
@@ -338,6 +343,7 @@ func (l *Log) runAsyncCheckpoint(ordinal uint64, data []byte, done chan struct{}
 	defer sp.End()
 	sp.SetInt(trace.AttrOrdinal, int64(ordinal))
 	sp.SetInt(trace.AttrBytes, int64(len(data)))
+	ckptStart := time.Now()
 	// The background goroutine has no request context by design: an
 	// async checkpoint must not be abandoned mid-write by an ingest
 	// deadline (AsyncBarrier bounds how long anyone waits on it).
@@ -357,6 +363,8 @@ func (l *Log) runAsyncCheckpoint(ordinal uint64, data []byte, done chan struct{}
 	l.group.rotateDue = true
 	l.m.checkpoints.Inc()
 	l.m.checkpointBytes.Add(uint64(len(data)))
+	l.m.checkpointSeconds.Observe(time.Since(ckptStart).Seconds())
+	l.lastCkpt.Store(wallNanos())
 	l.emit(telemetry.Event{Kind: telemetry.KindCheckpoint, Batch: int(ordinal), A: int(ordinal), N: len(data)})
 }
 

@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"incbubbles/internal/core"
 	"incbubbles/internal/dataset"
@@ -141,6 +143,28 @@ type Log struct {
 	poisoned    error
 	closed      bool
 	group       groupState // group-commit queue + async checkpoint (group.go)
+
+	// lastCkpt is the wall-clock time of the last successful checkpoint
+	// (sync or async), in unix nanoseconds; 0 before the first. It feeds
+	// the serving layer's last-checkpoint-age health surface and is kept
+	// atomic so scrapes never contend with the log mutex across an fsync.
+	lastCkpt atomic.Int64
+}
+
+// wallNanos timestamps checkpoint completion for the observability
+// surfaces. It is never used as entropy or simulation state.
+func wallNanos() int64 {
+	//lint:allow seededrng last-checkpoint age is an observability timestamp, not simulation state
+	return time.Now().UnixNano()
+}
+
+// LastCheckpointNanos returns the unix-nanosecond wall time of the last
+// successful checkpoint, or 0 if none has completed since open.
+func (l *Log) LastCheckpointNanos() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.lastCkpt.Load()
 }
 
 // walMetrics holds the layer's metric handles, resolved once.
@@ -154,6 +178,10 @@ type walMetrics struct {
 	quarantined     *telemetry.Counter
 	replayed        *telemetry.Counter
 	ckptRetries     *telemetry.Counter
+
+	fsyncSeconds       *telemetry.Histogram
+	groupCommitSeconds *telemetry.Histogram
+	checkpointSeconds  *telemetry.Histogram
 }
 
 func newWALMetrics(sink *telemetry.Sink) walMetrics {
@@ -167,6 +195,10 @@ func newWALMetrics(sink *telemetry.Sink) walMetrics {
 		quarantined:     sink.Counter(telemetry.MetricWALQuarantined),
 		replayed:        sink.Counter(telemetry.MetricWALReplayedBatches),
 		ckptRetries:     sink.Counter(telemetry.MetricWALCheckpointRetries),
+
+		fsyncSeconds:       sink.Histogram(telemetry.MetricWALFsyncSeconds, telemetry.SecondsBounds()),
+		groupCommitSeconds: sink.Histogram(telemetry.MetricWALGroupCommitSeconds, telemetry.SecondsBounds()),
+		checkpointSeconds:  sink.Histogram(telemetry.MetricWALCheckpointSeconds, telemetry.SecondsBounds()),
 	}
 }
 
@@ -316,7 +348,9 @@ func (l *Log) BeforeApply(ctx context.Context, ordinal uint64, batch dataset.Bat
 	if !l.opts.NoSync {
 		fsp := sp.Start("wal.fsync")
 		fsp.SetInt(trace.AttrBytes, int64(len(frame)))
+		syncStart := time.Now()
 		err := l.f.Sync()
+		l.m.fsyncSeconds.Observe(time.Since(syncStart).Seconds())
 		fsp.End()
 		if err != nil {
 			return l.poison(fmt.Errorf("wal: syncing batch %d: %w", ordinal, err))
@@ -413,6 +447,7 @@ func (l *Log) checkpoint(ctx context.Context, s *core.Summarizer) error {
 	}
 	sp := l.startSpan(ctx, "wal.checkpoint")
 	defer sp.End()
+	ckptStart := time.Now()
 	data, err := encodeCheckpoint(s)
 	if err != nil {
 		return err
@@ -428,6 +463,8 @@ func (l *Log) checkpoint(ctx context.Context, s *core.Summarizer) error {
 	l.sinceCkpt = 0
 	l.m.checkpoints.Inc()
 	l.m.checkpointBytes.Add(uint64(len(data)))
+	l.m.checkpointSeconds.Observe(time.Since(ckptStart).Seconds())
+	l.lastCkpt.Store(wallNanos())
 	l.emit(telemetry.Event{Kind: telemetry.KindCheckpoint, Batch: int(ordinal), A: int(ordinal), N: len(data)})
 	if err := l.rotate(); err != nil {
 		return err
